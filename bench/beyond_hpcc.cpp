@@ -1,0 +1,60 @@
+// Extension: the two HPCC kernels the paper's evaluation skipped (§5.1
+// skips HPL, PTRANS and b_eff because "network communication performance in
+// parallel programs is not the focus"). Run single-node models of HPL and
+// PTRANS through all three migration mechanisms to check that the paper's
+// conclusions extend: HPL behaves like DGEMM (high locality, AMPoM ~
+// openMosix), PTRANS like a faster STREAM (transpose streams).
+
+#include "bench/common.hpp"
+#include "workload/hpl.hpp"
+#include "workload/ptrans.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ampom;
+  const bench::Options opts = bench::parse_options(argc, argv);
+  const std::uint64_t mib = opts.quick ? 65 : 129;
+
+  struct Kernel {
+    const char* label;
+    std::function<std::unique_ptr<proc::ReferenceStream>()> make;
+  };
+  const Kernel kernels[] = {
+      {"HPL",
+       [mib] {
+         workload::HplConfig cfg;
+         cfg.memory = mib * sim::kMiB;
+         return std::make_unique<workload::Hpl>(cfg);
+       }},
+      {"PTRANS",
+       [mib] {
+         workload::PtransConfig cfg;
+         cfg.memory = mib * sim::kMiB;
+         return std::make_unique<workload::Ptrans>(cfg);
+       }},
+  };
+
+  stats::Table table{"Beyond the paper: HPL and PTRANS (" + std::to_string(mib) + " MB)",
+                     {"kernel", "scheme", "freeze", "total (s)", "vs openMosix",
+                      "prevented", "zone/fault"}};
+  for (const Kernel& kernel : kernels) {
+    double om_total = 0.0;
+    for (const auto scheme : bench::kAllSchemes) {
+      driver::Scenario s;
+      s.scheme = scheme;
+      s.memory_mib = mib;
+      s.workload_label = kernel.label;
+      s.make_workload = kernel.make;
+      const auto m = run_experiment(s);
+      if (scheme == driver::Scheme::OpenMosix) {
+        om_total = m.total_time.sec();
+      }
+      table.add_row({kernel.label, m.scheme, m.freeze_time.str(),
+                     stats::Table::num(m.total_time.sec(), 2),
+                     stats::Table::percent(m.total_time.sec() / om_total - 1.0),
+                     stats::Table::percent(m.prevented_fault_fraction()),
+                     stats::Table::num(m.prefetched_per_fault(), 1)});
+    }
+  }
+  bench::emit(table, opts);
+  return 0;
+}

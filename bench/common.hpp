@@ -1,0 +1,108 @@
+#pragma once
+// Shared harness for the per-figure benchmark binaries.
+//
+// Every binary accepts:
+//   --quick        run a reduced sweep (small sizes; for CI smoke runs)
+//   --csv=FILE     additionally dump the table as CSV
+// and prints one aligned table per paper figure, with the paper's reported
+// values quoted in the header comment of each binary for comparison.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.hpp"
+#include "stats/table.hpp"
+#include "workload/hpcc.hpp"
+
+namespace ampom::bench {
+
+struct Options {
+  bool quick{false};
+  std::optional<std::string> csv_path;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      opts.quick = true;
+    } else if (arg.rfind("--csv=", 0) == 0) {
+      opts.csv_path = arg.substr(6);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0] << " [--quick] [--csv=FILE]\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+inline void emit(const stats::Table& table, const Options& opts) {
+  table.print(std::cout);
+  if (opts.csv_path) {
+    std::ofstream out{*opts.csv_path, std::ios::app};
+    table.write_csv(out);
+  }
+}
+
+// The paper's sweep for one kernel (Table 1 sizes), reduced under --quick.
+inline std::vector<std::uint64_t> kernel_sizes(workload::HpccKernel kernel, bool quick) {
+  std::vector<std::uint64_t> sizes;
+  auto collect = [&](const auto& cases) {
+    for (const auto& c : cases) {
+      sizes.push_back(c.memory_mib);
+    }
+  };
+  switch (kernel) {
+    case workload::HpccKernel::Dgemm:
+      collect(workload::kDgemmCases);
+      break;
+    case workload::HpccKernel::Stream:
+      collect(workload::kStreamCases);
+      break;
+    case workload::HpccKernel::RandomAccess:
+      collect(workload::kRandomAccessCases);
+      break;
+    case workload::HpccKernel::Fft:
+      collect(workload::kFftCases);
+      break;
+  }
+  if (quick) {
+    sizes.resize(2);  // the two smallest sizes only
+  }
+  return sizes;
+}
+
+inline constexpr workload::HpccKernel kAllKernels[] = {
+    workload::HpccKernel::Dgemm, workload::HpccKernel::Stream,
+    workload::HpccKernel::RandomAccess, workload::HpccKernel::Fft};
+
+inline constexpr driver::Scheme kAllSchemes[] = {
+    driver::Scheme::OpenMosix, driver::Scheme::NoPrefetch, driver::Scheme::Ampom};
+
+inline driver::Scenario make_scenario(workload::HpccKernel kernel, std::uint64_t memory_mib,
+                                      driver::Scheme scheme) {
+  driver::Scenario s;
+  s.scheme = scheme;
+  s.memory_mib = memory_mib;
+  s.workload_label = workload::hpcc_kernel_name(kernel);
+  s.make_workload = [kernel, memory_mib] {
+    return workload::make_hpcc_kernel(kernel, memory_mib);
+  };
+  return s;
+}
+
+inline driver::RunMetrics run_cell(workload::HpccKernel kernel, std::uint64_t memory_mib,
+                                   driver::Scheme scheme) {
+  return driver::run_experiment(make_scenario(kernel, memory_mib, scheme));
+}
+
+}  // namespace ampom::bench

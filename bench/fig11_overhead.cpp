@@ -1,0 +1,25 @@
+// Figure 11: overhead of the AMPoM dependent-zone analysis, expressed as a
+// percentage of total execution time.
+//
+// Paper shape: below 0.6 % in all cases, below 0.25 % in nearly all.
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ampom;
+  const bench::Options opts = bench::parse_options(argc, argv);
+
+  stats::Table table{"Fig. 11: AMPoM analysis overhead (% of execution time)",
+                     {"kernel", "size (MB)", "overhead", "analysis time", "faults analyzed"}};
+  for (const auto kernel : bench::kAllKernels) {
+    for (const std::uint64_t mib : bench::kernel_sizes(kernel, opts.quick)) {
+      const auto m = bench::run_cell(kernel, mib, driver::Scheme::Ampom);
+      table.add_row({workload::hpcc_kernel_name(kernel), stats::Table::integer(mib),
+                     stats::Table::percent(m.analysis_overhead_fraction(), 3),
+                     m.ampom_analysis_time.str(),
+                     stats::Table::integer(m.ampom_faults_seen)});
+    }
+  }
+  bench::emit(table, opts);
+  return 0;
+}

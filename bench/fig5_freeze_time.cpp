@@ -1,0 +1,38 @@
+// Figure 5: migration freeze time of AMPoM, openMosix and NoPrefetch for
+// all four HPCC kernels across the Table-1 program sizes.
+//
+// Paper reference points (Gideon 300, Fast Ethernet):
+//   - openMosix grows linearly: ~53.9 s at 575 MB (DGEMM);
+//   - AMPoM grows linearly with the MPT: ~0.6 s at 575 MB;
+//   - NoPrefetch is flat at ~0.07 s regardless of size.
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ampom;
+  const bench::Options opts = bench::parse_options(argc, argv);
+
+  for (const auto kernel : bench::kAllKernels) {
+    stats::Table table{
+        std::string("Fig. 5: migration freeze time (s) - ") + workload::hpcc_kernel_name(kernel),
+        {"size (MB)", "AMPoM", "openMosix", "NoPrefetch", "AMPoM MPT bytes"}};
+    for (const std::uint64_t mib : bench::kernel_sizes(kernel, opts.quick)) {
+      double freeze[3] = {};
+      sim::Bytes mpt = 0;
+      for (const auto scheme : bench::kAllSchemes) {
+        const auto m = bench::run_cell(kernel, mib, scheme);
+        freeze[static_cast<int>(scheme)] = m.freeze_time.sec();
+        if (scheme == driver::Scheme::Ampom) {
+          mpt = m.page_count * mem::kMptEntryBytes;
+        }
+      }
+      table.add_row({stats::Table::integer(mib),
+                     stats::Table::num(freeze[static_cast<int>(driver::Scheme::Ampom)], 3),
+                     stats::Table::num(freeze[static_cast<int>(driver::Scheme::OpenMosix)], 3),
+                     stats::Table::num(freeze[static_cast<int>(driver::Scheme::NoPrefetch)], 3),
+                     stats::Table::integer(mpt)});
+    }
+    bench::emit(table, opts);
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 6: total execution time of HPCC under the three migration
+// mechanisms (freeze + post-migration run, as in the paper's Figs. 6/10).
+//
+// Paper reference points (largest runs, relative to openMosix):
+//   NoPrefetch: +35 % (DGEMM), +51 % (STREAM), +20 % (RandomAccess),
+//               +41 % (FFT);
+//   AMPoM:      within 0-5 % of openMosix (RandomAccess worst at +4 %).
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ampom;
+  const bench::Options opts = bench::parse_options(argc, argv);
+
+  for (const auto kernel : bench::kAllKernels) {
+    stats::Table table{
+        std::string("Fig. 6: total execution time (s) - ") + workload::hpcc_kernel_name(kernel),
+        {"size (MB)", "AMPoM", "openMosix", "NoPrefetch", "AMPoM vs oM", "NoPf vs oM"}};
+    for (const std::uint64_t mib : bench::kernel_sizes(kernel, opts.quick)) {
+      double total[3] = {};
+      for (const auto scheme : bench::kAllSchemes) {
+        total[static_cast<int>(scheme)] =
+            bench::run_cell(kernel, mib, scheme).total_time.sec();
+      }
+      const double om = total[static_cast<int>(driver::Scheme::OpenMosix)];
+      const double am = total[static_cast<int>(driver::Scheme::Ampom)];
+      const double np = total[static_cast<int>(driver::Scheme::NoPrefetch)];
+      table.add_row({stats::Table::integer(mib), stats::Table::num(am, 2),
+                     stats::Table::num(om, 2), stats::Table::num(np, 2),
+                     stats::Table::percent(am / om - 1.0),
+                     stats::Table::percent(np / om - 1.0)});
+    }
+    bench::emit(table, opts);
+  }
+  return 0;
+}

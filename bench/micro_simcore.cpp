@@ -1,0 +1,91 @@
+// Microbenchmarks of the simulation engine itself: event throughput, fabric
+// message dispatch and executor reference consumption. These bound how much
+// wall time the paper-scale experiments cost.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "net/fabric.hpp"
+#include "proc/executor.hpp"
+#include "simcore/simulator.hpp"
+
+namespace {
+
+using namespace ampom;
+using sim::Time;
+
+void BM_ScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    const auto n = state.range(0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      simulator.schedule_at(Time::from_us(i), [] {});
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScheduleAndRun)->Arg(1000)->Arg(100000);
+
+void BM_TimerCancellation(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::vector<sim::Simulator::EventId> ids;
+    ids.reserve(10000);
+    for (std::int64_t i = 0; i < 10000; ++i) {
+      ids.push_back(simulator.schedule_at(Time::from_us(i), [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) {
+      simulator.cancel(ids[i]);
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_TimerCancellation);
+
+void BM_FabricSend(benchmark::State& state) {
+  sim::Simulator simulator;
+  net::Fabric fabric{simulator, 2};
+  fabric.set_handler(1, [](const net::Message&) {});
+  std::uint64_t sent = 0;
+  for (auto _ : state) {
+    fabric.send(net::Message{0, 1, 4506, net::Background{}});
+    if (++sent % 1024 == 0) {
+      simulator.run();  // drain periodically so the heap stays small
+    }
+  }
+  simulator.run();
+  state.SetItemsProcessed(static_cast<std::int64_t>(sent));
+}
+BENCHMARK(BM_FabricSend);
+
+void BM_ExecutorLocalRefs(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<proc::Ref> refs(100000,
+                                proc::Ref{300, Time::from_ns(500), proc::Ref::Kind::Memory});
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      refs[i].page = 300 + (i % 512);
+    }
+    sim::Simulator simulator;
+    proc::Process process{1,
+                          std::make_unique<proc::TraceStream>(std::move(refs), 4 * sim::kMiB),
+                          0};
+    process.aspace().populate_all_dirty();
+    proc::Executor executor{simulator, process, proc::NodeCosts{}};
+    state.ResumeTiming();
+    executor.start();
+    simulator.run();
+    benchmark::DoNotOptimize(executor.stats().refs_consumed);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_ExecutorLocalRefs);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// The paper's §1 motivation, quantified: "it is also not cost-worthy to
+// migrate the entire process if we are not sure how long computing
+// resources will be available at the destination node; a wrong or
+// suboptimal migration decision would require the process being migrated
+// again, inducing even longer freeze time."
+//
+// A process is migrated, and the destination turns out to be wrong: it is
+// re-migrated to a third node shortly afterwards. This bench measures the
+// price of that correction under each mechanism — the two freezes, the
+// flush-back traffic, and the total-runtime penalty relative to a run whose
+// first decision was right (single hop).
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ampom;
+  const bench::Options opts = bench::parse_options(argc, argv);
+  const std::uint64_t mib = opts.quick ? 65 : 230;
+
+  stats::Table table{"Cost of correcting a wrong placement (STREAM, " + std::to_string(mib) +
+                         " MB; second hop 1 s after the first)",
+                     {"mechanism", "freeze 1", "freeze 2", "flush pages", "total (s)",
+                      "one-hop total (s)", "penalty"}};
+  for (const auto scheme : {driver::Scheme::OpenMosix, driver::Scheme::NoPrefetch,
+                            driver::Scheme::Ampom}) {
+    driver::Scenario s = bench::make_scenario(workload::HpccKernel::Stream, mib, scheme);
+    const auto one_hop = run_experiment(s);
+    s.remigrate_after = sim::Time::from_sec(1.0);
+    const auto two_hop = run_experiment(s);
+    table.add_row({two_hop.scheme, two_hop.freeze_time.str(), two_hop.freeze_time_2.str(),
+                   stats::Table::integer(two_hop.flush_pages),
+                   stats::Table::num(two_hop.total_time.sec(), 2),
+                   stats::Table::num(one_hop.total_time.sec(), 2),
+                   stats::Table::percent(two_hop.total_time / one_hop.total_time - 1.0)});
+  }
+  bench::emit(table, opts);
+  return 0;
+}

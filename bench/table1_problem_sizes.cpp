@@ -1,0 +1,31 @@
+// Table 1 of the paper: HPCC problem sizes and the resulting process
+// memory sizes, plus the page counts our models derive from them.
+
+#include <iostream>
+
+#include "mem/page.hpp"
+#include "stats/table.hpp"
+#include "workload/hpcc.hpp"
+
+int main() {
+  using namespace ampom;
+
+  stats::Table table{"Table 1: problem and memory sizes of HPCC",
+                     {"kernel", "problem size", "memory (MB)", "pages", "modeled refs name"}};
+
+  auto add = [&](workload::HpccKernel k, const auto& cases) {
+    for (const workload::HpccCase& c : cases) {
+      const auto stream = workload::make_hpcc_kernel(k, c.memory_mib);
+      table.add_row({workload::hpcc_kernel_name(k), stats::Table::integer(c.problem_size),
+                     stats::Table::integer(c.memory_mib),
+                     stats::Table::integer(mem::pages_for_mib(c.memory_mib)), stream->name()});
+    }
+  };
+  add(workload::HpccKernel::Dgemm, workload::kDgemmCases);
+  add(workload::HpccKernel::Stream, workload::kStreamCases);
+  add(workload::HpccKernel::RandomAccess, workload::kRandomAccessCases);
+  add(workload::HpccKernel::Fft, workload::kFftCases);
+
+  table.print(std::cout);
+  return 0;
+}

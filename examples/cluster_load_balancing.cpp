@@ -1,0 +1,56 @@
+// The system-level view: an eight-node openMosix-style cluster where a
+// burst of jobs lands on one node and the load balancer spreads them out
+// through live process migrations (paper §7's "new scheduling policies"
+// direction, using the multi-process ClusterSim API directly).
+
+#include <iostream>
+#include <memory>
+
+#include "balancer/cluster_sim.hpp"
+#include "balancer/load_balancer.hpp"
+#include "stats/table.hpp"
+#include "workload/synthetic.hpp"
+
+int main() {
+  using namespace ampom;
+
+  balancer::ClusterSim world{8, driver::Scheme::Ampom};
+
+  // Ten jobs, all submitted to node 0 within half a second.
+  for (int i = 0; i < 10; ++i) {
+    balancer::JobSpec job;
+    job.home = 0;
+    job.label = "job-" + std::to_string(i);
+    job.start = sim::Time::from_ms(50 * i);
+    job.make_workload = [i] {
+      return std::make_unique<workload::HotColdStream>(
+          32 * sim::kMiB, /*hot_pages=*/1024,
+          /*touches=*/60000 + 5000u * static_cast<std::uint64_t>(i),
+          /*cold_fraction=*/0.03, sim::Time::from_us(90));
+    };
+    world.spawn(std::move(job));
+  }
+
+  balancer::LoadBalancer::Config cfg;
+  cfg.assumed_freeze_seconds = 0.2;  // AMPoM freezes are cheap: be aggressive
+  balancer::LoadBalancer lb{world, cfg};
+  lb.start();
+
+  world.run();
+
+  stats::Table table{"Cluster run: 10 jobs on node 0, AMPoM migration, greedy balancer",
+                     {"job", "home", "final node", "migrations", "freeze total",
+                      "finished (s)"}};
+  for (const auto& host : world.hosts()) {
+    table.add_row({host->label(), stats::Table::integer(host->home_node()),
+                   stats::Table::integer(host->current_node()),
+                   stats::Table::integer(host->migrations()), host->freeze_total().str(),
+                   stats::Table::num(host->finished_at().sec(), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "Makespan " << world.makespan().str() << " with " << lb.decisions()
+            << " balancer decisions across " << lb.ticks() << " ticks.\n"
+            << "With AMPoM's sub-second freezes, spreading a job burst across the\n"
+               "cluster costs almost nothing (paper section 7).\n";
+  return 0;
+}

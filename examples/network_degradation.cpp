@@ -1,0 +1,85 @@
+// Live adaptation to network performance: while a migrated STREAM process
+// is still pulling its pages, the link between the home and destination
+// nodes degrades to the paper's broadband profile (6 Mb/s, 2 ms) and later
+// recovers. The per-fault trace hook shows the dependent-zone size reacting
+// to the measured round-trip time and available bandwidth — the adaptivity
+// claims of paper §3.5 and §5.5, live.
+
+#include <iostream>
+
+#include "driver/experiment.hpp"
+#include "net/traffic_shaper.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "workload/hpcc.hpp"
+
+int main() {
+  using namespace ampom;
+  using sim::Time;
+
+  driver::Scenario s;
+  s.scheme = driver::Scheme::Ampom;
+  s.memory_mib = 129;
+  s.workload_label = "STREAM";
+  s.make_workload = [] {
+    return workload::make_hpcc_kernel(workload::HpccKernel::Stream, 129);
+  };
+
+  // Degrade the migrant/home link 6 s into the run; restore at 14 s.
+  s.on_setup = [](sim::Simulator& simulator, net::Fabric& fabric) {
+    simulator.schedule_at(Time::from_sec(6.0), [&fabric] {
+      fabric.set_link(0, 1, net::TrafficShaper::broadband());
+    });
+    simulator.schedule_at(Time::from_sec(14.0), [&fabric] {
+      fabric.set_link(0, 1, net::LinkParams{});
+    });
+  };
+
+  // Bucket the zone-size trace per second of simulated time.
+  struct Bucket {
+    stats::Summary zone;
+    stats::Summary t0_us;
+    stats::Summary td_us;
+  };
+  std::vector<Bucket> buckets(30);
+  // The trace runs inside the simulation; we need the current time, so we
+  // capture it via a second hook around the provider inputs.
+  sim::Simulator* sim_ptr = nullptr;
+  s.on_setup = [&, degrade = s.on_setup](sim::Simulator& simulator, net::Fabric& fabric) {
+    sim_ptr = &simulator;
+    degrade(simulator, fabric);
+  };
+  s.ampom_trace = [&](const core::ZoneInputs& in, std::uint64_t n, std::size_t) {
+    if (sim_ptr == nullptr) {
+      return;
+    }
+    const auto sec = static_cast<std::size_t>(sim_ptr->now().sec());
+    if (sec < buckets.size()) {
+      buckets[sec].zone.add(static_cast<double>(n));
+      buckets[sec].t0_us.add(in.rtt_one_way.us());
+      buckets[sec].td_us.add(in.page_transfer.us());
+    }
+  };
+
+  const auto m = driver::run_experiment(s);
+
+  stats::Table table{"Dependent-zone size under a mid-run network degradation "
+                     "(6 Mb/s + 2 ms between t=6 s and t=14 s)",
+                     {"t (s)", "faults", "mean zone N", "mean t0 (us)", "mean td (us)"}};
+  for (std::size_t sec = 0; sec < buckets.size(); ++sec) {
+    if (buckets[sec].zone.empty()) {
+      continue;
+    }
+    table.add_row({stats::Table::integer(sec), stats::Table::integer(buckets[sec].zone.count()),
+                   stats::Table::num(buckets[sec].zone.mean(), 1),
+                   stats::Table::num(buckets[sec].t0_us.mean(), 1),
+                   stats::Table::num(buckets[sec].td_us.mean(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "Total time " << m.total_time.str() << ", prevented "
+            << stats::Table::percent(m.prevented_fault_fraction())
+            << " of fault requests. When the link degrades, the measured t0/td\n"
+               "grow and AMPoM sizes the dependent zone for the longer pipeline\n"
+               "(paper sections 3.5 and 5.5); when the link recovers, it backs off.\n";
+  return 0;
+}

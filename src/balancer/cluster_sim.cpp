@@ -1,0 +1,237 @@
+#include "balancer/cluster_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "migration/precopy.hpp"
+#include "migration/remigration.hpp"
+
+namespace ampom::balancer {
+
+// ---------------------------------------------------------------------------
+// ProcessHost
+// ---------------------------------------------------------------------------
+
+ProcessHost::ProcessHost(ClusterSim& world, std::uint64_t pid, JobSpec spec)
+    : world_{world},
+      pid_{pid},
+      spec_{std::move(spec)},
+      process_{pid, spec_.make_workload(), spec_.home},
+      executor_{world.simulator(), process_, world.profile().costs},
+      ledger_{process_.aspace().page_count(), spec_.home},
+      deputy_{world.simulator(), world.fabric(), world.profile().wire, world.profile().costs,
+              spec_.home,        pid,            process_.aspace().page_count(), &ledger_} {
+  process_.aspace().populate_all_dirty();
+  world_.node(spec_.home).set_deputy(pid_, &deputy_);
+  // Time-sharing: the process gets an equal share of whichever node it is on.
+  executor_.set_cpu_share_source([this] {
+    const auto sharers = world_.active_on(process_.current_node());
+    return 1.0 / static_cast<double>(std::max<std::uint64_t>(1, sharers));
+  });
+  executor_.set_max_burst(sim::Time::from_ms(5));  // responsive rebalancing
+  executor_.set_on_finished([this] { world_.note_finished(); });
+}
+
+void ProcessHost::start() {
+  started_ = true;
+  executor_.start();
+}
+
+void ProcessHost::activate_stack(net::NodeId node) {
+  auto it = stacks_.find(node);
+  if (it == stacks_.end()) {
+    PagingStack stack;
+    stack.client = std::make_unique<proc::PagingClient>(
+        world_.simulator(), world_.fabric(), world_.profile().wire, node, spec_.home, pid_);
+    switch (world_.scheme()) {
+      case driver::Scheme::NoPrefetch:
+        stack.demand = std::make_unique<proc::DemandPagingPolicy>(world_.simulator(), executor_,
+                                                                  *stack.client);
+        break;
+      case driver::Scheme::Ampom: {
+        cluster::InfoDaemon& daemon = world_.infod(node);
+        cluster::Node& host_node = world_.node(node);
+        stack.ampom = std::make_unique<core::AmpomPolicy>(
+            world_.simulator(), executor_, *stack.client, world_.ampom_config(),
+            [&daemon, &host_node, home = spec_.home, wire = world_.profile().wire] {
+              core::ResourceEstimates est;
+              est.rtt_one_way = daemon.rtt_one_way(home);
+              est.page_transfer =
+                  daemon.available_bandwidth().transfer_time(wire.page_message_bytes());
+              est.expected_cpu_share = host_node.cpu_share();
+              return est;
+            });
+        break;
+      }
+      default:
+        break;  // openMosix / PreCopy: no remote paging
+    }
+    it = stacks_.emplace(node, std::move(stack)).first;
+  }
+
+  PagingStack& stack = it->second;
+  if (stack.client == nullptr) {
+    return;
+  }
+  world_.node(node).set_paging_client(pid_, stack.client.get());
+  if (stack.demand != nullptr) {
+    executor_.set_policy(stack.demand.get());
+    stack.client->set_arrival_handler([policy = stack.demand.get()](mem::PageId p, bool urgent) {
+      policy->on_arrival(p, urgent);
+    });
+  } else if (stack.ampom != nullptr) {
+    executor_.set_policy(stack.ampom.get());
+    stack.client->set_arrival_handler([policy = stack.ampom.get()](mem::PageId p, bool urgent) {
+      policy->on_arrival(p, urgent);
+    });
+  }
+}
+
+void ProcessHost::migrate_to(net::NodeId dst) {
+  if (!migratable() || dst == process_.current_node() || dst >= world_.node_count()) {
+    return;
+  }
+  migrating_ = true;
+  const bool first_hop = process_.current_node() == process_.home_node();
+  migration::MigrationEngine& engine =
+      first_hop ? world_.first_hop_engine() : world_.second_hop_engine();
+
+  migration::MigrationContext ctx{world_.simulator(),
+                                  world_.fabric(),
+                                  world_.profile().wire,
+                                  process_,
+                                  executor_,
+                                  deputy_,
+                                  process_.current_node(),
+                                  dst,
+                                  world_.profile().costs,
+                                  world_.profile().costs,
+                                  &ledger_,
+                                  [this, dst] { activate_stack(dst); }};
+  migration::migrate_process(std::move(ctx), engine,
+                             [this](migration::MigrationResult result) {
+                               migrating_ = false;
+                               ++migrations_;
+                               freeze_total_ += result.freeze_time();
+                             });
+}
+
+// ---------------------------------------------------------------------------
+// ClusterSim
+// ---------------------------------------------------------------------------
+
+ClusterSim::ClusterSim(std::size_t node_count, driver::Scheme scheme,
+                       driver::ClusterProfile profile, core::AmpomConfig ampom)
+    : scheme_{scheme},
+      profile_{profile},
+      ampom_{ampom},
+      fabric_{sim_, node_count, profile.link} {
+  if (node_count < 2) {
+    throw std::invalid_argument("ClusterSim needs at least two nodes");
+  }
+  nodes_.reserve(node_count);
+  infods_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const auto id = static_cast<net::NodeId>(i);
+    nodes_.push_back(std::make_unique<cluster::Node>(sim_, fabric_, id, profile.costs));
+    infods_.push_back(
+        std::make_unique<cluster::InfoDaemon>(sim_, fabric_, id, profile.infod_period));
+  }
+  for (std::size_t i = 0; i < node_count; ++i) {
+    for (std::size_t j = 0; j < node_count; ++j) {
+      if (i != j) {
+        infods_[i]->add_peer(static_cast<net::NodeId>(j));
+      }
+    }
+    const auto id = static_cast<net::NodeId>(i);
+    infods_[i]->set_local_load_source(
+        [this, id] { return static_cast<double>(active_on(id)); });
+    nodes_[i]->set_infod(infods_[i].get());
+    infods_[i]->start();
+  }
+
+  switch (scheme_) {
+    case driver::Scheme::Ampom:
+      remigrate_ = std::make_unique<migration::RemigrationEngine>(
+          migration::RemigrationEngine::Config{/*ship_mpt=*/true});
+      break;
+    case driver::Scheme::NoPrefetch:
+      remigrate_ = std::make_unique<migration::RemigrationEngine>(
+          migration::RemigrationEngine::Config{/*ship_mpt=*/false});
+      break;
+    default:
+      break;  // full copy / pre-copy re-migrate with their first-hop engine
+  }
+}
+
+migration::MigrationEngine& ClusterSim::first_hop_engine() {
+  switch (scheme_) {
+    case driver::Scheme::OpenMosix:
+    case driver::Scheme::PreCopy:     // pre-copy not supported per-host; full copy
+    case driver::Scheme::Checkpoint:  // no file server in ClusterSim; full copy
+      return full_copy_;
+    case driver::Scheme::NoPrefetch:
+      return three_page_;
+    case driver::Scheme::Ampom:
+      return ampom_engine_;
+  }
+  return full_copy_;
+}
+
+migration::MigrationEngine& ClusterSim::second_hop_engine() {
+  if (remigrate_ != nullptr) {
+    return *remigrate_;
+  }
+  return full_copy_;
+}
+
+ProcessHost& ClusterSim::spawn(JobSpec spec) {
+  if (spec.home >= node_count()) {
+    throw std::invalid_argument("ClusterSim::spawn: home node out of range");
+  }
+  if (!spec.make_workload) {
+    throw std::invalid_argument("ClusterSim::spawn: job has no workload factory");
+  }
+  const auto pid = static_cast<std::uint64_t>(hosts_.size() + 1);
+  hosts_.push_back(std::make_unique<ProcessHost>(*this, pid, std::move(spec)));
+  ProcessHost* host = hosts_.back().get();
+  sim_.schedule_at(host->spec_.start, [host] { host->start(); });
+  return *host;
+}
+
+std::uint64_t ClusterSim::active_on(net::NodeId node) const {
+  std::uint64_t count = 0;
+  for (const auto& host : hosts_) {
+    if (host->started_ && !host->finished() && host->current_node() == node) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void ClusterSim::note_finished() {
+  ++finished_;
+  if (finished_ == hosts_.size()) {
+    sim_.halt();
+  }
+}
+
+void ClusterSim::run() {
+  if (hosts_.empty()) {
+    throw std::logic_error("ClusterSim::run: no jobs spawned");
+  }
+  sim_.run();
+  if (finished_ != hosts_.size()) {
+    throw std::runtime_error("ClusterSim::run: simulation drained with unfinished processes");
+  }
+}
+
+sim::Time ClusterSim::makespan() const {
+  sim::Time latest{};
+  for (const auto& host : hosts_) {
+    latest = std::max(latest, host->finished_at());
+  }
+  return latest;
+}
+
+}  // namespace ampom::balancer

@@ -1,0 +1,146 @@
+#pragma once
+// Multi-process cluster world — the system-level face of openMosix.
+//
+// A ClusterSim hosts K nodes, each with an InfoDaemon, and any number of
+// migratable processes (ProcessHost bundles a process with its executor,
+// deputy and per-node paging stacks). Processes on one node time-share its
+// CPU; migrations use the engines of src/migration, choosing first-hop or
+// re-migration variants automatically. The LoadBalancer (load_balancer.hpp)
+// drives migrations from InfoDaemon load vectors — the §7 "scheduling
+// policies that make use of AMPoM" direction.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/infod.hpp"
+#include "cluster/node.hpp"
+#include "core/ampom_policy.hpp"
+#include "driver/profile.hpp"
+#include "driver/scenario.hpp"
+#include "mem/ledger.hpp"
+#include "migration/engine.hpp"
+#include "migration/full_copy.hpp"
+#include "migration/lightweight.hpp"
+#include "proc/demand_paging.hpp"
+#include "proc/deputy.hpp"
+#include "proc/executor.hpp"
+#include "proc/paging_client.hpp"
+
+namespace ampom::balancer {
+
+struct JobSpec {
+  std::function<std::unique_ptr<proc::ReferenceStream>()> make_workload;
+  std::string label{"job"};
+  net::NodeId home{0};
+  sim::Time start{};  // absolute simulation time
+};
+
+class ClusterSim;
+
+// One migratable process and everything it needs on every node it visits.
+class ProcessHost {
+ public:
+  ProcessHost(ClusterSim& world, std::uint64_t pid, JobSpec spec);
+
+  [[nodiscard]] std::uint64_t pid() const { return pid_; }
+  [[nodiscard]] const std::string& label() const { return spec_.label; }
+  [[nodiscard]] net::NodeId current_node() const { return process_.current_node(); }
+  [[nodiscard]] net::NodeId home_node() const { return process_.home_node(); }
+  [[nodiscard]] bool finished() const { return executor_.stats().finished; }
+  [[nodiscard]] bool migrating() const { return migrating_; }
+  // Eligible for a balancer-initiated move right now.
+  [[nodiscard]] bool migratable() const { return started_ && !finished() && !migrating_; }
+
+  // Move the process to `dst`; a no-op if not currently migratable.
+  void migrate_to(net::NodeId dst);
+
+  [[nodiscard]] const proc::ExecStats& stats() const { return executor_.stats(); }
+  [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
+  [[nodiscard]] sim::Time freeze_total() const { return freeze_total_; }
+  [[nodiscard]] sim::Time finished_at() const { return executor_.stats().finished_at; }
+  [[nodiscard]] const mem::PageLedger& ledger() const { return ledger_; }
+
+ private:
+  friend class ClusterSim;
+  void start();  // scheduled by ClusterSim at spec_.start
+  // Create (once) and activate the paging stack for `node`.
+  void activate_stack(net::NodeId node);
+
+  struct PagingStack {
+    std::unique_ptr<proc::PagingClient> client;
+    std::unique_ptr<proc::DemandPagingPolicy> demand;
+    std::unique_ptr<core::AmpomPolicy> ampom;
+  };
+
+  ClusterSim& world_;
+  std::uint64_t pid_;
+  JobSpec spec_;
+  proc::Process process_;
+  proc::Executor executor_;
+  mem::PageLedger ledger_;
+  proc::Deputy deputy_;
+  std::map<net::NodeId, PagingStack> stacks_;
+  bool started_{false};
+  bool migrating_{false};
+  std::uint64_t migrations_{0};
+  sim::Time freeze_total_{};
+};
+
+class ClusterSim {
+ public:
+  ClusterSim(std::size_t node_count, driver::Scheme scheme,
+             driver::ClusterProfile profile = driver::gideon300_profile(),
+             core::AmpomConfig ampom = {});
+
+  ClusterSim(const ClusterSim&) = delete;
+  ClusterSim& operator=(const ClusterSim&) = delete;
+
+  // Register a job; its process starts at spec.start.
+  ProcessHost& spawn(JobSpec spec);
+
+  // Run the world until every spawned process finished.
+  void run();
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::Fabric& fabric() { return fabric_; }
+  [[nodiscard]] cluster::Node& node(net::NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] cluster::InfoDaemon& infod(net::NodeId id) { return *infods_.at(id); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] driver::Scheme scheme() const { return scheme_; }
+  [[nodiscard]] const driver::ClusterProfile& profile() const { return profile_; }
+  [[nodiscard]] const core::AmpomConfig& ampom_config() const { return ampom_; }
+
+  // Unfinished processes currently placed on `node` (the load metric).
+  [[nodiscard]] std::uint64_t active_on(net::NodeId node) const;
+  [[nodiscard]] const std::vector<std::unique_ptr<ProcessHost>>& hosts() const { return hosts_; }
+
+  // Engine selection shared by all hosts.
+  [[nodiscard]] migration::MigrationEngine& first_hop_engine();
+  [[nodiscard]] migration::MigrationEngine& second_hop_engine();
+
+  [[nodiscard]] sim::Time makespan() const;  // latest finish time
+
+ private:
+  friend class ProcessHost;
+  void note_finished();
+
+  driver::Scheme scheme_;
+  driver::ClusterProfile profile_;
+  core::AmpomConfig ampom_;
+  sim::Simulator sim_;
+  net::Fabric fabric_;
+  std::vector<std::unique_ptr<cluster::Node>> nodes_;
+  std::vector<std::unique_ptr<cluster::InfoDaemon>> infods_;
+  std::vector<std::unique_ptr<ProcessHost>> hosts_;
+  std::size_t finished_{0};
+
+  migration::FullCopyEngine full_copy_;
+  migration::ThreePageEngine three_page_;
+  migration::AmpomEngine ampom_engine_;
+  std::unique_ptr<migration::MigrationEngine> remigrate_;  // scheme-specific
+};
+
+}  // namespace ampom::balancer

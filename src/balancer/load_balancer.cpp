@@ -1,0 +1,78 @@
+#include "balancer/load_balancer.hpp"
+
+#include <stdexcept>
+
+namespace ampom::balancer {
+
+LoadBalancer::LoadBalancer(ClusterSim& world, Config config)
+    : world_{world}, config_{config} {
+  if (config.imbalance_threshold <= 0.0) {
+    throw std::invalid_argument("LoadBalancer: imbalance threshold must be positive");
+  }
+}
+
+void LoadBalancer::start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  world_.simulator().schedule_after(config_.period, [this] { tick(); });
+}
+
+void LoadBalancer::tick() {
+  if (!running_) {
+    return;
+  }
+  ++ticks_;
+
+  // Damping: while a migration is in flight the load vector is stale (the
+  // migrant still counts at its source); deciding now causes ping-pong
+  // churn — expensive exactly when freezes are expensive.
+  for (const auto& host : world_.hosts()) {
+    if (host->migrating()) {
+      world_.simulator().schedule_after(config_.period, [this] { tick(); });
+      return;
+    }
+  }
+
+  // Load vector: direct count for every node (the InfoDaemons gossip the
+  // same numbers; reading them locally avoids acting on stale pings for
+  // nodes we could inspect exactly).
+  net::NodeId busiest = 0;
+  net::NodeId idlest = 0;
+  std::uint64_t max_load = 0;
+  std::uint64_t min_load = UINT64_MAX;
+  for (net::NodeId id = 0; id < world_.node_count(); ++id) {
+    const std::uint64_t load = world_.active_on(id);
+    if (load > max_load) {
+      max_load = load;
+      busiest = id;
+    }
+    if (load < min_load) {
+      min_load = load;
+      idlest = id;
+    }
+  }
+
+  const double imbalance = static_cast<double>(max_load) - static_cast<double>(min_load);
+  if (imbalance >= config_.imbalance_threshold) {
+    // Worth it? Moving one process gains roughly its share improvement over
+    // the horizon; it costs one freeze.
+    const double gain =
+        config_.horizon_seconds *
+        (1.0 / static_cast<double>(min_load + 1) - 1.0 / static_cast<double>(max_load));
+    if (gain > config_.assumed_freeze_seconds) {
+      for (const auto& host : world_.hosts()) {
+        if (host->migratable() && host->current_node() == busiest) {
+          host->migrate_to(idlest);
+          ++decisions_;
+          break;
+        }
+      }
+    }
+  }
+
+  world_.simulator().schedule_after(config_.period, [this] { tick(); });
+}
+
+}  // namespace ampom::balancer

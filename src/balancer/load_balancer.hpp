@@ -1,0 +1,50 @@
+#pragma once
+// A simple openMosix-style load balancer: periodically compare node loads
+// (own count + InfoDaemon-propagated peer loads) and migrate one process
+// from the most- to the least-loaded node when the imbalance exceeds a
+// threshold. Greedy rather than openMosix's probabilistic exchange, but the
+// same information flow: decisions use the load vector the daemons gossip.
+//
+// The knob that matters is `min_gain_seconds`: a migration is only worth
+// its freeze time. With openMosix's multi-second freezes the balancer must
+// be conservative; with AMPoM's sub-second freezes it can chase much
+// smaller imbalances — the paper's §7 claim, measurable in
+// bench/balancer_study.
+
+#include <cstdint>
+
+#include "balancer/cluster_sim.hpp"
+
+namespace ampom::balancer {
+
+class LoadBalancer {
+ public:
+  struct Config {
+    sim::Time period{sim::Time::from_ms(750)};
+    double imbalance_threshold{1.5};  // min load difference to act
+    // Estimated freeze cost (seconds) a migration must amortize; policies
+    // set this from their mechanism (openMosix: seconds; AMPoM: ~0.2).
+    double assumed_freeze_seconds{0.0};
+    // Expected remaining seconds of imbalance a migration must outweigh.
+    double horizon_seconds{10.0};
+  };
+
+  LoadBalancer(ClusterSim& world, Config config);
+
+  void start();
+  void stop() { running_ = false; }
+
+  [[nodiscard]] std::uint64_t decisions() const { return decisions_; }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  void tick();
+
+  ClusterSim& world_;
+  Config config_;
+  bool running_{false};
+  std::uint64_t decisions_{0};
+  std::uint64_t ticks_{0};
+};
+
+}  // namespace ampom::balancer

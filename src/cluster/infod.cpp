@@ -1,0 +1,113 @@
+#include "cluster/infod.hpp"
+
+#include <algorithm>
+
+namespace ampom::cluster {
+
+InfoDaemon::InfoDaemon(sim::Simulator& simulator, net::Fabric& fabric, net::NodeId self,
+                       sim::Time period)
+    : sim_{simulator}, fabric_{fabric}, self_{self}, period_{period} {}
+
+void InfoDaemon::add_peer(net::NodeId peer) {
+  peers_.push_back(peer);
+  peer_state_.emplace(peer, PeerState{});
+}
+
+void InfoDaemon::start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  const net::NicCounters& c = fabric_.counters(self_);
+  last_bytes_ = c.tx_bytes + c.rx_bytes;
+  last_sample_ = sim_.now();
+  sim_.schedule_after(period_, [this] { tick(); });
+}
+
+void InfoDaemon::tick() {
+  if (!running_) {
+    return;
+  }
+  sample_bandwidth();
+  const double load = local_load_ ? local_load_() : 0.0;
+  for (const net::NodeId peer : peers_) {
+    net::LoadPing ping;
+    ping.seq = ++seq_;
+    ping.sent_at = sim_.now();
+    ping.cpu_load = load;
+    fabric_.send(net::Message{self_, peer, /*wire_bytes=*/64, ping});
+    ++pings_sent_;
+  }
+  sim_.schedule_after(period_, [this] { tick(); });
+}
+
+void InfoDaemon::sample_bandwidth() {
+  const net::NicCounters& c = fabric_.counters(self_);
+  const std::uint64_t bytes = c.tx_bytes + c.rx_bytes;
+  const sim::Time now = sim_.now();
+  const sim::Time span = now - last_sample_;
+  if (span > sim::Time::zero()) {
+    const double used_bps = static_cast<double>(bytes - last_bytes_) * 8.0 / span.sec();
+    const double nominal = static_cast<double>(fabric_.default_link().bandwidth.bps());
+    // Keep a floor: a fully loaded link still moves some prefetch traffic.
+    const double avail = std::max(nominal - used_bps, nominal * 0.05);
+    available_ = sim::Bandwidth::bits_per_sec(static_cast<std::uint64_t>(avail));
+    bandwidth_sampled_ = true;
+  }
+  last_bytes_ = bytes;
+  last_sample_ = now;
+}
+
+sim::Bandwidth InfoDaemon::available_bandwidth() const {
+  if (!bandwidth_sampled_) {
+    return fabric_.default_link().bandwidth;
+  }
+  return available_;
+}
+
+sim::Time InfoDaemon::rtt_one_way(net::NodeId peer) const {
+  const auto it = peer_state_.find(peer);
+  if (it == peer_state_.end()) {
+    return sim::Time::from_us(300);
+  }
+  return it->second.rtt_ewma / 2;
+}
+
+double InfoDaemon::peer_load(net::NodeId peer) const {
+  const auto it = peer_state_.find(peer);
+  return it == peer_state_.end() ? 0.0 : it->second.load;
+}
+
+void InfoDaemon::on_ping(net::NodeId src, const net::LoadPing& ping) {
+  // Record the peer's advertised load and acknowledge so it can measure RTT.
+  auto it = peer_state_.find(src);
+  if (it == peer_state_.end()) {
+    it = peer_state_.emplace(src, PeerState{}).first;
+  }
+  it->second.load = ping.cpu_load;
+  net::LoadAck ack;
+  ack.seq = ping.seq;
+  ack.ping_sent_at = ping.sent_at;
+  ack.cpu_load = local_load_ ? local_load_() : 0.0;
+  fabric_.send(net::Message{self_, src, /*wire_bytes=*/64, ack});
+}
+
+void InfoDaemon::on_ack(net::NodeId src, const net::LoadAck& ack) {
+  ++acks_received_;
+  const sim::Time rtt = sim_.now() - ack.ping_sent_at;
+  auto it = peer_state_.find(src);
+  if (it == peer_state_.end()) {
+    it = peer_state_.emplace(src, PeerState{}).first;
+  }
+  PeerState& peer = it->second;
+  peer.load = ack.cpu_load;
+  if (!peer.measured) {
+    peer.rtt_ewma = rtt;
+    peer.measured = true;
+  } else {
+    // EWMA with alpha = 0.3, computed in integer nanoseconds.
+    peer.rtt_ewma = sim::Time::from_ns((peer.rtt_ewma.ns() * 7 + rtt.ns() * 3) / 10);
+  }
+}
+
+}  // namespace ampom::cluster

@@ -1,0 +1,78 @@
+#pragma once
+// The resource discovery and monitoring daemon — our oM_infoD (paper §2.4,
+// §4). It measures, exactly the way the paper describes:
+//   t0 — half the time to receive an acknowledgement after a load update
+//        is sent to a peer (EWMA over pings);
+//   available bandwidth — by diffing the node's RX/TX byte counters
+//        (the /sbin/ifconfig method) each sampling period;
+//   CPU load — the node's current utilization, exchanged in load updates.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "simcore/simulator.hpp"
+
+namespace ampom::cluster {
+
+class InfoDaemon {
+ public:
+  InfoDaemon(sim::Simulator& simulator, net::Fabric& fabric, net::NodeId self,
+             sim::Time period = sim::Time::from_ms(250));
+
+  void add_peer(net::NodeId peer);
+  void start();
+  void stop() { running_ = false; }
+
+  // Local CPU load reported to peers (wired to the node's utilization).
+  void set_local_load_source(std::function<double()> fn) { local_load_ = std::move(fn); }
+
+  // --- measurements ---------------------------------------------------------
+  // Measured one-way latency to `peer` (RTT/2); a prior until the first ack.
+  [[nodiscard]] sim::Time rtt_one_way(net::NodeId peer) const;
+  // Available bandwidth on this node's link: nominal minus observed use.
+  [[nodiscard]] sim::Bandwidth available_bandwidth() const;
+  // Last load reported by a peer (for scheduling policies), NaN-free.
+  [[nodiscard]] double peer_load(net::NodeId peer) const;
+  [[nodiscard]] const std::vector<net::NodeId>& peers() const { return peers_; }
+
+  // Node router entry points.
+  void on_ping(net::NodeId src, const net::LoadPing& ping);
+  void on_ack(net::NodeId src, const net::LoadAck& ack);
+
+  [[nodiscard]] std::uint64_t pings_sent() const { return pings_sent_; }
+  [[nodiscard]] std::uint64_t acks_received() const { return acks_received_; }
+
+ private:
+  void tick();
+  void sample_bandwidth();
+
+  sim::Simulator& sim_;
+  net::Fabric& fabric_;
+  net::NodeId self_;
+  sim::Time period_;
+  std::vector<net::NodeId> peers_;
+  std::function<double()> local_load_;
+  bool running_{false};
+
+  struct PeerState {
+    sim::Time rtt_ewma{sim::Time::from_us(300)};  // prior until measured
+    bool measured{false};
+    double load{0.0};
+  };
+  std::map<net::NodeId, PeerState> peer_state_;
+
+  std::uint64_t pings_sent_{0};
+  std::uint64_t acks_received_{0};
+  std::uint64_t seq_{0};
+
+  // Bandwidth estimation (ifconfig counter diffs).
+  std::uint64_t last_bytes_{0};
+  sim::Time last_sample_{};
+  sim::Bandwidth available_{};
+  bool bandwidth_sampled_{false};
+};
+
+}  // namespace ampom::cluster

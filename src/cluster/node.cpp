@@ -1,0 +1,65 @@
+#include "cluster/node.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+namespace ampom::cluster {
+
+Node::Node(sim::Simulator& simulator, net::Fabric& fabric, net::NodeId id, proc::NodeCosts costs)
+    : sim_{simulator}, fabric_{fabric}, id_{id}, costs_{costs} {
+  fabric_.set_handler(id_, [this](const net::Message& msg) { dispatch(msg); });
+}
+
+void Node::set_background_load(double load) {
+  if (load < 0.0 || load >= 1.0) {
+    throw std::invalid_argument("Node background load must be in [0, 1)");
+  }
+  background_load_ = load;
+}
+
+template <typename T>
+T* Node::lookup(const std::map<std::uint64_t, T*>& components, std::uint64_t pid,
+                const char* what) const {
+  const auto it = components.find(pid);
+  if (it == components.end() || it->second == nullptr) {
+    throw std::logic_error(std::string("Node: no ") + what + " registered for pid " +
+                           std::to_string(pid));
+  }
+  return it->second;
+}
+
+void Node::dispatch(const net::Message& msg) {
+  std::visit(
+      [&](const auto& payload) {
+        using T = std::decay_t<decltype(payload)>;
+        if constexpr (std::is_same_v<T, net::PageRequest>) {
+          lookup(deputies_, payload.pid, "deputy")->on_page_request(payload);
+        } else if constexpr (std::is_same_v<T, net::PageData>) {
+          lookup(paging_clients_, payload.pid, "paging client")->on_page_data(payload);
+        } else if constexpr (std::is_same_v<T, net::LoadPing>) {
+          if (infod_ != nullptr) {
+            infod_->on_ping(msg.src, payload);
+          }
+        } else if constexpr (std::is_same_v<T, net::LoadAck>) {
+          if (infod_ != nullptr) {
+            infod_->on_ack(msg.src, payload);
+          }
+        } else if constexpr (std::is_same_v<T, net::SyscallRequest>) {
+          lookup(deputies_, payload.pid, "deputy")->on_syscall_request(payload);
+        } else if constexpr (std::is_same_v<T, net::SyscallReply>) {
+          lookup(syscall_executors_, payload.pid, "syscall executor")
+              ->complete_syscall(payload.seq);
+        } else if constexpr (std::is_same_v<T, net::FlushPage>) {
+          lookup(deputies_, payload.pid, "deputy")->on_flush_page(msg.src, payload);
+        } else if constexpr (std::is_same_v<T, net::MigrationChunk>) {
+          // Timing-only payload; the migration engine tracks arrivals via
+          // the fabric's predicted delivery times.
+        } else if constexpr (std::is_same_v<T, net::Background>) {
+          // Competing traffic: consumes bandwidth, nothing to do.
+        }
+      },
+      msg.payload);
+}
+
+}  // namespace ampom::cluster

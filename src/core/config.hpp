@@ -1,0 +1,59 @@
+#pragma once
+// Tunables of the AMPoM algorithm. Defaults are the paper's implementation
+// choices (§4): lookback window of 20, strides up to dmax = 4. The remaining
+// knobs bound and ablate the design (bench/ablation_*).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simcore/time.hpp"
+
+namespace ampom::core {
+
+struct AmpomConfig {
+  // Length l of the lookback window W (paper: 20; must be <= 64 because the
+  // stride analysis uses 64-bit participation masks).
+  std::size_t lookback_length{20};
+
+  // Maximum stride analyzed (paper: 4 — "most programs perform at most
+  // two-level indirect memory references").
+  std::size_t dmax{4};
+
+  // Hard clamp on the dependent-zone size N; bounds worst-case prefetch
+  // burstiness (Eq. 3 is unbounded when the paging rate spikes).
+  std::uint64_t zone_cap{256};
+
+  // Floor on N: the fixed-size read-ahead baseline the paper observes even
+  // when the access pattern is unclear (§5.3: the scheme "serves as a
+  // 'baseline' of prefetching aggressiveness"). This is what keeps
+  // RandomAccess partially prefetched.
+  std::uint64_t min_zone{8};
+
+  // Zone size used while the window holds fewer than two entries (no paging
+  // rate measurable yet) — the initial read-ahead.
+  std::uint64_t fallback_zone{8};
+
+  // Send one batched request per fault (paper's design). Off = one request
+  // per page, for the ablation of batching.
+  bool batch_requests{true};
+
+  // §7 extension ("a tailored AMPoM for migrating virtual machines whose
+  // memory references are consisted of access streams from multiple
+  // processes"): partition the address space into this many regions, each
+  // with its own lookback window, so interleaved per-process streams do not
+  // drown each other's stride patterns. 1 = the paper's single window.
+  std::size_t window_partitions{1};
+
+  // Analysis cost charged per fault: base + per_slot * l * dmax. Calibrated
+  // so the total stays within the paper's Fig. 11 envelope (< 0.6 % of
+  // runtime).
+  sim::Time analysis_base{sim::Time::from_ns(600)};
+  sim::Time analysis_per_slot{sim::Time::from_ns(12)};
+
+  [[nodiscard]] sim::Time analysis_cost() const {
+    return analysis_base +
+           analysis_per_slot * static_cast<std::int64_t>(lookback_length * dmax);
+  }
+};
+
+}  // namespace ampom::core

@@ -1,0 +1,69 @@
+#include "core/dependent_zone.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace ampom::core {
+
+std::uint64_t zone_size(const ZoneInputs& in, const AmpomConfig& config) {
+  if (in.paging_rate_hz <= 0.0) {
+    return std::min(config.fallback_zone, config.zone_cap);
+  }
+  const double c = in.cpu_mean <= 0.0 ? 0.01 : in.cpu_mean;
+  const double c_ratio = in.cpu_next / c;
+  const double round_trip_sec = (in.rtt_one_way * 2 + in.page_transfer).sec();
+  // N = (c'/c) * S * (r*(2t0+td) + 1)
+  const double n = c_ratio * in.locality_score * (in.paging_rate_hz * round_trip_sec + 1.0);
+  const auto rounded = n <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(n));
+  // Floor: the Linux-style read-ahead baseline (§5.3); cap: burst bound.
+  return std::min(std::max(rounded, config.min_zone), config.zone_cap);
+}
+
+std::vector<mem::PageId> select_zone(const LookbackWindow& window,
+                                     const std::vector<StrideStream>& streams,
+                                     std::uint64_t zone_pages, std::uint64_t total_pages) {
+  std::vector<mem::PageId> zone;
+  if (zone_pages == 0 || window.size() == 0 || total_pages == 0) {
+    return zone;
+  }
+  zone.reserve(zone_pages);
+  std::unordered_set<mem::PageId> chosen;
+  chosen.reserve(zone_pages * 2);
+
+  auto take_from = [&](mem::PageId start, std::uint64_t quota) {
+    // Pages already chosen by another stream do not consume quota: the
+    // "saved quota" extends this stream with further pages (§3.4).
+    mem::PageId page = start;
+    while (quota > 0 && page < total_pages) {
+      if (chosen.insert(page).second) {
+        zone.push_back(page);
+        --quota;
+      }
+      ++page;
+    }
+  };
+
+  if (streams.empty()) {
+    // Read-ahead after the most recent reference.
+    take_from(window.last_page() + 1, zone_pages);
+    return zone;
+  }
+
+  const auto m = static_cast<std::uint64_t>(streams.size());
+  const std::uint64_t base = zone_pages / m;
+  std::uint64_t remainder = zone_pages % m;
+  for (const StrideStream& stream : streams) {
+    std::uint64_t quota = base;
+    if (remainder > 0) {
+      ++quota;
+      --remainder;
+    }
+    if (quota > 0) {
+      take_from(stream.pivot, quota);
+    }
+  }
+  return zone;
+}
+
+}  // namespace ampom::core

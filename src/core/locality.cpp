@@ -1,0 +1,79 @@
+#include "core/locality.hpp"
+
+#include <bit>
+
+namespace ampom::core {
+
+std::size_t LocalityAnalyzer::stride_of(const LookbackWindow& w, std::size_t p) const {
+  const mem::PageId wanted = w.page(p) + 1;
+  const std::size_t n = w.size();
+  const std::size_t limit = std::min(n - 1 - p, dmax_);
+  for (std::size_t d = 1; d <= limit; ++d) {
+    if (w.page(p + d) == wanted) {
+      return d;
+    }
+  }
+  return 0;
+}
+
+std::vector<std::uint64_t> LocalityAnalyzer::stride_counts(const LookbackWindow& w) const {
+  // Participation masks per stride; capacity <= 64 is enforced by the window.
+  std::vector<std::uint64_t> masks(dmax_ + 1, 0);
+  const std::size_t n = w.size();
+  for (std::size_t p = 0; p + 1 < n; ++p) {
+    const std::size_t d = stride_of(w, p);
+    if (d != 0) {
+      masks[d] |= (std::uint64_t{1} << p) | (std::uint64_t{1} << (p + d));
+    }
+  }
+  std::vector<std::uint64_t> counts(dmax_, 0);
+  for (std::size_t d = 1; d <= dmax_; ++d) {
+    counts[d - 1] = static_cast<std::uint64_t>(std::popcount(masks[d]));
+  }
+  return counts;
+}
+
+double LocalityAnalyzer::score(const LookbackWindow& w) const {
+  const std::size_t n = w.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  const std::vector<std::uint64_t> counts = stride_counts(w);
+  double s = 0.0;
+  for (std::size_t d = 1; d <= dmax_; ++d) {
+    s += static_cast<double>(counts[d - 1]) / (static_cast<double>(n) * static_cast<double>(d));
+  }
+  return s > 1.0 ? 1.0 : s;
+}
+
+std::vector<StrideStream> LocalityAnalyzer::outstanding_streams(const LookbackWindow& w) const {
+  std::vector<StrideStream> streams;
+  const std::size_t n = w.size();
+  if (n < 2) {
+    return streams;
+  }
+  for (std::size_t p = 0; p + 1 < n; ++p) {
+    const std::size_t d = stride_of(w, p);
+    if (d == 0) {
+      continue;
+    }
+    const std::size_t end = p + d;
+    if (end + d < n) {
+      continue;  // not outstanding: the stream ended too long ago
+    }
+    const mem::PageId pivot = w.page(end) + 1;
+    bool duplicate = false;
+    for (const StrideStream& s : streams) {
+      if (s.pivot == pivot) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      streams.push_back(StrideStream{d, end, pivot});
+    }
+  }
+  return streams;
+}
+
+}  // namespace ampom::core

@@ -1,0 +1,351 @@
+#include "driver/experiment.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+#include "cluster/infod.hpp"
+#include "cluster/node.hpp"
+#include "core/ampom_policy.hpp"
+#include "mem/ledger.hpp"
+#include "migration/full_copy.hpp"
+#include "migration/lightweight.hpp"
+#include "migration/checkpoint.hpp"
+#include "migration/precopy.hpp"
+#include "migration/remigration.hpp"
+#include "net/background_traffic.hpp"
+#include "net/traffic_shaper.hpp"
+#include "proc/demand_paging.hpp"
+#include "proc/executor.hpp"
+#include "proc/paging_client.hpp"
+#include "simcore/simulator.hpp"
+
+namespace ampom::driver {
+
+namespace {
+constexpr net::NodeId kHome = 0;
+constexpr net::NodeId kDest = 1;
+constexpr net::NodeId kThird = 2;  // background-traffic source / re-migration target
+}  // namespace
+
+RunMetrics run_experiment(const Scenario& scenario) {
+  if (!scenario.make_workload) {
+    throw std::invalid_argument("run_experiment: scenario has no workload factory");
+  }
+
+  sim::Simulator sim;
+  net::Fabric fabric{sim, 3, scenario.profile.link};
+  net::TrafficShaper shaper{fabric};
+  if (scenario.shape_migrant_link) {
+    shaper.shape_pair(kHome, kDest, scenario.shaped_link);
+  }
+
+  const bool remigrates = scenario.remigrate_after > sim::Time::zero();
+  if (remigrates && scenario.background_traffic > 0.0) {
+    throw std::invalid_argument(
+        "run_experiment: remigrate_after and background_traffic are mutually exclusive "
+        "(the third node plays both roles)");
+  }
+  if (remigrates && scenario.scheme == Scheme::Checkpoint) {
+    throw std::invalid_argument(
+        "run_experiment: checkpoint placement uses the third node as its file server; "
+        "re-migration is not supported with it");
+  }
+
+  cluster::Node home{sim, fabric, kHome, scenario.profile.costs};
+  cluster::Node dest{sim, fabric, kDest, scenario.profile.costs};
+  cluster::Node third{sim, fabric, kThird, scenario.profile.costs};
+  dest.set_background_load(scenario.dest_background_load);
+
+  // Resource discovery / monitoring daemons on both endpoints.
+  cluster::InfoDaemon infod_home{sim, fabric, kHome, scenario.profile.infod_period};
+  cluster::InfoDaemon infod_dest{sim, fabric, kDest, scenario.profile.infod_period};
+  infod_home.add_peer(kDest);
+  infod_dest.add_peer(kHome);
+  infod_home.set_local_load_source([] { return 0.9; });  // busy home: why we migrate
+  infod_dest.set_local_load_source([&dest] { return dest.background_load(); });
+  home.set_infod(&infod_home);
+  dest.set_infod(&infod_dest);
+  infod_home.start();
+  infod_dest.start();
+
+  cluster::InfoDaemon infod_third{sim, fabric, kThird, scenario.profile.infod_period};
+  if (remigrates) {
+    infod_third.add_peer(kHome);
+    infod_home.add_peer(kThird);
+    infod_third.set_local_load_source([] { return 0.0; });
+    third.set_infod(&infod_third);
+    infod_third.start();
+  }
+
+  std::optional<net::BackgroundTraffic> background;
+  if (scenario.background_traffic > 0.0) {
+    background.emplace(sim, fabric, kThird, kDest, scenario.background_traffic);
+    background->start();
+  }
+
+  // The process, born at the home node with its whole image dirty (the
+  // paper migrates right after allocation completes).
+  proc::Process process{/*pid=*/1, scenario.make_workload(), kHome};
+  process.aspace().populate_all_dirty();
+  mem::PageLedger ledger{process.aspace().page_count(), kHome};
+
+  proc::Executor executor{sim, process, scenario.profile.costs};
+  executor.set_cpu_share_source([&process, &home, &dest] {
+    return process.current_node() == kDest ? dest.cpu_share() : home.cpu_share();
+  });
+  if (scenario.ram_limit_pages > 0) {
+    executor.set_ram_limit_pages(scenario.ram_limit_pages);
+  }
+
+  proc::Deputy deputy{sim,   fabric, scenario.profile.wire,        scenario.profile.costs,
+                      kHome, 1,      process.aspace().page_count(), &ledger};
+  home.set_deputy(&deputy);
+
+  proc::PagingClient client{sim, fabric, scenario.profile.wire, kDest, kHome, 1};
+  dest.set_paging_client(&client);
+  proc::PagingClient client2{sim, fabric, scenario.profile.wire, kThird, kHome, 1};
+
+  // Policies (constructed for every scheme; installed only when used).
+  proc::DemandPagingPolicy demand_policy{sim, executor, client};
+  core::AmpomPolicy ampom_policy{
+      sim, executor, client, scenario.ampom,
+      [&infod_dest, &dest, wire = scenario.profile.wire] {
+        core::ResourceEstimates est;
+        est.rtt_one_way = infod_dest.rtt_one_way(kHome);
+        est.page_transfer =
+            infod_dest.available_bandwidth().transfer_time(wire.page_message_bytes());
+        est.expected_cpu_share = dest.cpu_share();
+        return est;
+      }};
+  if (scenario.ampom_trace) {
+    ampom_policy.set_trace(scenario.ampom_trace);
+  }
+  // Second-hop policies (only installed when re-migrating).
+  proc::DemandPagingPolicy demand_policy2{sim, executor, client2};
+  core::AmpomPolicy ampom_policy2{
+      sim, executor, client2, scenario.ampom,
+      [&infod_third, &third, wire = scenario.profile.wire] {
+        core::ResourceEstimates est;
+        est.rtt_one_way = infod_third.rtt_one_way(kHome);
+        est.page_transfer =
+            infod_third.available_bandwidth().transfer_time(wire.page_message_bytes());
+        est.expected_cpu_share = third.cpu_share();
+        return est;
+      }};
+
+  migration::FullCopyEngine full_copy;
+  migration::ThreePageEngine three_page;
+  migration::AmpomEngine ampom_engine;
+  migration::PreCopyEngine precopy_engine;
+  migration::CheckpointRestartEngine checkpoint_engine{
+      migration::CheckpointRestartEngine::Config{kThird}};
+  migration::MigrationEngine* engine = nullptr;
+  switch (scenario.scheme) {
+    case Scheme::OpenMosix:
+      engine = &full_copy;
+      break;
+    case Scheme::NoPrefetch:
+      engine = &three_page;
+      break;
+    case Scheme::Ampom:
+      engine = &ampom_engine;
+      break;
+    case Scheme::PreCopy:
+      engine = &precopy_engine;
+      break;
+    case Scheme::Checkpoint:
+      engine = &checkpoint_engine;
+      break;
+  }
+
+  migration::MigrationContext ctx{sim,
+                                  fabric,
+                                  scenario.profile.wire,
+                                  process,
+                                  executor,
+                                  deputy,
+                                  kHome,
+                                  kDest,
+                                  scenario.profile.costs,
+                                  scenario.profile.costs,
+                                  &ledger,
+                                  /*on_before_resume=*/{}};
+  ctx.on_before_resume = [&] {
+    switch (scenario.scheme) {
+      case Scheme::OpenMosix:
+      case Scheme::PreCopy:
+      case Scheme::Checkpoint:
+        break;  // no remote pages, no fault policy needed
+      case Scheme::NoPrefetch:
+        executor.set_policy(&demand_policy);
+        client.set_arrival_handler(
+            [&demand_policy](mem::PageId p, bool urgent) { demand_policy.on_arrival(p, urgent); });
+        break;
+      case Scheme::Ampom:
+        executor.set_policy(&ampom_policy);
+        client.set_arrival_handler(
+            [&ampom_policy](mem::PageId p, bool urgent) { ampom_policy.on_arrival(p, urgent); });
+        break;
+    }
+    if (scenario.home_dependency) {
+      dest.set_syscall_executor(&executor);
+      executor.set_syscall_transport([&sim, &fabric, wire = scenario.profile.wire](
+                                         std::uint64_t seq) {
+        fabric.send(net::Message{kDest, kHome, wire.control_message, net::SyscallRequest{1, seq}});
+        (void)sim;
+      });
+    }
+  };
+
+  if (scenario.on_setup) {
+    scenario.on_setup(sim, fabric);
+  }
+
+  // Second hop: B (kDest) -> C (kThird), same mechanism family.
+  migration::RemigrationEngine remigrate_ampom{
+      migration::RemigrationEngine::Config{/*ship_mpt=*/true}};
+  migration::RemigrationEngine remigrate_noprefetch{
+      migration::RemigrationEngine::Config{/*ship_mpt=*/false}};
+  migration::MigrationEngine* engine2 = nullptr;
+  switch (scenario.scheme) {
+    case Scheme::OpenMosix:
+    case Scheme::Checkpoint:  // unreachable (validated above)
+      engine2 = &full_copy;
+      break;
+    case Scheme::PreCopy:
+      engine2 = &precopy_engine;
+      break;
+    case Scheme::NoPrefetch:
+      engine2 = &remigrate_noprefetch;
+      break;
+    case Scheme::Ampom:
+      engine2 = &remigrate_ampom;
+      break;
+  }
+  migration::MigrationContext ctx2 = ctx;
+  ctx2.src = kDest;
+  ctx2.dst = kThird;
+  ctx2.on_before_resume = [&] {
+    switch (scenario.scheme) {
+      case Scheme::OpenMosix:
+      case Scheme::PreCopy:
+      case Scheme::Checkpoint:
+        break;
+      case Scheme::NoPrefetch:
+        executor.set_policy(&demand_policy2);
+        client2.set_arrival_handler([&demand_policy2](mem::PageId p, bool urgent) {
+          demand_policy2.on_arrival(p, urgent);
+        });
+        third.set_paging_client(&client2);
+        break;
+      case Scheme::Ampom:
+        executor.set_policy(&ampom_policy2);
+        client2.set_arrival_handler([&ampom_policy2](mem::PageId p, bool urgent) {
+          ampom_policy2.on_arrival(p, urgent);
+        });
+        third.set_paging_client(&client2);
+        break;
+    }
+    if (scenario.home_dependency) {
+      third.set_syscall_executor(&executor);
+      executor.set_syscall_transport([&fabric, wire = scenario.profile.wire](
+                                         std::uint64_t seq) {
+        fabric.send(
+            net::Message{kThird, kHome, wire.control_message, net::SyscallRequest{1, seq}});
+      });
+    }
+  };
+
+  std::optional<migration::MigrationResult> migration_result;
+  std::optional<migration::MigrationResult> remigration_result;
+  const sim::Time process_start = scenario.warmup;
+  sim.schedule_at(process_start, [&executor] { executor.start(); });
+  sim.schedule_at(process_start + scenario.migrate_after, [&] {
+    migration::migrate_process(ctx, *engine,
+                               [&](migration::MigrationResult r) {
+                                 migration_result = r;
+                                 if (remigrates) {
+                                   sim.schedule_after(scenario.remigrate_after, [&] {
+                                     if (process.state() == proc::ProcState::Finished) {
+                                       return;  // too late to re-migrate
+                                     }
+                                     migration::migrate_process(
+                                         ctx2, *engine2,
+                                         [&remigration_result](migration::MigrationResult r2) {
+                                           remigration_result = r2;
+                                         });
+                                   });
+                                 }
+                               });
+  });
+
+  executor.set_on_finished([&sim] { sim.halt(); });
+  sim.run();
+
+  if (!executor.stats().finished) {
+    throw std::runtime_error("run_experiment: simulation drained before the process finished");
+  }
+
+  // --- assemble metrics -------------------------------------------------------
+  RunMetrics m;
+  m.workload = scenario.workload_label;
+  m.scheme = scheme_name(scenario.scheme);
+  m.memory_mib = scenario.memory_mib;
+  m.page_count = process.aspace().page_count();
+
+  const proc::ExecStats& es = executor.stats();
+  m.total_time = es.finished_at - process_start;
+  if (migration_result) {
+    m.freeze_time = migration_result->freeze_time();
+    m.pages_migrated = migration_result->pages_transferred;
+    m.pages_resent = migration_result->pages_resent();
+    m.migration_span = migration_result->migration_span();
+    m.bytes_freeze = migration_result->bytes_transferred;
+  }
+  if (remigration_result) {
+    m.freeze_time_2 = remigration_result->freeze_time();
+    m.bytes_freeze += remigration_result->bytes_transferred;
+    m.pages_resent += remigration_result->pages_resent();
+  }
+  m.flush_pages = deputy.stats().flush_pages_received;
+  m.requests_stalled_on_flush = deputy.stats().requests_stalled_on_flush;
+  m.exec_time = m.total_time - m.freeze_time - m.freeze_time_2;
+  m.cpu_time = es.cpu_time;
+  m.stall_time = es.stall_time;
+  m.handler_time = es.handler_time;
+  m.hard_faults = es.hard_faults;
+  m.soft_faults = es.soft_faults;
+  m.inflight_waits = es.inflight_waits;
+  m.first_touches = es.first_touches;
+  m.refs_consumed = es.refs_consumed;
+  m.syscalls_local = es.syscalls_local;
+  m.syscalls_redirected = es.syscalls_redirected;
+  if (!es.fault_latency_us.empty()) {
+    m.fault_latency_p50_us = es.fault_latency_us.percentile(0.5);
+    m.fault_latency_p95_us = es.fault_latency_us.percentile(0.95);
+    m.fault_latency_max_us = es.fault_latency_us.max();
+  }
+
+  const proc::PagingClientStats& cs = client.stats();
+  m.remote_fault_requests = cs.fault_requests;
+  m.prefetch_requests = cs.prefetch_requests;
+  m.prefetch_pages_issued = cs.prefetch_pages_requested;
+  m.pages_arrived = cs.pages_arrived;
+  m.bytes_paging = cs.pages_arrived * scenario.profile.wire.page_message_bytes() +
+                   cs.fault_requests * scenario.profile.wire.request_bytes(1);
+
+  if (scenario.scheme == Scheme::Ampom) {
+    m.ampom_analysis_time = ampom_policy.stats().analysis_time;
+    m.last_locality_score = ampom_policy.stats().last_score;
+    m.ampom_faults_seen = ampom_policy.stats().faults_seen;
+    m.ampom_zone_considered = ampom_policy.stats().zone_pages_considered;
+  }
+
+  // With a second hop, pages legitimately move more than once (B -> C, and
+  // flushes B -> H); the per-transfer owner checks inside PageLedger still
+  // guarded every move.
+  m.ledger_ok = remigrates || ledger.at_most_one_transfer_each();
+  return m;
+}
+
+}  // namespace ampom::driver

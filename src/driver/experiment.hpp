@@ -1,0 +1,12 @@
+#pragma once
+// Builds the two-node (plus background) cluster, runs one scenario to
+// completion, and returns the full metric set.
+
+#include "driver/metrics.hpp"
+#include "driver/scenario.hpp"
+
+namespace ampom::driver {
+
+[[nodiscard]] RunMetrics run_experiment(const Scenario& scenario);
+
+}  // namespace ampom::driver

@@ -1,0 +1,95 @@
+#pragma once
+// Everything one experiment run reports — the superset of the quantities
+// behind the paper's Figs. 5-11.
+
+#include <cstdint>
+#include <string>
+
+#include "simcore/time.hpp"
+#include "simcore/units.hpp"
+
+namespace ampom::driver {
+
+struct RunMetrics {
+  std::string workload;
+  std::string scheme;
+  std::uint64_t memory_mib{0};
+  std::uint64_t page_count{0};
+
+  // --- timing ---------------------------------------------------------------
+  sim::Time freeze_time{};  // Fig. 5
+  sim::Time total_time{};   // process start -> finish, includes the freeze (Fig. 6)
+  sim::Time exec_time{};    // total_time - freeze_time
+  sim::Time cpu_time{};
+  sim::Time stall_time{};
+  sim::Time handler_time{};
+
+  // --- re-migration (second hop), when Scenario::remigrate_after > 0 --------
+  sim::Time freeze_time_2{};
+  std::uint64_t flush_pages{0};            // pages flushed back to the home node
+  std::uint64_t requests_stalled_on_flush{0};
+
+  // --- fault traffic ----------------------------------------------------------
+  std::uint64_t remote_fault_requests{0};  // Fig. 7: requests carrying an urgent page
+  std::uint64_t prefetch_requests{0};      // urgent-free requests (batch count)
+  std::uint64_t hard_faults{0};
+  std::uint64_t soft_faults{0};    // prevented: served from the lookaside buffer
+  std::uint64_t inflight_waits{0};
+  std::uint64_t first_touches{0};
+  std::uint64_t refs_consumed{0};
+  std::uint64_t syscalls_local{0};
+  std::uint64_t syscalls_redirected{0};
+  // Blocking-fault latency distribution (microseconds).
+  double fault_latency_p50_us{0.0};
+  double fault_latency_p95_us{0.0};
+  double fault_latency_max_us{0.0};
+
+  // --- prefetching -------------------------------------------------------------
+  std::uint64_t prefetch_pages_issued{0};
+  std::uint64_t pages_arrived{0};
+  std::uint64_t ampom_faults_seen{0};
+  std::uint64_t ampom_zone_considered{0};  // sum of dependent-zone sizes
+  sim::Time ampom_analysis_time{};  // Fig. 11 numerator
+  double last_locality_score{0.0};
+
+  // --- transfers ----------------------------------------------------------------
+  std::uint64_t pages_migrated{0};   // living at the destination after resume
+  std::uint64_t pages_resent{0};     // pre-copy re-dirties copied again
+  sim::Time migration_span{};        // mechanism start -> resume (pre-copy >> freeze)
+  sim::Bytes bytes_freeze{0};
+  sim::Bytes bytes_paging{0};
+
+  bool ledger_ok{true};  // conservation invariant held throughout
+
+  // Fig. 7's prevented fraction: of all pages that had to come from the
+  // home node, how many arrived without the process blocking on a fault
+  // request for them. (NoPrefetch sends one request per remotely-fetched
+  // page, so this is exactly 1 - requests/NoPrefetch-requests.)
+  [[nodiscard]] double prevented_fault_fraction() const {
+    if (pages_arrived == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(pages_arrived - remote_fault_requests) /
+           static_cast<double>(pages_arrived);
+  }
+
+  // Fig. 8: prefetched pages per page fault — the dependent-zone size the
+  // algorithm settles on, averaged over all Algorithm-1 invocations.
+  [[nodiscard]] double prefetched_per_fault() const {
+    if (ampom_faults_seen == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(ampom_zone_considered) /
+           static_cast<double>(ampom_faults_seen);
+  }
+
+  // Fig. 11: analysis overhead as a fraction of execution time.
+  [[nodiscard]] double analysis_overhead_fraction() const {
+    if (exec_time <= sim::Time::zero()) {
+      return 0.0;
+    }
+    return ampom_analysis_time / exec_time;
+  }
+};
+
+}  // namespace ampom::driver

@@ -1,0 +1,37 @@
+#pragma once
+// Calibrated cluster profiles.
+//
+// gideon300_profile() models the paper's testbed (HKU Gideon 300: Pentium 4
+// 2 GHz, 512 MB RAM, Fast Ethernet, Linux 2.4 + openMosix 2.4.26-1). The
+// constants land the two anchoring measurements of the paper:
+//   - openMosix full-copy of a 575 MB process ~ 53.9 s (Fig. 5a),
+//   - AMPoM freeze of the same process        ~ 0.6 s,
+//   - NoPrefetch freeze                       ~ 0.07 s.
+
+#include "net/fabric.hpp"
+#include "proc/costs.hpp"
+#include "simcore/time.hpp"
+
+namespace ampom::driver {
+
+struct ClusterProfile {
+  net::LinkParams link;
+  proc::NodeCosts costs;
+  proc::WireCosts wire;
+  sim::Time infod_period{sim::Time::from_ms(250)};
+};
+
+[[nodiscard]] inline ClusterProfile gideon300_profile() {
+  ClusterProfile p;
+  p.link.bandwidth = sim::Bandwidth::mbits_per_sec(100);
+  p.link.latency = sim::Time::from_us(75);
+  // NodeCosts/WireCosts defaults are the calibrated values (proc/costs.hpp).
+  return p;
+}
+
+// The paper's §5.5 broadband emulation (tc: 6 Mb/s, 2 ms latency).
+[[nodiscard]] inline net::LinkParams broadband_link() {
+  return net::LinkParams{sim::Bandwidth::mbits_per_sec(6), sim::Time::from_ms(2)};
+}
+
+}  // namespace ampom::driver

@@ -1,0 +1,77 @@
+#pragma once
+// One experiment: a workload, a migration scheme, and the environment.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/ampom_policy.hpp"
+#include "core/config.hpp"
+#include "driver/profile.hpp"
+#include "proc/reference_stream.hpp"
+
+namespace ampom::driver {
+
+enum class Scheme : std::uint8_t {
+  OpenMosix,   // full dirty-page copy during the freeze
+  NoPrefetch,  // three pages + demand paging (the FFA variant)
+  Ampom,       // three pages + MPT + adaptive prefetching
+  PreCopy,     // V-System iterative pre-copy (related work §6)
+  Checkpoint,  // checkpoint/restart through a file server (§1's alternative)
+};
+
+[[nodiscard]] constexpr const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::OpenMosix:
+      return "openMosix";
+    case Scheme::NoPrefetch:
+      return "NoPrefetch";
+    case Scheme::Ampom:
+      return "AMPoM";
+    case Scheme::PreCopy:
+      return "PreCopy";
+    case Scheme::Checkpoint:
+      return "Checkpoint";
+  }
+  return "?";
+}
+
+struct Scenario {
+  Scheme scheme{Scheme::Ampom};
+  // Factory, so a scenario can be re-run (e.g. across schemes).
+  std::function<std::unique_ptr<proc::ReferenceStream>()> make_workload;
+  std::string workload_label{"workload"};
+  std::uint64_t memory_mib{0};  // for reporting only
+
+  ClusterProfile profile{gideon300_profile()};
+  core::AmpomConfig ampom{};
+
+  // Environment knobs.
+  bool shape_migrant_link{false};      // apply `shaped_link` between home/dest
+  net::LinkParams shaped_link{};       // e.g. broadband_link() for Fig. 9
+  double dest_background_load{0.0};    // CPU contention at the destination
+  double background_traffic{0.0};      // competing flow into the dest (0..1)
+  std::uint64_t ram_limit_pages{0};    // destination RAM cap (0 = unlimited)
+  bool home_dependency{true};          // redirect syscalls to the home node
+
+  // Process placement / timing.
+  sim::Time warmup{sim::Time::from_sec(1.0)};  // InfoDaemon warm-up before start
+  sim::Time migrate_after{sim::Time::from_ms(1)};  // after process start
+  // Second hop (paper §1's "suboptimal decision" case): re-migrate the
+  // process from the first destination to a third node this long after the
+  // first migration completes. Zero = single migration. Unsupported
+  // together with background_traffic (the third node generates it).
+  sim::Time remigrate_after{sim::Time::zero()};
+  std::uint64_t seed{1};
+
+  // Observability: per-fault trace of the AMPoM analysis (Ampom scheme only).
+  core::AmpomPolicy::TraceHook ampom_trace;
+
+  // Called once after the cluster is wired, before the simulation runs —
+  // for scheduling mid-run events (e.g. reshaping the network, injecting
+  // load). The fabric reference stays valid for the whole run.
+  std::function<void(sim::Simulator&, net::Fabric&)> on_setup;
+};
+
+}  // namespace ampom::driver

@@ -1,0 +1,137 @@
+#include "mem/address_space.hpp"
+
+#include "simcore/fmt.hpp"
+
+namespace ampom::mem {
+
+AddressSpace::AddressSpace(RegionLayout layout)
+    : layout_{layout},
+      states_(layout.total_pages(), PageState::Unallocated),
+      dirty_(layout.total_pages(), false) {
+  counts_[static_cast<std::size_t>(PageState::Unallocated)] = layout.total_pages();
+}
+
+void AddressSpace::set_state_unchecked(PageId page, PageState to) {
+  PageState& slot = states_.at(page);
+  --counts_[static_cast<std::size_t>(slot)];
+  slot = to;
+  ++counts_[static_cast<std::size_t>(to)];
+}
+
+void AddressSpace::transition(PageId page, PageState from, PageState to) {
+  const PageState current = states_.at(page);
+  if (current != from) {
+    throw std::logic_error(sim::strfmt(
+        "AddressSpace: page %llu is %s, expected %s (target %s)",
+        static_cast<unsigned long long>(page), page_state_name(current), page_state_name(from),
+        page_state_name(to)));
+  }
+  set_state_unchecked(page, to);
+}
+
+void AddressSpace::populate_all_dirty() { populate_range(0, page_count(), /*mark_dirty=*/true); }
+
+void AddressSpace::populate_range(PageId begin, PageId end, bool mark_dirty_flag) {
+  if (end > page_count() || begin > end) {
+    throw std::out_of_range("AddressSpace::populate_range");
+  }
+  for (PageId p = begin; p < end; ++p) {
+    if (states_[p] == PageState::Unallocated) {
+      set_state_unchecked(p, PageState::Local);
+    }
+    if (mark_dirty_flag && !dirty_[p]) {
+      dirty_[p] = true;
+      ++dirty_count_;
+    }
+  }
+}
+
+void AddressSpace::demote_to_remote(PageId page) {
+  transition(page, PageState::Local, PageState::Remote);
+}
+
+void AddressSpace::carry_over(PageId page) {
+  // No state change needed — the page was Local at home and stays Local at
+  // the destination after the freeze-time transfer; the call exists so the
+  // engines document intent and we can assert the precondition.
+  const PageState current = states_.at(page);
+  if (current != PageState::Local) {
+    throw std::logic_error("AddressSpace::carry_over on a non-local page");
+  }
+}
+
+AccessKind AddressSpace::classify(PageId page) const {
+  switch (states_.at(page)) {
+    case PageState::Local:
+      return AccessKind::Hit;
+    case PageState::Unallocated:
+      return AccessKind::FirstTouch;
+    case PageState::Arrived:
+      return AccessKind::SoftFault;
+    case PageState::Remote:
+      return AccessKind::HardFault;
+    case PageState::InFlight:
+      return AccessKind::InFlightWait;
+    case PageState::Swapped:
+      return AccessKind::SwapFault;
+  }
+  throw std::logic_error("AddressSpace::classify: corrupt state");
+}
+
+void AddressSpace::create_on_touch(PageId page) {
+  transition(page, PageState::Unallocated, PageState::Local);
+  if (!dirty_[page]) {
+    dirty_[page] = true;
+    ++dirty_count_;
+  }
+}
+
+void AddressSpace::mark_in_flight(PageId page) {
+  transition(page, PageState::Remote, PageState::InFlight);
+}
+
+void AddressSpace::mark_arrived(PageId page) {
+  transition(page, PageState::InFlight, PageState::Arrived);
+  arrived_.push_back(page);
+}
+
+std::uint64_t AddressSpace::map_all_arrived() {
+  const auto mapped = static_cast<std::uint64_t>(arrived_.size());
+  for (const PageId page : arrived_) {
+    transition(page, PageState::Arrived, PageState::Local);
+  }
+  arrived_.clear();
+  return mapped;
+}
+
+void AddressSpace::map_arrived_page(PageId page) {
+  transition(page, PageState::Arrived, PageState::Local);
+  for (auto it = arrived_.begin(); it != arrived_.end(); ++it) {
+    if (*it == page) {
+      arrived_.erase(it);
+      return;
+    }
+  }
+  throw std::logic_error("AddressSpace::map_arrived_page: page missing from lookaside buffer");
+}
+
+void AddressSpace::evict_to_swap(PageId page) {
+  transition(page, PageState::Local, PageState::Swapped);
+}
+
+void AddressSpace::load_from_swap(PageId page) {
+  transition(page, PageState::Swapped, PageState::Local);
+}
+
+std::vector<PageId> AddressSpace::pages_in_state(PageState s) const {
+  std::vector<PageId> out;
+  out.reserve(count(s));
+  for (PageId p = 0; p < page_count(); ++p) {
+    if (states_[p] == s) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace ampom::mem

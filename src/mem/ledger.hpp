@@ -1,0 +1,68 @@
+#pragma once
+// Page-ownership ledger: the conservation invariant behind the protocol.
+//
+// Every page of a process's address space has exactly one authoritative
+// copy. A migration or remote-paging transfer moves it; the paper's §2.2
+// protocol deletes the home copy when a page is shipped, so a page can
+// cross the wire at most once per migration. The ledger records transfers
+// and throws on any violation — it runs in every build (cheap) and is the
+// backbone of the property tests.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "mem/page.hpp"
+#include "net/message.hpp"
+#include "simcore/fmt.hpp"
+
+namespace ampom::mem {
+
+class PageLedger {
+ public:
+  PageLedger(std::uint64_t page_count, net::NodeId initial_owner)
+      : owner_(page_count, initial_owner), transfers_(page_count, 0) {}
+
+  [[nodiscard]] std::uint64_t page_count() const { return owner_.size(); }
+  [[nodiscard]] net::NodeId owner(PageId page) const { return owner_.at(page); }
+  [[nodiscard]] std::uint32_t transfer_count(PageId page) const { return transfers_.at(page); }
+
+  // Record a transfer of `page` from `from` to `to`.
+  void transfer(PageId page, net::NodeId from, net::NodeId to) {
+    net::NodeId& cur = owner_.at(page);
+    if (cur != from) {
+      throw std::logic_error(sim::strfmt(
+          "PageLedger: page %llu transferred from node %u but owned by node %u",
+          static_cast<unsigned long long>(page), from, cur));
+    }
+    if (from == to) {
+      throw std::logic_error("PageLedger: self-transfer");
+    }
+    cur = to;
+    ++transfers_.at(page);
+  }
+
+  [[nodiscard]] std::uint64_t total_transfers() const {
+    std::uint64_t sum = 0;
+    for (const auto t : transfers_) {
+      sum += t;
+    }
+    return sum;
+  }
+
+  // Invariant for a single-migration run: no page moved more than once.
+  [[nodiscard]] bool at_most_one_transfer_each() const {
+    for (const auto t : transfers_) {
+      if (t > 1) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<net::NodeId> owner_;
+  std::vector<std::uint32_t> transfers_;
+};
+
+}  // namespace ampom::mem

@@ -1,0 +1,61 @@
+#pragma once
+// Page-granularity memory primitives.
+//
+// The simulator never stores page *contents* — every metric in the paper
+// (freeze time, fault counts, prefetch counts, runtimes) depends only on
+// page identity, location and timing — so a page is an index plus state.
+
+#include <cstdint>
+
+#include "simcore/units.hpp"
+
+namespace ampom::mem {
+
+using PageId = std::uint64_t;
+inline constexpr PageId kInvalidPage = static_cast<PageId>(-1);
+
+inline constexpr sim::Bytes kPageBytes = 4096;
+
+// Size of one master-page-table entry on the wire (paper §5.2: "the size of
+// an MPT is 6 bytes per page").
+inline constexpr sim::Bytes kMptEntryBytes = 6;
+
+[[nodiscard]] constexpr std::uint64_t pages_for_bytes(sim::Bytes bytes) {
+  return (bytes + kPageBytes - 1) / kPageBytes;
+}
+[[nodiscard]] constexpr sim::Bytes bytes_for_pages(std::uint64_t pages) {
+  return pages * kPageBytes;
+}
+[[nodiscard]] constexpr std::uint64_t pages_for_mib(std::uint64_t mib) {
+  return pages_for_bytes(mib * sim::kMiB);
+}
+
+// State of a page as seen by the process instance that is executing.
+enum class PageState : std::uint8_t {
+  Unallocated,  // never touched; first touch creates it locally (MPT-only update)
+  Local,        // mapped in the local address space
+  Remote,       // lives at the home node; access causes a remote page fault
+  InFlight,     // requested from the home node, not yet arrived
+  Arrived,      // in the lookaside buffer; mapped at the next fault (soft fault)
+  Swapped,      // evicted to local swap (optional RAM-limit extension)
+};
+
+[[nodiscard]] constexpr const char* page_state_name(PageState s) {
+  switch (s) {
+    case PageState::Unallocated:
+      return "unallocated";
+    case PageState::Local:
+      return "local";
+    case PageState::Remote:
+      return "remote";
+    case PageState::InFlight:
+      return "inflight";
+    case PageState::Arrived:
+      return "arrived";
+    case PageState::Swapped:
+      return "swapped";
+  }
+  return "?";
+}
+
+}  // namespace ampom::mem

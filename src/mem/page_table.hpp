@@ -1,0 +1,71 @@
+#pragma once
+// The master/home page-table pair (paper §2.2).
+//
+// When a process migrates, its Linux page table is shipped to the
+// destination and becomes the MPT; the original becomes the HPT, owned by
+// the deputy. Both are instances of this class tracking, per page, where
+// the authoritative copy lives. The update protocol follows §2.2:
+//   - page transferred to migrant: delete home copy, update HPT (and MPT);
+//   - page created by migrant:     update only the MPT;
+//   - page unmapped:               update MPT, and HPT only if the page was
+//                                  still stored at home.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "mem/page.hpp"
+
+namespace ampom::mem {
+
+class PageTable {
+ public:
+  enum class Loc : std::uint8_t {
+    Absent,    // not materialized anywhere (unallocated or unmapped)
+    Here,      // on the node owning this table
+    Remote,    // on the peer node (home from the migrant's view, or vice versa)
+    Incoming,  // being flushed back to this node (re-migration); not yet servable
+  };
+
+  explicit PageTable(std::uint64_t page_count) : loc_(page_count, Loc::Absent) {}
+
+  [[nodiscard]] std::uint64_t page_count() const { return loc_.size(); }
+
+  [[nodiscard]] Loc loc(PageId page) const { return loc_.at(page); }
+
+  void set_loc(PageId page, Loc loc) {
+    Loc& slot = loc_.at(page);
+    adjust(slot, -1);
+    slot = loc;
+    adjust(slot, +1);
+  }
+
+  [[nodiscard]] std::uint64_t count_here() const { return here_; }
+  [[nodiscard]] std::uint64_t count_remote() const { return remote_; }
+  [[nodiscard]] std::uint64_t count_incoming() const { return incoming_; }
+  [[nodiscard]] std::uint64_t count_absent() const {
+    return page_count() - here_ - remote_ - incoming_;
+  }
+
+  // Wire size of the table when migrated with the process (paper: 6 B/page).
+  [[nodiscard]] sim::Bytes wire_bytes() const { return page_count() * kMptEntryBytes; }
+
+ private:
+  void adjust(Loc loc, int delta) {
+    const auto d = static_cast<std::int64_t>(delta);
+    if (loc == Loc::Here) {
+      here_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(here_) + d);
+    } else if (loc == Loc::Remote) {
+      remote_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(remote_) + d);
+    } else if (loc == Loc::Incoming) {
+      incoming_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(incoming_) + d);
+    }
+  }
+
+  std::vector<Loc> loc_;
+  std::uint64_t here_{0};
+  std::uint64_t remote_{0};
+  std::uint64_t incoming_{0};
+};
+
+}  // namespace ampom::mem

@@ -1,0 +1,85 @@
+#pragma once
+// Address-space region layout (code / data / heap / stack).
+//
+// The migration engines need region structure: FFA-style migration ships
+// "the currently-accessed code, stack, and data pages" (paper §2.1), which
+// requires knowing which region a page belongs to.
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <stdexcept>
+
+#include "mem/page.hpp"
+
+namespace ampom::mem {
+
+enum class Region : std::uint8_t { Code, Data, Heap, Stack };
+inline constexpr std::size_t kRegionCount = 4;
+
+[[nodiscard]] constexpr const char* region_name(Region r) {
+  switch (r) {
+    case Region::Code:
+      return "code";
+    case Region::Data:
+      return "data";
+    case Region::Heap:
+      return "heap";
+    case Region::Stack:
+      return "stack";
+  }
+  return "?";
+}
+
+// Contiguous page ranges, laid out code | data | heap | stack.
+class RegionLayout {
+ public:
+  RegionLayout(std::uint64_t code_pages, std::uint64_t data_pages, std::uint64_t heap_pages,
+               std::uint64_t stack_pages) {
+    if (code_pages == 0 || stack_pages == 0) {
+      throw std::invalid_argument("RegionLayout: code and stack must be non-empty");
+    }
+    bounds_[0] = code_pages;
+    bounds_[1] = bounds_[0] + data_pages;
+    bounds_[2] = bounds_[1] + heap_pages;
+    bounds_[3] = bounds_[2] + stack_pages;
+  }
+
+  // A typical large HPC process: a few code pages, a small data segment,
+  // nearly everything in the heap, a handful of stack pages.
+  [[nodiscard]] static RegionLayout for_total_bytes(sim::Bytes total) {
+    const std::uint64_t total_pages = pages_for_bytes(total);
+    constexpr std::uint64_t kCode = 64;   // 256 KiB of text
+    constexpr std::uint64_t kData = 128;  // 512 KiB of globals
+    constexpr std::uint64_t kStack = 16;  // 64 KiB of stack
+    const std::uint64_t fixed = kCode + kData + kStack;
+    const std::uint64_t heap = total_pages > fixed ? total_pages - fixed : 1;
+    return RegionLayout{kCode, kData, heap, kStack};
+  }
+
+  [[nodiscard]] std::uint64_t total_pages() const { return bounds_[3]; }
+
+  [[nodiscard]] PageId begin(Region r) const {
+    const auto i = static_cast<std::size_t>(r);
+    return i == 0 ? 0 : bounds_[i - 1];
+  }
+  [[nodiscard]] PageId end(Region r) const { return bounds_[static_cast<std::size_t>(r)]; }
+  [[nodiscard]] std::uint64_t pages(Region r) const { return end(r) - begin(r); }
+
+  [[nodiscard]] Region region_of(PageId page) const {
+    assert(page < total_pages());
+    for (std::size_t i = 0; i < kRegionCount; ++i) {
+      if (page < bounds_[i]) {
+        return static_cast<Region>(i);
+      }
+    }
+    return Region::Stack;
+  }
+
+  [[nodiscard]] bool contains(PageId page) const { return page < total_pages(); }
+
+ private:
+  std::array<std::uint64_t, kRegionCount> bounds_{};
+};
+
+}  // namespace ampom::mem

@@ -1,0 +1,79 @@
+#include "migration/checkpoint.hpp"
+
+#include <stdexcept>
+
+namespace ampom::migration {
+
+CheckpointRestartEngine::CheckpointRestartEngine(Config config) : config_{config} {
+  if (config.disk_write.is_zero() || config.disk_read.is_zero()) {
+    throw std::invalid_argument("CheckpointRestartEngine: disk bandwidth must be positive");
+  }
+}
+
+void CheckpointRestartEngine::execute(MigrationContext ctx,
+                                      std::function<void(MigrationResult)> done) {
+  if (config_.file_server == ctx.src || config_.file_server == ctx.dst) {
+    throw std::invalid_argument(
+        "CheckpointRestartEngine: the file server must be a third node");
+  }
+  mem::AddressSpace& aspace = ctx.process.aspace();
+  const std::vector<mem::PageId> local = aspace.pages_in_state(mem::PageState::Local);
+
+  MigrationResult result;
+  result.initiated_at = ctx.sim.now();
+  result.freeze_begin = ctx.sim.now();
+  result.pages_transferred = local.size();
+  result.pages_sent_total = local.size() * 2;  // image crosses the wire twice
+
+  // Bookkeeping: pages end up with the process at the destination.
+  mem::PageTable& hpt = ctx.deputy.hpt();
+  for (const mem::PageId page : local) {
+    aspace.carry_over(page);
+    hpt.set_loc(page, mem::PageTable::Loc::Remote);
+    if (ctx.ledger != nullptr) {
+      ctx.ledger->transfer(page, ctx.src, ctx.dst);
+    }
+  }
+
+  const sim::Bytes image =
+      ctx.wire.pcb_bytes + static_cast<sim::Bytes>(local.size()) * ctx.wire.page_message_bytes();
+  result.bytes_transferred = 2 * image;
+
+  // Phase 1: write the image to the file server (wire + disk in series at
+  // the slower of the two rates, modeled as wire transfer then disk tail).
+  const sim::Time setup = ctx.src_costs.freeze_setup.scaled(1.0 / ctx.src_costs.cpu_speed) +
+                          ctx.src_costs.pack_page.scaled(1.0 / ctx.src_costs.cpu_speed) *
+                              static_cast<std::int64_t>(local.size());
+  ctx.sim.schedule_after(setup, [this, ctx, done = std::move(done), result, image]() mutable {
+    const sim::Time upload_arrival = ctx.fabric.send(net::Message{
+        ctx.src, config_.file_server, image,
+        net::MigrationChunk{ctx.process.pid(), net::MigrationChunk::Kind::DirtyPages,
+                            result.pages_transferred, false}});
+    const sim::Time disk_tail =
+        config_.disk_write.transfer_time(image) > ctx.fabric.link(ctx.src, config_.file_server)
+                                                      .bandwidth.transfer_time(image)
+            ? config_.disk_write.transfer_time(image) -
+                  ctx.fabric.link(ctx.src, config_.file_server).bandwidth.transfer_time(image)
+            : sim::Time::zero();
+    const sim::Time written = upload_arrival + disk_tail;
+
+    // Phase 2: the destination reads the image back and restarts.
+    ctx.sim.schedule_at(written, [this, ctx, done = std::move(done), result, image]() mutable {
+      const sim::Time download_arrival = ctx.fabric.send(net::Message{
+          config_.file_server, ctx.dst, image,
+          net::MigrationChunk{ctx.process.pid(), net::MigrationChunk::Kind::DirtyPages,
+                              result.pages_transferred, true}});
+      const sim::Time restore =
+          ctx.dst_costs.restore_setup.scaled(1.0 / ctx.dst_costs.cpu_speed) +
+          ctx.dst_costs.unpack_page.scaled(1.0 / ctx.dst_costs.cpu_speed) *
+              static_cast<std::int64_t>(result.pages_transferred);
+      ctx.sim.schedule_at(download_arrival + restore,
+                          [ctx, done = std::move(done), result]() mutable {
+                            result.resume_at = ctx.sim.now();
+                            MigrationEngine::finish_resume(ctx, result, done);
+                          });
+    });
+  });
+}
+
+}  // namespace ampom::migration

@@ -1,0 +1,41 @@
+#pragma once
+// Checkpoint/restart placement — the alternative the paper's introduction
+// positions process migration against (§1: after migration research stalled,
+// "research focus was then shifted to process checkpointing (e.g. MIST),
+// which offers a compromise between ease of implementation and versatility"
+// — but "needs a file server", unlike migration).
+//
+// The process freezes, its full image is written to a file-server node,
+// and the destination restarts it by reading the image back. The freeze
+// spans BOTH transfers (plus the server's disk), which is why checkpointing
+// is the slowest placement mechanism here — the quantitative footnote to
+// the paper's motivation.
+
+#include <cstdint>
+
+#include "migration/engine.hpp"
+
+namespace ampom::migration {
+
+class CheckpointRestartEngine final : public MigrationEngine {
+ public:
+  struct Config {
+    net::NodeId file_server{2};
+    // Sustained disk bandwidth at the file server (2008-era RAID: ~60 MB/s
+    // writes, a bit faster reads).
+    sim::Bandwidth disk_write{sim::Bandwidth::bytes_per_sec(60 * 1000 * 1000)};
+    sim::Bandwidth disk_read{sim::Bandwidth::bytes_per_sec(80 * 1000 * 1000)};
+  };
+
+  CheckpointRestartEngine() : CheckpointRestartEngine{Config{}} {}
+  explicit CheckpointRestartEngine(Config config);
+
+  [[nodiscard]] const char* name() const override { return "Checkpoint"; }
+
+  void execute(MigrationContext ctx, std::function<void(MigrationResult)> done) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace ampom::migration

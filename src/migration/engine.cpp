@@ -1,0 +1,36 @@
+#include "migration/engine.hpp"
+
+#include <stdexcept>
+
+namespace ampom::migration {
+
+void MigrationEngine::finish_resume(MigrationContext& ctx, MigrationResult result,
+                                    const std::function<void(MigrationResult)>& done) {
+  ctx.process.set_current_node(ctx.dst);
+  ctx.deputy.begin_service(ctx.dst);
+  if (ctx.on_before_resume) {
+    ctx.on_before_resume();
+  }
+  ctx.executor.resume_migrated(ctx.dst_costs);
+  if (done) {
+    done(result);
+  }
+}
+
+void migrate_process(MigrationContext ctx, MigrationEngine& engine,
+                     std::function<void(MigrationResult)> done) {
+  if (ctx.src == ctx.dst) {
+    throw std::invalid_argument("migrate_process: source and destination are the same node");
+  }
+  if (!engine.needs_freeze_first()) {
+    engine.execute(std::move(ctx), std::move(done));
+    return;
+  }
+  proc::Executor& executor = ctx.executor;
+  executor.request_freeze(
+      [&engine, ctx = std::move(ctx), done = std::move(done)]() mutable {
+        engine.execute(std::move(ctx), std::move(done));
+      });
+}
+
+}  // namespace ampom::migration

@@ -1,0 +1,83 @@
+#pragma once
+// Migration engine interface and the shared context.
+//
+// An engine runs the freeze-time protocol of one mechanism from the paper's
+// Fig. 2: openMosix full-dirty-copy, the FFA-variant three-page transfer
+// (NoPrefetch), or AMPoM's three-pages-plus-MPT transfer. Engines are
+// invoked with the process already frozen, move state across the fabric,
+// populate the deputy's HPT, and resume the executor at the destination.
+
+#include <cstdint>
+#include <functional>
+
+#include "mem/ledger.hpp"
+#include "net/fabric.hpp"
+#include "proc/costs.hpp"
+#include "proc/deputy.hpp"
+#include "proc/executor.hpp"
+#include "simcore/simulator.hpp"
+
+namespace ampom::migration {
+
+struct MigrationContext {
+  sim::Simulator& sim;
+  net::Fabric& fabric;
+  proc::WireCosts wire;
+  proc::Process& process;
+  proc::Executor& executor;
+  proc::Deputy& deputy;
+  net::NodeId src;
+  net::NodeId dst;
+  proc::NodeCosts src_costs;
+  proc::NodeCosts dst_costs;
+  mem::PageLedger* ledger{nullptr};
+  // Invoked right before the executor resumes at the destination; scenario
+  // builders install the fault policy and flip syscall redirection here.
+  std::function<void()> on_before_resume;
+};
+
+struct MigrationResult {
+  sim::Time initiated_at{};  // when the mechanism started working
+  sim::Time freeze_begin{};  // when the process stopped executing
+  sim::Time resume_at{};
+  sim::Bytes bytes_transferred{0};
+  std::uint64_t pages_transferred{0};  // pages living at the destination after resume
+  std::uint64_t pages_sent_total{0};   // includes pre-copy resends
+
+  [[nodiscard]] sim::Time freeze_time() const { return resume_at - freeze_begin; }
+  // Wall time the mechanism occupied the network/CPU (pre-copy >> freeze).
+  [[nodiscard]] sim::Time migration_span() const { return resume_at - initiated_at; }
+  [[nodiscard]] std::uint64_t pages_resent() const {
+    return pages_sent_total > pages_transferred ? pages_sent_total - pages_transferred : 0;
+  }
+};
+
+class MigrationEngine {
+ public:
+  virtual ~MigrationEngine() = default;
+  MigrationEngine() = default;
+  MigrationEngine(const MigrationEngine&) = delete;
+  MigrationEngine& operator=(const MigrationEngine&) = delete;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  // True (default) = migrate_process freezes the process before execute();
+  // false = the engine runs alongside the process and freezes it itself
+  // (pre-copy mechanisms).
+  [[nodiscard]] virtual bool needs_freeze_first() const { return true; }
+
+  // Precondition: ctx.process is Frozen iff needs_freeze_first(). Calls
+  // `done` at resume time.
+  virtual void execute(MigrationContext ctx, std::function<void(MigrationResult)> done) = 0;
+
+  // Shared resume tail: HPT service start, policy hook, executor resume.
+  // Public so engine-internal run objects can call it.
+  static void finish_resume(MigrationContext& ctx, MigrationResult result,
+                            const std::function<void(MigrationResult)>& done);
+};
+
+// Orchestrates request_freeze -> engine.execute.
+void migrate_process(MigrationContext ctx, MigrationEngine& engine,
+                     std::function<void(MigrationResult)> done);
+
+}  // namespace ampom::migration

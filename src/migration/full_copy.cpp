@@ -1,0 +1,92 @@
+#include "migration/full_copy.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace ampom::migration {
+
+FullCopyEngine::FullCopyEngine(std::uint64_t chunk_pages) : chunk_pages_{chunk_pages} {
+  if (chunk_pages == 0) {
+    throw std::invalid_argument("FullCopyEngine chunk size must be positive");
+  }
+}
+
+void FullCopyEngine::execute(MigrationContext ctx, std::function<void(MigrationResult)> done) {
+  mem::AddressSpace& aspace = ctx.process.aspace();
+  const std::vector<mem::PageId> local = aspace.pages_in_state(mem::PageState::Local);
+
+  MigrationResult result;
+  result.initiated_at = ctx.sim.now();
+  result.freeze_begin = ctx.sim.now();
+
+  // Bookkeeping first: pages move with the process; the HPT keeps only the
+  // never-touched holes as Absent.
+  mem::PageTable& hpt = ctx.deputy.hpt();
+  for (const mem::PageId page : local) {
+    aspace.carry_over(page);
+    hpt.set_loc(page, mem::PageTable::Loc::Remote);
+    if (ctx.ledger != nullptr) {
+      ctx.ledger->transfer(page, ctx.src, ctx.dst);
+    }
+  }
+  result.pages_transferred = local.size();
+  result.pages_sent_total = local.size();
+
+  // Timing: PCB first, then page chunks. Each chunk is sent once the source
+  // CPU finished packing it; the NIC queue pipelines packing with the wire.
+  const sim::Time setup = ctx.src_costs.freeze_setup.scaled(1.0 / ctx.src_costs.cpu_speed);
+  const sim::Time pack_per_page = ctx.src_costs.pack_page.scaled(1.0 / ctx.src_costs.cpu_speed);
+  sim::Time pack_done = ctx.sim.now() + setup;
+
+  ctx.sim.schedule_at(pack_done, [&sim = ctx.sim, &fabric = ctx.fabric, src = ctx.src,
+                                  dst = ctx.dst, pcb = ctx.wire.pcb_bytes,
+                                  pid = ctx.process.pid()] {
+    fabric.send(net::Message{
+        src, dst, pcb, net::MigrationChunk{pid, net::MigrationChunk::Kind::Pcb, 1, false}});
+    (void)sim;
+  });
+  result.bytes_transferred += ctx.wire.pcb_bytes;
+
+  const std::uint64_t total = local.size();
+  // Completion state shared between the chunk-send events.
+  auto shared = std::make_shared<MigrationResult>(result);
+  auto complete = [ctx, done, shared](sim::Time last_arrival, std::uint64_t last_chunk) mutable {
+    const sim::Time unpack = ctx.dst_costs.unpack_page.scaled(1.0 / ctx.dst_costs.cpu_speed) *
+                             static_cast<std::int64_t>(last_chunk);
+    const sim::Time restore =
+        ctx.dst_costs.restore_setup.scaled(1.0 / ctx.dst_costs.cpu_speed);
+    ctx.sim.schedule_at(last_arrival + unpack + restore, [ctx, done, shared]() mutable {
+      shared->resume_at = ctx.sim.now();
+      finish_resume(ctx, *shared, done);
+    });
+  };
+
+  if (total == 0) {
+    // Nothing dirty: resume after the PCB lands.
+    const sim::Time pcb_arrival =
+        pack_done + ctx.fabric.link(ctx.src, ctx.dst).bandwidth.transfer_time(ctx.wire.pcb_bytes) +
+        ctx.fabric.link(ctx.src, ctx.dst).latency;
+    complete(pcb_arrival, 0);
+    return;
+  }
+
+  for (std::uint64_t first = 0; first < total; first += chunk_pages_) {
+    const std::uint64_t count = std::min(chunk_pages_, total - first);
+    pack_done += pack_per_page * static_cast<std::int64_t>(count);
+    const bool last = first + count >= total;
+    const sim::Bytes bytes = count * ctx.wire.page_message_bytes();
+    shared->bytes_transferred += bytes;
+    ctx.sim.schedule_at(
+        pack_done, [&fabric = ctx.fabric, src = ctx.src, dst = ctx.dst, bytes, count, last,
+                    pid = ctx.process.pid(), complete]() mutable {
+          const sim::Time arrival = fabric.send(net::Message{
+              src, dst, bytes,
+              net::MigrationChunk{pid, net::MigrationChunk::Kind::DirtyPages, count, last}});
+          if (last) {
+            complete(arrival, count);
+          }
+        });
+  }
+}
+
+}  // namespace ampom::migration

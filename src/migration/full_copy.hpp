@@ -1,0 +1,24 @@
+#pragma once
+// The unmodified-openMosix mechanism: transfer ALL dirty pages during the
+// freeze (paper §2.1, left panel of Fig. 2). Execution resumes only once
+// every page has arrived; there are never remote page faults afterwards.
+
+#include "migration/engine.hpp"
+
+namespace ampom::migration {
+
+class FullCopyEngine final : public MigrationEngine {
+ public:
+  // Pages are packed and shipped in pipelined chunks; packing at the source
+  // overlaps wire serialization, as openMosix's sender loop does.
+  explicit FullCopyEngine(std::uint64_t chunk_pages = 64);
+
+  [[nodiscard]] const char* name() const override { return "openMosix"; }
+
+  void execute(MigrationContext ctx, std::function<void(MigrationResult)> done) override;
+
+ private:
+  std::uint64_t chunk_pages_;
+};
+
+}  // namespace ampom::migration

@@ -1,0 +1,48 @@
+#pragma once
+// Lightweight migration engines (paper §2.1, Fig. 2 middle/right panels).
+//
+// Both ship only the PCB and the three currently-accessed pages (code,
+// data/heap, stack) during the freeze, leaving every other page at the
+// home node for the deputy to serve. The AMPoM variant additionally ships
+// the master page table (6 bytes per page), which is what makes its freeze
+// time grow linearly with the address-space size in Fig. 5.
+
+#include "migration/engine.hpp"
+
+namespace ampom::migration {
+
+class LightweightEngineBase : public MigrationEngine {
+ protected:
+  struct Prepared {
+    std::vector<mem::PageId> carried;  // the pages shipped in the freeze
+    std::uint64_t left_behind{0};
+  };
+
+  // Demote all local pages except the current three; populate the HPT and
+  // the ledger accordingly.
+  static Prepared prepare_address_space(MigrationContext& ctx);
+
+  // Run the common freeze timeline:
+  //   setup -> pack(3 pages) -> [extra_pack] -> send PCB + pages [+ extra]
+  //   -> last arrival -> unpack(3 pages) -> [extra_unpack] -> restore -> resume
+  // `extra_bytes` is the AMPoM MPT payload (0 for NoPrefetch).
+  static void run_freeze(MigrationContext ctx, Prepared prepared, sim::Bytes extra_bytes,
+                         sim::Time extra_pack, sim::Time extra_unpack,
+                         std::function<void(MigrationResult)> done);
+};
+
+// The paper's "NoPrefetch" baseline: three pages, demand paging afterwards.
+class ThreePageEngine final : public LightweightEngineBase {
+ public:
+  [[nodiscard]] const char* name() const override { return "NoPrefetch"; }
+  void execute(MigrationContext ctx, std::function<void(MigrationResult)> done) override;
+};
+
+// AMPoM's mechanism: three pages plus the master page table.
+class AmpomEngine final : public LightweightEngineBase {
+ public:
+  [[nodiscard]] const char* name() const override { return "AMPoM"; }
+  void execute(MigrationContext ctx, std::function<void(MigrationResult)> done) override;
+};
+
+}  // namespace ampom::migration

@@ -1,0 +1,166 @@
+#include "migration/precopy.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace ampom::migration {
+
+namespace {
+
+// Shared state of one pre-copy run; kept alive by the event closures.
+struct PreCopyRun {
+  PreCopyRun(MigrationContext context, PreCopyEngine::Config configuration,
+             std::function<void(MigrationResult)> done_cb)
+      : ctx{std::move(context)}, config{configuration}, done{std::move(done_cb)} {}
+
+  MigrationContext ctx;
+  PreCopyEngine::Config config;
+  std::function<void(MigrationResult)> done;
+  MigrationResult result;
+  std::unordered_set<mem::PageId> redirtied;
+  std::uint64_t rounds_run{0};
+  // Keeps the run alive across its event closures (which capture `this`);
+  // released when the migration completes or aborts.
+  std::shared_ptr<PreCopyRun> self;
+
+  [[nodiscard]] sim::Time pack_time_per_page() const {
+    return ctx.src_costs.pack_page.scaled(1.0 / ctx.src_costs.cpu_speed);
+  }
+
+  // Stream `pages` in chunks starting no earlier than `not_before`;
+  // `on_complete(last_arrival)` fires when the last chunk lands.
+  void stream_pages(std::vector<mem::PageId> pages, sim::Time not_before, bool final_round,
+                    std::function<void(sim::Time)> on_complete) {
+    const std::uint64_t total = pages.size();
+    result.pages_sent_total += total;
+    if (total == 0) {
+      // Nothing to send: complete after the wire latency (a sync message).
+      const sim::Time arrival = ctx.fabric.send(net::Message{
+          ctx.src, ctx.dst, ctx.wire.control_message,
+          net::MigrationChunk{ctx.process.pid(), net::MigrationChunk::Kind::DirtyPages, 0,
+                              final_round}});
+      ctx.sim.schedule_at(arrival, [arrival, cb = std::move(on_complete)] { cb(arrival); });
+      return;
+    }
+    sim::Time pack_done = std::max(ctx.sim.now(), not_before);
+    auto self_complete = std::make_shared<std::function<void(sim::Time)>>(std::move(on_complete));
+    for (std::uint64_t first = 0; first < total; first += config.chunk_pages) {
+      const std::uint64_t count = std::min(config.chunk_pages, total - first);
+      pack_done += pack_time_per_page() * static_cast<std::int64_t>(count);
+      const bool last = first + count >= total;
+      const sim::Bytes bytes = count * ctx.wire.page_message_bytes();
+      result.bytes_transferred += bytes;
+      ctx.sim.schedule_at(pack_done, [this, bytes, count, last, final_round, self_complete] {
+        const sim::Time arrival = ctx.fabric.send(net::Message{
+            ctx.src, ctx.dst, bytes,
+            net::MigrationChunk{ctx.process.pid(), net::MigrationChunk::Kind::DirtyPages, count,
+                                last && final_round}});
+        if (last) {
+          (*self_complete)(arrival);
+        }
+      });
+    }
+  }
+
+  void run_round(std::vector<mem::PageId> to_copy) {
+    ++rounds_run;
+    redirtied.clear();
+    stream_pages(std::move(to_copy), ctx.sim.now(), /*final_round=*/false,
+                 [this](sim::Time last_arrival) {
+                   ctx.sim.schedule_at(last_arrival, [this] { next_round_or_freeze(); });
+                 });
+  }
+
+  void next_round_or_freeze() {
+    const auto threshold = static_cast<double>(ctx.process.aspace().page_count()) *
+                           config.stop_fraction;
+    if (ctx.process.state() == proc::ProcState::Finished) {
+      // The process outran the migration; abort.
+      ctx.executor.set_touch_observer(nullptr);
+      self.reset();
+      return;
+    }
+    if (rounds_run < config.max_rounds &&
+        static_cast<double>(redirtied.size()) > threshold) {
+      run_round(std::vector<mem::PageId>(redirtied.begin(), redirtied.end()));
+      return;
+    }
+    // Converged (or out of rounds): stop-and-copy the residue.
+    ctx.executor.request_freeze([this] { final_round(); });
+  }
+
+  void final_round() {
+    result.freeze_begin = ctx.sim.now();
+    ctx.executor.set_touch_observer(nullptr);
+
+    std::vector<mem::PageId> residue(redirtied.begin(), redirtied.end());
+    const sim::Time setup = ctx.src_costs.freeze_setup.scaled(1.0 / ctx.src_costs.cpu_speed);
+    result.bytes_transferred += ctx.wire.pcb_bytes;
+    ctx.sim.schedule_at(ctx.sim.now() + setup, [this] {
+      ctx.fabric.send(net::Message{
+          ctx.src, ctx.dst, ctx.wire.pcb_bytes,
+          net::MigrationChunk{ctx.process.pid(), net::MigrationChunk::Kind::Pcb, 1, false}});
+    });
+    stream_pages(std::move(residue), ctx.sim.now() + setup, /*final_round=*/true,
+                 [this](sim::Time last_arrival) {
+                   const sim::Time restore =
+                       ctx.dst_costs.restore_setup.scaled(1.0 / ctx.dst_costs.cpu_speed);
+                   ctx.sim.schedule_at(last_arrival + restore, [this] { complete(); });
+                 });
+  }
+
+  void complete() {
+    mem::AddressSpace& aspace = ctx.process.aspace();
+    mem::PageTable& hpt = ctx.deputy.hpt();
+    std::uint64_t moved = 0;
+    for (const mem::PageId page : aspace.pages_in_state(mem::PageState::Local)) {
+      aspace.carry_over(page);
+      hpt.set_loc(page, mem::PageTable::Loc::Remote);
+      if (ctx.ledger != nullptr) {
+        ctx.ledger->transfer(page, ctx.src, ctx.dst);
+      }
+      ++moved;
+    }
+    result.pages_transferred = moved;
+    result.resume_at = ctx.sim.now();
+    MigrationEngine::finish_resume(ctx, result, done);
+    self.reset();  // may destroy this; nothing below
+  }
+};
+
+}  // namespace
+
+PreCopyEngine::PreCopyEngine(Config config) : config_{config} {
+  if (config.chunk_pages == 0 || config.max_rounds == 0) {
+    throw std::invalid_argument("PreCopyEngine: chunk_pages and max_rounds must be positive");
+  }
+  if (config.stop_fraction < 0.0 || config.stop_fraction >= 1.0) {
+    throw std::invalid_argument("PreCopyEngine: stop_fraction must be in [0, 1)");
+  }
+}
+
+void PreCopyEngine::execute(MigrationContext ctx, std::function<void(MigrationResult)> done) {
+  auto run = std::make_shared<PreCopyRun>(std::move(ctx), config_, std::move(done));
+  run->self = run;
+  run->result.initiated_at = run->ctx.sim.now();
+
+  // Track pages the still-running process touches (they need re-copying).
+  // Captures a weak reference: the run owns itself via `self`.
+  run->ctx.executor.set_touch_observer(
+      [weak = std::weak_ptr<PreCopyRun>(run)](mem::PageId page) {
+        if (const auto strong = weak.lock()) {
+          if (strong->ctx.process.aspace().state(page) == mem::PageState::Local) {
+            strong->redirtied.insert(page);
+          }
+        }
+      });
+
+  // Round 1 copies the entire current local set.
+  run->run_round(run->ctx.process.aspace().pages_in_state(mem::PageState::Local));
+  // Keep the run alive until completion: the closures above hold shared
+  // ownership; nothing else to do here.
+}
+
+}  // namespace ampom::migration

@@ -1,0 +1,44 @@
+#pragma once
+// Pre-copy migration — the V System mechanism from the paper's related
+// work (§6): "the address space ... is pre-copied to the remote node prior
+// to its migration, while the process is still executing in the source
+// node. This approach, however, induces unnecessary network traffic if
+// pages are modified after they are pre-copied."
+//
+// Rounds: copy the dirty set while the process keeps running; pages touched
+// during a round are re-dirtied and copied again in the next. When the
+// re-dirtied set is small enough (or the round budget is exhausted), freeze,
+// ship the residue plus the PCB, and resume at the destination. Freeze time
+// is short like AMPoM's, but total traffic exceeds the address space by the
+// re-dirty rate — the trade-off this engine exists to demonstrate
+// (bench/related_work_mechanisms).
+
+#include <cstdint>
+
+#include "migration/engine.hpp"
+
+namespace ampom::migration {
+
+class PreCopyEngine final : public MigrationEngine {
+ public:
+  struct Config {
+    std::uint64_t chunk_pages{64};
+    std::uint64_t max_rounds{5};
+    // Freeze once the re-dirtied set is at most this fraction of the
+    // address space.
+    double stop_fraction{0.02};
+  };
+
+  PreCopyEngine() : PreCopyEngine{Config{}} {}
+  explicit PreCopyEngine(Config config);
+
+  [[nodiscard]] const char* name() const override { return "PreCopy"; }
+  [[nodiscard]] bool needs_freeze_first() const override { return false; }
+
+  void execute(MigrationContext ctx, std::function<void(MigrationResult)> done) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace ampom::migration

@@ -1,0 +1,159 @@
+#include "migration/remigration.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace ampom::migration {
+
+RemigrationEngine::RemigrationEngine(Config config) : config_{config} {
+  if (config.flush_chunk_pages == 0) {
+    throw std::invalid_argument("RemigrationEngine: flush_chunk_pages must be positive");
+  }
+}
+
+void RemigrationEngine::execute(MigrationContext ctx,
+                                std::function<void(MigrationResult)> done) {
+  // Outstanding prefetches (H -> B) must land before the address space can
+  // be repartitioned; the process is already frozen, so they drain quickly.
+  if (ctx.process.aspace().count(mem::PageState::InFlight) > 0) {
+    ctx.sim.schedule_after(sim::Time::from_us(500),
+                           [this, ctx = std::move(ctx), done = std::move(done)]() mutable {
+                             execute(std::move(ctx), std::move(done));
+                           });
+    return;
+  }
+  execute_drained(std::move(ctx), std::move(done));
+}
+
+void RemigrationEngine::execute_drained(MigrationContext ctx,
+                                        std::function<void(MigrationResult)> done) {
+  mem::AddressSpace& aspace = ctx.process.aspace();
+  mem::PageTable& hpt = ctx.deputy.hpt();
+  const net::NodeId home = ctx.process.home_node();
+  if (ctx.src == home) {
+    throw std::logic_error("RemigrationEngine: process is at home; use a first-hop engine");
+  }
+
+  MigrationResult result;
+  result.initiated_at = ctx.sim.now();
+  result.freeze_begin = ctx.sim.now();
+
+  // Pages parked in the lookaside buffer are physically at B: map them so
+  // they join the flushable set.
+  const std::uint64_t mapped = aspace.map_all_arrived();
+
+  // Select the three currently-accessed pages among B's local ones.
+  const std::array<mem::PageId, 3> current = ctx.process.current_pages();
+  std::vector<mem::PageId> carried(current.begin(), current.end());
+  std::sort(carried.begin(), carried.end());
+  carried.erase(std::unique(carried.begin(), carried.end()), carried.end());
+  std::erase_if(carried, [&](mem::PageId p) {
+    return aspace.state(p) != mem::PageState::Local;
+  });
+
+  auto is_carried = [&](mem::PageId p) {
+    return std::find(carried.begin(), carried.end(), p) != carried.end();
+  };
+
+  // Repartition: carried pages move with the process; every other B-local
+  // page is flushed home (HPT: Incoming until it lands).
+  std::vector<mem::PageId> to_flush;
+  for (mem::PageId page = 0; page < aspace.page_count(); ++page) {
+    switch (aspace.state(page)) {
+      case mem::PageState::Local:
+        if (is_carried(page)) {
+          aspace.carry_over(page);
+          if (ctx.ledger != nullptr) {
+            ctx.ledger->transfer(page, ctx.src, ctx.dst);
+          }
+        } else {
+          aspace.demote_to_remote(page);
+          hpt.set_loc(page, mem::PageTable::Loc::Incoming);
+          to_flush.push_back(page);
+        }
+        break;
+      case mem::PageState::Remote:
+      case mem::PageState::Unallocated:
+        break;  // stays at home / nonexistent
+      default:
+        throw std::logic_error("RemigrationEngine: undrained page state at freeze");
+    }
+  }
+  result.pages_transferred = carried.size();
+  result.pages_sent_total = carried.size();
+
+  // --- freeze-time transfer B -> C -----------------------------------------
+  const double src_speed = ctx.src_costs.cpu_speed;
+  const auto page_count = static_cast<std::int64_t>(aspace.page_count());
+  const sim::Time setup = ctx.src_costs.freeze_setup.scaled(1.0 / src_speed) +
+                          ctx.src_costs.map_page.scaled(1.0 / src_speed) *
+                              static_cast<std::int64_t>(mapped);
+  sim::Time pack = ctx.src_costs.pack_page.scaled(1.0 / src_speed) *
+                   static_cast<std::int64_t>(carried.size());
+  sim::Bytes mpt_bytes = 0;
+  sim::Time mpt_unpack = sim::Time::zero();
+  if (config_.ship_mpt) {
+    mpt_bytes = aspace.page_count() * mem::kMptEntryBytes;
+    pack += ctx.src_costs.mpt_pack_entry.scaled(1.0 / src_speed) * page_count;
+    mpt_unpack = ctx.dst_costs.mpt_unpack_entry.scaled(1.0 / ctx.dst_costs.cpu_speed) *
+                 page_count;
+  }
+  const sim::Bytes page_bytes =
+      static_cast<sim::Bytes>(carried.size()) * ctx.wire.page_message_bytes();
+  result.bytes_transferred = ctx.wire.pcb_bytes + page_bytes + mpt_bytes;
+
+  const sim::Time send_at = ctx.sim.now() + setup + pack;
+  ctx.sim.schedule_at(send_at, [ctx, done = std::move(done), result, page_bytes, mpt_bytes,
+                                mpt_unpack, to_flush = std::move(to_flush),
+                                flush_chunk = config_.flush_chunk_pages, home]() mutable {
+    const std::uint64_t pid = ctx.process.pid();
+    ctx.fabric.send(net::Message{
+        ctx.src, ctx.dst, ctx.wire.pcb_bytes,
+        net::MigrationChunk{pid, net::MigrationChunk::Kind::Pcb, 1, false}});
+    sim::Time last_arrival = ctx.fabric.send(net::Message{
+        ctx.src, ctx.dst, page_bytes,
+        net::MigrationChunk{pid, net::MigrationChunk::Kind::CurrentPages,
+                            result.pages_transferred, mpt_bytes == 0}});
+    if (mpt_bytes > 0) {
+      last_arrival = ctx.fabric.send(net::Message{
+          ctx.src, ctx.dst, mpt_bytes,
+          net::MigrationChunk{pid, net::MigrationChunk::Kind::MasterPageTable, 1, true}});
+    }
+
+    const sim::Time unpack =
+        ctx.dst_costs.unpack_page.scaled(1.0 / ctx.dst_costs.cpu_speed) *
+            static_cast<std::int64_t>(result.pages_transferred) +
+        mpt_unpack + ctx.dst_costs.restore_setup.scaled(1.0 / ctx.dst_costs.cpu_speed);
+
+    // --- background flush B -> H, after the freeze transfer -----------------
+    // B's kernel streams the left-behind pages home; they ride behind the
+    // freeze chunks on B's TX port.
+    sim::Time flush_pack_done = ctx.sim.now();
+    const sim::Time pack_per_page =
+        ctx.src_costs.pack_page.scaled(1.0 / ctx.src_costs.cpu_speed);
+    for (std::uint64_t first = 0; first < to_flush.size(); first += flush_chunk) {
+      const std::uint64_t count =
+          std::min<std::uint64_t>(flush_chunk, to_flush.size() - first);
+      flush_pack_done += pack_per_page * static_cast<std::int64_t>(count);
+      std::vector<mem::PageId> chunk(to_flush.begin() + static_cast<std::ptrdiff_t>(first),
+                                     to_flush.begin() +
+                                         static_cast<std::ptrdiff_t>(first + count));
+      ctx.sim.schedule_at(flush_pack_done,
+                          [&fabric = ctx.fabric, src = ctx.src, home, pid,
+                           wire = ctx.wire, chunk = std::move(chunk)] {
+                            for (const mem::PageId page : chunk) {
+                              fabric.send(net::Message{src, home, wire.page_message_bytes(),
+                                                       net::FlushPage{pid, page}});
+                            }
+                          });
+    }
+
+    ctx.sim.schedule_at(last_arrival + unpack, [ctx, done = std::move(done), result]() mutable {
+      result.resume_at = ctx.sim.now();
+      MigrationEngine::finish_resume(ctx, result, done);
+    });
+  });
+}
+
+}  // namespace ampom::migration

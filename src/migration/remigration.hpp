@@ -1,0 +1,45 @@
+#pragma once
+// Re-migration of an already-migrated process (paper §1: "a wrong or
+// suboptimal migration decision would require the process being migrated
+// again, inducing even longer freeze time" — the scenario whose cost AMPoM
+// is designed to collapse).
+//
+// The process sits at node B with part of its address space at its home
+// node H. Migrating B -> C ships the PCB, the three current pages and
+// (for the AMPoM variant) the MPT; every other B-local page is flushed back
+// to H in the background after the process resumes at C — openMosix's
+// home-anchored model, mirroring FFA's flush of dirty pages. The deputy
+// marks flushing pages Incoming and parks any request for them until the
+// flush lands.
+
+#include <cstdint>
+
+#include "migration/engine.hpp"
+
+namespace ampom::migration {
+
+class RemigrationEngine final : public MigrationEngine {
+ public:
+  struct Config {
+    bool ship_mpt{true};  // true = AMPoM variant; false = NoPrefetch variant
+    std::uint64_t flush_chunk_pages{64};
+  };
+
+  RemigrationEngine() : RemigrationEngine{Config{}} {}
+  explicit RemigrationEngine(Config config);
+
+  [[nodiscard]] const char* name() const override {
+    return config_.ship_mpt ? "AMPoM-remigrate" : "NoPrefetch-remigrate";
+  }
+
+  // ctx.src is the node the process currently runs on (B); ctx.dst is the
+  // new destination (C). The deputy (and HPT) stay at the home node.
+  void execute(MigrationContext ctx, std::function<void(MigrationResult)> done) override;
+
+ private:
+  void execute_drained(MigrationContext ctx, std::function<void(MigrationResult)> done);
+
+  Config config_;
+};
+
+}  // namespace ampom::migration

@@ -1,0 +1,51 @@
+#include "net/background_traffic.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ampom::net {
+
+BackgroundTraffic::BackgroundTraffic(sim::Simulator& simulator, Fabric& fabric, NodeId src,
+                                     NodeId dst, double load_fraction, sim::Bytes chunk_bytes,
+                                     std::uint64_t seed)
+    : sim_{simulator},
+      fabric_{fabric},
+      src_{src},
+      dst_{dst},
+      load_fraction_{load_fraction},
+      chunk_bytes_{chunk_bytes},
+      rng_{seed} {
+  if (load_fraction <= 0.0 || load_fraction >= 1.0) {
+    throw std::invalid_argument("BackgroundTraffic load fraction must be in (0, 1)");
+  }
+  if (chunk_bytes == 0) {
+    throw std::invalid_argument("BackgroundTraffic chunk size must be positive");
+  }
+}
+
+void BackgroundTraffic::start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  schedule_next();
+}
+
+void BackgroundTraffic::schedule_next() {
+  // Mean inter-arrival chosen so chunk_bytes per interval equals the target
+  // fraction of the current link bandwidth.
+  const LinkParams params = fabric_.link(src_, dst_);
+  const sim::Time chunk_time = params.bandwidth.transfer_time(chunk_bytes_);
+  const double mean_gap_sec = chunk_time.sec() / load_fraction_;
+  const sim::Time gap = sim::Time::from_sec(rng_.exponential(mean_gap_sec));
+  sim_.schedule_after(gap, [this] {
+    if (!running_) {
+      return;
+    }
+    fabric_.send(Message{src_, dst_, chunk_bytes_, Background{}});
+    ++chunks_sent_;
+    schedule_next();
+  });
+}
+
+}  // namespace ampom::net

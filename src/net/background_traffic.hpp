@@ -1,0 +1,42 @@
+#pragma once
+// Competing traffic generator.
+//
+// Injects Background messages between a node pair at a target fraction of
+// link bandwidth with Poisson arrivals. Used to exercise AMPoM's
+// network-utilization adaptivity and the InfoDaemon's available-bandwidth
+// estimator.
+
+#include <cstdint>
+
+#include "net/fabric.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulator.hpp"
+
+namespace ampom::net {
+
+class BackgroundTraffic {
+ public:
+  BackgroundTraffic(sim::Simulator& simulator, Fabric& fabric, NodeId src, NodeId dst,
+                    double load_fraction, sim::Bytes chunk_bytes = 16 * sim::kKiB,
+                    std::uint64_t seed = 0x6a09e667f3bcc908ULL);
+
+  void start();
+  void stop() { running_ = false; }
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t chunks_sent() const { return chunks_sent_; }
+
+ private:
+  void schedule_next();
+
+  sim::Simulator& sim_;
+  Fabric& fabric_;
+  NodeId src_;
+  NodeId dst_;
+  double load_fraction_;
+  sim::Bytes chunk_bytes_;
+  sim::Rng rng_;
+  bool running_{false};
+  std::uint64_t chunks_sent_{0};
+};
+
+}  // namespace ampom::net

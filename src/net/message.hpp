@@ -1,0 +1,96 @@
+#pragma once
+// Wire messages exchanged between nodes.
+//
+// The network layer is deliberately independent of the memory and process
+// subsystems: payloads carry opaque 64-bit ids. Wire sizes are set by the
+// senders (protocol code in migration/, proc/, cluster/), so framing
+// overheads live with the protocol definitions, not here.
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "simcore/time.hpp"
+#include "simcore/units.hpp"
+
+namespace ampom::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+inline constexpr std::uint64_t kNoPage = static_cast<std::uint64_t>(-1);
+
+// Remote paging: a migrant asks its home node for a batch of pages. `urgent`
+// is the page the process is blocked on (kNoPage for pure prefetch batches).
+struct PageRequest {
+  std::uint64_t pid{0};
+  std::uint64_t request_id{0};
+  std::vector<std::uint64_t> pages;
+  std::uint64_t urgent{kNoPage};
+};
+
+// Remote paging: one page of data streamed back by the deputy.
+struct PageData {
+  std::uint64_t pid{0};
+  std::uint64_t request_id{0};
+  std::uint64_t page{0};
+  bool urgent{false};
+};
+
+// Process migration: one chunk of the freeze-time transfer.
+struct MigrationChunk {
+  enum class Kind : std::uint8_t {
+    Pcb,              // registers, kernel state
+    DirtyPages,       // openMosix: the full dirty set
+    CurrentPages,     // FFA-style: the currently-accessed code/data/stack pages
+    MasterPageTable,  // AMPoM: the MPT (6 bytes per page)
+  };
+  std::uint64_t pid{0};
+  Kind kind{Kind::Pcb};
+  std::uint64_t item_count{0};
+  bool last{false};
+};
+
+// InfoDaemon load-update ping; the ack round-trip measures t0 (paper §4).
+struct LoadPing {
+  std::uint64_t seq{0};
+  sim::Time sent_at{};
+  double cpu_load{0.0};
+};
+struct LoadAck {
+  std::uint64_t seq{0};
+  sim::Time ping_sent_at{};
+  double cpu_load{0.0};
+};
+
+// System call redirected to the home node (openMosix home dependency).
+struct SyscallRequest {
+  std::uint64_t pid{0};
+  std::uint64_t seq{0};
+};
+struct SyscallReply {
+  std::uint64_t pid{0};
+  std::uint64_t seq{0};
+};
+
+// Re-migration: a page the previous host flushes back to the home node
+// (the process moved on; its old host's pages return to the deputy).
+struct FlushPage {
+  std::uint64_t pid{0};
+  std::uint64_t page{0};
+};
+
+// Opaque competing traffic (load generators, other jobs).
+struct Background {};
+
+using Payload = std::variant<PageRequest, PageData, MigrationChunk, LoadPing, LoadAck,
+                             SyscallRequest, SyscallReply, FlushPage, Background>;
+
+struct Message {
+  NodeId src{kInvalidNode};
+  NodeId dst{kInvalidNode};
+  sim::Bytes wire_bytes{0};
+  Payload payload;
+};
+
+}  // namespace ampom::net

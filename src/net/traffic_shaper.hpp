@@ -1,0 +1,60 @@
+#pragma once
+// Emulation of the paper's §5.5 `tc`/`iptables` broadband experiment:
+// reshapes the link between two nodes (or the whole fabric) to a given
+// bandwidth/latency and can restore the original parameters afterwards.
+
+#include <optional>
+
+#include "net/fabric.hpp"
+
+namespace ampom::net {
+
+class TrafficShaper {
+ public:
+  explicit TrafficShaper(Fabric& fabric) : fabric_{fabric} {}
+
+  // Shape one node pair, e.g. the migrant/home pair in Fig. 9.
+  void shape_pair(NodeId a, NodeId b, LinkParams params) {
+    if (!saved_pair_) {
+      saved_pair_ = SavedPair{a, b, fabric_.link(a, b)};
+    }
+    fabric_.set_link(a, b, params);
+  }
+
+  // Shape every link in the cluster.
+  void shape_all(LinkParams params) {
+    if (!saved_default_) {
+      saved_default_ = fabric_.default_link();
+    }
+    fabric_.clear_link_overrides();
+    fabric_.set_default_link(params);
+  }
+
+  // The paper's broadband profile: 6 Mb/s, 2 ms latency.
+  [[nodiscard]] static LinkParams broadband() {
+    return LinkParams{sim::Bandwidth::mbits_per_sec(6), sim::Time::from_ms(2)};
+  }
+
+  void restore() {
+    if (saved_pair_) {
+      fabric_.set_link(saved_pair_->a, saved_pair_->b, saved_pair_->params);
+      saved_pair_.reset();
+    }
+    if (saved_default_) {
+      fabric_.set_default_link(*saved_default_);
+      saved_default_.reset();
+    }
+  }
+
+ private:
+  struct SavedPair {
+    NodeId a;
+    NodeId b;
+    LinkParams params;
+  };
+  Fabric& fabric_;
+  std::optional<SavedPair> saved_pair_;
+  std::optional<LinkParams> saved_default_;
+};
+
+}  // namespace ampom::net

@@ -1,0 +1,59 @@
+#pragma once
+// Kernel-operation cost model (one per node), calibrated against the
+// Gideon 300 numbers in driver/profile.hpp.
+
+#include <cstdint>
+
+#include "mem/page.hpp"
+#include "simcore/time.hpp"
+#include "simcore/units.hpp"
+
+namespace ampom::proc {
+
+struct NodeCosts {
+  using Time = sim::Time;
+
+  // Fault handling.
+  Time fault_entry{Time::from_us(8)};    // trap + handler entry/exit
+  Time minor_fault{Time::from_us(2)};    // first-touch page creation
+  Time map_page{Time::from_us(4)};       // map one page from the lookaside buffer
+  Time swap_in{Time::from_ms(3)};        // RAM-limit extension: load from local swap
+
+  // Remote-paging protocol.
+  Time request_build{Time::from_us(15)};     // assemble + send a paging request
+  Time deputy_page{Time::from_us(25)};       // deputy: look up + ship one page
+  Time deputy_request{Time::from_us(120)};   // deputy: per-request handling
+  Time syscall_service{Time::from_us(60)};   // deputy: execute one redirected syscall
+
+  // Migration engine.
+  Time pack_page{Time::from_us(20)};       // pack one dirty page for transfer
+  Time unpack_page{Time::from_us(12)};     // install one received page
+  Time mpt_pack_entry{Time::from_ns(2500)};    // serialize one MPT entry
+  Time mpt_unpack_entry{Time::from_ns(1200)};  // install one MPT entry
+  Time freeze_setup{Time::from_ms(25)};    // capture registers, kernel state
+  Time restore_setup{Time::from_ms(35)};   // rebuild task struct, resume
+
+  // Relative CPU speed of this node (1.0 = reference 2 GHz P4).
+  double cpu_speed{1.0};
+};
+
+// Protocol wire framing.
+struct WireCosts {
+  // Overhead bytes accompanying one 4 KiB page on the wire (Ethernet/IP/TCP
+  // framing across ~3 frames plus ack traffic). Calibrated so that a 575 MB
+  // openMosix migration over Fast Ethernet lands near the paper's 53.9 s.
+  sim::Bytes page_overhead{410};
+  sim::Bytes request_base{96};       // paging request header
+  sim::Bytes request_per_page{8};    // page id in a batched request
+  sim::Bytes pcb_bytes{64 * sim::kKiB};  // registers + kernel state
+  sim::Bytes control_message{64};    // pings, acks, syscall messages
+
+  [[nodiscard]] sim::Bytes page_message_bytes() const {
+    return mem::kPageBytes + page_overhead;
+  }
+  [[nodiscard]] sim::Bytes request_bytes(std::uint64_t page_count) const {
+    return request_base + request_per_page * page_count;
+  }
+};
+
+}  // namespace ampom::proc

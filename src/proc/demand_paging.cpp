@@ -1,0 +1,36 @@
+#include "proc/demand_paging.hpp"
+
+#include <stdexcept>
+
+namespace ampom::proc {
+
+DemandPagingPolicy::DemandPagingPolicy(sim::Simulator& simulator, Executor& executor,
+                                       PagingClient& client)
+    : sim_{simulator}, executor_{executor}, client_{client} {}
+
+void DemandPagingPolicy::on_fault(Process& process, mem::PageId page, mem::AccessKind kind) {
+  ++faults_handled_;
+  if (kind != mem::AccessKind::HardFault) {
+    // Without prefetching no page can be Arrived or InFlight at fault time.
+    throw std::logic_error("DemandPagingPolicy: unexpected non-hard fault");
+  }
+  process.aspace().mark_in_flight(page);
+  blocked_page_ = page;
+  // Build and send the single-page request after the request-build cost.
+  const sim::Time build = executor_.costs().request_build;
+  sim_.schedule_after(build, [this, page] { client_.request_pages({page}, page); });
+}
+
+void DemandPagingPolicy::on_arrival(mem::PageId page, bool urgent) {
+  Process& process = executor_.process();
+  process.aspace().mark_arrived(page);
+  if (!urgent || page != blocked_page_) {
+    throw std::logic_error("DemandPagingPolicy: arrival does not match the blocked fault");
+  }
+  blocked_page_ = mem::kInvalidPage;
+  process.aspace().map_arrived_page(page);
+  executor_.charge_handler(executor_.costs().map_page);
+  executor_.complete_fault(page);
+}
+
+}  // namespace ampom::proc

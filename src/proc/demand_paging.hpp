@@ -1,0 +1,33 @@
+#pragma once
+// The paper's "NoPrefetch" baseline (§5.1): the FFA-variant that migrates
+// three pages and fetches every missing page from the original node on
+// demand, one page per fault, with no prefetching.
+
+#include <cstdint>
+
+#include "proc/executor.hpp"
+#include "proc/fault_policy.hpp"
+#include "proc/paging_client.hpp"
+
+namespace ampom::proc {
+
+class DemandPagingPolicy final : public FaultPolicy {
+ public:
+  DemandPagingPolicy(sim::Simulator& simulator, Executor& executor, PagingClient& client);
+
+  void on_fault(Process& process, mem::PageId page, mem::AccessKind kind) override;
+
+  // Wired to PagingClient::set_arrival_handler by the scenario builder.
+  void on_arrival(mem::PageId page, bool urgent);
+
+  [[nodiscard]] std::uint64_t faults_handled() const { return faults_handled_; }
+
+ private:
+  sim::Simulator& sim_;
+  Executor& executor_;
+  PagingClient& client_;
+  mem::PageId blocked_page_{mem::kInvalidPage};
+  std::uint64_t faults_handled_{0};
+};
+
+}  // namespace ampom::proc

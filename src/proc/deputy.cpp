@@ -1,0 +1,112 @@
+#include "proc/deputy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "simcore/fmt.hpp"
+
+namespace ampom::proc {
+
+Deputy::Deputy(sim::Simulator& simulator, net::Fabric& fabric, WireCosts wire, NodeCosts costs,
+               net::NodeId home_node, std::uint64_t pid, std::uint64_t page_count,
+               mem::PageLedger* ledger)
+    : sim_{simulator},
+      fabric_{fabric},
+      wire_{wire},
+      costs_{costs},
+      home_node_{home_node},
+      pid_{pid},
+      hpt_{page_count},
+      ledger_{ledger} {}
+
+void Deputy::on_page_request(const net::PageRequest& request) {
+  if (migrant_node_ == net::kInvalidNode) {
+    throw std::logic_error("Deputy: page request before begin_service");
+  }
+  if (request.pid != pid_) {
+    throw std::logic_error("Deputy: page request for a different process");
+  }
+  ++stats_.requests_served;
+
+  // The deputy is a single kernel thread at the home node: requests and page
+  // sends serialize on its CPU, pipelining with the NIC which serializes the
+  // actual wire transfer.
+  busy_until_ = std::max(busy_until_, sim_.now()) + costs_.deputy_request;
+
+  for (const std::uint64_t raw_page : request.pages) {
+    const mem::PageId page = raw_page;
+    const bool urgent = (raw_page == request.urgent);
+    const mem::PageTable::Loc loc = hpt_.loc(page);
+    if (loc == mem::PageTable::Loc::Incoming) {
+      // Re-migration: the page is still being flushed back from the
+      // previous host; serve it when it lands.
+      waiting_on_flush_[page].emplace_back(request.request_id, urgent);
+      ++stats_.requests_stalled_on_flush;
+      continue;
+    }
+    if (loc != mem::PageTable::Loc::Here) {
+      throw std::logic_error(sim::strfmt(
+          "Deputy: page %llu requested but HPT says it is not at home",
+          static_cast<unsigned long long>(raw_page)));
+    }
+    busy_until_ += costs_.deputy_page;
+    ship_page(page, request.request_id, urgent);
+  }
+}
+
+void Deputy::ship_page(mem::PageId page, std::uint64_t request_id, bool urgent) {
+  // Page leaves the home node: delete the home copy, update the HPT (§2.2).
+  hpt_.set_loc(page, mem::PageTable::Loc::Remote);
+  if (ledger_ != nullptr) {
+    ledger_->transfer(page, home_node_, migrant_node_);
+  }
+  ++stats_.pages_served;
+  if (urgent) {
+    ++stats_.urgent_pages_served;
+  }
+  sim_.schedule_at(std::max(busy_until_, sim_.now()),
+                   [this, page, urgent, request_id] {
+                     fabric_.send(net::Message{home_node_, migrant_node_,
+                                               wire_.page_message_bytes(),
+                                               net::PageData{pid_, request_id, page, urgent}});
+                   });
+}
+
+void Deputy::on_flush_page(net::NodeId from, const net::FlushPage& flush) {
+  if (flush.pid != pid_) {
+    throw std::logic_error("Deputy: flush page for a different process");
+  }
+  const mem::PageId page = flush.page;
+  if (hpt_.loc(page) != mem::PageTable::Loc::Incoming) {
+    throw std::logic_error("Deputy: flush arrival for a page not marked Incoming");
+  }
+  ++stats_.flush_pages_received;
+  hpt_.set_loc(page, mem::PageTable::Loc::Here);
+  if (ledger_ != nullptr) {
+    ledger_->transfer(page, from, home_node_);
+  }
+  const auto it = waiting_on_flush_.find(page);
+  if (it != waiting_on_flush_.end()) {
+    busy_until_ = std::max(busy_until_, sim_.now());
+    for (const auto& [request_id, urgent] : it->second) {
+      busy_until_ += costs_.deputy_page;
+      ship_page(page, request_id, urgent);
+      break;  // one authoritative copy: first waiter gets it
+    }
+    waiting_on_flush_.erase(it);
+  }
+}
+
+void Deputy::on_syscall_request(const net::SyscallRequest& request) {
+  if (request.pid != pid_) {
+    throw std::logic_error("Deputy: syscall request for a different process");
+  }
+  busy_until_ = std::max(busy_until_, sim_.now()) + costs_.syscall_service;
+  ++stats_.syscalls_served;
+  sim_.schedule_at(busy_until_, [this, seq = request.seq] {
+    fabric_.send(net::Message{home_node_, migrant_node_, wire_.control_message,
+                              net::SyscallReply{pid_, seq}});
+  });
+}
+
+}  // namespace ampom::proc

@@ -1,0 +1,68 @@
+#pragma once
+// The deputy process (paper §2.2): after migration, the original process
+// instance at the home node answers remote paging requests from its HPT and
+// executes redirected system calls on behalf of the migrant.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mem/ledger.hpp"
+#include "mem/page_table.hpp"
+#include "net/fabric.hpp"
+#include "proc/costs.hpp"
+#include "simcore/simulator.hpp"
+
+namespace ampom::proc {
+
+struct DeputyStats {
+  std::uint64_t requests_served{0};
+  std::uint64_t pages_served{0};
+  std::uint64_t urgent_pages_served{0};
+  std::uint64_t syscalls_served{0};
+  std::uint64_t flush_pages_received{0};
+  std::uint64_t requests_stalled_on_flush{0};
+};
+
+class Deputy {
+ public:
+  Deputy(sim::Simulator& simulator, net::Fabric& fabric, WireCosts wire, NodeCosts costs,
+         net::NodeId home_node, std::uint64_t pid, std::uint64_t page_count,
+         mem::PageLedger* ledger);
+
+  // Called by the migration engine once the migrant is resumed.
+  void begin_service(net::NodeId migrant_node) { migrant_node_ = migrant_node; }
+
+  // The HPT; the migration engine populates it during the freeze.
+  [[nodiscard]] mem::PageTable& hpt() { return hpt_; }
+  [[nodiscard]] const mem::PageTable& hpt() const { return hpt_; }
+
+  // Node router entry points.
+  void on_page_request(const net::PageRequest& request);
+  void on_syscall_request(const net::SyscallRequest& request);
+  // Re-migration: a page flushed back from the previous host arrives home.
+  // Serves any request that was waiting for it.
+  void on_flush_page(net::NodeId from, const net::FlushPage& flush);
+
+  [[nodiscard]] const DeputyStats& stats() const { return stats_; }
+
+ private:
+  sim::Simulator& sim_;
+  net::Fabric& fabric_;
+  WireCosts wire_;
+  NodeCosts costs_;
+  net::NodeId home_node_;
+  net::NodeId migrant_node_{net::kInvalidNode};
+  std::uint64_t pid_;
+  mem::PageTable hpt_;
+  mem::PageLedger* ledger_;
+  sim::Time busy_until_{sim::Time::zero()};
+  DeputyStats stats_;
+  // Requests for pages still being flushed back (re-migration): page ->
+  // pending (request_id, urgent) pairs, served on flush arrival.
+  std::map<mem::PageId, std::vector<std::pair<std::uint64_t, bool>>> waiting_on_flush_;
+
+  void ship_page(mem::PageId page, std::uint64_t request_id, bool urgent);
+};
+
+}  // namespace ampom::proc

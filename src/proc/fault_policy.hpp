@@ -1,0 +1,29 @@
+#pragma once
+// Strategy interface the executor calls on every page fault.
+//
+// Implementations: migration::DemandPagingPolicy (the paper's NoPrefetch
+// baseline) and core::AmpomPolicy (Algorithm 1). The policy owns the
+// remote-paging conversation and must finish by resuming the executor via
+// Executor::complete_fault once the faulted page is Local.
+
+#include "mem/address_space.hpp"
+#include "mem/page.hpp"
+
+namespace ampom::proc {
+
+class Process;
+
+class FaultPolicy {
+ public:
+  virtual ~FaultPolicy() = default;
+  FaultPolicy() = default;
+  FaultPolicy(const FaultPolicy&) = delete;
+  FaultPolicy& operator=(const FaultPolicy&) = delete;
+
+  // The process faulted on `page`. `kind` is the classification at fault
+  // time (SoftFault, HardFault or InFlightWait — the executor resolves the
+  // cheap kinds itself).
+  virtual void on_fault(Process& process, mem::PageId page, mem::AccessKind kind) = 0;
+};
+
+}  // namespace ampom::proc

@@ -1,0 +1,44 @@
+#include "proc/paging_client.hpp"
+
+#include <stdexcept>
+
+namespace ampom::proc {
+
+void PagingClient::request_pages(const std::vector<mem::PageId>& pages, mem::PageId urgent) {
+  if (pages.empty()) {
+    throw std::logic_error("PagingClient::request_pages: empty batch");
+  }
+  if (urgent != mem::kInvalidPage && pages.front() != urgent) {
+    throw std::logic_error("PagingClient::request_pages: urgent page must lead the batch");
+  }
+  net::PageRequest req;
+  req.pid = pid_;
+  req.request_id = next_request_id_++;
+  req.urgent = urgent == mem::kInvalidPage ? net::kNoPage : urgent;
+  req.pages.assign(pages.begin(), pages.end());
+
+  if (urgent != mem::kInvalidPage) {
+    ++stats_.fault_requests;
+    stats_.prefetch_pages_requested += pages.size() - 1;
+  } else {
+    ++stats_.prefetch_requests;
+    stats_.prefetch_pages_requested += pages.size();
+  }
+  stats_.pages_requested += pages.size();
+
+  fabric_.send(net::Message{self_node_, home_node_,
+                            wire_.request_bytes(static_cast<std::uint64_t>(pages.size())),
+                            std::move(req)});
+}
+
+void PagingClient::on_page_data(const net::PageData& data) {
+  if (data.pid != pid_) {
+    throw std::logic_error("PagingClient: page data for a different process");
+  }
+  ++stats_.pages_arrived;
+  if (on_arrival_) {
+    on_arrival_(data.page, data.urgent);
+  }
+}
+
+}  // namespace ampom::proc

@@ -1,0 +1,60 @@
+#pragma once
+// Migrant-side remote-paging transport: batches page requests to the home
+// node's deputy and dispatches PageData arrivals to the fault policy.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mem/page.hpp"
+#include "net/fabric.hpp"
+#include "proc/costs.hpp"
+#include "simcore/simulator.hpp"
+
+namespace ampom::proc {
+
+struct PagingClientStats {
+  std::uint64_t fault_requests{0};     // requests carrying an urgent page (Fig. 7 metric)
+  std::uint64_t prefetch_requests{0};  // requests with no urgent page
+  std::uint64_t pages_requested{0};
+  std::uint64_t prefetch_pages_requested{0};  // pages beyond the urgent one
+  std::uint64_t pages_arrived{0};
+};
+
+class PagingClient {
+ public:
+  PagingClient(sim::Simulator& simulator, net::Fabric& fabric, WireCosts wire,
+               net::NodeId self_node, net::NodeId home_node, std::uint64_t pid)
+      : sim_{simulator},
+        fabric_{fabric},
+        wire_{wire},
+        self_node_{self_node},
+        home_node_{home_node},
+        pid_{pid} {}
+
+  // Page arrival callback: (page, urgent).
+  void set_arrival_handler(std::function<void(mem::PageId, bool)> fn) {
+    on_arrival_ = std::move(fn);
+  }
+
+  // Send one batched request. `urgent` must be pages.front() when present.
+  void request_pages(const std::vector<mem::PageId>& pages, mem::PageId urgent);
+
+  // Node router entry point.
+  void on_page_data(const net::PageData& data);
+
+  [[nodiscard]] const PagingClientStats& stats() const { return stats_; }
+
+ private:
+  sim::Simulator& sim_;
+  net::Fabric& fabric_;
+  WireCosts wire_;
+  net::NodeId self_node_;
+  net::NodeId home_node_;
+  std::uint64_t pid_;
+  std::uint64_t next_request_id_{1};
+  std::function<void(mem::PageId, bool)> on_arrival_;
+  PagingClientStats stats_;
+};
+
+}  // namespace ampom::proc

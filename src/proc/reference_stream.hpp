@@ -1,0 +1,74 @@
+#pragma once
+// The executor's view of an application: a stream of page references.
+//
+// A reference is "run for `cpu` of compute, then touch `page`". Generators
+// in workload/ model the HPC Challenge kernels; TraceStream replays explicit
+// traces in tests. The interface lives with its consumer (the executor).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/page.hpp"
+#include "simcore/time.hpp"
+
+namespace ampom::proc {
+
+struct Ref {
+  enum class Kind : std::uint8_t {
+    Memory,   // touch `page` after `cpu` of compute
+    Syscall,  // after `cpu` of compute, issue a system call (page ignored)
+  };
+  mem::PageId page{mem::kInvalidPage};
+  sim::Time cpu{sim::Time::zero()};
+  Kind kind{Kind::Memory};
+};
+
+class ReferenceStream {
+ public:
+  virtual ~ReferenceStream() = default;
+  ReferenceStream() = default;
+  ReferenceStream(const ReferenceStream&) = delete;
+  ReferenceStream& operator=(const ReferenceStream&) = delete;
+
+  // Next reference; nullopt when the program finishes.
+  [[nodiscard]] virtual std::optional<Ref> next() = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  // Total bytes the program allocates (drives the address-space layout).
+  [[nodiscard]] virtual sim::Bytes memory_bytes() const = 0;
+
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+
+ protected:
+  void count_emit() { ++emitted_; }
+
+ private:
+  std::uint64_t emitted_{0};
+};
+
+// Replays a fixed trace — the unit-test workhorse.
+class TraceStream final : public ReferenceStream {
+ public:
+  TraceStream(std::vector<Ref> refs, sim::Bytes memory_bytes)
+      : refs_{std::move(refs)}, memory_bytes_{memory_bytes} {}
+
+  [[nodiscard]] std::optional<Ref> next() override {
+    if (pos_ >= refs_.size()) {
+      return std::nullopt;
+    }
+    count_emit();
+    return refs_[pos_++];
+  }
+
+  [[nodiscard]] const char* name() const override { return "trace"; }
+  [[nodiscard]] sim::Bytes memory_bytes() const override { return memory_bytes_; }
+
+ private:
+  std::vector<Ref> refs_;
+  sim::Bytes memory_bytes_;
+  std::size_t pos_{0};
+};
+
+}  // namespace ampom::proc

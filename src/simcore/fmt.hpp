@@ -1,0 +1,29 @@
+#pragma once
+// Minimal printf-style std::string formatting (GCC 12 lacks <format>).
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace ampom::sim {
+
+[[nodiscard]] inline std::string strfmt(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+inline std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), static_cast<std::size_t>(n) + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+}  // namespace ampom::sim

@@ -1,0 +1,45 @@
+#include "simcore/log.hpp"
+
+#include <iostream>
+
+#include "simcore/fmt.hpp"
+
+namespace ampom::sim {
+
+namespace {
+[[nodiscard]] const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace:
+      return "TRACE";
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger::Logger() : sink_{&std::cerr} {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, Time now, const std::string& component,
+                   const std::string& message) {
+  if (sink_ == nullptr) {
+    return;
+  }
+  *sink_ << strfmt("[%12.6f] %-5s %-12s %s\n", now.sec(), level_name(level), component.c_str(),
+                   message.c_str());
+}
+
+}  // namespace ampom::sim

@@ -1,0 +1,45 @@
+#pragma once
+// Leveled logging tied to simulated time.
+//
+// Logging defaults to Warn so large parameter sweeps stay quiet; tests and
+// examples raise the level when tracing a scenario.
+
+#include <iosfwd>
+#include <string>
+
+#include "simcore/fmt.hpp"
+#include "simcore/time.hpp"
+
+namespace ampom::sim {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+class Logger {
+ public:
+  // Process-wide logger used by the whole simulation.
+  [[nodiscard]] static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  // Route output somewhere else (tests capture it). Not owned.
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+
+  void write(LogLevel level, Time now, const std::string& component, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_{LogLevel::Warn};
+  std::ostream* sink_;
+};
+
+#define AMPOM_LOG(level, now, component, ...)                                         \
+  do {                                                                                \
+    auto& ampom_logger_ = ::ampom::sim::Logger::instance();                           \
+    if (ampom_logger_.enabled(level)) {                                               \
+      ampom_logger_.write(level, now, component, ::ampom::sim::strfmt(__VA_ARGS__));  \
+    }                                                                                 \
+  } while (false)
+
+}  // namespace ampom::sim

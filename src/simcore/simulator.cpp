@@ -1,0 +1,99 @@
+#include "simcore/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "simcore/fmt.hpp"
+
+namespace ampom::sim {
+
+std::string Time::str() const {
+  if (ns_ == 0) {
+    return "0s";
+  }
+  const double s = sec();
+  if (s >= 1.0 || s <= -1.0) {
+    return strfmt("%.3fs", s);
+  }
+  const double milli = ms();
+  if (milli >= 1.0 || milli <= -1.0) {
+    return strfmt("%.3fms", milli);
+  }
+  return strfmt("%.3fus", us());
+}
+
+Simulator::EventId Simulator::schedule_at(Time at, Callback cb) {
+  if (at < now_) {
+    throw std::logic_error(
+        strfmt("schedule_at(%s) is in the past (now=%s)", at.str().c_str(), now_.str().c_str()));
+  }
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Item{at, seq, std::move(cb)});
+  live_.insert(seq);
+  return EventId{seq};
+}
+
+bool Simulator::cancel(EventId id) {
+  // We cannot remove from the middle of the heap; drop the id from the live
+  // set and skip the dead heap entry when it reaches the top.
+  return id.valid() && live_.erase(id.seq) > 0;
+}
+
+bool Simulator::pop_next(Item& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; move is safe because we pop right away.
+    out = std::move(const_cast<Item&>(heap_.top()));
+    heap_.pop();
+    if (live_.erase(out.seq) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Item item;
+  if (!pop_next(item)) {
+    return false;
+  }
+  assert(item.at >= now_);
+  now_ = item.at;
+  ++processed_;
+  item.cb();
+  return true;
+}
+
+std::uint64_t Simulator::run() {
+  halted_ = false;
+  const std::uint64_t before = processed_;
+  while (!halted_ && step()) {
+  }
+  return processed_ - before;
+}
+
+std::uint64_t Simulator::run_until(Time limit) {
+  halted_ = false;
+  const std::uint64_t before = processed_;
+  while (!halted_) {
+    Item item;
+    if (!pop_next(item)) {
+      break;
+    }
+    if (item.at > limit) {
+      // Put it back; it stays pending (and live) for a later run.
+      live_.insert(item.seq);
+      heap_.push(std::move(item));
+      now_ = limit;
+      return processed_ - before;
+    }
+    now_ = item.at;
+    ++processed_;
+    item.cb();
+  }
+  if (now_ < limit) {
+    now_ = limit;
+  }
+  return processed_ - before;
+}
+
+}  // namespace ampom::sim

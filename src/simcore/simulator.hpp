@@ -1,0 +1,84 @@
+#pragma once
+// The discrete-event engine: a time-ordered queue of callbacks.
+//
+// Determinism: events scheduled for the same instant fire in schedule order
+// (FIFO by sequence number), so a run is a pure function of the scenario.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace ampom::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  struct EventId {
+    std::uint64_t seq{0};
+    [[nodiscard]] bool valid() const { return seq != 0; }
+  };
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  // Schedule `cb` at absolute time `at` (must not be in the past).
+  EventId schedule_at(Time at, Callback cb);
+
+  // Schedule `cb` `delay` after now.
+  EventId schedule_after(Time delay, Callback cb) { return schedule_at(now_ + delay, std::move(cb)); }
+
+  // Cancel a pending event. Returns false if it already fired or was
+  // cancelled before.
+  bool cancel(EventId id);
+
+  // Run until the queue drains or halt() is called. Returns the number of
+  // events processed by this call.
+  std::uint64_t run();
+
+  // Run events with time <= `limit`; afterwards now() == min(limit, drain).
+  std::uint64_t run_until(Time limit);
+
+  // Process a single event; returns false when the queue is empty.
+  bool step();
+
+  void halt() { halted_ = true; }
+  [[nodiscard]] bool halted() const { return halted_; }
+
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Item {
+    Time at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    [[nodiscard]] bool operator()(const Item& a, const Item& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops the next live (non-cancelled) item; false if none.
+  bool pop_next(Item& out);
+
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  std::unordered_set<std::uint64_t> live_;  // pending, not-cancelled event seqs
+  Time now_{Time::zero()};
+  std::uint64_t next_seq_{1};
+  std::uint64_t processed_{0};
+  bool halted_{false};
+};
+
+}  // namespace ampom::sim

@@ -1,0 +1,91 @@
+#pragma once
+// Simulated time as a strong integer-nanosecond type.
+//
+// All latencies in the simulator are expressed as sim::Time. Using a 64-bit
+// integer tick (1 ns) instead of floating-point seconds keeps event ordering
+// exact and runs reproducible: two schedules computed along different code
+// paths compare equal iff they are the same instant.
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace ampom::sim {
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  [[nodiscard]] static constexpr Time from_ns(std::int64_t ns) { return Time{ns}; }
+  [[nodiscard]] static constexpr Time from_us(std::int64_t us) { return Time{us * 1'000}; }
+  [[nodiscard]] static constexpr Time from_ms(std::int64_t ms) { return Time{ms * 1'000'000}; }
+  [[nodiscard]] static constexpr Time from_sec(double sec) {
+    return Time{static_cast<std::int64_t>(sec * 1e9 + (sec >= 0 ? 0.5 : -0.5))};
+  }
+  [[nodiscard]] static constexpr Time zero() { return Time{0}; }
+  [[nodiscard]] static constexpr Time max() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time& operator+=(Time rhs) {
+    ns_ += rhs.ns_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time rhs) {
+    ns_ -= rhs.ns_;
+    return *this;
+  }
+  [[nodiscard]] friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
+  [[nodiscard]] friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+  [[nodiscard]] friend constexpr Time operator*(Time a, std::int64_t k) {
+    return Time{a.ns_ * k};
+  }
+  [[nodiscard]] friend constexpr Time operator*(std::int64_t k, Time a) { return a * k; }
+  [[nodiscard]] friend constexpr Time operator/(Time a, std::int64_t k) {
+    return Time{a.ns_ / k};
+  }
+  // Ratio of two durations, e.g. utilization computations.
+  [[nodiscard]] friend constexpr double operator/(Time a, Time b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+  // Scale a duration by a dimensionless factor (e.g. CPU speed ratios).
+  [[nodiscard]] constexpr Time scaled(double factor) const {
+    return from_sec(sec() * factor);
+  }
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  constexpr explicit Time(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+namespace literals {
+[[nodiscard]] constexpr Time operator""_ns(unsigned long long v) {
+  return Time::from_ns(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr Time operator""_us(unsigned long long v) {
+  return Time::from_us(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr Time operator""_ms(unsigned long long v) {
+  return Time::from_ms(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr Time operator""_s(unsigned long long v) {
+  return Time::from_sec(static_cast<double>(v));
+}
+[[nodiscard]] constexpr Time operator""_s(long double v) {
+  return Time::from_sec(static_cast<double>(v));
+}
+}  // namespace literals
+
+}  // namespace ampom::sim

@@ -1,0 +1,53 @@
+#pragma once
+// Byte-count and bandwidth helpers shared across the simulator.
+
+#include <cstdint>
+
+#include "simcore/time.hpp"
+
+namespace ampom::sim {
+
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+// Link bandwidth in bits per second. Fast Ethernet is 100 Mb/s.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  [[nodiscard]] static constexpr Bandwidth bits_per_sec(std::uint64_t bps) {
+    return Bandwidth{bps};
+  }
+  [[nodiscard]] static constexpr Bandwidth mbits_per_sec(std::uint64_t mbps) {
+    return Bandwidth{mbps * 1'000'000};
+  }
+  [[nodiscard]] static constexpr Bandwidth bytes_per_sec(std::uint64_t Bps) {
+    return Bandwidth{Bps * 8};
+  }
+
+  [[nodiscard]] constexpr std::uint64_t bps() const { return bps_; }
+  [[nodiscard]] constexpr double bytes_per_sec() const { return static_cast<double>(bps_) / 8.0; }
+  [[nodiscard]] constexpr bool is_zero() const { return bps_ == 0; }
+
+  // Serialization delay for `n` bytes at this rate.
+  [[nodiscard]] constexpr Time transfer_time(Bytes n) const {
+    if (bps_ == 0) {
+      return Time::max();
+    }
+    // ns = bytes * 8e9 / bps, computed in integer arithmetic without overflow
+    // for realistic sizes (n < 2^40, bps < 2^40).
+    const auto bits = static_cast<double>(n) * 8.0;
+    return Time::from_sec(bits / static_cast<double>(bps_));
+  }
+
+  constexpr auto operator<=>(const Bandwidth&) const = default;
+
+ private:
+  constexpr explicit Bandwidth(std::uint64_t bps) : bps_{bps} {}
+  std::uint64_t bps_{0};
+};
+
+}  // namespace ampom::sim

@@ -1,0 +1,27 @@
+#pragma once
+// Named monotonic counters, the lowest-level metric sink.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ampom::stats {
+
+class Counters {
+ public:
+  void add(const std::string& name, std::uint64_t delta = 1) { values_[name] += delta; }
+
+  [[nodiscard]] std::uint64_t get(const std::string& name) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const { return values_; }
+
+  void reset() { values_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> values_;
+};
+
+}  // namespace ampom::stats

@@ -1,0 +1,29 @@
+#pragma once
+// A named (x, y) series — one plotted line of a paper figure.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ampom::stats {
+
+class Series {
+ public:
+  explicit Series(std::string name) : name_{std::move(name)} {}
+
+  void add(double x, double y) { points_.emplace_back(x, y); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<std::pair<double, double>>& points() const { return points_; }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  // y value at the largest x (the "largest run" the paper often quotes).
+  [[nodiscard]] double last_y() const { return points_.empty() ? 0.0 : points_.back().second; }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace ampom::stats

@@ -1,0 +1,79 @@
+#pragma once
+// Order statistics over a sample of doubles.
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace ampom::stats {
+
+class Summary {
+ public:
+  void add(double v) {
+    values_.push_back(v);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+  [[nodiscard]] double sum() const {
+    double s = 0.0;
+    for (const double v : values_) {
+      s += v;
+    }
+    return s;
+  }
+
+  [[nodiscard]] double mean() const { return empty() ? 0.0 : sum() / static_cast<double>(count()); }
+
+  [[nodiscard]] double min() const {
+    assert(!empty());
+    return *std::min_element(values_.begin(), values_.end());
+  }
+
+  [[nodiscard]] double max() const {
+    assert(!empty());
+    return *std::max_element(values_.begin(), values_.end());
+  }
+
+  // Linear-interpolated percentile, q in [0, 1].
+  [[nodiscard]] double percentile(double q) const {
+    assert(!empty());
+    assert(q >= 0.0 && q <= 1.0);
+    sort();
+    const double pos = q * static_cast<double>(values_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  }
+
+  [[nodiscard]] double median() const { return percentile(0.5); }
+
+  [[nodiscard]] double stddev() const {
+    if (count() < 2) {
+      return 0.0;
+    }
+    const double m = mean();
+    double acc = 0.0;
+    for (const double v : values_) {
+      acc += (v - m) * (v - m);
+    }
+    return std::sqrt(acc / static_cast<double>(count() - 1));
+  }
+
+ private:
+  void sort() const {
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+  }
+  mutable std::vector<double> values_;
+  mutable bool sorted_{true};
+};
+
+}  // namespace ampom::stats

@@ -1,0 +1,94 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <ostream>
+
+#include "simcore/fmt.hpp"
+
+namespace ampom::stats {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_{std::move(title)}, columns_{std::move(columns)} {
+  assert(!columns_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << "\n";
+  };
+  print_row(columns_);
+  std::size_t total = columns_.size() > 0 ? 2 * (columns_.size() - 1) : 0;
+  for (const auto w : widths) {
+    total += w;
+  }
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  os << "\n";
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto csv_escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) {
+      return s;
+    }
+    std::string out = "\"";
+    for (const char ch : s) {
+      if (ch == '"') {
+        out += "\"\"";
+      } else {
+        out += ch;
+      }
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (c == 0 ? "" : ",") << csv_escape(columns_[c]);
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << csv_escape(row[c]);
+    }
+    os << "\n";
+  }
+}
+
+std::string Table::num(double v, int precision) {
+  return sim::strfmt("%.*f", precision, v);
+}
+
+std::string Table::integer(std::uint64_t v) {
+  return sim::strfmt("%llu", static_cast<unsigned long long>(v));
+}
+
+std::string Table::percent(double fraction, int precision) {
+  return sim::strfmt("%.*f%%", precision, fraction * 100.0);
+}
+
+}  // namespace ampom::stats

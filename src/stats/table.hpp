@@ -1,0 +1,41 @@
+#pragma once
+// Aligned ASCII tables and CSV output for the benchmark harness.
+//
+// Every bench binary prints one table per paper figure: a header row, then
+// one row per (kernel, size, scheme) cell, matching the series the paper
+// plots. print() renders aligned text; write_csv() emits the same data for
+// external plotting.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ampom::stats {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  // All values are carried as strings; use cell helpers for numbers.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+  // Numeric cell formatting helpers.
+  [[nodiscard]] static std::string num(double v, int precision = 3);
+  [[nodiscard]] static std::string integer(std::uint64_t v);
+  [[nodiscard]] static std::string percent(double fraction, int precision = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ampom::stats

@@ -1,0 +1,77 @@
+#pragma once
+// Base class for workload generators: kernels append batches of references
+// into a small buffer (refill()), next() drains it. Keeps each kernel a
+// simple resumable state machine.
+
+#include <deque>
+
+#include "mem/region.hpp"
+#include "proc/reference_stream.hpp"
+
+namespace ampom::workload {
+
+class BufferedStream : public proc::ReferenceStream {
+ public:
+  explicit BufferedStream(sim::Bytes memory_bytes)
+      : layout_{mem::RegionLayout::for_total_bytes(memory_bytes)}, memory_bytes_{memory_bytes} {}
+
+  [[nodiscard]] std::optional<proc::Ref> next() final {
+    if (buffer_.empty()) {
+      refill();
+    }
+    if (buffer_.empty()) {
+      return std::nullopt;
+    }
+    const proc::Ref ref = buffer_.front();
+    buffer_.pop_front();
+    count_emit();
+    return ref;
+  }
+
+  [[nodiscard]] sim::Bytes memory_bytes() const final { return memory_bytes_; }
+  [[nodiscard]] const mem::RegionLayout& layout() const { return layout_; }
+
+ protected:
+  // Append more references; leaving the buffer empty ends the stream.
+  virtual void refill() = 0;
+
+  void emit(mem::PageId page, sim::Time cpu) {
+    maybe_aux_touch();
+    buffer_.push_back(proc::Ref{page, cpu, proc::Ref::Kind::Memory});
+  }
+  void emit_syscall(sim::Time cpu) {
+    buffer_.push_back(proc::Ref{mem::kInvalidPage, cpu, proc::Ref::Kind::Syscall});
+  }
+
+  [[nodiscard]] mem::PageId heap_begin() const { return layout_.begin(mem::Region::Heap); }
+  [[nodiscard]] std::uint64_t heap_pages() const { return layout_.pages(mem::Region::Heap); }
+
+ private:
+  // Real processes keep touching code and stack while they run; sprinkle
+  // round-robin code-page touches so the "currently accessed" page set the
+  // migration engines ship is meaningful.
+  void maybe_aux_touch() {
+    if (++since_aux_ < kAuxPeriod) {
+      return;
+    }
+    since_aux_ = 0;
+    const mem::PageId code =
+        layout_.begin(mem::Region::Code) + (aux_round_ % layout_.pages(mem::Region::Code));
+    buffer_.push_back(proc::Ref{code, sim::Time::from_ns(200), proc::Ref::Kind::Memory});
+    if (aux_round_ % 8 == 0) {
+      const mem::PageId stack =
+          layout_.begin(mem::Region::Stack) + (aux_round_ % layout_.pages(mem::Region::Stack));
+      buffer_.push_back(proc::Ref{stack, sim::Time::from_ns(200), proc::Ref::Kind::Memory});
+    }
+    ++aux_round_;
+  }
+
+  static constexpr std::uint64_t kAuxPeriod = 1024;
+  mem::RegionLayout layout_;
+  sim::Bytes memory_bytes_;
+  std::deque<proc::Ref> buffer_;
+  std::uint64_t since_aux_{0};
+  std::uint64_t aux_round_{0};
+};
+
+}  // namespace ampom::workload

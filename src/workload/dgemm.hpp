@@ -1,0 +1,62 @@
+#pragma once
+// HPCC DGEMM model: high spatial AND high temporal locality (paper Fig. 4).
+//
+// Three square matrices A, B, C fill the working set (blocked C = A*B).
+// After migration the kernel value-initializes the matrices with
+// pseudo-random doubles (HPCC's init is RNG-bound, so the sweep is slower
+// than STREAM's), then walks block-triples (ii, jj, kk), touching the pages
+// of C(ii,jj), A(ii,kk) and B(kk,jj) sequentially with a high compute cost
+// per page (2b^3 flops per block amortized over its pages). Blocks are
+// revisited heavily — the temporal locality that keeps post-init faults
+// rare.
+//
+// `working_set` (0 = whole heap) reproduces the paper's §5.6 experiment:
+// the process allocates `memory` but its matrices only span the working
+// set; pages beyond it are never referenced after migration.
+
+#include <cstdint>
+
+#include "workload/buffered_stream.hpp"
+
+namespace ampom::workload {
+
+struct DgemmConfig {
+  sim::Bytes memory{128 * sim::kMiB};
+  sim::Bytes working_set{0};  // 0 = all of memory
+  std::uint64_t block_pages{128};  // pages per matrix block (~512 KiB)
+  sim::Time cpu_per_ref{sim::Time::from_us(50)};  // per page touch in gemm
+  sim::Time cpu_init{sim::Time::from_us(40)};     // RNG-bound init, per page
+};
+
+class Dgemm final : public BufferedStream {
+ public:
+  explicit Dgemm(DgemmConfig config);
+
+  [[nodiscard]] const char* name() const override { return "DGEMM"; }
+  [[nodiscard]] std::uint64_t grid() const { return grid_; }
+
+ protected:
+  void refill() override;
+
+ private:
+  enum class Phase : std::uint8_t { Init, Gemm, Done };
+
+  // First page of block (row, col) of the matrix starting at `base`.
+  [[nodiscard]] mem::PageId block_page(mem::PageId base, std::uint64_t row,
+                                       std::uint64_t col) const {
+    return base + (row * grid_ + col) * block_pages_;
+  }
+  void emit_block(mem::PageId base, std::uint64_t row, std::uint64_t col);
+
+  DgemmConfig config_;
+  std::uint64_t matrix_pages_;  // pages per matrix (working set / 3)
+  std::uint64_t block_pages_;
+  std::uint64_t grid_;  // blocks per matrix dimension
+  mem::PageId a_, b_, c_;
+
+  Phase phase_{Phase::Init};
+  std::uint64_t init_pos_{0};
+  std::uint64_t ii_{0}, jj_{0}, kk_{0};
+};
+
+}  // namespace ampom::workload

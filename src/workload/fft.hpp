@@ -1,0 +1,53 @@
+#pragma once
+// HPCC FFT model: lower spatial locality than STREAM/DGEMM but high
+// temporal locality (paper Fig. 4; §5.5 groups FFT's spatial locality with
+// RandomAccess's).
+//
+// The heap holds one complex vector. After migration the kernel
+// value-initializes it (sequential sweep), performs the bit-reversal
+// permutation (a sequential cursor paired with a pseudo-random partner —
+// spatially poor), then runs radix-2 butterfly stages. A stage with span
+// `s` pages walks two interleaved sequential cursors at offset s, which at
+// page level produces the stride-2 fault patterns AMPoM detects.
+
+#include <cstdint>
+
+#include "simcore/rng.hpp"
+#include "workload/buffered_stream.hpp"
+
+namespace ampom::workload {
+
+struct FftConfig {
+  sim::Bytes memory{64 * sim::kMiB};
+  std::uint64_t max_stages{8};  // butterfly stages modeled
+  sim::Time cpu_per_ref{sim::Time::from_us(40)};  // per page touch in stages
+  sim::Time cpu_init{sim::Time::from_us(50)};     // random-value init, per page
+  std::uint64_t seed{0xC2B2AE3D27D4EB4FULL};
+};
+
+class Fft final : public BufferedStream {
+ public:
+  explicit Fft(FftConfig config);
+
+  [[nodiscard]] const char* name() const override { return "FFT"; }
+  [[nodiscard]] std::uint64_t stages() const { return stages_; }
+
+ protected:
+  void refill() override;
+
+ private:
+  enum class Phase : std::uint8_t { Init, BitReversal, Stages, Done };
+
+  FftConfig config_;
+  sim::Rng rng_;
+  std::uint64_t vector_pages_;
+  std::uint64_t stages_;
+
+  Phase phase_{Phase::Init};
+  std::uint64_t init_pos_{0};
+  std::uint64_t rev_pos_{0};
+  std::uint64_t stage_{0};
+  std::uint64_t stage_pos_{0};
+};
+
+}  // namespace ampom::workload

@@ -1,0 +1,46 @@
+#include "workload/hpcc.hpp"
+
+#include <stdexcept>
+
+namespace ampom::workload {
+
+std::unique_ptr<proc::ReferenceStream> make_hpcc_kernel(HpccKernel kernel,
+                                                        std::uint64_t memory_mib,
+                                                        std::uint64_t seed) {
+  const sim::Bytes memory = memory_mib * sim::kMiB;
+  switch (kernel) {
+    case HpccKernel::Dgemm: {
+      DgemmConfig cfg;
+      cfg.memory = memory;
+      return std::make_unique<Dgemm>(cfg);
+    }
+    case HpccKernel::Stream: {
+      StreamTriadConfig cfg;
+      cfg.memory = memory;
+      return std::make_unique<StreamTriad>(cfg);
+    }
+    case HpccKernel::RandomAccess: {
+      RandomAccessConfig cfg;
+      cfg.memory = memory;
+      cfg.seed ^= seed;
+      return std::make_unique<RandomAccess>(cfg);
+    }
+    case HpccKernel::Fft: {
+      FftConfig cfg;
+      cfg.memory = memory;
+      cfg.seed ^= seed;
+      return std::make_unique<Fft>(cfg);
+    }
+  }
+  throw std::invalid_argument("make_hpcc_kernel: unknown kernel");
+}
+
+std::unique_ptr<proc::ReferenceStream> make_small_ws_dgemm(std::uint64_t memory_mib,
+                                                           std::uint64_t working_set_mib) {
+  DgemmConfig cfg;
+  cfg.memory = memory_mib * sim::kMiB;
+  cfg.working_set = working_set_mib * sim::kMiB;
+  return std::make_unique<Dgemm>(cfg);
+}
+
+}  // namespace ampom::workload

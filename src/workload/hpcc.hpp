@@ -1,0 +1,57 @@
+#pragma once
+// The paper's Table 1: HPCC problem sizes, memory sizes, and a factory that
+// builds the corresponding kernel models.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "workload/dgemm.hpp"
+#include "workload/fft.hpp"
+#include "workload/random_access.hpp"
+#include "workload/stream_triad.hpp"
+
+namespace ampom::workload {
+
+enum class HpccKernel : std::uint8_t { Dgemm, Stream, RandomAccess, Fft };
+
+[[nodiscard]] constexpr const char* hpcc_kernel_name(HpccKernel k) {
+  switch (k) {
+    case HpccKernel::Dgemm:
+      return "DGEMM";
+    case HpccKernel::Stream:
+      return "STREAM";
+    case HpccKernel::RandomAccess:
+      return "RandomAccess";
+    case HpccKernel::Fft:
+      return "FFT";
+  }
+  return "?";
+}
+
+struct HpccCase {
+  std::uint64_t problem_size;  // the HPCC configuration parameter (Table 1)
+  std::uint64_t memory_mib;    // the resulting process size (Table 1)
+};
+
+// Paper Table 1, verbatim.
+inline constexpr std::array<HpccCase, 5> kDgemmCases{
+    {{7600, 115}, {10850, 230}, {13350, 345}, {15450, 460}, {17350, 575}}};
+inline constexpr std::array<HpccCase, 5> kStreamCases{
+    {{7750, 115}, {11000, 230}, {13450, 345}, {15520, 460}, {17400, 575}}};
+inline constexpr std::array<HpccCase, 4> kRandomAccessCases{
+    {{8000, 65}, {11000, 129}, {16000, 260}, {23000, 513}}};
+inline constexpr std::array<HpccCase, 4> kFftCases{
+    {{8000, 65}, {11000, 129}, {16000, 260}, {23000, 513}}};
+
+[[nodiscard]] std::unique_ptr<proc::ReferenceStream> make_hpcc_kernel(HpccKernel kernel,
+                                                                      std::uint64_t memory_mib,
+                                                                      std::uint64_t seed = 1);
+
+// The §5.6 variant: DGEMM allocating `memory_mib` but working on
+// `working_set_mib` of matrices.
+[[nodiscard]] std::unique_ptr<proc::ReferenceStream> make_small_ws_dgemm(
+    std::uint64_t memory_mib, std::uint64_t working_set_mib);
+
+}  // namespace ampom::workload

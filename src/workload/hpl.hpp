@@ -1,0 +1,59 @@
+#pragma once
+// HPL (LINPACK) model — one of the HPCC kernels the paper's evaluation
+// skipped ("network communication performance in parallel programs is not
+// the focus of AMPoM", §5.1). Provided as an extension so the full suite
+// can be run; in the HPCC locality chart HPL sits at high temporal AND
+// high spatial locality.
+//
+// Blocked right-looking LU with partial pivoting over one square matrix:
+// for each step k, factorize the panel (block column k, touched top to
+// bottom with heavy compute), then update the trailing submatrix (blocks
+// (i, j) with i, j > k, each combined with A(i,k) and A(k,j)). The active
+// area shrinks as k advances — the fault stream is front-loaded and the
+// reuse intense.
+
+#include <cstdint>
+
+#include "workload/buffered_stream.hpp"
+
+namespace ampom::workload {
+
+struct HplConfig {
+  sim::Bytes memory{128 * sim::kMiB};
+  std::uint64_t block_pages{96};
+  sim::Time cpu_per_ref{sim::Time::from_us(60)};  // trailing-update touch
+  sim::Time cpu_panel{sim::Time::from_us(90)};    // panel-factorization touch
+  sim::Time cpu_init{sim::Time::from_us(40)};     // RNG matrix init, per page
+};
+
+class Hpl final : public BufferedStream {
+ public:
+  explicit Hpl(HplConfig config);
+
+  [[nodiscard]] const char* name() const override { return "HPL"; }
+  [[nodiscard]] std::uint64_t grid() const { return grid_; }
+
+ protected:
+  void refill() override;
+
+ private:
+  enum class Phase : std::uint8_t { Init, Factorize, Done };
+
+  [[nodiscard]] mem::PageId block_page(std::uint64_t row, std::uint64_t col) const {
+    return heap_begin() + (row * grid_ + col) * block_pages_;
+  }
+  void emit_block(std::uint64_t row, std::uint64_t col, sim::Time cpu);
+
+  HplConfig config_;
+  std::uint64_t block_pages_;
+  std::uint64_t grid_;
+
+  Phase phase_{Phase::Init};
+  std::uint64_t init_pos_{0};
+  std::uint64_t k_{0};   // elimination step
+  std::uint64_t ti_{0};  // trailing row
+  std::uint64_t tj_{0};  // trailing col
+  bool panel_done_{false};
+};
+
+}  // namespace ampom::workload

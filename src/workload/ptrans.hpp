@@ -1,0 +1,51 @@
+#pragma once
+// PTRANS model (parallel matrix transpose, A = A^T + B) — the second HPCC
+// kernel the paper's evaluation skipped; provided as an extension. At page
+// level a blocked transpose pairs one sequential stream (the row-major
+// destination block) with a large-stride stream (the column-major source
+// block), giving moderate spatial locality and little reuse.
+
+#include <cstdint>
+
+#include "workload/buffered_stream.hpp"
+
+namespace ampom::workload {
+
+struct PtransConfig {
+  sim::Bytes memory{128 * sim::kMiB};  // two matrices A and B
+  std::uint64_t block_pages{64};
+  sim::Time cpu_per_ref{sim::Time::from_us(25)};
+  sim::Time cpu_init{sim::Time::from_us(15)};
+};
+
+class Ptrans final : public BufferedStream {
+ public:
+  explicit Ptrans(PtransConfig config);
+
+  [[nodiscard]] const char* name() const override { return "PTRANS"; }
+  [[nodiscard]] std::uint64_t grid() const { return grid_; }
+
+ protected:
+  void refill() override;
+
+ private:
+  enum class Phase : std::uint8_t { Init, Transpose, Done };
+
+  [[nodiscard]] mem::PageId block_page(mem::PageId base, std::uint64_t row,
+                                       std::uint64_t col) const {
+    return base + (row * grid_ + col) * block_pages_;
+  }
+
+  PtransConfig config_;
+  std::uint64_t matrix_pages_;
+  std::uint64_t block_pages_;
+  std::uint64_t grid_;
+  mem::PageId a_, b_;
+
+  Phase phase_{Phase::Init};
+  std::uint64_t init_pos_{0};
+  std::uint64_t bi_{0};
+  std::uint64_t bj_{0};
+};
+
+}  // namespace ampom::workload

@@ -1,0 +1,62 @@
+#pragma once
+// HPCC RandomAccess (GUPS) model: low spatial, low temporal locality
+// (paper Fig. 4, bottom-left).
+//
+// The heap is one large table of 64-bit words. Its trivial initialization
+// (T[i] = i) is fused with allocation and therefore happens *before*
+// migration — the post-migration reference stream starts with the random
+// update phase, which is what makes RandomAccess the unfavourable case in
+// the paper (§5.3: prefetching "fails to enhance the performance").
+//
+// Updates go to uniformly random pages. As in HPCC's implementation, the
+// random stream is punctuated by short sequential walks (the stream-table /
+// bucket bookkeeping that real GUPS implementations interleave with table
+// updates); these are the chance sequential patterns the paper notes AMPoM
+// picks up "once there are some sequential accesses appear in the lookback
+// window by chance" (§5.3). A final sequential verification pass checks the
+// table, as HPCC does.
+
+#include <cstdint>
+
+#include "simcore/rng.hpp"
+#include "workload/buffered_stream.hpp"
+
+namespace ampom::workload {
+
+struct RandomAccessConfig {
+  sim::Bytes memory{64 * sim::kMiB};
+  double updates_per_page{8.0};
+  // One sequential bookkeeping touch every `seq_interval` updates. At 3,
+  // consecutive bookkeeping pages land four window slots apart — right at
+  // the paper's dmax = 4 stride-detection horizon.
+  std::uint64_t seq_interval{3};
+  sim::Time cpu_per_update{sim::Time::from_us(120)};
+  sim::Time cpu_seq{sim::Time::from_us(4)};
+  sim::Time cpu_verify{sim::Time::from_us(3)};
+  std::uint64_t seed{0x9E3779B97F4A7C15ULL};
+};
+
+class RandomAccess final : public BufferedStream {
+ public:
+  explicit RandomAccess(RandomAccessConfig config);
+
+  [[nodiscard]] const char* name() const override { return "RandomAccess"; }
+  [[nodiscard]] std::uint64_t total_updates() const { return total_updates_; }
+
+ protected:
+  void refill() override;
+
+ private:
+  enum class Phase : std::uint8_t { Updates, Verify, Done };
+
+  RandomAccessConfig config_;
+  sim::Rng rng_;
+  std::uint64_t table_pages_;
+  std::uint64_t total_updates_;
+  Phase phase_{Phase::Updates};
+  std::uint64_t done_updates_{0};
+  std::uint64_t seq_cursor_{0};
+  std::uint64_t verify_pos_{0};
+};
+
+}  // namespace ampom::workload

@@ -1,0 +1,51 @@
+#pragma once
+// HPCC STREAM model: high spatial locality, low temporal locality
+// (paper Fig. 4, top-right of the HPCC locality space).
+//
+// The heap holds three equal arrays a, b, c. After migration the kernel
+// first value-initializes all three (a fast sequential sweep — the phase
+// whose remote faults dominate the lightweight schemes), then runs
+// `iterations` passes of the four STREAM sub-kernels:
+//   COPY  c = a          SCALE b = s*c
+//   ADD   c = a + b      TRIAD a = b + s*c
+// Page-level, each sub-kernel interleaves sequential walks over two or
+// three arrays, producing the stride-2/stride-3 fault patterns AMPoM's
+// analyzer detects.
+
+#include <cstdint>
+
+#include "workload/buffered_stream.hpp"
+
+namespace ampom::workload {
+
+struct StreamTriadConfig {
+  sim::Bytes memory{128 * sim::kMiB};
+  std::uint64_t iterations{4};
+  sim::Time cpu_per_ref{sim::Time::from_us(20)};  // per page touch in passes
+  sim::Time cpu_init{sim::Time::from_us(2)};      // per page in the init sweep
+};
+
+class StreamTriad final : public BufferedStream {
+ public:
+  explicit StreamTriad(StreamTriadConfig config);
+
+  [[nodiscard]] const char* name() const override { return "STREAM"; }
+
+ protected:
+  void refill() override;
+
+ private:
+  enum class Phase : std::uint8_t { Init, Passes, Done };
+
+  StreamTriadConfig config_;
+  std::uint64_t array_pages_;
+  mem::PageId a_, b_, c_;
+
+  Phase phase_{Phase::Init};
+  std::uint64_t init_pos_{0};
+  std::uint64_t iter_{0};
+  std::uint64_t sub_{0};  // 0..3: copy, scale, add, triad
+  std::uint64_t pos_{0};
+};
+
+}  // namespace ampom::workload

@@ -1,0 +1,176 @@
+#pragma once
+// Synthetic reference streams with controlled locality — used by unit,
+// property and ablation tests to isolate algorithm behaviour.
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/rng.hpp"
+#include "workload/buffered_stream.hpp"
+
+namespace ampom::workload {
+
+// Pure sequential sweep over the heap, `passes` times. Spatial locality 1.
+class SequentialStream final : public BufferedStream {
+ public:
+  SequentialStream(sim::Bytes memory, std::uint64_t passes, sim::Time cpu_per_ref)
+      : BufferedStream{memory}, passes_{passes}, cpu_{cpu_per_ref} {}
+
+  [[nodiscard]] const char* name() const override { return "sequential"; }
+
+ protected:
+  void refill() override {
+    if (pass_ >= passes_) {
+      return;
+    }
+    constexpr std::uint64_t kBatch = 2048;
+    const std::uint64_t end = std::min(pos_ + kBatch, heap_pages());
+    for (; pos_ < end; ++pos_) {
+      emit(heap_begin() + pos_, cpu_);
+    }
+    if (pos_ >= heap_pages()) {
+      pos_ = 0;
+      ++pass_;
+    }
+  }
+
+ private:
+  std::uint64_t passes_;
+  sim::Time cpu_;
+  std::uint64_t pass_{0};
+  std::uint64_t pos_{0};
+};
+
+// Uniformly random page touches. Spatial locality ~0.
+class UniformRandomStream final : public BufferedStream {
+ public:
+  UniformRandomStream(sim::Bytes memory, std::uint64_t touches, sim::Time cpu_per_ref,
+                      std::uint64_t seed = 0x853C49E6748FEA9BULL)
+      : BufferedStream{memory}, touches_{touches}, cpu_{cpu_per_ref}, rng_{seed} {}
+
+  [[nodiscard]] const char* name() const override { return "random"; }
+
+ protected:
+  void refill() override {
+    constexpr std::uint64_t kBatch = 2048;
+    const std::uint64_t end = std::min(done_ + kBatch, touches_);
+    for (; done_ < end; ++done_) {
+      emit(heap_begin() + rng_.uniform(heap_pages()), cpu_);
+    }
+  }
+
+ private:
+  std::uint64_t touches_;
+  sim::Time cpu_;
+  sim::Rng rng_;
+  std::uint64_t done_{0};
+};
+
+// `cursors` interleaved sequential walks, each over an equal slice of the
+// heap: the fault stream exhibits stride-`cursors` patterns.
+class InterleavedStream final : public BufferedStream {
+ public:
+  InterleavedStream(sim::Bytes memory, std::uint64_t cursors, sim::Time cpu_per_ref)
+      : BufferedStream{memory}, cursors_{cursors == 0 ? 1 : cursors}, cpu_{cpu_per_ref} {
+    slice_ = heap_pages() / cursors_;
+  }
+
+  [[nodiscard]] const char* name() const override { return "interleaved"; }
+
+ protected:
+  void refill() override {
+    if (pos_ >= slice_) {
+      return;
+    }
+    constexpr std::uint64_t kBatch = 2048;
+    const std::uint64_t end = std::min(pos_ + kBatch / cursors_, slice_);
+    for (; pos_ < end; ++pos_) {
+      for (std::uint64_t k = 0; k < cursors_; ++k) {
+        emit(heap_begin() + k * slice_ + pos_, cpu_);
+      }
+    }
+  }
+
+ private:
+  std::uint64_t cursors_;
+  sim::Time cpu_;
+  std::uint64_t slice_{0};
+  std::uint64_t pos_{0};
+};
+
+// Repeatedly touches a small hot set (temporal locality), with occasional
+// excursions to cold pages.
+class HotColdStream final : public BufferedStream {
+ public:
+  HotColdStream(sim::Bytes memory, std::uint64_t hot_pages, std::uint64_t touches,
+                double cold_fraction, sim::Time cpu_per_ref,
+                std::uint64_t seed = 0xDA942042E4DD58B5ULL)
+      : BufferedStream{memory},
+        hot_pages_{hot_pages},
+        touches_{touches},
+        cold_fraction_{cold_fraction},
+        cpu_{cpu_per_ref},
+        rng_{seed} {}
+
+  [[nodiscard]] const char* name() const override { return "hotcold"; }
+
+ protected:
+  void refill() override {
+    constexpr std::uint64_t kBatch = 2048;
+    const std::uint64_t end = std::min(done_ + kBatch, touches_);
+    for (; done_ < end; ++done_) {
+      if (rng_.uniform_real() < cold_fraction_) {
+        emit(heap_begin() + hot_pages_ + rng_.uniform(heap_pages() - hot_pages_), cpu_);
+      } else {
+        emit(heap_begin() + rng_.uniform(hot_pages_), cpu_);
+      }
+    }
+  }
+
+ private:
+  std::uint64_t hot_pages_;
+  std::uint64_t touches_;
+  double cold_fraction_;
+  sim::Time cpu_;
+  sim::Rng rng_;
+  std::uint64_t done_{0};
+};
+
+// An interactive-style stream: bursts of memory work separated by system
+// calls (I/O). Exercises the home-dependency syscall redirection.
+class InteractiveStream final : public BufferedStream {
+ public:
+  InteractiveStream(sim::Bytes memory, std::uint64_t bursts, std::uint64_t pages_per_burst,
+                    std::uint64_t syscalls_per_burst, sim::Time cpu_per_ref)
+      : BufferedStream{memory},
+        bursts_{bursts},
+        pages_per_burst_{pages_per_burst},
+        syscalls_per_burst_{syscalls_per_burst},
+        cpu_{cpu_per_ref} {}
+
+  [[nodiscard]] const char* name() const override { return "interactive"; }
+
+ protected:
+  void refill() override {
+    if (burst_ >= bursts_) {
+      return;
+    }
+    for (std::uint64_t i = 0; i < pages_per_burst_; ++i) {
+      emit(heap_begin() + (cursor_++ % heap_pages()), cpu_);
+    }
+    for (std::uint64_t s = 0; s < syscalls_per_burst_; ++s) {
+      emit_syscall(cpu_);
+    }
+    ++burst_;
+  }
+
+ private:
+  std::uint64_t bursts_;
+  std::uint64_t pages_per_burst_;
+  std::uint64_t syscalls_per_burst_;
+  sim::Time cpu_;
+  std::uint64_t burst_{0};
+  std::uint64_t cursor_{0};
+};
+
+}  // namespace ampom::workload

@@ -1,0 +1,216 @@
+// End-to-end tests of the AMPoM fault policy (Algorithm 1) over the real
+// fabric + deputy, with trace-stream workloads isolating each behaviour.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/ampom_policy.hpp"
+#include "mem/ledger.hpp"
+#include "net/fabric.hpp"
+#include "proc/deputy.hpp"
+#include "proc/executor.hpp"
+#include "proc/paging_client.hpp"
+#include "simcore/simulator.hpp"
+
+namespace ampom::core {
+namespace {
+
+using proc::Ref;
+using sim::Time;
+
+struct AmpomFixture : ::testing::Test {
+  static constexpr net::NodeId kHome = 0;
+  static constexpr net::NodeId kDest = 1;
+
+  sim::Simulator simulator;
+  net::Fabric fabric{simulator, 2};
+  proc::WireCosts wire;
+  proc::NodeCosts costs;
+  AmpomConfig config;
+
+  std::unique_ptr<proc::Process> process;
+  std::unique_ptr<proc::Executor> executor;
+  std::unique_ptr<proc::Deputy> deputy;
+  std::unique_ptr<proc::PagingClient> client;
+  std::unique_ptr<mem::PageLedger> ledger;
+  std::unique_ptr<AmpomPolicy> policy;
+
+  ResourceEstimates estimates{Time::from_us(100), Time::from_us(360), 1.0};
+
+  void wire_up(std::vector<Ref> refs, std::uint64_t carried_pages = 1,
+               sim::Bytes memory = 4 * sim::kMiB) {
+    process = std::make_unique<proc::Process>(
+        1, std::make_unique<proc::TraceStream>(std::move(refs), memory), kHome);
+    auto& aspace = process->aspace();
+    aspace.populate_all_dirty();
+    ledger = std::make_unique<mem::PageLedger>(aspace.page_count(), kHome);
+
+    executor = std::make_unique<proc::Executor>(simulator, *process, costs);
+    deputy = std::make_unique<proc::Deputy>(simulator, fabric, wire, costs, kHome, 1,
+                                            aspace.page_count(), ledger.get());
+    client = std::make_unique<proc::PagingClient>(simulator, fabric, wire, kDest, kHome, 1);
+    policy = std::make_unique<AmpomPolicy>(simulator, *executor, *client, config,
+                                           [this] { return estimates; });
+    executor->set_policy(policy.get());
+    client->set_arrival_handler(
+        [this](mem::PageId p, bool urgent) { policy->on_arrival(p, urgent); });
+
+    std::uint64_t kept = 0;
+    for (mem::PageId p = 0; p < aspace.page_count(); ++p) {
+      if (kept < carried_pages) {
+        deputy->hpt().set_loc(p, mem::PageTable::Loc::Remote);
+        ledger->transfer(p, kHome, kDest);
+        ++kept;
+      } else {
+        aspace.demote_to_remote(p);
+        deputy->hpt().set_loc(p, mem::PageTable::Loc::Here);
+      }
+    }
+    process->set_current_node(kDest);
+    deputy->begin_service(kDest);
+
+    fabric.set_handler(kHome, [this](const net::Message& m) {
+      deputy->on_page_request(std::get<net::PageRequest>(m.payload));
+    });
+    fabric.set_handler(kDest, [this](const net::Message& m) {
+      client->on_page_data(std::get<net::PageData>(m.payload));
+    });
+  }
+
+  static std::vector<Ref> sequential_refs(mem::PageId first, std::uint64_t count,
+                                          std::int64_t cpu_us = 10) {
+    std::vector<Ref> refs;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      refs.push_back(Ref{first + i, Time::from_us(cpu_us), Ref::Kind::Memory});
+    }
+    return refs;
+  }
+};
+
+TEST_F(AmpomFixture, RequiresResourceProvider) {
+  wire_up(sequential_refs(10, 1));
+  EXPECT_THROW(AmpomPolicy(simulator, *executor, *client, config, nullptr),
+               std::invalid_argument);
+}
+
+TEST_F(AmpomFixture, SequentialRunFinishesWithFewFaultRequests) {
+  wire_up(sequential_refs(300, 200));
+  executor->start();
+  simulator.run();
+  ASSERT_TRUE(executor->stats().finished);
+  // Prefetching turns almost all faults into lookaside hits.
+  EXPECT_LT(client->stats().fault_requests, 30u);
+  EXPECT_GT(policy->stats().prefetch_pages_issued, 100u);
+}
+
+TEST_F(AmpomFixture, EveryRequestedPageArrivesExactlyOnce) {
+  wire_up(sequential_refs(300, 150));
+  executor->start();
+  simulator.run();
+  EXPECT_EQ(client->stats().pages_arrived, client->stats().pages_requested);
+  EXPECT_TRUE(ledger->at_most_one_transfer_each());
+}
+
+TEST_F(AmpomFixture, WindowRecordsFaultsNotHits) {
+  wire_up(sequential_refs(300, 50));
+  executor->start();
+  simulator.run();
+  EXPECT_EQ(policy->stats().faults_seen,
+            executor->stats().hard_faults + executor->stats().soft_faults +
+                executor->stats().inflight_waits);
+  EXPECT_GT(policy->stats().window_records, 0u);
+}
+
+TEST_F(AmpomFixture, SoftFaultResolvesWithoutNewRequestForThatPage) {
+  // One hard fault on page 300; its batch prefetches 301+. The touch of 301
+  // should be a soft fault (or hit) with no second fault request if the gap
+  // is long enough for the batch to land.
+  std::vector<Ref> refs = sequential_refs(300, 1, 10);
+  refs.push_back(Ref{301, Time::from_ms(50), Ref::Kind::Memory});
+  wire_up(std::move(refs));
+  executor->start();
+  simulator.run();
+  EXPECT_EQ(client->stats().fault_requests, 1u);
+  EXPECT_TRUE(executor->stats().finished);
+}
+
+TEST_F(AmpomFixture, AnalysisTimeAccruesPerFault) {
+  wire_up(sequential_refs(300, 100));
+  executor->start();
+  simulator.run();
+  const auto& stats = policy->stats();
+  EXPECT_EQ(stats.analysis_time,
+            config.analysis_cost() * static_cast<std::int64_t>(stats.faults_seen));
+}
+
+TEST_F(AmpomFixture, ZoneRespectsConfigCap) {
+  config.zone_cap = 4;
+  wire_up(sequential_refs(300, 100));
+  executor->start();
+  simulator.run();
+  EXPECT_LE(policy->stats().last_zone_size, 4u);
+  EXPECT_TRUE(executor->stats().finished);
+}
+
+TEST_F(AmpomFixture, UnbatchedModeSendsOneRequestPerPage) {
+  config.batch_requests = false;
+  wire_up(sequential_refs(300, 60));
+  executor->start();
+  simulator.run();
+  EXPECT_TRUE(executor->stats().finished);
+  // Every requested page went in its own message.
+  EXPECT_EQ(client->stats().fault_requests + client->stats().prefetch_requests,
+            client->stats().pages_requested);
+}
+
+TEST_F(AmpomFixture, TraceHookSeesEveryAnalysis) {
+  wire_up(sequential_refs(300, 80));
+  std::uint64_t calls = 0;
+  double max_score = 0.0;
+  policy->set_trace([&](const ZoneInputs& in, std::uint64_t, std::size_t) {
+    ++calls;
+    max_score = std::max(max_score, in.locality_score);
+  });
+  executor->start();
+  simulator.run();
+  EXPECT_EQ(calls, policy->stats().faults_seen);
+  EXPECT_GT(max_score, 0.9);  // sequential stream -> S near 1
+}
+
+TEST_F(AmpomFixture, RandomPatternFallsBackToReadAheadFloor) {
+  // Pseudo-random pages: S ~ 0, N = min_zone.
+  std::vector<Ref> refs;
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 120; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    refs.push_back(Ref{300 + (x >> 33) % 500, Time::from_us(50), Ref::Kind::Memory});
+  }
+  wire_up(std::move(refs));
+  std::uint64_t floor_hits = 0;
+  std::uint64_t analyses = 0;
+  policy->set_trace([&](const ZoneInputs&, std::uint64_t n, std::size_t) {
+    ++analyses;
+    floor_hits += (n == config.min_zone) ? 1 : 0;
+  });
+  executor->start();
+  simulator.run();
+  EXPECT_TRUE(executor->stats().finished);
+  EXPECT_GT(analyses, 0u);
+  // Most analyses bottom out at the read-ahead floor.
+  EXPECT_GT(static_cast<double>(floor_hits) / static_cast<double>(analyses), 0.7);
+}
+
+TEST_F(AmpomFixture, StatsCountZoneAndRequests) {
+  wire_up(sequential_refs(300, 100));
+  executor->start();
+  simulator.run();
+  const auto& s = policy->stats();
+  EXPECT_GT(s.zone_pages_considered, 0u);
+  EXPECT_GE(s.zone_pages_considered, s.prefetch_pages_issued);
+  EXPECT_GT(s.requests_sent, 0u);
+  EXPECT_LE(s.last_score, 1.0);
+}
+
+}  // namespace
+}  // namespace ampom::core

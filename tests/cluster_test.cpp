@@ -1,0 +1,115 @@
+// Tests of the cluster layer: the InfoDaemon's three measurements (RTT,
+// available bandwidth, peer load) and the node message router.
+
+#include <gtest/gtest.h>
+
+#include "cluster/infod.hpp"
+#include "cluster/node.hpp"
+#include "net/background_traffic.hpp"
+#include "simcore/simulator.hpp"
+
+namespace ampom::cluster {
+namespace {
+
+using sim::Time;
+
+struct ClusterFixture : ::testing::Test {
+  sim::Simulator simulator;
+  net::Fabric fabric{simulator, 3};
+  proc::NodeCosts costs;
+  Node node0{simulator, fabric, 0, costs};
+  Node node1{simulator, fabric, 1, costs};
+  InfoDaemon infod0{simulator, fabric, 0, Time::from_ms(100)};
+  InfoDaemon infod1{simulator, fabric, 1, Time::from_ms(100)};
+
+  void wire_daemons() {
+    infod0.add_peer(1);
+    infod1.add_peer(0);
+    node0.set_infod(&infod0);
+    node1.set_infod(&infod1);
+    infod0.start();
+    infod1.start();
+  }
+};
+
+TEST_F(ClusterFixture, RttPriorBeforeMeasurement) {
+  infod0.add_peer(1);
+  EXPECT_EQ(infod0.rtt_one_way(1), Time::from_us(150));   // half the 300 us prior
+  EXPECT_EQ(infod0.rtt_one_way(99), Time::from_us(300));  // unknown peer
+}
+
+TEST_F(ClusterFixture, RttMeasuredFromPingAcks) {
+  wire_daemons();
+  simulator.run_until(Time::from_sec(2));
+  // One-way on an idle link: latency + control serialization ~ 80 us.
+  const Time t0 = infod1.rtt_one_way(0);
+  EXPECT_GT(t0, Time::from_us(60));
+  EXPECT_LT(t0, Time::from_us(120));
+  EXPECT_GT(infod1.acks_received(), 10u);
+  EXPECT_GT(infod0.pings_sent(), 10u);
+}
+
+TEST_F(ClusterFixture, RttReflectsSlowLink) {
+  fabric.set_link(0, 1, net::LinkParams{sim::Bandwidth::mbits_per_sec(6), Time::from_ms(2)});
+  wire_daemons();
+  simulator.run_until(Time::from_sec(2));
+  const Time t0 = infod1.rtt_one_way(0);
+  EXPECT_GT(t0, Time::from_ms(1));  // ~2 ms one-way
+  EXPECT_LT(t0, Time::from_ms(4));
+}
+
+TEST_F(ClusterFixture, AvailableBandwidthNominalWhenIdle) {
+  wire_daemons();
+  simulator.run_until(Time::from_sec(1));
+  // Only ping traffic: nearly the nominal 100 Mb/s.
+  EXPECT_GT(infod1.available_bandwidth().bps(), 95'000'000u);
+}
+
+TEST_F(ClusterFixture, AvailableBandwidthDropsUnderLoad) {
+  wire_daemons();
+  net::BackgroundTraffic traffic{simulator, fabric, 2, 1, /*load=*/0.6};
+  traffic.start();
+  simulator.run_until(Time::from_sec(5));
+  const auto avail = infod1.available_bandwidth().bps();
+  EXPECT_LT(avail, 70'000'000u);
+  EXPECT_GE(avail, 5'000'000u);  // the 5% floor holds
+}
+
+TEST_F(ClusterFixture, PeerLoadPropagatesThroughPings) {
+  infod0.set_local_load_source([] { return 0.75; });
+  wire_daemons();
+  simulator.run_until(Time::from_sec(1));
+  EXPECT_DOUBLE_EQ(infod1.peer_load(0), 0.75);
+  EXPECT_DOUBLE_EQ(infod0.peer_load(1), 0.0);
+}
+
+TEST_F(ClusterFixture, NodeBackgroundLoadAndCpuShare) {
+  node0.set_background_load(0.3);
+  EXPECT_DOUBLE_EQ(node0.cpu_share(), 0.7);
+  EXPECT_THROW(node0.set_background_load(1.0), std::invalid_argument);
+  EXPECT_THROW(node0.set_background_load(-0.1), std::invalid_argument);
+}
+
+TEST_F(ClusterFixture, DispatchWithoutComponentThrows) {
+  fabric.send(net::Message{0, 1, 5000, net::PageRequest{1, 1, {5}, 5}});
+  EXPECT_THROW(simulator.run(), std::logic_error);
+}
+
+TEST_F(ClusterFixture, BackgroundAndMigrationChunksIgnoredGracefully) {
+  fabric.send(net::Message{0, 1, 5000, net::Background{}});
+  fabric.send(net::Message{
+      0, 1, 5000, net::MigrationChunk{1, net::MigrationChunk::Kind::Pcb, 1, true}});
+  EXPECT_NO_THROW(simulator.run());
+}
+
+TEST_F(ClusterFixture, StopHaltsPings) {
+  wire_daemons();
+  simulator.run_until(Time::from_sec(1));
+  infod0.stop();
+  const auto sent = infod0.pings_sent();
+  simulator.run_until(Time::from_sec(2));
+  EXPECT_EQ(infod0.pings_sent(), sent);
+}
+
+}  // namespace
+}  // namespace ampom::cluster

@@ -1,0 +1,118 @@
+// Unit tests for the lookback window W and its T/C companion arrays.
+
+#include <gtest/gtest.h>
+
+#include "core/lookback_window.hpp"
+
+namespace ampom::core {
+namespace {
+
+using sim::Time;
+
+TEST(LookbackWindow, CapacityBounds) {
+  EXPECT_THROW(LookbackWindow{1}, std::invalid_argument);
+  EXPECT_THROW(LookbackWindow{65}, std::invalid_argument);
+  EXPECT_NO_THROW(LookbackWindow{2});
+  EXPECT_NO_THROW(LookbackWindow{64});
+}
+
+TEST(LookbackWindow, RecordsInOrder) {
+  LookbackWindow w{4};
+  EXPECT_TRUE(w.record(10, Time::from_ms(1), 0.5));
+  EXPECT_TRUE(w.record(20, Time::from_ms(2), 0.6));
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_FALSE(w.full());
+  EXPECT_EQ(w.page(0), 10u);
+  EXPECT_EQ(w.page(1), 20u);
+  EXPECT_EQ(w.last_page(), 20u);
+  EXPECT_EQ(w.at(1).cpu, 0.6);
+}
+
+TEST(LookbackWindow, ConsecutiveRepeatsCollapse) {
+  // Paper §3.1: consecutive repeated references are temporal locality and
+  // count as a single page reference.
+  LookbackWindow w{4};
+  EXPECT_TRUE(w.record(10, Time::from_ms(1), 1.0));
+  EXPECT_FALSE(w.record(10, Time::from_ms(2), 1.0));
+  EXPECT_FALSE(w.record(10, Time::from_ms(3), 1.0));
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_TRUE(w.record(11, Time::from_ms(4), 1.0));
+  EXPECT_TRUE(w.record(10, Time::from_ms(5), 1.0));  // non-consecutive repeat is fine
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(LookbackWindow, OldestIsDiscardedWhenFull) {
+  LookbackWindow w{3};
+  for (mem::PageId p = 1; p <= 5; ++p) {
+    w.record(p, Time::from_ms(static_cast<std::int64_t>(p)), 1.0);
+  }
+  EXPECT_TRUE(w.full());
+  EXPECT_EQ(w.page(0), 3u);
+  EXPECT_EQ(w.page(1), 4u);
+  EXPECT_EQ(w.page(2), 5u);
+}
+
+TEST(LookbackWindow, TimesTrackOldestAndNewest) {
+  LookbackWindow w{3};
+  w.record(1, Time::from_ms(10), 1.0);
+  w.record(2, Time::from_ms(20), 1.0);
+  w.record(3, Time::from_ms(30), 1.0);
+  w.record(4, Time::from_ms(40), 1.0);
+  EXPECT_EQ(w.first_time(), Time::from_ms(20));
+  EXPECT_EQ(w.last_time(), Time::from_ms(40));
+}
+
+TEST(LookbackWindow, PagingRateFromWindowSpan) {
+  // r = l / (T_l - T_1): 3 entries over 20 ms.
+  LookbackWindow w{8};
+  w.record(1, Time::from_ms(0), 1.0);
+  w.record(2, Time::from_ms(10), 1.0);
+  w.record(3, Time::from_ms(20), 1.0);
+  EXPECT_NEAR(w.paging_rate_hz(), 3.0 / 0.020, 1e-9);
+}
+
+TEST(LookbackWindow, PagingRateDegenerateCases) {
+  LookbackWindow w{8};
+  EXPECT_EQ(w.paging_rate_hz(), 0.0);
+  w.record(1, Time::from_ms(5), 1.0);
+  EXPECT_EQ(w.paging_rate_hz(), 0.0);  // single entry
+  w.record(2, Time::from_ms(5), 1.0);
+  EXPECT_EQ(w.paging_rate_hz(), 0.0);  // zero span
+}
+
+TEST(LookbackWindow, CpuStatistics) {
+  LookbackWindow w{4};
+  w.record(1, Time::from_ms(1), 0.2);
+  w.record(2, Time::from_ms(2), 0.4);
+  w.record(3, Time::from_ms(3), 0.9);
+  EXPECT_NEAR(w.mean_cpu(), 0.5, 1e-12);
+  EXPECT_NEAR(w.last_cpu(), 0.9, 1e-12);
+}
+
+TEST(LookbackWindow, OutOfRangeAtThrows) {
+  LookbackWindow w{4};
+  w.record(1, Time::from_ms(1), 1.0);
+  EXPECT_THROW(static_cast<void>(w.at(1)), std::out_of_range);
+}
+
+TEST(LookbackWindow, ClearResets) {
+  LookbackWindow w{4};
+  w.record(1, Time::from_ms(1), 1.0);
+  w.record(2, Time::from_ms(2), 1.0);
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_TRUE(w.record(1, Time::from_ms(3), 1.0));  // no collapse after clear
+}
+
+TEST(LookbackWindow, RingWrapsManyTimes) {
+  LookbackWindow w{5};
+  for (mem::PageId p = 0; p < 1000; p += 2) {  // +2: avoid consecutive repeats
+    w.record(p, Time::from_ms(static_cast<std::int64_t>(p)), 1.0);
+  }
+  EXPECT_EQ(w.size(), 5u);
+  EXPECT_EQ(w.page(4), 998u);
+  EXPECT_EQ(w.page(0), 990u);
+}
+
+}  // namespace
+}  // namespace ampom::core

@@ -1,0 +1,239 @@
+// Unit tests for the memory substrate: regions, address-space state
+// machine, page tables and the ownership ledger.
+
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hpp"
+#include "mem/ledger.hpp"
+#include "mem/page.hpp"
+#include "mem/page_table.hpp"
+#include "mem/region.hpp"
+
+namespace ampom::mem {
+namespace {
+
+TEST(Page, SizeArithmetic) {
+  EXPECT_EQ(pages_for_bytes(4096), 1u);
+  EXPECT_EQ(pages_for_bytes(4097), 2u);
+  EXPECT_EQ(pages_for_bytes(0), 0u);
+  EXPECT_EQ(pages_for_mib(1), 256u);
+  EXPECT_EQ(pages_for_mib(575), 147200u);  // the paper's largest process
+  EXPECT_EQ(bytes_for_pages(2), 8192u);
+}
+
+TEST(RegionLayout, DefaultLayoutCoversAllRegions) {
+  const RegionLayout layout = RegionLayout::for_total_bytes(10 * sim::kMiB);
+  EXPECT_EQ(layout.pages(Region::Code), 64u);
+  EXPECT_EQ(layout.pages(Region::Data), 128u);
+  EXPECT_EQ(layout.pages(Region::Stack), 16u);
+  EXPECT_EQ(layout.total_pages(), 2560u);
+  EXPECT_EQ(layout.pages(Region::Heap), 2560u - 64 - 128 - 16);
+}
+
+TEST(RegionLayout, RegionsAreContiguousAndOrdered) {
+  const RegionLayout layout{10, 20, 30, 5};
+  EXPECT_EQ(layout.begin(Region::Code), 0u);
+  EXPECT_EQ(layout.end(Region::Code), 10u);
+  EXPECT_EQ(layout.begin(Region::Data), 10u);
+  EXPECT_EQ(layout.end(Region::Data), 30u);
+  EXPECT_EQ(layout.begin(Region::Heap), 30u);
+  EXPECT_EQ(layout.end(Region::Heap), 60u);
+  EXPECT_EQ(layout.begin(Region::Stack), 60u);
+  EXPECT_EQ(layout.end(Region::Stack), 65u);
+  EXPECT_EQ(layout.total_pages(), 65u);
+}
+
+TEST(RegionLayout, RegionOfClassifiesEveryPage) {
+  const RegionLayout layout{10, 20, 30, 5};
+  EXPECT_EQ(layout.region_of(0), Region::Code);
+  EXPECT_EQ(layout.region_of(9), Region::Code);
+  EXPECT_EQ(layout.region_of(10), Region::Data);
+  EXPECT_EQ(layout.region_of(29), Region::Data);
+  EXPECT_EQ(layout.region_of(30), Region::Heap);
+  EXPECT_EQ(layout.region_of(59), Region::Heap);
+  EXPECT_EQ(layout.region_of(60), Region::Stack);
+  EXPECT_EQ(layout.region_of(64), Region::Stack);
+}
+
+TEST(RegionLayout, EmptyCodeOrStackRejected) {
+  EXPECT_THROW((RegionLayout{0, 1, 1, 1}), std::invalid_argument);
+  EXPECT_THROW((RegionLayout{1, 1, 1, 0}), std::invalid_argument);
+}
+
+TEST(RegionLayout, RegionNames) {
+  EXPECT_STREQ(region_name(Region::Code), "code");
+  EXPECT_STREQ(region_name(Region::Heap), "heap");
+}
+
+struct AddressSpaceFixture : ::testing::Test {
+  RegionLayout layout{4, 4, 100, 4};
+  AddressSpace aspace{layout};
+};
+
+TEST_F(AddressSpaceFixture, StartsFullyUnallocated) {
+  EXPECT_EQ(aspace.page_count(), 112u);
+  EXPECT_EQ(aspace.count(PageState::Unallocated), 112u);
+  EXPECT_EQ(aspace.dirty_pages(), 0u);
+  EXPECT_EQ(aspace.classify(0), AccessKind::FirstTouch);
+}
+
+TEST_F(AddressSpaceFixture, PopulateAllDirtyMakesEverythingLocal) {
+  aspace.populate_all_dirty();
+  EXPECT_EQ(aspace.local_pages(), 112u);
+  EXPECT_EQ(aspace.dirty_pages(), 112u);
+  EXPECT_EQ(aspace.dirty_bytes(), 112u * kPageBytes);
+  EXPECT_EQ(aspace.classify(50), AccessKind::Hit);
+}
+
+TEST_F(AddressSpaceFixture, PopulateRangeIsIdempotent) {
+  aspace.populate_range(0, 10, true);
+  aspace.populate_range(5, 15, true);
+  EXPECT_EQ(aspace.local_pages(), 15u);
+  EXPECT_EQ(aspace.dirty_pages(), 15u);
+}
+
+TEST_F(AddressSpaceFixture, PopulateRangeBoundsChecked) {
+  EXPECT_THROW(aspace.populate_range(0, 200, true), std::out_of_range);
+  EXPECT_THROW(aspace.populate_range(20, 10, true), std::out_of_range);
+}
+
+TEST_F(AddressSpaceFixture, RemotePagingLifecycle) {
+  aspace.populate_all_dirty();
+  aspace.demote_to_remote(50);
+  EXPECT_EQ(aspace.classify(50), AccessKind::HardFault);
+  aspace.mark_in_flight(50);
+  EXPECT_EQ(aspace.classify(50), AccessKind::InFlightWait);
+  aspace.mark_arrived(50);
+  EXPECT_EQ(aspace.classify(50), AccessKind::SoftFault);
+  EXPECT_EQ(aspace.count(PageState::Arrived), 1u);
+  EXPECT_EQ(aspace.map_all_arrived(), 1u);
+  EXPECT_EQ(aspace.classify(50), AccessKind::Hit);
+}
+
+TEST_F(AddressSpaceFixture, MapArrivedPageTargetsOnePage) {
+  aspace.populate_all_dirty();
+  for (PageId p : {PageId{10}, PageId{11}, PageId{12}}) {
+    aspace.demote_to_remote(p);
+    aspace.mark_in_flight(p);
+    aspace.mark_arrived(p);
+  }
+  aspace.map_arrived_page(11);
+  EXPECT_EQ(aspace.classify(11), AccessKind::Hit);
+  EXPECT_EQ(aspace.classify(10), AccessKind::SoftFault);
+  EXPECT_EQ(aspace.count(PageState::Arrived), 2u);
+  EXPECT_EQ(aspace.map_all_arrived(), 2u);
+  EXPECT_EQ(aspace.count(PageState::Arrived), 0u);
+}
+
+TEST_F(AddressSpaceFixture, MapArrivedPageOnUnarrivedThrows) {
+  aspace.populate_all_dirty();
+  EXPECT_THROW(aspace.map_arrived_page(10), std::logic_error);
+}
+
+TEST_F(AddressSpaceFixture, IllegalTransitionsThrow) {
+  aspace.populate_all_dirty();
+  EXPECT_THROW(aspace.mark_in_flight(5), std::logic_error);   // Local, not Remote
+  EXPECT_THROW(aspace.mark_arrived(5), std::logic_error);     // not InFlight
+  EXPECT_THROW(aspace.create_on_touch(5), std::logic_error);  // already Local
+  aspace.demote_to_remote(5);
+  EXPECT_THROW(aspace.demote_to_remote(5), std::logic_error);  // already Remote
+  EXPECT_THROW(aspace.carry_over(5), std::logic_error);        // Remote
+}
+
+TEST_F(AddressSpaceFixture, CreateOnTouchMarksDirtyAndLocal) {
+  aspace.create_on_touch(30);
+  EXPECT_EQ(aspace.classify(30), AccessKind::Hit);
+  EXPECT_TRUE(aspace.dirty(30));
+  EXPECT_EQ(aspace.dirty_pages(), 1u);
+}
+
+TEST_F(AddressSpaceFixture, SwapLifecycle) {
+  aspace.populate_all_dirty();
+  aspace.evict_to_swap(42);
+  EXPECT_EQ(aspace.classify(42), AccessKind::SwapFault);
+  EXPECT_EQ(aspace.count(PageState::Swapped), 1u);
+  aspace.load_from_swap(42);
+  EXPECT_EQ(aspace.classify(42), AccessKind::Hit);
+}
+
+TEST_F(AddressSpaceFixture, CountersTrackEveryTransition) {
+  aspace.populate_all_dirty();
+  aspace.demote_to_remote(1);
+  aspace.demote_to_remote(2);
+  aspace.mark_in_flight(1);
+  EXPECT_EQ(aspace.count(PageState::Local), 110u);
+  EXPECT_EQ(aspace.count(PageState::Remote), 1u);
+  EXPECT_EQ(aspace.count(PageState::InFlight), 1u);
+}
+
+TEST_F(AddressSpaceFixture, PagesInStateEnumerates) {
+  aspace.populate_all_dirty();
+  aspace.demote_to_remote(7);
+  aspace.demote_to_remote(9);
+  const auto remote = aspace.pages_in_state(PageState::Remote);
+  EXPECT_EQ(remote, (std::vector<PageId>{7, 9}));
+}
+
+TEST(PageTable, LocationBookkeeping) {
+  PageTable table{100};
+  EXPECT_EQ(table.page_count(), 100u);
+  EXPECT_EQ(table.count_absent(), 100u);
+  table.set_loc(3, PageTable::Loc::Here);
+  table.set_loc(4, PageTable::Loc::Here);
+  table.set_loc(5, PageTable::Loc::Remote);
+  EXPECT_EQ(table.count_here(), 2u);
+  EXPECT_EQ(table.count_remote(), 1u);
+  EXPECT_EQ(table.count_absent(), 97u);
+  table.set_loc(3, PageTable::Loc::Remote);  // page shipped to the migrant
+  EXPECT_EQ(table.count_here(), 1u);
+  EXPECT_EQ(table.count_remote(), 2u);
+}
+
+TEST(PageTable, WireSizeIsSixBytesPerPage) {
+  // Paper §5.2: "the size of an MPT is 6 bytes per page".
+  PageTable table{147200};  // the 575 MB process
+  EXPECT_EQ(table.wire_bytes(), 147200u * 6);
+}
+
+TEST(PageTable, OutOfRangeThrows) {
+  PageTable table{10};
+  EXPECT_THROW(static_cast<void>(table.loc(10)), std::out_of_range);
+  EXPECT_THROW(table.set_loc(10, PageTable::Loc::Here), std::out_of_range);
+}
+
+TEST(PageLedger, TransfersMoveOwnership) {
+  PageLedger ledger{10, 0};
+  EXPECT_EQ(ledger.owner(3), 0u);
+  ledger.transfer(3, 0, 1);
+  EXPECT_EQ(ledger.owner(3), 1u);
+  EXPECT_EQ(ledger.transfer_count(3), 1u);
+  EXPECT_EQ(ledger.total_transfers(), 1u);
+  EXPECT_TRUE(ledger.at_most_one_transfer_each());
+}
+
+TEST(PageLedger, WrongOwnerThrows) {
+  PageLedger ledger{10, 0};
+  EXPECT_THROW(ledger.transfer(3, 1, 2), std::logic_error);
+  ledger.transfer(3, 0, 1);
+  EXPECT_THROW(ledger.transfer(3, 0, 2), std::logic_error);  // already moved
+}
+
+TEST(PageLedger, SelfTransferThrows) {
+  PageLedger ledger{10, 0};
+  EXPECT_THROW(ledger.transfer(3, 0, 0), std::logic_error);
+}
+
+TEST(PageLedger, DetectsDoubleTransfer) {
+  PageLedger ledger{10, 0};
+  ledger.transfer(3, 0, 1);
+  ledger.transfer(3, 1, 0);  // legal round trip...
+  EXPECT_FALSE(ledger.at_most_one_transfer_each());  // ...but flagged
+}
+
+TEST(PageState, NamesAreStable) {
+  EXPECT_STREQ(page_state_name(PageState::Arrived), "arrived");
+  EXPECT_STREQ(page_state_name(PageState::Remote), "remote");
+}
+
+}  // namespace
+}  // namespace ampom::mem

@@ -1,0 +1,324 @@
+// Unit tests for the process substrate: the executor's burst/fault
+// semantics, freeze safe-points, CPU scaling, syscalls and LRU eviction,
+// plus Process bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "proc/executor.hpp"
+#include "proc/process.hpp"
+#include "simcore/simulator.hpp"
+
+namespace ampom::proc {
+namespace {
+
+using sim::Time;
+
+std::unique_ptr<TraceStream> trace(std::vector<Ref> refs, sim::Bytes memory = 4 * sim::kMiB) {
+  return std::make_unique<TraceStream>(std::move(refs), memory);
+}
+
+Ref touch(mem::PageId page, std::int64_t cpu_us = 10) {
+  return Ref{page, Time::from_us(cpu_us), Ref::Kind::Memory};
+}
+
+// A policy that resolves every hard fault locally after a fixed delay,
+// standing in for the network path.
+class InstantPolicy final : public FaultPolicy {
+ public:
+  InstantPolicy(sim::Simulator& simulator, Executor& executor, Time delay)
+      : sim_{simulator}, executor_{executor}, delay_{delay} {}
+
+  void on_fault(Process& process, mem::PageId page, mem::AccessKind kind) override {
+    ++faults;
+    last_kind = kind;
+    sim_.schedule_after(delay_, [this, &process, page] {
+      auto& aspace = process.aspace();
+      aspace.mark_in_flight(page);
+      aspace.mark_arrived(page);
+      aspace.map_arrived_page(page);
+      executor_.complete_fault(page);
+    });
+  }
+
+  int faults{0};
+  mem::AccessKind last_kind{};
+
+ private:
+  sim::Simulator& sim_;
+  Executor& executor_;
+  Time delay_;
+};
+
+struct ExecutorFixture : ::testing::Test {
+  sim::Simulator simulator;
+  NodeCosts costs;
+};
+
+TEST_F(ExecutorFixture, ProcessRequiresStream) {
+  EXPECT_THROW(Process(1, nullptr, 0), std::invalid_argument);
+}
+
+TEST_F(ExecutorFixture, ConsumesLocalRefsAccumulatingCpu) {
+  Process process{1, trace({touch(300, 10), touch(301, 20), touch(302, 30)}), 0};
+  process.aspace().populate_all_dirty();
+  Executor executor{simulator, process, costs};
+  executor.start();
+  simulator.run();
+  EXPECT_TRUE(executor.stats().finished);
+  EXPECT_EQ(executor.stats().refs_consumed, 3u);
+  EXPECT_EQ(executor.stats().hits, 3u);
+  EXPECT_EQ(executor.stats().cpu_time, Time::from_us(60));
+  EXPECT_EQ(executor.stats().finished_at, Time::from_us(60));
+  EXPECT_EQ(process.state(), ProcState::Finished);
+}
+
+TEST_F(ExecutorFixture, FirstTouchCreatesPagesWithMinorFaultCost) {
+  Process process{1, trace({touch(300, 10), touch(301, 10)}), 0};
+  Executor executor{simulator, process, costs};
+  executor.start();
+  simulator.run();
+  EXPECT_EQ(executor.stats().first_touches, 2u);
+  EXPECT_EQ(process.aspace().local_pages(), 2u);
+  EXPECT_TRUE(process.aspace().dirty(300));
+  // finished_at = cpu + 2 minor faults
+  EXPECT_EQ(executor.stats().finished_at, Time::from_us(20) + costs.minor_fault * 2);
+}
+
+TEST_F(ExecutorFixture, HardFaultInvokesPolicyAndBlocks) {
+  Process process{1, trace({touch(300, 10), touch(301, 10)}), 0};
+  process.aspace().populate_all_dirty();
+  process.aspace().demote_to_remote(301);
+  Executor executor{simulator, process, costs};
+  InstantPolicy policy{simulator, executor, Time::from_ms(1)};
+  executor.set_policy(&policy);
+  executor.start();
+  simulator.run();
+  EXPECT_EQ(policy.faults, 1);
+  EXPECT_EQ(policy.last_kind, mem::AccessKind::HardFault);
+  EXPECT_EQ(executor.stats().hard_faults, 1u);
+  EXPECT_TRUE(executor.stats().finished);
+  EXPECT_GE(executor.stats().stall_time, Time::from_ms(1));
+}
+
+TEST_F(ExecutorFixture, FaultWithoutPolicyThrows) {
+  Process process{1, trace({touch(300, 10)}), 0};
+  process.aspace().populate_all_dirty();
+  process.aspace().demote_to_remote(300);
+  Executor executor{simulator, process, costs};
+  executor.start();
+  EXPECT_THROW(simulator.run(), std::logic_error);
+}
+
+TEST_F(ExecutorFixture, StartTwiceThrows) {
+  Process process{1, trace({touch(300)}), 0};
+  Executor executor{simulator, process, costs};
+  executor.start();
+  EXPECT_THROW(executor.start(), std::logic_error);
+}
+
+TEST_F(ExecutorFixture, CpuSpeedScalesRuntime) {
+  Process process{1, trace({touch(300, 100)}), 0};
+  process.aspace().populate_all_dirty();
+  NodeCosts fast = costs;
+  fast.cpu_speed = 2.0;
+  Executor executor{simulator, process, fast};
+  executor.start();
+  simulator.run();
+  EXPECT_EQ(executor.stats().finished_at, Time::from_us(50));
+}
+
+TEST_F(ExecutorFixture, CpuShareScalesRuntime) {
+  Process process{1, trace({touch(300, 100)}), 0};
+  process.aspace().populate_all_dirty();
+  Executor executor{simulator, process, costs};
+  executor.set_cpu_share_source([] { return 0.5; });
+  executor.start();
+  simulator.run();
+  EXPECT_EQ(executor.stats().finished_at, Time::from_us(200));
+}
+
+TEST_F(ExecutorFixture, FreezeAtBurstBoundaryThenResume) {
+  std::vector<Ref> refs;
+  for (int i = 0; i < 2000; ++i) {
+    refs.push_back(touch(300 + static_cast<mem::PageId>(i % 8), 50));
+  }
+  Process process{1, trace(std::move(refs)), 0};
+  process.aspace().populate_all_dirty();
+  Executor executor{simulator, process, costs};
+  executor.set_max_burst(Time::from_ms(10));
+  executor.start();
+
+  bool frozen = false;
+  simulator.schedule_at(Time::from_ms(25), [&] {
+    executor.request_freeze([&] { frozen = true; });
+  });
+  simulator.run_until(Time::from_ms(200));
+  EXPECT_TRUE(frozen);
+  EXPECT_EQ(process.state(), ProcState::Frozen);
+  const auto consumed = executor.stats().refs_consumed;
+  EXPECT_GT(consumed, 0u);
+  EXPECT_LT(consumed, 2000u);
+
+  process.set_current_node(1);
+  executor.resume_migrated(costs);
+  simulator.run();
+  EXPECT_TRUE(executor.stats().finished);
+  EXPECT_EQ(executor.stats().refs_consumed, 2000u);
+  // No reference was double-counted across the freeze.
+  EXPECT_EQ(executor.stats().cpu_time, Time::from_us(50) * 2000);
+}
+
+TEST_F(ExecutorFixture, DoubleFreezeRequestThrows) {
+  Process process{1, trace({touch(300, 1000)}), 0};
+  process.aspace().populate_all_dirty();
+  Executor executor{simulator, process, costs};
+  executor.start();
+  executor.request_freeze([] {});
+  EXPECT_THROW(executor.request_freeze([] {}), std::logic_error);
+}
+
+TEST_F(ExecutorFixture, FreezeRequestAfterFinishIsRejected) {
+  Process process{1, trace({touch(300, 1)}), 0};
+  process.aspace().populate_all_dirty();
+  Executor executor{simulator, process, costs};
+  executor.start();
+  simulator.run();
+  EXPECT_THROW(executor.request_freeze([] {}), std::logic_error);
+}
+
+TEST_F(ExecutorFixture, FreezeRequestDroppedIfProcessFinishesFirst) {
+  Process process{1, trace({touch(300, 1)}), 0};
+  process.aspace().populate_all_dirty();
+  Executor executor{simulator, process, costs};
+  executor.start();
+  bool frozen = false;
+  executor.request_freeze([&] { frozen = true; });  // before the first burst
+  // The freeze request lands before the burst, so it is honored first.
+  simulator.run();
+  EXPECT_TRUE(frozen);
+  executor.resume_migrated(costs);
+  simulator.run();
+  EXPECT_TRUE(executor.stats().finished);
+}
+
+TEST_F(ExecutorFixture, ResumeWithoutFreezeThrows) {
+  Process process{1, trace({touch(300, 1)}), 0};
+  Executor executor{simulator, process, costs};
+  EXPECT_THROW(executor.resume_migrated(costs), std::logic_error);
+}
+
+TEST_F(ExecutorFixture, LocalSyscallCostsServiceTime) {
+  Process process{1,
+                  trace({touch(300, 10),
+                         Ref{mem::kInvalidPage, Time::from_us(5), Ref::Kind::Syscall}}),
+                  0};
+  process.aspace().populate_all_dirty();
+  Executor executor{simulator, process, costs};
+  executor.start();
+  simulator.run();
+  EXPECT_EQ(executor.stats().syscalls_local, 1u);
+  EXPECT_EQ(executor.stats().finished_at,
+            Time::from_us(15) + costs.syscall_service);
+}
+
+TEST_F(ExecutorFixture, RedirectedSyscallBlocksUntilReply) {
+  Process process{1,
+                  trace({Ref{mem::kInvalidPage, Time::from_us(5), Ref::Kind::Syscall}}),
+                  0};
+  process.aspace().populate_all_dirty();
+  process.set_current_node(1);  // migrated
+  Executor executor{simulator, process, costs};
+  std::uint64_t seen_seq = 0;
+  executor.set_syscall_transport([&](std::uint64_t seq) {
+    seen_seq = seq;
+    simulator.schedule_after(Time::from_ms(2), [&executor, seq] {
+      executor.complete_syscall(seq);
+    });
+  });
+  executor.start();
+  simulator.run();
+  EXPECT_EQ(seen_seq, 1u);
+  EXPECT_EQ(executor.stats().syscalls_redirected, 1u);
+  EXPECT_GE(executor.stats().finished_at, Time::from_ms(2));
+}
+
+TEST_F(ExecutorFixture, WrongSyscallSequenceThrows) {
+  Process process{1,
+                  trace({Ref{mem::kInvalidPage, Time::from_us(5), Ref::Kind::Syscall}}),
+                  0};
+  process.aspace().populate_all_dirty();
+  process.set_current_node(1);
+  Executor executor{simulator, process, costs};
+  executor.set_syscall_transport([&](std::uint64_t) {
+    EXPECT_THROW(executor.complete_syscall(99), std::logic_error);
+    executor.complete_syscall(1);
+  });
+  executor.start();
+  simulator.run();
+  EXPECT_TRUE(executor.stats().finished);
+}
+
+TEST_F(ExecutorFixture, RamLimitEvictsLru) {
+  // Touch 6 distinct pages with a limit of 4: the 2 oldest get evicted.
+  Process process{1,
+                  trace({touch(300), touch(301), touch(302), touch(303), touch(304),
+                         touch(305), touch(300)}),  // re-touch 300: swap fault
+                  0};
+  Executor executor{simulator, process, costs};
+  executor.set_ram_limit_pages(4);
+  executor.start();
+  simulator.run();
+  EXPECT_GE(executor.stats().evictions, 2u);
+  EXPECT_EQ(executor.stats().swap_faults, 1u);
+  EXPECT_TRUE(executor.stats().finished);
+}
+
+TEST_F(ExecutorFixture, RecentCpuFractionReflectsStalls) {
+  // 100 us compute then a 900 us fault stall: at the next fault the C_i
+  // snapshot covers the full interval -> approximately 0.1.
+  Process process{1, trace({touch(300, 100), touch(301, 100), touch(302, 100)}), 0};
+  process.aspace().populate_all_dirty();
+  process.aspace().demote_to_remote(301);
+  process.aspace().demote_to_remote(302);
+  Executor executor{simulator, process, costs};
+  InstantPolicy policy{simulator, executor, Time::from_us(900)};
+  executor.set_policy(&policy);
+  executor.start();
+  simulator.run();
+  // After the second fault's handling, the snapshot covers fault-1 stall.
+  const double c = executor.recent_cpu_fraction();
+  EXPECT_GT(c, 0.05);
+  EXPECT_LT(c, 0.35);
+}
+
+TEST(ProcessTest, CurrentPagesTracksRegions) {
+  auto stream = std::make_unique<TraceStream>(std::vector<Ref>{}, 4 * sim::kMiB);
+  Process process{7, std::move(stream), 0};
+  const auto& layout = process.aspace().layout();
+  // Untouched: falls back to region starts.
+  auto pages = process.current_pages();
+  EXPECT_EQ(pages[0], layout.begin(mem::Region::Code));
+  EXPECT_EQ(pages[2], layout.begin(mem::Region::Stack));
+
+  process.note_touch(layout.begin(mem::Region::Code) + 3);
+  process.note_touch(layout.begin(mem::Region::Heap) + 17);
+  process.note_touch(layout.begin(mem::Region::Stack) + 2);
+  pages = process.current_pages();
+  EXPECT_EQ(pages[0], layout.begin(mem::Region::Code) + 3);
+  EXPECT_EQ(pages[1], layout.begin(mem::Region::Heap) + 17);
+  EXPECT_EQ(pages[2], layout.begin(mem::Region::Stack) + 2);
+}
+
+TEST(ProcessTest, MigratedFlagFollowsCurrentNode) {
+  auto stream = std::make_unique<TraceStream>(std::vector<Ref>{}, sim::kMiB);
+  Process process{7, std::move(stream), 3};
+  EXPECT_EQ(process.home_node(), 3u);
+  EXPECT_FALSE(process.migrated());
+  process.set_current_node(5);
+  EXPECT_TRUE(process.migrated());
+}
+
+}  // namespace
+}  // namespace ampom::proc

@@ -1,0 +1,88 @@
+// Tests of the second-hop (re-migration) support: the paper's §1 scenario
+// of correcting a suboptimal placement decision.
+
+#include <gtest/gtest.h>
+
+#include "driver/experiment.hpp"
+#include "workload/hpcc.hpp"
+#include "workload/synthetic.hpp"
+
+namespace ampom::driver {
+namespace {
+
+using sim::Time;
+
+Scenario two_hop(Scheme scheme, std::uint64_t memory_mib = 16,
+                 Time second_after = Time::from_sec(2.0)) {
+  Scenario s;
+  s.scheme = scheme;
+  s.memory_mib = memory_mib;
+  s.workload_label = "STREAM";
+  s.make_workload = [memory_mib] {
+    return workload::make_hpcc_kernel(workload::HpccKernel::Stream, memory_mib);
+  };
+  s.remigrate_after = second_after;
+  return s;
+}
+
+TEST(Remigration, RejectsBackgroundTrafficCombination) {
+  Scenario s = two_hop(Scheme::Ampom);
+  s.background_traffic = 0.3;
+  EXPECT_THROW(run_experiment(s), std::invalid_argument);
+}
+
+TEST(Remigration, AmpomTwoHopFinishes) {
+  const RunMetrics m = run_experiment(two_hop(Scheme::Ampom));
+  EXPECT_TRUE(m.ledger_ok);
+  EXPECT_GT(m.freeze_time, Time::zero());
+  EXPECT_GT(m.freeze_time_2, Time::zero());
+  // Both freezes are lightweight.
+  EXPECT_LT(m.freeze_time_2, Time::from_sec(1.0));
+  EXPECT_GT(m.refs_consumed, 0u);
+}
+
+TEST(Remigration, FlushReturnsPagesToHome) {
+  const RunMetrics m = run_experiment(two_hop(Scheme::Ampom));
+  // Pages fetched to B before the second hop went back to the home node.
+  EXPECT_GT(m.flush_pages, 0u);
+}
+
+TEST(Remigration, StalledRequestsAreServedAfterFlush) {
+  // Re-migrate quickly so the process at C races the flush from B.
+  const RunMetrics m = run_experiment(two_hop(Scheme::Ampom, 33, Time::from_ms(500)));
+  EXPECT_GT(m.requests_stalled_on_flush, 0u);
+  EXPECT_TRUE(m.ledger_ok);
+  EXPECT_GT(m.refs_consumed, 0u);  // the run still completed
+}
+
+TEST(Remigration, OpenMosixTwoHopPaysTwoFullFreezes) {
+  const RunMetrics m = run_experiment(two_hop(Scheme::OpenMosix, 65, Time::from_ms(500)));
+  EXPECT_GT(m.freeze_time, Time::from_sec(1.0));
+  EXPECT_GT(m.freeze_time_2, Time::from_sec(1.0));
+  EXPECT_EQ(m.flush_pages, 0u);  // everything travels with the process
+}
+
+TEST(Remigration, NoPrefetchTwoHopFinishes) {
+  const RunMetrics m = run_experiment(two_hop(Scheme::NoPrefetch));
+  EXPECT_GT(m.freeze_time_2, Time::zero());
+  EXPECT_LT(m.freeze_time_2, Time::from_ms(500));
+  EXPECT_GT(m.refs_consumed, 0u);
+}
+
+TEST(Remigration, SecondHopSkippedIfProcessFinishes) {
+  // Re-migration scheduled long after the workload ends: single-hop run.
+  const RunMetrics m = run_experiment(two_hop(Scheme::Ampom, 8, Time::from_sec(3600)));
+  EXPECT_EQ(m.freeze_time_2, Time::zero());
+  EXPECT_GT(m.refs_consumed, 0u);
+}
+
+TEST(Remigration, TwoHopCostMuchLowerUnderAmpom) {
+  const RunMetrics am = run_experiment(two_hop(Scheme::Ampom, 65, Time::from_ms(500)));
+  const RunMetrics om = run_experiment(two_hop(Scheme::OpenMosix, 65, Time::from_ms(500)));
+  const double am_frozen = (am.freeze_time + am.freeze_time_2).sec();
+  const double om_frozen = (om.freeze_time + om.freeze_time_2).sec();
+  EXPECT_LT(am_frozen, om_frozen / 5);
+}
+
+}  // namespace
+}  // namespace ampom::driver

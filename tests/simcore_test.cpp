@@ -1,0 +1,192 @@
+// Unit tests for the discrete-event engine, time arithmetic and the RNG.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/rng.hpp"
+#include "simcore/simulator.hpp"
+#include "simcore/units.hpp"
+
+namespace ampom::sim {
+namespace {
+
+using namespace ampom::sim::literals;
+
+TEST(Time, ConstructionAndConversion) {
+  EXPECT_EQ(Time::from_us(5).ns(), 5000);
+  EXPECT_EQ(Time::from_ms(3).ns(), 3'000'000);
+  EXPECT_DOUBLE_EQ(Time::from_sec(1.5).sec(), 1.5);
+  EXPECT_EQ(Time::zero().ns(), 0);
+  EXPECT_EQ((2.5_s).ns(), 2'500'000'000);
+  EXPECT_EQ((10_us).ns(), 10'000);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = 10_ms;
+  const Time b = 4_ms;
+  EXPECT_EQ((a + b).ns(), Time::from_ms(14).ns());
+  EXPECT_EQ((a - b).ns(), Time::from_ms(6).ns());
+  EXPECT_EQ((a * 3).ns(), Time::from_ms(30).ns());
+  EXPECT_EQ((a / 2).ns(), Time::from_ms(5).ns());
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_LT(b, a);
+}
+
+TEST(Time, ScaledByFactor) {
+  EXPECT_EQ((10_ms).scaled(0.5).ns(), Time::from_ms(5).ns());
+  EXPECT_EQ((10_ms).scaled(2.0).ns(), Time::from_ms(20).ns());
+}
+
+TEST(Bandwidth, TransferTime) {
+  const Bandwidth fe = Bandwidth::mbits_per_sec(100);
+  // 4096 bytes at 100 Mb/s = 327.68 us.
+  EXPECT_NEAR(fe.transfer_time(4096).us(), 327.68, 0.01);
+  EXPECT_EQ(Bandwidth::bytes_per_sec(1000).bps(), 8000);
+  EXPECT_EQ(Bandwidth{}.transfer_time(100), Time::max());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3_ms, [&] { order.push_back(3); });
+  sim.schedule_at(1_ms, [&] { order.push_back(1); });
+  sim.schedule_at(2_ms, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3_ms);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, SameTimeFifoBySchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(1_ms, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  Time inner{};
+  sim.schedule_at(5_ms, [&] {
+    sim.schedule_after(2_ms, [&] { inner = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner, 7_ms);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(5_ms, [&] {
+    EXPECT_THROW(sim.schedule_at(1_ms, [] {}), std::logic_error);
+  });
+  sim.run();
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(1_ms, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const auto id = sim.schedule_at(1_ms, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, RunUntilStopsAtLimit) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1_ms, [&] { ++count; });
+  sim.schedule_at(5_ms, [&] { ++count; });
+  sim.run_until(2_ms);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), 2_ms);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, HaltStopsTheLoop) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1_ms, [&] {
+    ++count;
+    sim.halt();
+  });
+  sim.schedule_at(2_ms, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, PendingCountsLiveEvents) {
+  Simulator sim;
+  const auto a = sim.schedule_at(1_ms, [] {});
+  sim.schedule_at(2_ms, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next() == b.next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformWithinBound) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng{7};
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform_real();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng{11};
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.exponential(3.0);
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+}  // namespace
+}  // namespace ampom::sim

@@ -1,0 +1,160 @@
+// Unit tests for the stats layer (tables, summaries, series, counters) and
+// the simcore formatting/logging helpers.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "simcore/fmt.hpp"
+#include "simcore/log.hpp"
+#include "stats/counters.hpp"
+#include "stats/series.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace ampom {
+namespace {
+
+TEST(Strfmt, FormatsLikePrintf) {
+  EXPECT_EQ(sim::strfmt("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(sim::strfmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(sim::strfmt("empty"), "empty");
+  // Long output beyond any small-string buffer.
+  const std::string long_out = sim::strfmt("%0200d", 7);
+  EXPECT_EQ(long_out.size(), 200u);
+}
+
+TEST(TimeStr, HumanReadableUnits) {
+  EXPECT_EQ(sim::Time::zero().str(), "0s");
+  EXPECT_EQ(sim::Time::from_sec(1.5).str(), "1.500s");
+  EXPECT_EQ(sim::Time::from_ms(12).str(), "12.000ms");
+  EXPECT_EQ(sim::Time::from_us(7).str(), "7.000us");
+}
+
+TEST(Logger, RespectsLevelAndSink) {
+  auto& logger = sim::Logger::instance();
+  std::ostringstream sink;
+  logger.set_sink(&sink);
+  logger.set_level(sim::LogLevel::Info);
+  AMPOM_LOG(sim::LogLevel::Debug, sim::Time::zero(), "test", "hidden %d", 1);
+  AMPOM_LOG(sim::LogLevel::Warn, sim::Time::from_sec(2.0), "test", "visible %d", 2);
+  logger.set_level(sim::LogLevel::Warn);
+  logger.set_sink(nullptr);
+  const std::string out = sink.str();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("visible 2"), std::string::npos);
+  EXPECT_NE(out.find("WARN"), std::string::npos);
+}
+
+TEST(Summary, OrderStatistics) {
+  stats::Summary s;
+  for (const double v : {5.0, 1.0, 3.0, 2.0, 4.0}) {
+    s.add(v);
+  }
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.25), 2.0);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  stats::Summary s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.9), 9.0);
+}
+
+TEST(Summary, StddevOfConstantIsZero) {
+  stats::Summary s;
+  s.add(4.0);
+  s.add(4.0);
+  s.add(4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, AddAfterSortStaysCorrect) {
+  stats::Summary s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(100.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Series, CollectsPoints) {
+  stats::Series series{"AMPoM"};
+  EXPECT_TRUE(series.empty());
+  series.add(115, 0.19);
+  series.add(575, 0.68);
+  EXPECT_EQ(series.name(), "AMPoM");
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.last_y(), 0.68);
+  EXPECT_DOUBLE_EQ(series.points()[0].second, 0.19);
+}
+
+TEST(Counters, AccumulateAndReset) {
+  stats::Counters c;
+  c.add("faults");
+  c.add("faults", 4);
+  c.add("pages", 10);
+  EXPECT_EQ(c.get("faults"), 5u);
+  EXPECT_EQ(c.get("pages"), 10u);
+  EXPECT_EQ(c.get("missing"), 0u);
+  EXPECT_EQ(c.all().size(), 2u);
+  c.reset();
+  EXPECT_EQ(c.get("faults"), 0u);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  stats::Table t{"demo", {"name", "value"}};
+  t.add_row({"short", "1"});
+  t.add_row({"a-much-longer-name", "22"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("a-much-longer-name"), std::string::npos);
+  // Both value cells start at the same column.
+  const auto line_with = [&](const std::string& needle) {
+    const auto pos = s.find(needle);
+    const auto start = s.rfind('\n', pos) + 1;
+    return s.substr(start, s.find('\n', pos) - start);
+  };
+  EXPECT_EQ(line_with("short").find('1'), line_with("a-much-longer-name").find("22"));
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  stats::Table t{"demo", {"a", "b"}};
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"with\"quote", "x"});
+  std::ostringstream out;
+  t.write_csv(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, NumericHelpers) {
+  EXPECT_EQ(stats::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(stats::Table::integer(42), "42");
+  EXPECT_EQ(stats::Table::percent(0.1234), "12.3%");
+  EXPECT_EQ(stats::Table::percent(0.5, 0), "50%");
+}
+
+TEST(Table, RowAccess) {
+  stats::Table t{"demo", {"a"}};
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.row(0)[0], "x");
+  EXPECT_EQ(t.title(), "demo");
+}
+
+}  // namespace
+}  // namespace ampom

@@ -1,0 +1,222 @@
+// ampom_sim — command-line front end for single experiments.
+//
+//   ampom_sim --kernel=stream --memory-mib=129 --scheme=ampom
+//   ampom_sim --kernel=dgemm --memory-mib=575 --working-set-mib=115
+//   ampom_sim --kernel=randomaccess --memory-mib=65 --broadband --trace=500
+//
+// Prints the full metric set of one run; every AMPoM knob is exposed so the
+// tool doubles as an exploration harness for the ablation space.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "driver/experiment.hpp"
+#include "simcore/fmt.hpp"
+#include "workload/hpcc.hpp"
+
+namespace {
+
+using namespace ampom;
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      R"(usage: ampom_sim [options]
+  --kernel=NAME          dgemm | stream | randomaccess | fft   (default stream)
+  --memory-mib=N         process size in MiB                   (default 129)
+  --working-set-mib=N    DGEMM small-working-set variant (0 = full)
+  --scheme=NAME          openmosix | noprefetch | ampom | precopy | checkpoint
+                         (default ampom)
+  --seed=N               workload seed                         (default 1)
+
+  environment:
+  --broadband            shape the migrant/home link to 6 Mb/s + 2 ms
+  --background-load=F    CPU load at the destination (0..1)
+  --background-traffic=F competing traffic into the destination (0..1)
+  --ram-limit-pages=N    destination RAM cap with LRU eviction (0 = off)
+  --no-home-dependency   execute syscalls locally after migration
+
+  AMPoM knobs:
+  --lookback=N --dmax=N --zone-cap=N --min-zone=N --partitions=N --no-batch
+
+  output:
+  --trace=N              print every Nth dependent-zone analysis
+  -h, --help
+)";
+  std::exit(code);
+}
+
+bool parse_u64(const std::string& arg, const char* key, std::uint64_t& out) {
+  const std::string prefix = std::string(key) + "=";
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  out = std::stoull(arg.substr(prefix.size()));
+  return true;
+}
+
+bool parse_double(const std::string& arg, const char* key, double& out) {
+  const std::string prefix = std::string(key) + "=";
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  out = std::stod(arg.substr(prefix.size()));
+  return true;
+}
+
+bool parse_str(const std::string& arg, const char* key, std::string& out) {
+  const std::string prefix = std::string(key) + "=";
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string kernel_name = "stream";
+  std::string scheme_name = "ampom";
+  std::uint64_t memory_mib = 129;
+  std::uint64_t working_set_mib = 0;
+  std::uint64_t trace_every = 0;
+  driver::Scenario s;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::uint64_t u = 0;
+    double d = 0.0;
+    if (arg == "-h" || arg == "--help") {
+      usage(0);
+    } else if (parse_str(arg, "--kernel", kernel_name) ||
+               parse_str(arg, "--scheme", scheme_name)) {
+    } else if (parse_u64(arg, "--memory-mib", memory_mib) ||
+               parse_u64(arg, "--working-set-mib", working_set_mib) ||
+               parse_u64(arg, "--seed", s.seed) ||
+               parse_u64(arg, "--ram-limit-pages", s.ram_limit_pages) ||
+               parse_u64(arg, "--trace", trace_every)) {
+    } else if (parse_u64(arg, "--lookback", u)) {
+      s.ampom.lookback_length = u;
+    } else if (parse_u64(arg, "--dmax", u)) {
+      s.ampom.dmax = u;
+    } else if (parse_u64(arg, "--zone-cap", u)) {
+      s.ampom.zone_cap = u;
+    } else if (parse_u64(arg, "--min-zone", u)) {
+      s.ampom.min_zone = u;
+    } else if (parse_u64(arg, "--partitions", u)) {
+      s.ampom.window_partitions = u;
+    } else if (parse_double(arg, "--background-load", d)) {
+      s.dest_background_load = d;
+    } else if (parse_double(arg, "--background-traffic", d)) {
+      s.background_traffic = d;
+    } else if (arg == "--broadband") {
+      s.shape_migrant_link = true;
+      s.shaped_link = driver::broadband_link();
+    } else if (arg == "--no-batch") {
+      s.ampom.batch_requests = false;
+    } else if (arg == "--no-home-dependency") {
+      s.home_dependency = false;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage(2);
+    }
+  }
+
+  workload::HpccKernel kernel{};
+  if (kernel_name == "dgemm") {
+    kernel = workload::HpccKernel::Dgemm;
+  } else if (kernel_name == "stream") {
+    kernel = workload::HpccKernel::Stream;
+  } else if (kernel_name == "randomaccess") {
+    kernel = workload::HpccKernel::RandomAccess;
+  } else if (kernel_name == "fft") {
+    kernel = workload::HpccKernel::Fft;
+  } else {
+    std::cerr << "unknown kernel: " << kernel_name << "\n";
+    usage(2);
+  }
+
+  if (scheme_name == "openmosix") {
+    s.scheme = driver::Scheme::OpenMosix;
+  } else if (scheme_name == "noprefetch") {
+    s.scheme = driver::Scheme::NoPrefetch;
+  } else if (scheme_name == "ampom") {
+    s.scheme = driver::Scheme::Ampom;
+  } else if (scheme_name == "precopy") {
+    s.scheme = driver::Scheme::PreCopy;
+  } else if (scheme_name == "checkpoint") {
+    s.scheme = driver::Scheme::Checkpoint;
+  } else {
+    std::cerr << "unknown scheme: " << scheme_name << "\n";
+    usage(2);
+  }
+
+  s.memory_mib = memory_mib;
+  s.workload_label = workload::hpcc_kernel_name(kernel);
+  if (working_set_mib != 0) {
+    if (kernel != workload::HpccKernel::Dgemm) {
+      std::cerr << "--working-set-mib requires --kernel=dgemm\n";
+      return 2;
+    }
+    s.make_workload = [memory_mib, working_set_mib] {
+      return workload::make_small_ws_dgemm(memory_mib, working_set_mib);
+    };
+  } else {
+    s.make_workload = [kernel, memory_mib, seed = s.seed] {
+      return workload::make_hpcc_kernel(kernel, memory_mib, seed);
+    };
+  }
+
+  if (trace_every > 0) {
+    std::uint64_t count = 0;
+    s.ampom_trace = [trace_every, count](const core::ZoneInputs& in, std::uint64_t n,
+                                         std::size_t m) mutable {
+      if (++count % trace_every != 0) {
+        return;
+      }
+      std::cout << sim::strfmt(
+          "analysis %8llu: S=%.3f r=%.0f/s c=%.2f c'=%.2f t0=%.0fus td=%.0fus N=%llu m=%zu\n",
+          static_cast<unsigned long long>(count), in.locality_score, in.paging_rate_hz,
+          in.cpu_mean, in.cpu_next, in.rtt_one_way.us(), in.page_transfer.us(),
+          static_cast<unsigned long long>(n), m);
+    };
+  }
+
+  const driver::RunMetrics m = driver::run_experiment(s);
+
+  std::cout << "workload:               " << m.workload << " (" << m.memory_mib << " MiB, "
+            << m.page_count << " pages)\n"
+            << "scheme:                 " << m.scheme << "\n"
+            << "freeze time:            " << m.freeze_time.str() << "\n"
+            << "total time:             " << m.total_time.str() << "\n"
+            << "execution time:         " << m.exec_time.str() << "\n"
+            << "cpu time:               " << m.cpu_time.str() << "\n"
+            << "stall time:             " << m.stall_time.str() << "\n"
+            << "handler time:           " << m.handler_time.str() << "\n"
+            << "refs consumed:          " << m.refs_consumed << "\n"
+            << "hard faults:            " << m.hard_faults << "\n"
+            << "soft faults:            " << m.soft_faults << "\n"
+            << "in-flight waits:        " << m.inflight_waits << "\n"
+            << "fault requests:         " << m.remote_fault_requests << "\n"
+            << "prefetch pages issued:  " << m.prefetch_pages_issued << "\n"
+            << "pages arrived:          " << m.pages_arrived << "\n"
+            << "pages moved in freeze:  " << m.pages_migrated << "\n"
+            << "pages resent (precopy): " << m.pages_resent << "\n"
+            << "migration span:         " << m.migration_span.str() << "\n"
+            << "freeze bytes:           " << m.bytes_freeze << "\n"
+            << "paging bytes:           " << m.bytes_paging << "\n"
+            << "prevented faults:       " << sim::strfmt("%.2f%%", m.prevented_fault_fraction() * 100.0)
+            << "\n"
+            << "zone per fault:         " << sim::strfmt("%.1f", m.prefetched_per_fault()) << "\n"
+            << "fault latency us (p50/p95/max): "
+            << sim::strfmt("%.0f/%.0f/%.0f", m.fault_latency_p50_us, m.fault_latency_p95_us,
+                           m.fault_latency_max_us)
+            << "\n"
+            << "analysis overhead:      "
+            << sim::strfmt("%.3f%%", m.analysis_overhead_fraction() * 100.0) << "\n"
+            << "syscalls (local/redir): " << m.syscalls_local << "/" << m.syscalls_redirected
+            << "\n"
+            << "ledger intact:          " << (m.ledger_ok ? "yes" : "NO") << "\n";
+  return 0;
+}
