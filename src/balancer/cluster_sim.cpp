@@ -23,6 +23,9 @@ ProcessHost::ProcessHost(ClusterSim& world, std::uint64_t pid, JobSpec spec)
               spec_.home,        pid,            process_.aspace().page_count(), &ledger_} {
   process_.aspace().populate_all_dirty();
   world_.node(spec_.home).set_deputy(pid_, &deputy_);
+  if (world.reliability().enabled) {
+    deputy_.set_reliability(true);
+  }
   // Time-sharing: the process gets an equal share of whichever node it is on.
   executor_.set_cpu_share_source([this] {
     const auto sharers = world_.active_on(process_.current_node());
@@ -37,12 +40,51 @@ void ProcessHost::start() {
   executor_.start();
 }
 
+const proc::PagingClientStats* ProcessHost::paging_stats(net::NodeId node) const {
+  const auto it = stacks_.find(node);
+  if (it == stacks_.end() || it->second.client == nullptr) {
+    return nullptr;
+  }
+  return &it->second.client->stats();
+}
+
+void ProcessHost::on_host_crashed(net::NodeId node) {
+  executor_.crash_interrupt();
+  const auto it = stacks_.find(node);
+  if (it != stacks_.end() && it->second.client != nullptr) {
+    it->second.client->cancel_outstanding();
+  }
+}
+
+void ProcessHost::recover_to_home() {
+  if (!started_ || finished() || migrating_ || current_node() == home_node()) {
+    return;
+  }
+  const net::NodeId lost = process_.current_node();
+  // Belt and braces: normally on_host_crashed already ran when the node
+  // died, but recover_to_home is also callable directly (both are
+  // idempotent).
+  on_host_crashed(lost);
+  deputy_.recover_pages_from(lost);
+  process_.aspace().recover_all_local();
+  process_.set_current_node(spec_.home);
+  executor_.set_policy(nullptr);  // every page is Local at home again
+  executor_.resume_migrated(world_.profile().costs);
+  ++recoveries_;
+}
+
 void ProcessHost::activate_stack(net::NodeId node) {
   auto it = stacks_.find(node);
   if (it == stacks_.end()) {
     PagingStack stack;
     stack.client = std::make_unique<proc::PagingClient>(
         world_.simulator(), world_.fabric(), world_.profile().wire, node, spec_.home, pid_);
+    if (world_.reliability().enabled && world_.reliability().paging.enabled) {
+      stack.client->set_retry_config(world_.reliability().paging);
+      cluster::InfoDaemon& daemon = world_.infod(node);
+      stack.client->set_rtt_provider(
+          [&daemon, home = spec_.home] { return daemon.rtt_one_way(home); });
+    }
     switch (world_.scheme()) {
       case driver::Scheme::NoPrefetch:
         stack.demand = std::make_unique<proc::DemandPagingPolicy>(world_.simulator(), executor_,
@@ -91,6 +133,13 @@ void ProcessHost::migrate_to(net::NodeId dst) {
   if (!migratable() || dst == process_.current_node() || dst >= world_.node_count()) {
     return;
   }
+  const bool reliable =
+      world_.reliability().enabled && world_.reliability().migration.enabled;
+  if (world_.node_crashed(dst) && !reliable) {
+    // The classic fire-and-forget engines would "complete" into a dead node;
+    // without the ack'd protocol to detect that, refuse the move instead.
+    return;
+  }
   migrating_ = true;
   const bool first_hop = process_.current_node() == process_.home_node();
   migration::MigrationEngine& engine =
@@ -107,11 +156,23 @@ void ProcessHost::migrate_to(net::NodeId dst) {
                                   world_.profile().costs,
                                   world_.profile().costs,
                                   &ledger_,
-                                  [this, dst] { activate_stack(dst); }};
+                                  [this, dst] { activate_stack(dst); },
+                                  /*src_node=*/nullptr,
+                                  /*dst_node=*/nullptr,
+                                  /*reliability=*/{}};
+  if (reliable) {
+    ctx.src_node = &world_.node(process_.current_node());
+    ctx.dst_node = &world_.node(dst);
+    ctx.reliability = world_.reliability().migration;
+  }
   migration::migrate_process(std::move(ctx), engine,
                              [this](migration::MigrationResult result) {
                                migrating_ = false;
-                               ++migrations_;
+                               if (result.completed()) {
+                                 ++migrations_;
+                               } else {
+                                 ++failed_migrations_;
+                               }
                                freeze_total_ += result.freeze_time();
                              });
 }
@@ -162,6 +223,93 @@ ClusterSim::ClusterSim(std::size_t node_count, driver::Scheme scheme,
     default:
       break;  // full copy / pre-copy re-migrate with their first-hop engine
   }
+}
+
+void ClusterSim::set_fault_plan(const driver::FaultPlan& plan) {
+  if (injector_ == nullptr) {
+    injector_ = std::make_unique<net::FaultInjector>(sim_, plan.seed);
+    fabric_.set_fault_injector(injector_.get());
+  }
+  plan.apply_faults(*injector_);
+  for (const auto& crash : plan.crashes) {
+    sim_.schedule_at(crash.at, [this, node = crash.node] { crash_node(node); });
+    if (crash.restore_at > sim::Time::zero()) {
+      sim_.schedule_at(crash.restore_at,
+                       [this, node = crash.node] { restore_node(node); });
+    }
+  }
+}
+
+void ClusterSim::set_reliability(const driver::ReliabilityConfig& config) {
+  reliability_ = config;
+  for (auto& infod : infods_) {
+    infod->set_failure_detection(config.detection);
+  }
+  // Hosts spawned before this call still get their paging stacks lazily, so
+  // only the deputy flag needs back-filling.
+  for (auto& host : hosts_) {
+    host->deputy_.set_reliability(config.enabled);
+  }
+}
+
+void ClusterSim::crash_node(net::NodeId id) {
+  if (id >= node_count()) {
+    throw std::invalid_argument("ClusterSim::crash_node: node out of range");
+  }
+  if (injector_ == nullptr) {
+    // No fault plan installed: a zero-fault injector is exactly transparent,
+    // so composing one in just for the crash flags is safe.
+    injector_ = std::make_unique<net::FaultInjector>(sim_, /*seed=*/1);
+    fabric_.set_fault_injector(injector_.get());
+  }
+  injector_->crash_node(id);
+  for (auto& host : hosts_) {
+    if (host->started_ && !host->finished() && !host->migrating() &&
+        host->current_node() == id) {
+      host->on_host_crashed(id);
+    }
+  }
+}
+
+void ClusterSim::restore_node(net::NodeId id) {
+  if (injector_ != nullptr) {
+    injector_->restore_node(id);
+  }
+}
+
+bool ClusterSim::node_crashed(net::NodeId id) const {
+  return injector_ != nullptr && injector_->node_crashed(id);
+}
+
+cluster::PeerHealth ClusterSim::consensus_health(net::NodeId id) const {
+  if (!reliability_.enabled || !reliability_.detection.enabled || id >= node_count()) {
+    return cluster::PeerHealth::kAlive;
+  }
+  std::size_t dead = 0;
+  std::size_t suspected = 0;
+  const std::size_t voters = node_count() - 1;
+  for (net::NodeId observer = 0; observer < node_count(); ++observer) {
+    if (observer == id) {
+      continue;
+    }
+    switch (infods_[observer]->peer_health(id)) {
+      case cluster::PeerHealth::kDead:
+        ++dead;
+        break;
+      case cluster::PeerHealth::kSuspected:
+        ++suspected;
+        break;
+      case cluster::PeerHealth::kAlive:
+        break;
+    }
+  }
+  if (dead * 2 > voters) {
+    return cluster::PeerHealth::kDead;
+  }
+  if ((dead + suspected) * 2 > voters) {
+    return cluster::PeerHealth::kSuspected;
+  }
+  return cluster::PeerHealth::kAlive;
 }
 
 migration::MigrationEngine& ClusterSim::first_hop_engine() {

@@ -24,6 +24,7 @@
 #include "migration/engine.hpp"
 #include "migration/full_copy.hpp"
 #include "migration/lightweight.hpp"
+#include "net/fault_injector.hpp"
 #include "proc/demand_paging.hpp"
 #include "proc/deputy.hpp"
 #include "proc/executor.hpp"
@@ -50,6 +51,7 @@ class ProcessHost {
   [[nodiscard]] net::NodeId current_node() const { return process_.current_node(); }
   [[nodiscard]] net::NodeId home_node() const { return process_.home_node(); }
   [[nodiscard]] bool finished() const { return executor_.stats().finished; }
+  [[nodiscard]] bool started() const { return started_; }
   [[nodiscard]] bool migrating() const { return migrating_; }
   // Eligible for a balancer-initiated move right now.
   [[nodiscard]] bool migratable() const { return started_ && !finished() && !migrating_; }
@@ -57,17 +59,32 @@ class ProcessHost {
   // Move the process to `dst`; a no-op if not currently migratable.
   void migrate_to(net::NodeId dst);
 
+  // Failure recovery: the node the process runs on died. The deputy reclaims
+  // every page the crashed host held (HPT/ledger reconstruction), the frozen
+  // process image is re-established from the home node's copy, and the
+  // executor resumes at home. A no-op when already home, finished, or
+  // mid-migration.
+  void recover_to_home();
+
   [[nodiscard]] const proc::ExecStats& stats() const { return executor_.stats(); }
   [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
+  [[nodiscard]] std::uint64_t failed_migrations() const { return failed_migrations_; }
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
   [[nodiscard]] sim::Time freeze_total() const { return freeze_total_; }
   [[nodiscard]] sim::Time finished_at() const { return executor_.stats().finished_at; }
   [[nodiscard]] const mem::PageLedger& ledger() const { return ledger_; }
+  [[nodiscard]] const proc::Deputy& deputy() const { return deputy_; }
+  [[nodiscard]] const proc::PagingClientStats* paging_stats(net::NodeId node) const;
 
  private:
   friend class ClusterSim;
   void start();  // scheduled by ClusterSim at spec_.start
   // Create (once) and activate the paging stack for `node`.
   void activate_stack(net::NodeId node);
+  // The node the process currently runs on crashed: force-freeze the
+  // executor and abandon in-flight page requests. Recovery follows later
+  // (recover_to_home, normally triggered by the balancer's failure check).
+  void on_host_crashed(net::NodeId node);
 
   struct PagingStack {
     std::unique_ptr<proc::PagingClient> client;
@@ -86,6 +103,8 @@ class ProcessHost {
   bool started_{false};
   bool migrating_{false};
   std::uint64_t migrations_{0};
+  std::uint64_t failed_migrations_{0};  // aborted (e.g. destination died)
+  std::uint64_t recoveries_{0};         // recover_to_home invocations
   sim::Time freeze_total_{};
 };
 
@@ -103,6 +122,32 @@ class ClusterSim {
 
   // Run the world until every spawned process finished.
   void run();
+
+  // --- faults & reliability --------------------------------------------------
+  // Install a scripted fault schedule. Probabilistic faults and link outages
+  // go straight to the injector; node crashes are orchestrated through
+  // crash_node so the processes on the dying node are interrupted too.
+  // Call before run().
+  void set_fault_plan(const driver::FaultPlan& plan);
+  // Enable the reliable protocol variants (paging retransmission, ack'd
+  // migration, heartbeat failure detection). Call before spawning jobs.
+  void set_reliability(const driver::ReliabilityConfig& config);
+  [[nodiscard]] const driver::ReliabilityConfig& reliability() const { return reliability_; }
+  [[nodiscard]] net::FaultInjector* fault_injector() { return injector_.get(); }
+
+  // Crash `id` now: the injector suppresses all its traffic, and every
+  // process running there is force-frozen with its page requests abandoned
+  // (their state died with the node; the balancer re-homes them once the
+  // heartbeat silence crosses the dead threshold).
+  void crash_node(net::NodeId id);
+  void restore_node(net::NodeId id);
+  [[nodiscard]] bool node_crashed(net::NodeId id) const;
+
+  // Cluster-wide health of `id` by majority vote over the other nodes'
+  // heartbeat-silence verdicts — one crashed observer (which hears nobody
+  // and would call everyone dead) cannot condemn a healthy node. Always
+  // kAlive while failure detection is disabled.
+  [[nodiscard]] cluster::PeerHealth consensus_health(net::NodeId id) const;
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] net::Fabric& fabric() { return fabric_; }
@@ -130,8 +175,10 @@ class ClusterSim {
   driver::Scheme scheme_;
   driver::ClusterProfile profile_;
   core::AmpomConfig ampom_;
+  driver::ReliabilityConfig reliability_;
   sim::Simulator sim_;
   net::Fabric fabric_;
+  std::unique_ptr<net::FaultInjector> injector_;
   std::vector<std::unique_ptr<cluster::Node>> nodes_;
   std::vector<std::unique_ptr<cluster::InfoDaemon>> infods_;
   std::vector<std::unique_ptr<ProcessHost>> hosts_;

@@ -19,11 +19,30 @@ void LoadBalancer::start() {
   world_.simulator().schedule_after(config_.period, [this] { tick(); });
 }
 
+void LoadBalancer::reclaim_stranded() {
+  // A migrant whose host the cluster agrees is dead cannot make progress —
+  // its executor is frozen and its pages unreachable. Re-home it: the
+  // deputy reconstructs ownership from the HPT/ledger and the process
+  // resumes at its home node.
+  for (const auto& host : world_.hosts()) {
+    if (host->started() && !host->finished() && !host->migrating() &&
+        host->current_node() != host->home_node() &&
+        world_.consensus_health(host->current_node()) == cluster::PeerHealth::kDead) {
+      host->recover_to_home();
+      ++rehomes_;
+    }
+  }
+}
+
 void LoadBalancer::tick() {
   if (!running_) {
     return;
   }
   ++ticks_;
+
+  if (config_.respect_failure_detection) {
+    reclaim_stranded();
+  }
 
   // Damping: while a migration is in flight the load vector is stale (the
   // migrant still counts at its source); deciding now causes ping-pong
@@ -37,12 +56,20 @@ void LoadBalancer::tick() {
 
   // Load vector: direct count for every node (the InfoDaemons gossip the
   // same numbers; reading them locally avoids acting on stale pings for
-  // nodes we could inspect exactly).
+  // nodes we could inspect exactly). Nodes the cluster does not consider
+  // healthy are skipped entirely — never a migration destination, and not
+  // a source either (their processes go through reclaim_stranded instead).
   net::NodeId busiest = 0;
   net::NodeId idlest = 0;
   std::uint64_t max_load = 0;
   std::uint64_t min_load = UINT64_MAX;
+  bool found_any = false;
   for (net::NodeId id = 0; id < world_.node_count(); ++id) {
+    if (config_.respect_failure_detection &&
+        world_.consensus_health(id) != cluster::PeerHealth::kAlive) {
+      continue;
+    }
+    found_any = true;
     const std::uint64_t load = world_.active_on(id);
     if (load > max_load) {
       max_load = load;
@@ -52,6 +79,10 @@ void LoadBalancer::tick() {
       min_load = load;
       idlest = id;
     }
+  }
+  if (!found_any || busiest == idlest) {
+    world_.simulator().schedule_after(config_.period, [this] { tick(); });
+    return;
   }
 
   const double imbalance = static_cast<double>(max_load) - static_cast<double>(min_load);

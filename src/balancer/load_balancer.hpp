@@ -27,6 +27,11 @@ class LoadBalancer {
     double assumed_freeze_seconds{0.0};
     // Expected remaining seconds of imbalance a migration must outweigh.
     double horizon_seconds{10.0};
+    // Consult the cluster's failure-detection consensus each tick: nodes
+    // not kAlive are excluded as migration sources/destinations, and a
+    // migrant stranded on a kDead node is reclaimed to its home node. Only
+    // effective when the world's ReliabilityConfig enables detection.
+    bool respect_failure_detection{true};
   };
 
   LoadBalancer(ClusterSim& world, Config config);
@@ -36,15 +41,19 @@ class LoadBalancer {
 
   [[nodiscard]] std::uint64_t decisions() const { return decisions_; }
   [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+  // Stranded migrants reclaimed to their home node after their host died.
+  [[nodiscard]] std::uint64_t rehomes() const { return rehomes_; }
 
  private:
   void tick();
+  void reclaim_stranded();
 
   ClusterSim& world_;
   Config config_;
   bool running_{false};
   std::uint64_t decisions_{0};
   std::uint64_t ticks_{0};
+  std::uint64_t rehomes_{0};
 };
 
 }  // namespace ampom::balancer

@@ -18,6 +18,8 @@ void InfoDaemon::start() {
     return;
   }
   running_ = true;
+  started_ = true;
+  started_at_ = sim_.now();
   const net::NicCounters& c = fabric_.counters(self_);
   last_bytes_ = c.tx_bytes + c.rx_bytes;
   last_sample_ = sim_.now();
@@ -78,6 +80,43 @@ double InfoDaemon::peer_load(net::NodeId peer) const {
   return it == peer_state_.end() ? 0.0 : it->second.load;
 }
 
+PeerHealth InfoDaemon::peer_health(net::NodeId peer) const {
+  if (!detection_.enabled || !started_) {
+    return PeerHealth::kAlive;
+  }
+  const auto it = peer_state_.find(peer);
+  // Silence measured from the later of daemon start and last contact, so a
+  // freshly-started cluster gets a full grace window before judging anyone.
+  sim::Time baseline = started_at_;
+  if (it != peer_state_.end() && it->second.heard && it->second.last_heard > baseline) {
+    baseline = it->second.last_heard;
+  }
+  const sim::Time silence = sim_.now() - baseline;
+  if (silence >= period_.scaled(detection_.dead_periods)) {
+    return PeerHealth::kDead;
+  }
+  if (silence >= period_.scaled(detection_.suspect_periods)) {
+    return PeerHealth::kSuspected;
+  }
+  return PeerHealth::kAlive;
+}
+
+sim::Time InfoDaemon::last_heard(net::NodeId peer) const {
+  const auto it = peer_state_.find(peer);
+  return it != peer_state_.end() && it->second.heard ? it->second.last_heard
+                                                     : sim::Time::zero();
+}
+
+std::uint64_t InfoDaemon::dead_peers() const {
+  std::uint64_t dead = 0;
+  for (const net::NodeId peer : peers_) {
+    if (peer_health(peer) == PeerHealth::kDead) {
+      ++dead;
+    }
+  }
+  return dead;
+}
+
 void InfoDaemon::on_ping(net::NodeId src, const net::LoadPing& ping) {
   // Record the peer's advertised load and acknowledge so it can measure RTT.
   auto it = peer_state_.find(src);
@@ -85,6 +124,8 @@ void InfoDaemon::on_ping(net::NodeId src, const net::LoadPing& ping) {
     it = peer_state_.emplace(src, PeerState{}).first;
   }
   it->second.load = ping.cpu_load;
+  it->second.last_heard = sim_.now();
+  it->second.heard = true;
   net::LoadAck ack;
   ack.seq = ping.seq;
   ack.ping_sent_at = ping.sent_at;
@@ -101,6 +142,8 @@ void InfoDaemon::on_ack(net::NodeId src, const net::LoadAck& ack) {
   }
   PeerState& peer = it->second;
   peer.load = ack.cpu_load;
+  peer.last_heard = sim_.now();
+  peer.heard = true;
   if (!peer.measured) {
     peer.rtt_ewma = rtt;
     peer.measured = true;

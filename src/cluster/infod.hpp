@@ -17,6 +17,19 @@
 
 namespace ampom::cluster {
 
+// Heartbeat-based failure detection thresholds, as multiples of the gossip
+// period: a peer silent for suspect_periods is Suspected (skip it for new
+// placements), for dead_periods it is Dead (reclaim its migrants). Health
+// is computed lazily from the last-heard timestamp — detection adds no
+// events and no wire traffic, so it is free on the happy path.
+struct FailureDetection {
+  bool enabled{false};
+  double suspect_periods{3.0};
+  double dead_periods{8.0};
+};
+
+enum class PeerHealth : std::uint8_t { kAlive, kSuspected, kDead };
+
 class InfoDaemon {
  public:
   InfoDaemon(sim::Simulator& simulator, net::Fabric& fabric, net::NodeId self,
@@ -37,6 +50,15 @@ class InfoDaemon {
   // Last load reported by a peer (for scheduling policies), NaN-free.
   [[nodiscard]] double peer_load(net::NodeId peer) const;
   [[nodiscard]] const std::vector<net::NodeId>& peers() const { return peers_; }
+
+  // --- failure detection ----------------------------------------------------
+  void set_failure_detection(FailureDetection config) { detection_ = config; }
+  [[nodiscard]] const FailureDetection& failure_detection() const { return detection_; }
+  // Health judged from the silence since the peer was last heard (ping or
+  // ack). Always kAlive while detection is disabled or before start().
+  [[nodiscard]] PeerHealth peer_health(net::NodeId peer) const;
+  [[nodiscard]] sim::Time last_heard(net::NodeId peer) const;
+  [[nodiscard]] std::uint64_t dead_peers() const;
 
   // Node router entry points.
   void on_ping(net::NodeId src, const net::LoadPing& ping);
@@ -61,8 +83,14 @@ class InfoDaemon {
     sim::Time rtt_ewma{sim::Time::from_us(300)};  // prior until measured
     bool measured{false};
     double load{0.0};
+    sim::Time last_heard{};  // latest ping or ack arrival from this peer
+    bool heard{false};
   };
   std::map<net::NodeId, PeerState> peer_state_;
+
+  FailureDetection detection_;
+  sim::Time started_at_{};
+  bool started_{false};
 
   std::uint64_t pings_sent_{0};
   std::uint64_t acks_received_{0};

@@ -52,9 +52,24 @@ void Node::dispatch(const net::Message& msg) {
               ->complete_syscall(payload.seq);
         } else if constexpr (std::is_same_v<T, net::FlushPage>) {
           lookup(deputies_, payload.pid, "deputy")->on_flush_page(msg.src, payload);
+        } else if constexpr (std::is_same_v<T, net::FlushAck>) {
+          const auto it = flush_ack_handlers_.find(payload.pid);
+          if (it != flush_ack_handlers_.end() && it->second) {
+            it->second(payload);
+          }
         } else if constexpr (std::is_same_v<T, net::MigrationChunk>) {
-          // Timing-only payload; the migration engine tracks arrivals via
-          // the fabric's predicted delivery times.
+          // Timing-only for the classic engines (they track arrivals via the
+          // fabric's predicted delivery times); the reliable protocol
+          // registers a handler to count real arrivals and send acks.
+          const auto it = chunk_handlers_.find(payload.pid);
+          if (it != chunk_handlers_.end() && it->second) {
+            it->second(msg.src, payload);
+          }
+        } else if constexpr (std::is_same_v<T, net::MigrationAck>) {
+          const auto it = ack_handlers_.find(payload.pid);
+          if (it != ack_handlers_.end() && it->second) {
+            it->second(msg.src, payload);
+          }
         } else if constexpr (std::is_same_v<T, net::Background>) {
           // Competing traffic: consumes bandwidth, nothing to do.
         }

@@ -40,6 +40,27 @@ class Node {
   }
   void set_infod(InfoDaemon* infod) { infod_ = infod; }
 
+  // Reliable-migration hooks: the engine registers these on the destination
+  // (chunks) and source (acks) for the duration of a transfer. Unregistered
+  // chunk/ack arrivals are ignored — the classic engines track arrivals via
+  // the fabric's predicted delivery times and never register.
+  using ChunkHandler = std::function<void(net::NodeId, const net::MigrationChunk&)>;
+  using AckHandler = std::function<void(net::NodeId, const net::MigrationAck&)>;
+  using FlushAckHandler = std::function<void(const net::FlushAck&)>;
+  void set_migration_chunk_handler(std::uint64_t pid, ChunkHandler fn) {
+    chunk_handlers_[pid] = std::move(fn);
+  }
+  void set_migration_ack_handler(std::uint64_t pid, AckHandler fn) {
+    ack_handlers_[pid] = std::move(fn);
+  }
+  void set_flush_ack_handler(std::uint64_t pid, FlushAckHandler fn) {
+    flush_ack_handlers_[pid] = std::move(fn);
+  }
+  void clear_migration_handlers(std::uint64_t pid) {
+    chunk_handlers_.erase(pid);
+    ack_handlers_.erase(pid);
+  }
+
   // Single-process convenience overloads (pid 1), used by the experiment
   // driver and most tests.
   void set_deputy(proc::Deputy* deputy) { set_deputy(1, deputy); }
@@ -64,6 +85,9 @@ class Node {
   std::map<std::uint64_t, proc::Deputy*> deputies_;
   std::map<std::uint64_t, proc::PagingClient*> paging_clients_;
   std::map<std::uint64_t, proc::Executor*> syscall_executors_;
+  std::map<std::uint64_t, ChunkHandler> chunk_handlers_;
+  std::map<std::uint64_t, AckHandler> ack_handlers_;
+  std::map<std::uint64_t, FlushAckHandler> flush_ack_handlers_;
   InfoDaemon* infod_{nullptr};
 };
 

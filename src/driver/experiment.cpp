@@ -13,6 +13,7 @@
 #include "migration/precopy.hpp"
 #include "migration/remigration.hpp"
 #include "net/background_traffic.hpp"
+#include "net/fault_injector.hpp"
 #include "net/traffic_shaper.hpp"
 #include "proc/demand_paging.hpp"
 #include "proc/executor.hpp"
@@ -37,6 +38,18 @@ RunMetrics run_experiment(const Scenario& scenario) {
   net::TrafficShaper shaper{fabric};
   if (scenario.shape_migrant_link) {
     shaper.shape_pair(kHome, kDest, scenario.shaped_link);
+  }
+
+  // Fault injection: composed into the fabric only when the plan asks for
+  // anything — an absent injector keeps the run bit-identical to the seed.
+  std::optional<net::FaultInjector> injector;
+  if (scenario.faults.active()) {
+    injector.emplace(sim, scenario.faults.seed);
+    scenario.faults.apply_faults(*injector);
+    for (const auto& crash : scenario.faults.crashes) {
+      injector->schedule_node_crash(crash.node, crash.at, crash.restore_at);
+    }
+    fabric.set_fault_injector(&*injector);
   }
 
   const bool remigrates = scenario.remigrate_after > sim::Time::zero();
@@ -105,6 +118,20 @@ RunMetrics run_experiment(const Scenario& scenario) {
   dest.set_paging_client(&client);
   proc::PagingClient client2{sim, fabric, scenario.profile.wire, kThird, kHome, 1};
 
+  const ReliabilityConfig& rel = scenario.reliability;
+  if (rel.enabled) {
+    deputy.set_reliability(true);
+    if (rel.paging.enabled) {
+      client.set_retry_config(rel.paging);
+      client.set_rtt_provider([&infod_dest] { return infod_dest.rtt_one_way(kHome); });
+      client2.set_retry_config(rel.paging);
+      client2.set_rtt_provider([&infod_third] { return infod_third.rtt_one_way(kHome); });
+    }
+    infod_home.set_failure_detection(rel.detection);
+    infod_dest.set_failure_detection(rel.detection);
+    infod_third.set_failure_detection(rel.detection);
+  }
+
   // Policies (constructed for every scheme; installed only when used).
   proc::DemandPagingPolicy demand_policy{sim, executor, client};
   core::AmpomPolicy ampom_policy{
@@ -169,7 +196,15 @@ RunMetrics run_experiment(const Scenario& scenario) {
                                   scenario.profile.costs,
                                   scenario.profile.costs,
                                   &ledger,
-                                  /*on_before_resume=*/{}};
+                                  /*on_before_resume=*/{},
+                                  /*src_node=*/nullptr,
+                                  /*dst_node=*/nullptr,
+                                  /*reliability=*/{}};
+  if (rel.enabled && rel.migration.enabled) {
+    ctx.src_node = &home;
+    ctx.dst_node = &dest;
+    ctx.reliability = rel.migration;
+  }
   ctx.on_before_resume = [&] {
     switch (scenario.scheme) {
       case Scheme::OpenMosix:
@@ -225,6 +260,10 @@ RunMetrics run_experiment(const Scenario& scenario) {
   migration::MigrationContext ctx2 = ctx;
   ctx2.src = kDest;
   ctx2.dst = kThird;
+  if (rel.enabled && rel.migration.enabled) {
+    ctx2.src_node = &dest;
+    ctx2.dst_node = &third;
+  }
   ctx2.on_before_resume = [&] {
     switch (scenario.scheme) {
       case Scheme::OpenMosix:
@@ -264,7 +303,7 @@ RunMetrics run_experiment(const Scenario& scenario) {
     migration::migrate_process(ctx, *engine,
                                [&](migration::MigrationResult r) {
                                  migration_result = r;
-                                 if (remigrates) {
+                                 if (remigrates && r.completed()) {
                                    sim.schedule_after(scenario.remigrate_after, [&] {
                                      if (process.state() == proc::ProcState::Finished) {
                                        return;  // too late to re-migrate
@@ -301,12 +340,19 @@ RunMetrics run_experiment(const Scenario& scenario) {
     m.pages_resent = migration_result->pages_resent();
     m.migration_span = migration_result->migration_span();
     m.bytes_freeze = migration_result->bytes_transferred;
+    m.migration_completed = migration_result->completed();
+    m.migration_chunk_retransmits = migration_result->chunk_retransmits;
+    m.migration_pages_retransmitted = migration_result->pages_retransmitted;
   }
   if (remigration_result) {
     m.freeze_time_2 = remigration_result->freeze_time();
     m.bytes_freeze += remigration_result->bytes_transferred;
     m.pages_resent += remigration_result->pages_resent();
+    m.migration_chunk_retransmits += remigration_result->chunk_retransmits;
+    m.migration_pages_retransmitted += remigration_result->pages_retransmitted;
   }
+  m.flush_retransmits = remigrate_ampom.flush_stats().retransmits +
+                        remigrate_noprefetch.flush_stats().retransmits;
   m.flush_pages = deputy.stats().flush_pages_received;
   m.requests_stalled_on_flush = deputy.stats().requests_stalled_on_flush;
   m.exec_time = m.total_time - m.freeze_time - m.freeze_time_2;
@@ -333,6 +379,18 @@ RunMetrics run_experiment(const Scenario& scenario) {
   m.pages_arrived = cs.pages_arrived;
   m.bytes_paging = cs.pages_arrived * scenario.profile.wire.page_message_bytes() +
                    cs.fault_requests * scenario.profile.wire.request_bytes(1);
+
+  const proc::PagingClientStats& cs2 = client2.stats();
+  m.paging_retransmits = cs.retransmits + cs2.retransmits;
+  m.paging_timeouts = cs.timeouts + cs2.timeouts;
+  m.paging_duplicates_dropped = cs.duplicates_dropped + cs2.duplicates_dropped;
+  m.deputy_pages_replayed = deputy.stats().pages_replayed;
+  if (injector) {
+    m.net_messages_dropped = injector->stats().dropped;
+    m.net_messages_duplicated = injector->stats().duplicated;
+    m.net_crash_drops = injector->stats().crash_drops;
+  }
+  m.dead_nodes_detected = infod_home.dead_peers();
 
   if (scenario.scheme == Scheme::Ampom) {
     m.ampom_analysis_time = ampom_policy.stats().analysis_time;

@@ -7,6 +7,7 @@
 
 #include "simcore/time.hpp"
 #include "simcore/units.hpp"
+#include "stats/counters.hpp"
 
 namespace ampom::driver {
 
@@ -61,6 +62,20 @@ struct RunMetrics {
 
   bool ledger_ok{true};  // conservation invariant held throughout
 
+  // --- reliability & fault injection (all zero when both are off) -------------
+  bool migration_completed{true};                   // first hop reached its destination
+  std::uint64_t paging_retransmits{0};              // page requests re-sent on timeout
+  std::uint64_t paging_timeouts{0};                 // request timer expiries
+  std::uint64_t paging_duplicates_dropped{0};       // PageData already satisfied
+  std::uint64_t deputy_pages_replayed{0};           // idempotent request replays
+  std::uint64_t migration_chunk_retransmits{0};     // freeze chunks re-sent
+  std::uint64_t migration_pages_retransmitted{0};   // pages inside those chunks
+  std::uint64_t flush_retransmits{0};               // re-migration flush re-sends
+  std::uint64_t net_messages_dropped{0};            // injector: lost to loss prob.
+  std::uint64_t net_messages_duplicated{0};
+  std::uint64_t net_crash_drops{0};                 // suppressed by a crashed node
+  std::uint64_t dead_nodes_detected{0};             // peers the observer called dead
+
   // Fig. 7's prevented fraction: of all pages that had to come from the
   // home node, how many arrived without the process blocking on a fault
   // request for them. (NoPrefetch sends one request per remotely-fetched
@@ -89,6 +104,24 @@ struct RunMetrics {
       return 0.0;
     }
     return ampom_analysis_time / exec_time;
+  }
+
+  // The reliability/fault counters as a named counter set, so benches and
+  // sweep summaries can roll them up with stats::Counters::merge.
+  [[nodiscard]] stats::Counters reliability_counters() const {
+    stats::Counters c;
+    c.add("paging.retransmits", paging_retransmits);
+    c.add("paging.timeouts", paging_timeouts);
+    c.add("paging.duplicates_dropped", paging_duplicates_dropped);
+    c.add("deputy.pages_replayed", deputy_pages_replayed);
+    c.add("migration.chunk_retransmits", migration_chunk_retransmits);
+    c.add("migration.pages_retransmitted", migration_pages_retransmitted);
+    c.add("migration.flush_retransmits", flush_retransmits);
+    c.add("net.dropped", net_messages_dropped);
+    c.add("net.duplicated", net_messages_duplicated);
+    c.add("net.crash_drops", net_crash_drops);
+    c.add("cluster.dead_nodes_detected", dead_nodes_detected);
+    return c;
   }
 };
 

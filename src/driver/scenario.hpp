@@ -5,13 +5,98 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "cluster/infod.hpp"
 #include "core/ampom_policy.hpp"
 #include "core/config.hpp"
 #include "driver/profile.hpp"
+#include "migration/engine.hpp"
+#include "net/fault_injector.hpp"
+#include "proc/paging_client.hpp"
 #include "proc/reference_stream.hpp"
 
 namespace ampom::driver {
+
+// A scripted fault schedule for one run: probabilistic per-link faults plus
+// declarative outage/crash windows. The harness (run_experiment or
+// ClusterSim) constructs a FaultInjector from it only when the plan is
+// active, so the default plan leaves every run byte-identical to the
+// fault-free fabric.
+struct FaultPlan {
+  std::uint64_t seed{1};
+  net::LinkFaults default_faults{};
+
+  struct LinkOverride {
+    net::NodeId a{0};
+    net::NodeId b{0};
+    net::LinkFaults faults{};
+  };
+  std::vector<LinkOverride> link_overrides;
+
+  struct LinkOutage {
+    net::NodeId a{0};
+    net::NodeId b{0};
+    sim::Time down_at{};
+    sim::Time up_at{};
+  };
+  std::vector<LinkOutage> outages;
+
+  struct NodeCrash {
+    net::NodeId node{0};
+    sim::Time at{};
+    sim::Time restore_at{};  // zero = stays down
+  };
+  std::vector<NodeCrash> crashes;
+
+  [[nodiscard]] bool active() const {
+    const auto nonzero = [](const net::LinkFaults& f) {
+      return f.drop_probability > 0.0 || f.duplicate_probability > 0.0 ||
+             f.max_extra_delay > sim::Time::zero();
+    };
+    if (nonzero(default_faults) || !outages.empty() || !crashes.empty()) {
+      return true;
+    }
+    for (const auto& o : link_overrides) {
+      if (nonzero(o.faults)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Installs the probabilistic faults and outage windows. Crashes are NOT
+  // scheduled here — the harness owns them, because crashing a node also
+  // means interrupting the executors and paging clients living on it.
+  void apply_faults(net::FaultInjector& injector) const {
+    injector.set_default_faults(default_faults);
+    for (const auto& o : link_overrides) {
+      injector.set_link_faults(o.a, o.b, o.faults);
+    }
+    for (const auto& o : outages) {
+      injector.schedule_link_outage(o.a, o.b, o.down_at, o.up_at);
+    }
+  }
+};
+
+// Reliability knobs for every protocol layer at once. Everything defaults
+// off: the classic fire-and-forget protocols remain event-exact with the
+// seed. `all_on()` is the chaos-scenario preset.
+struct ReliabilityConfig {
+  bool enabled{false};
+  proc::PagingRetryConfig paging{};             // request timers + retransmits
+  migration::MigrationReliability migration{};  // ack'd freeze chunks
+  cluster::FailureDetection detection{};        // heartbeat-silence health
+
+  [[nodiscard]] static ReliabilityConfig all_on() {
+    ReliabilityConfig r;
+    r.enabled = true;
+    r.paging.enabled = true;
+    r.migration.enabled = true;
+    r.detection.enabled = true;
+    return r;
+  }
+};
 
 enum class Scheme : std::uint8_t {
   OpenMosix,   // full dirty-page copy during the freeze
@@ -64,6 +149,11 @@ struct Scenario {
   // together with background_traffic (the third node generates it).
   sim::Time remigrate_after{sim::Time::zero()};
   std::uint64_t seed{1};
+
+  // Fault injection + protocol reliability (both default off, leaving the
+  // run identical to the fault-free, fire-and-forget original).
+  FaultPlan faults{};
+  ReliabilityConfig reliability{};
 
   // Observability: per-fault trace of the AMPoM analysis (Ampom scheme only).
   core::AmpomPolicy::TraceHook ampom_trace;

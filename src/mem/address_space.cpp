@@ -123,6 +123,20 @@ void AddressSpace::load_from_swap(PageId page) {
   transition(page, PageState::Swapped, PageState::Local);
 }
 
+std::uint64_t AddressSpace::recover_all_local() {
+  std::uint64_t changed = 0;
+  for (PageId p = 0; p < page_count(); ++p) {
+    const PageState s = states_[p];
+    if (s == PageState::Remote || s == PageState::InFlight || s == PageState::Arrived ||
+        s == PageState::Swapped) {
+      set_state_unchecked(p, PageState::Local);
+      ++changed;
+    }
+  }
+  arrived_.clear();
+  return changed;
+}
+
 std::vector<PageId> AddressSpace::pages_in_state(PageState s) const {
   std::vector<PageId> out;
   out.reserve(count(s));

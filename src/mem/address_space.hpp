@@ -71,6 +71,12 @@ class AddressSpace {
   void evict_to_swap(PageId page);
   void load_from_swap(PageId page);
 
+  // Crash recovery: the process restarts at its home node from the deputy's
+  // image, so every materialized page (Remote, InFlight, Arrived, Swapped)
+  // becomes Local again; Unallocated pages stay untouched. Returns how many
+  // pages changed state.
+  std::uint64_t recover_all_local();
+
   void mark_dirty(PageId page) { dirty_.at(page) = true; }
 
   // --- counters ------------------------------------------------------------

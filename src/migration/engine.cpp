@@ -17,6 +17,18 @@ void MigrationEngine::finish_resume(MigrationContext& ctx, MigrationResult resul
   }
 }
 
+void MigrationEngine::abort_unfreeze(MigrationContext& ctx, MigrationResult result,
+                                     MigrationOutcome outcome,
+                                     const std::function<void(MigrationResult)>& done) {
+  result.outcome = outcome;
+  result.resume_at = ctx.sim.now();
+  result.pages_transferred = 0;
+  ctx.executor.resume_migrated(ctx.src_costs);
+  if (done) {
+    done(result);
+  }
+}
+
 void migrate_process(MigrationContext ctx, MigrationEngine& engine,
                      std::function<void(MigrationResult)> done) {
   if (ctx.src == ctx.dst) {

@@ -17,7 +17,29 @@
 #include "proc/executor.hpp"
 #include "simcore/simulator.hpp"
 
+namespace ampom::cluster {
+class Node;
+}
+
 namespace ampom::migration {
+
+// How a migration attempt ended.
+enum class MigrationOutcome : std::uint8_t {
+  kCompleted,        // process resumed at the destination
+  kAborted,          // engine gave up before committing (e.g. nothing to move)
+  kDestinationLost,  // destination stopped acking; process unfrozen at source
+};
+
+// Reliable (ack'd) transfer knobs. The retransmit timer arms at the
+// predicted arrival of the last outstanding chunk plus ack_grace, doubling
+// (backoff_factor) per round; max_retries exhausted rounds declare the
+// destination lost.
+struct MigrationReliability {
+  bool enabled{false};
+  sim::Time ack_grace{sim::Time::from_ms(2)};
+  double backoff_factor{2.0};
+  std::uint32_t max_retries{4};
+};
 
 struct MigrationContext {
   sim::Simulator& sim;
@@ -34,22 +56,42 @@ struct MigrationContext {
   // Invoked right before the executor resumes at the destination; scenario
   // builders install the fault policy and flip syscall redirection here.
   std::function<void()> on_before_resume;
+  // Reliable mode (optional): the node routers at both ends carry the ack'd
+  // chunk protocol. Null nodes or reliability.enabled == false selects the
+  // classic fire-and-forget timeline, byte-identical to the seed engines.
+  cluster::Node* src_node{nullptr};
+  cluster::Node* dst_node{nullptr};
+  MigrationReliability reliability;
+
+  [[nodiscard]] bool reliable() const {
+    return reliability.enabled && src_node != nullptr && dst_node != nullptr;
+  }
 };
 
 struct MigrationResult {
   sim::Time initiated_at{};  // when the mechanism started working
   sim::Time freeze_begin{};  // when the process stopped executing
-  sim::Time resume_at{};
+  sim::Time resume_at{};     // on kDestinationLost: when the source unfroze
   sim::Bytes bytes_transferred{0};
   std::uint64_t pages_transferred{0};  // pages living at the destination after resume
-  std::uint64_t pages_sent_total{0};   // includes pre-copy resends
+  std::uint64_t pages_sent_total{0};   // includes pre-copy resends and retransmits
+  MigrationOutcome outcome{MigrationOutcome::kCompleted};
+  std::uint64_t chunk_retransmits{0};    // reliable mode: chunks re-sent after timeout
+  std::uint64_t pages_retransmitted{0};  // pages inside those re-sent chunks
 
   [[nodiscard]] sim::Time freeze_time() const { return resume_at - freeze_begin; }
   // Wall time the mechanism occupied the network/CPU (pre-copy >> freeze).
   [[nodiscard]] sim::Time migration_span() const { return resume_at - initiated_at; }
+  // Pages that crossed the wire more than once. Two distinct sources feed
+  // this: pre-copy delta rounds re-sending pages the process dirtied between
+  // iterations (a deliberate cost of the kPreCopy scheme), and timeout-driven
+  // retransmissions by the reliable protocol (loss recovery; itemized
+  // separately in pages_retransmitted). pages_sent_total accumulates both,
+  // so the difference surfaces every duplicate page send of either kind.
   [[nodiscard]] std::uint64_t pages_resent() const {
     return pages_sent_total > pages_transferred ? pages_sent_total - pages_transferred : 0;
   }
+  [[nodiscard]] bool completed() const { return outcome == MigrationOutcome::kCompleted; }
 };
 
 class MigrationEngine {
@@ -74,6 +116,12 @@ class MigrationEngine {
   // Public so engine-internal run objects can call it.
   static void finish_resume(MigrationContext& ctx, MigrationResult result,
                             const std::function<void(MigrationResult)>& done);
+
+  // Shared abort tail (reliable mode): the destination is presumed dead, so
+  // the process unfreezes in place at the source with nothing moved.
+  static void abort_unfreeze(MigrationContext& ctx, MigrationResult result,
+                             MigrationOutcome outcome,
+                             const std::function<void(MigrationResult)>& done);
 };
 
 // Orchestrates request_freeze -> engine.execute.

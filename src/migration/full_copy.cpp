@@ -3,7 +3,85 @@
 #include <memory>
 #include <stdexcept>
 
+#include "migration/reliable.hpp"
+
 namespace ampom::migration {
+
+namespace {
+
+// Reliable variant: pack everything, ship PCB + page chunks over the ack'd
+// protocol, and commit the bookkeeping (pages move with the process) only
+// when the destination verifiably holds the full image. Unlike the classic
+// path, packing does not pipeline with the wire — the retransmit unit is
+// the packed chunk, which must exist in full before its first send.
+void execute_reliable(MigrationContext ctx, std::uint64_t chunk_pages,
+                      std::function<void(MigrationResult)> done) {
+  mem::AddressSpace& aspace = ctx.process.aspace();
+  const std::vector<mem::PageId> local = aspace.pages_in_state(mem::PageState::Local);
+
+  MigrationResult result;
+  result.initiated_at = ctx.sim.now();
+  result.freeze_begin = ctx.sim.now();
+  result.pages_transferred = local.size();
+  result.pages_sent_total = local.size();
+  result.bytes_transferred = ctx.wire.pcb_bytes;
+
+  const std::uint64_t total = local.size();
+  std::vector<ReliableTransfer::Item> items;
+  items.push_back({net::MigrationChunk::Kind::Pcb, 1, ctx.wire.pcb_bytes, false});
+  for (std::uint64_t first = 0; first < total; first += chunk_pages) {
+    const std::uint64_t count = std::min(chunk_pages, total - first);
+    const sim::Bytes bytes = count * ctx.wire.page_message_bytes();
+    result.bytes_transferred += bytes;
+    items.push_back({net::MigrationChunk::Kind::DirtyPages, count, bytes, true});
+  }
+
+  const sim::Time setup = ctx.src_costs.freeze_setup.scaled(1.0 / ctx.src_costs.cpu_speed);
+  const sim::Time pack = ctx.src_costs.pack_page.scaled(1.0 / ctx.src_costs.cpu_speed) *
+                         static_cast<std::int64_t>(total);
+  ctx.sim.schedule_at(ctx.sim.now() + setup + pack, [ctx, items = std::move(items),
+                                                     local, result,
+                                                     done = std::move(done)]() mutable {
+    ReliableTransfer::run(
+        ctx, std::move(items),
+        /*on_delivered=*/
+        [ctx, local = std::move(local), result, done](
+            sim::Time delivered_at, const ReliableTransferStats& st) mutable {
+          mem::PageTable& hpt = ctx.deputy.hpt();
+          for (const mem::PageId page : local) {
+            ctx.process.aspace().carry_over(page);
+            hpt.set_loc(page, mem::PageTable::Loc::Remote);
+            if (ctx.ledger != nullptr) {
+              ctx.ledger->transfer(page, ctx.src, ctx.dst);
+            }
+          }
+          result.chunk_retransmits = st.chunk_retransmits;
+          result.pages_retransmitted = st.pages_retransmitted;
+          result.pages_sent_total += st.pages_retransmitted;
+          result.bytes_transferred += st.bytes_retransmitted;
+          const sim::Time unpack =
+              ctx.dst_costs.unpack_page.scaled(1.0 / ctx.dst_costs.cpu_speed) *
+                  static_cast<std::int64_t>(local.size()) +
+              ctx.dst_costs.restore_setup.scaled(1.0 / ctx.dst_costs.cpu_speed);
+          ctx.sim.schedule_at(delivered_at + unpack,
+                              [ctx, result, done = std::move(done)]() mutable {
+                                result.resume_at = ctx.sim.now();
+                                MigrationEngine::finish_resume(ctx, result, done);
+                              });
+        },
+        /*on_lost=*/
+        [ctx, result, done](const ReliableTransferStats& st) mutable {
+          result.chunk_retransmits = st.chunk_retransmits;
+          result.pages_retransmitted = st.pages_retransmitted;
+          result.pages_sent_total += st.pages_retransmitted;
+          result.bytes_transferred += st.bytes_retransmitted;
+          MigrationEngine::abort_unfreeze(ctx, result, MigrationOutcome::kDestinationLost,
+                                          done);
+        });
+  });
+}
+
+}  // namespace
 
 FullCopyEngine::FullCopyEngine(std::uint64_t chunk_pages) : chunk_pages_{chunk_pages} {
   if (chunk_pages == 0) {
@@ -12,6 +90,10 @@ FullCopyEngine::FullCopyEngine(std::uint64_t chunk_pages) : chunk_pages_{chunk_p
 }
 
 void FullCopyEngine::execute(MigrationContext ctx, std::function<void(MigrationResult)> done) {
+  if (ctx.reliable()) {
+    execute_reliable(std::move(ctx), chunk_pages_, std::move(done));
+    return;
+  }
   mem::AddressSpace& aspace = ctx.process.aspace();
   const std::vector<mem::PageId> local = aspace.pages_in_state(mem::PageState::Local);
 

@@ -6,6 +6,15 @@
 // home node for the deputy to serve. The AMPoM variant additionally ships
 // the master page table (6 bytes per page), which is what makes its freeze
 // time grow linearly with the address-space size in Fig. 5.
+//
+// In reliable mode (MigrationContext::reliable()) the freeze chunks travel
+// over the ack'd ReliableTransfer protocol and the destructive repartition
+// (demotions, HPT population, ledger transfers) is deferred until the
+// destination has actually received every chunk — so a transfer aborted by
+// a dead destination leaves the source image intact and the process simply
+// unfreezes in place.
+
+#include <vector>
 
 #include "migration/engine.hpp"
 
@@ -18,17 +27,24 @@ class LightweightEngineBase : public MigrationEngine {
     std::uint64_t left_behind{0};
   };
 
-  // Demote all local pages except the current three; populate the HPT and
-  // the ledger accordingly.
-  static Prepared prepare_address_space(MigrationContext& ctx);
+  // The pages that travel with the process: the current three, deduplicated,
+  // restricted to Local ones. Pure — no address-space mutation.
+  static std::vector<mem::PageId> select_carried(MigrationContext& ctx);
+
+  // Demote all local pages except the carried ones; populate the HPT and
+  // the ledger accordingly. The destructive half of the freeze.
+  static Prepared apply_partition(MigrationContext& ctx,
+                                  const std::vector<mem::PageId>& carried);
 
   // Run the common freeze timeline:
   //   setup -> pack(3 pages) -> [extra_pack] -> send PCB + pages [+ extra]
   //   -> last arrival -> unpack(3 pages) -> [extra_unpack] -> restore -> resume
-  // `extra_bytes` is the AMPoM MPT payload (0 for NoPrefetch).
-  static void run_freeze(MigrationContext ctx, Prepared prepared, sim::Bytes extra_bytes,
-                         sim::Time extra_pack, sim::Time extra_unpack,
-                         std::function<void(MigrationResult)> done);
+  // `extra_bytes` is the AMPoM MPT payload (0 for NoPrefetch). Classic mode
+  // partitions up front and times the resume off predicted arrivals;
+  // reliable mode partitions at verified delivery and can abort.
+  static void run_freeze(MigrationContext ctx, std::vector<mem::PageId> carried,
+                         sim::Bytes extra_bytes, sim::Time extra_pack,
+                         sim::Time extra_unpack, std::function<void(MigrationResult)> done);
 };
 
 // The paper's "NoPrefetch" baseline: three pages, demand paging afterwards.

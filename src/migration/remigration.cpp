@@ -1,10 +1,131 @@
 #include "migration/remigration.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
 #include <stdexcept>
 #include <vector>
 
+#include "cluster/node.hpp"
+
 namespace ampom::migration {
+
+namespace {
+
+// Reliable flush: tracks the background B -> H flush stream page-by-page
+// against the deputy's FlushAcks and re-flushes whatever is still unacked
+// after a timeout round. Self-owning; dissolves when every page is acked or
+// the retry budget is spent (home presumed dead — failure detection and
+// deputy-side recovery take over from there).
+class FlushTracker : public std::enable_shared_from_this<FlushTracker> {
+ public:
+  static std::shared_ptr<FlushTracker> create(const MigrationContext& ctx, net::NodeId home,
+                                              const std::vector<mem::PageId>& pages,
+                                              RemigrationEngine::FlushStats* sink,
+                                              std::uint64_t chunk_count) {
+    auto t = std::shared_ptr<FlushTracker>(
+        new FlushTracker(ctx, home, pages, sink, chunk_count));
+    t->self_ = t;
+    t->src_node_->set_flush_ack_handler(
+        t->pid_, [t](const net::FlushAck& ack) { t->on_ack(ack); });
+    return t;
+  }
+
+  // Called by each flush-chunk send event with the predicted arrival of its
+  // last page; the round timer arms once the final chunk is on the wire.
+  void chunk_sent(sim::Time predicted_last) {
+    if (done_) {
+      return;
+    }
+    last_predicted_ = std::max(last_predicted_, predicted_last);
+    if (++chunks_sent_ == chunk_count_) {
+      arm();
+    }
+  }
+
+ private:
+  FlushTracker(const MigrationContext& ctx, net::NodeId home,
+               const std::vector<mem::PageId>& pages, RemigrationEngine::FlushStats* sink,
+               std::uint64_t chunk_count)
+      : sim_{ctx.sim},
+        fabric_{ctx.fabric},
+        wire_{ctx.wire},
+        src_{ctx.src},
+        home_{home},
+        pid_{ctx.process.pid()},
+        src_node_{ctx.src_node},
+        config_{ctx.reliability},
+        sink_{sink},
+        chunk_count_{chunk_count},
+        outstanding_(pages.begin(), pages.end()) {}
+
+  void on_ack(const net::FlushAck& ack) {
+    const auto it = outstanding_.find(ack.page);
+    if (it == outstanding_.end()) {
+      return;
+    }
+    outstanding_.erase(it);
+    ++sink_->pages_flushed;
+    if (outstanding_.empty()) {
+      sim_.cancel(timer_);
+      cleanup();
+    }
+  }
+
+  void arm() {
+    const sim::Time grace = config_.ack_grace.scaled(
+        std::pow(config_.backoff_factor, static_cast<double>(rounds_)));
+    timer_ = sim_.schedule_at(std::max(last_predicted_, sim_.now()) + grace,
+                              [self = shared_from_this()] { self->on_timeout(); });
+  }
+
+  void on_timeout() {
+    if (done_) {
+      return;
+    }
+    ++sink_->timeout_rounds;
+    ++rounds_;
+    if (rounds_ > config_.max_retries) {
+      sink_->abandoned += outstanding_.size();
+      cleanup();
+      return;
+    }
+    for (const mem::PageId page : outstanding_) {
+      last_predicted_ = std::max(
+          last_predicted_, fabric_.send(net::Message{src_, home_, wire_.page_message_bytes(),
+                                                     net::FlushPage{pid_, page}}));
+      ++sink_->retransmits;
+    }
+    arm();
+  }
+
+  void cleanup() {
+    done_ = true;
+    src_node_->set_flush_ack_handler(pid_, nullptr);
+    self_.reset();
+  }
+
+  sim::Simulator& sim_;
+  net::Fabric& fabric_;
+  proc::WireCosts wire_;
+  net::NodeId src_;
+  net::NodeId home_;
+  std::uint64_t pid_;
+  cluster::Node* src_node_;
+  MigrationReliability config_;
+  RemigrationEngine::FlushStats* sink_;
+  std::uint64_t chunk_count_;
+  std::uint64_t chunks_sent_{0};
+  std::uint32_t rounds_{0};
+  bool done_{false};
+  sim::Time last_predicted_{};
+  sim::Simulator::EventId timer_;
+  std::set<mem::PageId> outstanding_;
+  std::shared_ptr<FlushTracker> self_;
+};
+
+}  // namespace
 
 RemigrationEngine::RemigrationEngine(Config config) : config_{config} {
   if (config.flush_chunk_pages == 0) {
@@ -106,7 +227,8 @@ void RemigrationEngine::execute_drained(MigrationContext ctx,
   const sim::Time send_at = ctx.sim.now() + setup + pack;
   ctx.sim.schedule_at(send_at, [ctx, done = std::move(done), result, page_bytes, mpt_bytes,
                                 mpt_unpack, to_flush = std::move(to_flush),
-                                flush_chunk = config_.flush_chunk_pages, home]() mutable {
+                                flush_chunk = config_.flush_chunk_pages, home,
+                                sink = &flush_stats_]() mutable {
     const std::uint64_t pid = ctx.process.pid();
     ctx.fabric.send(net::Message{
         ctx.src, ctx.dst, ctx.wire.pcb_bytes,
@@ -128,7 +250,14 @@ void RemigrationEngine::execute_drained(MigrationContext ctx,
 
     // --- background flush B -> H, after the freeze transfer -----------------
     // B's kernel streams the left-behind pages home; they ride behind the
-    // freeze chunks on B's TX port.
+    // freeze chunks on B's TX port. In reliable mode a FlushTracker follows
+    // the stream against the deputy's acks and re-flushes losses.
+    std::shared_ptr<FlushTracker> tracker;
+    if (ctx.reliable() && !to_flush.empty()) {
+      const std::uint64_t chunk_count =
+          (to_flush.size() + flush_chunk - 1) / flush_chunk;
+      tracker = FlushTracker::create(ctx, home, to_flush, sink, chunk_count);
+    }
     sim::Time flush_pack_done = ctx.sim.now();
     const sim::Time pack_per_page =
         ctx.src_costs.pack_page.scaled(1.0 / ctx.src_costs.cpu_speed);
@@ -141,10 +270,17 @@ void RemigrationEngine::execute_drained(MigrationContext ctx,
                                          static_cast<std::ptrdiff_t>(first + count));
       ctx.sim.schedule_at(flush_pack_done,
                           [&fabric = ctx.fabric, src = ctx.src, home, pid,
-                           wire = ctx.wire, chunk = std::move(chunk)] {
+                           wire = ctx.wire, chunk = std::move(chunk), tracker] {
+                            sim::Time last{};
                             for (const mem::PageId page : chunk) {
-                              fabric.send(net::Message{src, home, wire.page_message_bytes(),
-                                                       net::FlushPage{pid, page}});
+                              last = std::max(
+                                  last,
+                                  fabric.send(net::Message{src, home,
+                                                           wire.page_message_bytes(),
+                                                           net::FlushPage{pid, page}}));
+                            }
+                            if (tracker != nullptr) {
+                              tracker->chunk_sent(last);
                             }
                           });
     }

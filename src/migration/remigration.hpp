@@ -25,6 +25,17 @@ class RemigrationEngine final : public MigrationEngine {
     std::uint64_t flush_chunk_pages{64};
   };
 
+  // Reliable mode: the background flush stream is tracked page-by-page via
+  // the deputy's FlushAcks and retransmitted on timeout (the freeze-time
+  // B -> C transfer keeps the classic timeline; its chunks carry no state
+  // the resume depends on). Counters accumulate across runs of this engine.
+  struct FlushStats {
+    std::uint64_t pages_flushed{0};
+    std::uint64_t retransmits{0};       // pages re-flushed after a timeout round
+    std::uint64_t timeout_rounds{0};
+    std::uint64_t abandoned{0};         // pages given up on after max retries
+  };
+
   RemigrationEngine() : RemigrationEngine{Config{}} {}
   explicit RemigrationEngine(Config config);
 
@@ -36,10 +47,13 @@ class RemigrationEngine final : public MigrationEngine {
   // new destination (C). The deputy (and HPT) stay at the home node.
   void execute(MigrationContext ctx, std::function<void(MigrationResult)> done) override;
 
+  [[nodiscard]] const FlushStats& flush_stats() const { return flush_stats_; }
+
  private:
   void execute_drained(MigrationContext ctx, std::function<void(MigrationResult)> done);
 
   Config config_;
+  FlushStats flush_stats_;
 };
 
 }  // namespace ampom::migration

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "net/fault_injector.hpp"
+
 namespace ampom::net {
 
 Fabric::Fabric(sim::Simulator& simulator, std::size_t node_count, LinkParams default_link)
@@ -63,7 +65,28 @@ sim::Time Fabric::send(Message msg) {
     dst.rx_free = arrival;
   }
 
-  sim_.schedule_at(arrival, [this, m = std::move(msg)]() mutable {
+  if (injector_ != nullptr) {
+    const FaultInjector::Decision d = injector_->decide(msg);
+    if (!d.deliver) {
+      // Lost in the network: the sender's ports and TX counters already saw
+      // it, but no delivery event is scheduled. The returned prediction is
+      // what a fault-free delivery would have been.
+      return arrival;
+    }
+    arrival = arrival + d.extra_delay;
+    if (d.duplicate) {
+      deliver_at(arrival + d.duplicate_delay, msg);
+    }
+  }
+  deliver_at(arrival, std::move(msg));
+  return arrival;
+}
+
+void Fabric::deliver_at(sim::Time when, Message msg) {
+  sim_.schedule_at(when, [this, m = std::move(msg)]() mutable {
+    if (injector_ != nullptr && injector_->drop_in_flight(m)) {
+      return;
+    }
     Nic& receiver = nics_.at(m.dst);
     receiver.counters.rx_bytes += m.wire_bytes;
     receiver.counters.rx_messages += 1;
@@ -71,7 +94,6 @@ sim::Time Fabric::send(Message msg) {
       receiver.handler(m);
     }
   });
-  return arrival;
 }
 
 }  // namespace ampom::net

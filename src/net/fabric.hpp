@@ -31,6 +31,8 @@
 
 namespace ampom::net {
 
+class FaultInjector;
+
 struct LinkParams {
   sim::Bandwidth bandwidth{sim::Bandwidth::mbits_per_sec(100)};
   sim::Time latency{sim::Time::from_us(75)};  // one-way propagation + switch
@@ -62,8 +64,17 @@ class Fabric {
   // Install the receive callback for a node (its protocol stack).
   void set_handler(NodeId node, Handler handler);
 
-  // Queue a message. Returns the predicted delivery time.
+  // Queue a message. Returns the predicted delivery time. With a fault
+  // injector attached the prediction is what the fault-free fabric would
+  // have delivered (plus any injected jitter); a dropped message still
+  // occupies the ports and counts TX bytes — the loss happens in the
+  // network, not at the sender.
   sim::Time send(Message msg);
+
+  // Compose a fault model into every subsequent send. Pass nullptr to
+  // detach. The injector must outlive the fabric (or be detached first).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
 
   // Link parameters between a pair (unordered); assigning affects only
   // messages sent afterwards.
@@ -90,10 +101,13 @@ class Fabric {
     return a < b ? std::pair{a, b} : std::pair{b, a};
   }
 
+  void deliver_at(sim::Time when, Message msg);
+
   sim::Simulator& sim_;
   LinkParams default_link_;
   std::map<std::pair<NodeId, NodeId>, LinkParams> link_overrides_;
   std::vector<Nic> nics_;
+  FaultInjector* injector_{nullptr};
 };
 
 }  // namespace ampom::net

@@ -1,0 +1,115 @@
+#include "net/fault_injector.hpp"
+
+namespace ampom::net {
+
+FaultInjector::FaultInjector(sim::Simulator& simulator, std::uint64_t seed)
+    : sim_{simulator}, rng_{seed} {}
+
+void FaultInjector::set_link_faults(NodeId a, NodeId b, LinkFaults faults) {
+  link_overrides_[ordered(a, b)] = faults;
+}
+
+LinkFaults FaultInjector::link_faults(NodeId a, NodeId b) const {
+  const auto it = link_overrides_.find(ordered(a, b));
+  return it == link_overrides_.end() ? default_faults_ : it->second;
+}
+
+void FaultInjector::set_link_down(NodeId a, NodeId b, bool down) {
+  link_down_[ordered(a, b)] = down;
+}
+
+bool FaultInjector::link_down(NodeId a, NodeId b) const {
+  const auto it = link_down_.find(ordered(a, b));
+  return it != link_down_.end() && it->second;
+}
+
+void FaultInjector::schedule_link_outage(NodeId a, NodeId b, sim::Time down_at,
+                                         sim::Time up_at) {
+  sim_.schedule_at(down_at, [this, a, b] { set_link_down(a, b, true); });
+  sim_.schedule_at(up_at, [this, a, b] { set_link_down(a, b, false); });
+}
+
+void FaultInjector::crash_node(NodeId node) {
+  if (crashed_.size() <= node) {
+    crashed_.resize(node + 1, false);
+  }
+  crashed_[node] = true;
+}
+
+void FaultInjector::restore_node(NodeId node) {
+  if (crashed_.size() > node) {
+    crashed_[node] = false;
+  }
+}
+
+bool FaultInjector::node_crashed(NodeId node) const {
+  return crashed_.size() > node && crashed_[node];
+}
+
+void FaultInjector::schedule_node_crash(NodeId node, sim::Time at, sim::Time restore_at) {
+  sim_.schedule_at(at, [this, node] { crash_node(node); });
+  if (restore_at > sim::Time::zero()) {
+    sim_.schedule_at(restore_at, [this, node] { restore_node(node); });
+  }
+}
+
+bool FaultInjector::drop_in_flight(const Message& msg) {
+  if (node_crashed(msg.dst)) {
+    ++stats_.crash_drops;
+    return true;
+  }
+  return false;
+}
+
+FaultInjector::Decision FaultInjector::decide(const Message& msg) {
+  ++stats_.messages_seen;
+  Decision d;
+
+  // Endpoint liveness and outage windows first: these consume no randomness,
+  // so a crash window does not shift the drop/jitter stream of other links.
+  if (node_crashed(msg.src) || node_crashed(msg.dst)) {
+    d.deliver = false;
+    ++stats_.crash_drops;
+    trace_.push_back('X');
+    return d;
+  }
+  if (link_down(msg.src, msg.dst)) {
+    d.deliver = false;
+    ++stats_.link_down_drops;
+    trace_.push_back('L');
+    return d;
+  }
+
+  const LinkFaults faults = link_faults(msg.src, msg.dst);
+  // Draw only for nonzero knobs: a zero-fault injector never touches the RNG,
+  // which keeps it bit-transparent and lets per-link overrides coexist with a
+  // fault-free default without perturbing each other's streams.
+  if (faults.drop_probability > 0.0 && rng_.bernoulli(faults.drop_probability)) {
+    d.deliver = false;
+    ++stats_.dropped;
+    trace_.push_back('D');
+    return d;
+  }
+  if (faults.max_extra_delay > sim::Time::zero()) {
+    const auto span = static_cast<std::uint64_t>(faults.max_extra_delay.ns());
+    d.extra_delay = sim::Time::from_ns(static_cast<std::int64_t>(rng_.uniform(span + 1)));
+    if (d.extra_delay > sim::Time::zero()) {
+      ++stats_.delayed;
+    }
+  }
+  if (faults.duplicate_probability > 0.0 && rng_.bernoulli(faults.duplicate_probability)) {
+    d.duplicate = true;
+    // The copy trails the original like a retransmitted frame: one extra
+    // jitter span (or a fixed microsecond when jitter is off).
+    d.duplicate_delay = faults.max_extra_delay > sim::Time::zero()
+                            ? faults.max_extra_delay
+                            : sim::Time::from_us(1);
+    ++stats_.duplicated;
+    trace_.push_back('d');
+    return d;
+  }
+  trace_.push_back(d.extra_delay > sim::Time::zero() ? 'j' : '.');
+  return d;
+}
+
+}  // namespace ampom::net

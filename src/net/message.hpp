@@ -37,7 +37,10 @@ struct PageData {
   bool urgent{false};
 };
 
-// Process migration: one chunk of the freeze-time transfer.
+// Process migration: one chunk of the freeze-time transfer. `seq` and
+// `total_chunks` are populated only by the reliable (ack'd) protocol; the
+// classic fast path leaves them zero and tracks arrivals via the fabric's
+// predicted delivery times.
 struct MigrationChunk {
   enum class Kind : std::uint8_t {
     Pcb,              // registers, kernel state
@@ -49,6 +52,14 @@ struct MigrationChunk {
   Kind kind{Kind::Pcb};
   std::uint64_t item_count{0};
   bool last{false};
+  std::uint64_t seq{0};           // 1-based chunk sequence (reliable mode)
+  std::uint64_t total_chunks{0};  // chunks in this transfer (reliable mode)
+};
+
+// Reliable migration: destination acknowledges one received chunk.
+struct MigrationAck {
+  std::uint64_t pid{0};
+  std::uint64_t seq{0};
 };
 
 // InfoDaemon load-update ping; the ack round-trip measures t0 (paper §4).
@@ -80,11 +91,18 @@ struct FlushPage {
   std::uint64_t page{0};
 };
 
+// Reliable re-migration: the deputy confirms a flushed page landed.
+struct FlushAck {
+  std::uint64_t pid{0};
+  std::uint64_t page{0};
+};
+
 // Opaque competing traffic (load generators, other jobs).
 struct Background {};
 
-using Payload = std::variant<PageRequest, PageData, MigrationChunk, LoadPing, LoadAck,
-                             SyscallRequest, SyscallReply, FlushPage, Background>;
+using Payload = std::variant<PageRequest, PageData, MigrationChunk, MigrationAck, LoadPing,
+                             LoadAck, SyscallRequest, SyscallReply, FlushPage, FlushAck,
+                             Background>;
 
 struct Message {
   NodeId src{kInvalidNode};

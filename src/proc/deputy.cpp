@@ -40,11 +40,30 @@ void Deputy::on_page_request(const net::PageRequest& request) {
     if (loc == mem::PageTable::Loc::Incoming) {
       // Re-migration: the page is still being flushed back from the
       // previous host; serve it when it lands.
-      waiting_on_flush_[page].emplace_back(request.request_id, urgent);
-      ++stats_.requests_stalled_on_flush;
+      auto& waiters = waiting_on_flush_[page];
+      const bool already_queued =
+          reliable_ && std::any_of(waiters.begin(), waiters.end(), [&](const auto& w) {
+            return w.first == request.request_id;
+          });
+      if (!already_queued) {
+        waiters.emplace_back(request.request_id, urgent);
+        ++stats_.requests_stalled_on_flush;
+      }
       continue;
     }
     if (loc != mem::PageTable::Loc::Here) {
+      if (reliable_) {
+        const auto it = served_.find(request.request_id);
+        if (it != served_.end() && it->second.count(page) > 0) {
+          // Retransmitted request: this page already shipped but its
+          // PageData was lost (or is still in flight). Replay the data
+          // message without touching HPT/ledger — the migrant already owns
+          // the page as far as bookkeeping is concerned.
+          busy_until_ += costs_.deputy_page;
+          replay_page(page, request.request_id, urgent);
+          continue;
+        }
+      }
       throw std::logic_error(sim::strfmt(
           "Deputy: page %llu requested but HPT says it is not at home",
           static_cast<unsigned long long>(raw_page)));
@@ -60,10 +79,23 @@ void Deputy::ship_page(mem::PageId page, std::uint64_t request_id, bool urgent) 
   if (ledger_ != nullptr) {
     ledger_->transfer(page, home_node_, migrant_node_);
   }
+  if (reliable_) {
+    served_[request_id].insert(page);
+  }
   ++stats_.pages_served;
   if (urgent) {
     ++stats_.urgent_pages_served;
   }
+  sim_.schedule_at(std::max(busy_until_, sim_.now()),
+                   [this, page, urgent, request_id] {
+                     fabric_.send(net::Message{home_node_, migrant_node_,
+                                               wire_.page_message_bytes(),
+                                               net::PageData{pid_, request_id, page, urgent}});
+                   });
+}
+
+void Deputy::replay_page(mem::PageId page, std::uint64_t request_id, bool urgent) {
+  ++stats_.pages_replayed;
   sim_.schedule_at(std::max(busy_until_, sim_.now()),
                    [this, page, urgent, request_id] {
                      fabric_.send(net::Message{home_node_, migrant_node_,
@@ -78,12 +110,25 @@ void Deputy::on_flush_page(net::NodeId from, const net::FlushPage& flush) {
   }
   const mem::PageId page = flush.page;
   if (hpt_.loc(page) != mem::PageTable::Loc::Incoming) {
+    if (reliable_ && hpt_.loc(page) == mem::PageTable::Loc::Here) {
+      // Duplicate flush (retransmit raced the original, or the frame was
+      // duplicated): the page already landed. Re-ack so the flusher's
+      // tracker converges, but change nothing.
+      ++stats_.duplicate_flushes;
+      fabric_.send(net::Message{home_node_, from, wire_.control_message,
+                                net::FlushAck{pid_, page}});
+      return;
+    }
     throw std::logic_error("Deputy: flush arrival for a page not marked Incoming");
   }
   ++stats_.flush_pages_received;
   hpt_.set_loc(page, mem::PageTable::Loc::Here);
   if (ledger_ != nullptr) {
     ledger_->transfer(page, from, home_node_);
+  }
+  if (reliable_) {
+    fabric_.send(net::Message{home_node_, from, wire_.control_message,
+                              net::FlushAck{pid_, page}});
   }
   const auto it = waiting_on_flush_.find(page);
   if (it != waiting_on_flush_.end()) {
@@ -95,6 +140,25 @@ void Deputy::on_flush_page(net::NodeId from, const net::FlushPage& flush) {
     }
     waiting_on_flush_.erase(it);
   }
+}
+
+std::uint64_t Deputy::recover_pages_from(net::NodeId lost_node) {
+  std::uint64_t recovered = 0;
+  for (mem::PageId page = 0; page < hpt_.page_count(); ++page) {
+    const mem::PageTable::Loc loc = hpt_.loc(page);
+    if (loc == mem::PageTable::Loc::Remote || loc == mem::PageTable::Loc::Incoming) {
+      hpt_.set_loc(page, mem::PageTable::Loc::Here);
+      if (ledger_ != nullptr && ledger_->owner(page) == lost_node) {
+        ledger_->transfer(page, lost_node, home_node_);
+      }
+      ++recovered;
+    }
+  }
+  stats_.pages_recovered += recovered;
+  migrant_node_ = net::kInvalidNode;
+  waiting_on_flush_.clear();
+  served_.clear();
+  return recovered;
 }
 
 void Deputy::on_syscall_request(const net::SyscallRequest& request) {

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "mem/ledger.hpp"
@@ -22,6 +23,10 @@ struct DeputyStats {
   std::uint64_t syscalls_served{0};
   std::uint64_t flush_pages_received{0};
   std::uint64_t requests_stalled_on_flush{0};
+  // Reliability counters (all zero when reliability is off).
+  std::uint64_t pages_replayed{0};      // idempotent re-sends of already-shipped pages
+  std::uint64_t duplicate_flushes{0};   // flush arrivals for pages already home
+  std::uint64_t pages_recovered{0};     // pages reclaimed from a crashed host
 };
 
 class Deputy {
@@ -32,6 +37,20 @@ class Deputy {
 
   // Called by the migration engine once the migrant is resumed.
   void begin_service(net::NodeId migrant_node) { migrant_node_ = migrant_node; }
+
+  // Reliability: remember which pages each request id shipped so a
+  // retransmitted request replays the PageData (same wire bytes, deputy CPU
+  // cost) without re-transferring ledger ownership, and answer flushed
+  // pages with a FlushAck. Off by default — the classic deputy treats a
+  // duplicate request as a protocol violation and keeps throwing.
+  void set_reliability(bool enabled) { reliable_ = enabled; }
+  [[nodiscard]] bool reliability() const { return reliable_; }
+
+  // Failure recovery: the node holding this process's remote pages crashed.
+  // Reclaims every page the HPT does not mark Here (the authoritative copies
+  // died with the host; the deputy's frozen image stands in for them),
+  // updates the ledger, and forgets the migrant. Returns pages reclaimed.
+  std::uint64_t recover_pages_from(net::NodeId lost_node);
 
   // The HPT; the migration engine populates it during the freeze.
   [[nodiscard]] mem::PageTable& hpt() { return hpt_; }
@@ -61,8 +80,12 @@ class Deputy {
   // Requests for pages still being flushed back (re-migration): page ->
   // pending (request_id, urgent) pairs, served on flush arrival.
   std::map<mem::PageId, std::vector<std::pair<std::uint64_t, bool>>> waiting_on_flush_;
+  bool reliable_{false};
+  // Reliability: request_id -> pages already shipped for it (replay source).
+  std::map<std::uint64_t, std::set<mem::PageId>> served_;
 
   void ship_page(mem::PageId page, std::uint64_t request_id, bool urgent);
+  void replay_page(mem::PageId page, std::uint64_t request_id, bool urgent);
 };
 
 }  // namespace ampom::proc

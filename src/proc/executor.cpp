@@ -297,6 +297,15 @@ void Executor::complete_syscall(std::uint64_t seq) {
   schedule_burst(sim::Time::zero());
 }
 
+void Executor::crash_interrupt() {
+  if (process_.state() == ProcState::Finished) {
+    return;
+  }
+  on_frozen_ = nullptr;
+  pending_charge_ = sim::Time::zero();
+  process_.set_state(ProcState::Frozen);
+}
+
 void Executor::resume_migrated(NodeCosts new_costs) {
   if (process_.state() != ProcState::Frozen) {
     throw std::logic_error("Executor::resume_migrated: process is not frozen");

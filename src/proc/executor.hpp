@@ -81,6 +81,11 @@ class Executor {
   void request_freeze(std::function<void()> on_frozen);
   // Resume on the destination node after migration with its cost model.
   void resume_migrated(NodeCosts new_costs);
+  // The hosting node crashed: force Frozen from any state, discarding a
+  // blocked fault/syscall and any pending freeze request. Stale burst/fault
+  // events see Frozen and return; recovery later calls resume_migrated()
+  // with the new host's costs and re-examines the interrupted reference.
+  void crash_interrupt();
 
   // --- policy-facing API ----------------------------------------------------
   // Accumulate kernel handler time; consumed by the next complete_fault().

@@ -1,6 +1,10 @@
 #include "proc/paging_client.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "simcore/fmt.hpp"
 
 namespace ampom::proc {
 
@@ -26,19 +30,122 @@ void PagingClient::request_pages(const std::vector<mem::PageId>& pages, mem::Pag
   }
   stats_.pages_requested += pages.size();
 
+  if (retry_.enabled) {
+    Pending pending;
+    pending.pages = pages;
+    pending.urgent = urgent;
+    auto [it, inserted] = outstanding_.emplace(req.request_id, std::move(pending));
+    (void)inserted;
+    arm_timer(req.request_id, it->second);
+  }
+
   fabric_.send(net::Message{self_node_, home_node_,
                             wire_.request_bytes(static_cast<std::uint64_t>(pages.size())),
                             std::move(req)});
+}
+
+sim::Time PagingClient::base_timeout() const {
+  const sim::Time rtt = rtt_provider_ ? rtt_provider_() : sim::Time::zero();
+  if (rtt <= sim::Time::zero()) {
+    return retry_.min_timeout;
+  }
+  const sim::Time scaled = rtt.scaled(retry_.rtt_multiplier);
+  return std::clamp(scaled, retry_.min_timeout, retry_.max_timeout);
+}
+
+void PagingClient::arm_timer(std::uint64_t request_id, Pending& pending) {
+  // Replies come off the home node's TX port one page-message at a time, and
+  // this client may have several batches queued there: a request's reply can
+  // legitimately wait behind every other page this client still has
+  // outstanding. Grant that whole backlog as service time on top of the
+  // RTT-derived silence threshold so only real silence trips the timer.
+  std::uint64_t backlog = 0;
+  for (const auto& entry : outstanding_) {
+    backlog += entry.second.pages.size();
+  }
+  const sim::Time service =
+      retry_.per_page_allowance * static_cast<std::int64_t>(backlog);
+  const sim::Time timeout =
+      (base_timeout() + service).scaled(std::pow(retry_.backoff_factor, pending.retries));
+  pending.timer = sim_.schedule_after(std::min(timeout, retry_.max_timeout + service),
+                                      [this, request_id] { on_timeout(request_id); });
+}
+
+void PagingClient::on_timeout(std::uint64_t request_id) {
+  const auto it = outstanding_.find(request_id);
+  if (it == outstanding_.end()) {
+    return;  // satisfied between timer fire and lookup (cancel raced)
+  }
+  Pending& pending = it->second;
+  ++stats_.timeouts;
+  if (pending.retries >= retry_.max_retries) {
+    throw std::runtime_error(sim::strfmt(
+        "PagingClient: request %llu exceeded %u retries — home node unreachable?",
+        static_cast<unsigned long long>(request_id), retry_.max_retries));
+  }
+  pending.retries += 1;
+  ++stats_.retransmits;
+  stats_.pages_retransmitted += pending.pages.size();
+
+  // Re-request only the still-missing pages under the same request id, so
+  // the deputy can recognize and replay it idempotently.
+  net::PageRequest req;
+  req.pid = pid_;
+  req.request_id = request_id;
+  const bool urgent_pending =
+      pending.urgent != mem::kInvalidPage &&
+      std::find(pending.pages.begin(), pending.pages.end(), pending.urgent) !=
+          pending.pages.end();
+  req.urgent = urgent_pending ? pending.urgent : net::kNoPage;
+  req.pages.assign(pending.pages.begin(), pending.pages.end());
+  arm_timer(request_id, pending);
+  fabric_.send(
+      net::Message{self_node_, home_node_,
+                   wire_.request_bytes(static_cast<std::uint64_t>(pending.pages.size())),
+                   std::move(req)});
 }
 
 void PagingClient::on_page_data(const net::PageData& data) {
   if (data.pid != pid_) {
     throw std::logic_error("PagingClient: page data for a different process");
   }
+  if (retry_.enabled) {
+    const auto it = outstanding_.find(data.request_id);
+    if (it == outstanding_.end()) {
+      // Whole request already satisfied: a duplicated frame or a retransmit
+      // reply racing the original. Drop before it reaches the fault policy.
+      ++stats_.duplicates_dropped;
+      return;
+    }
+    auto& pages = it->second.pages;
+    const auto page_it = std::find(pages.begin(), pages.end(), data.page);
+    if (page_it == pages.end()) {
+      ++stats_.duplicates_dropped;
+      return;
+    }
+    pages.erase(page_it);
+    sim_.cancel(it->second.timer);
+    if (pages.empty()) {
+      outstanding_.erase(it);
+    } else {
+      // Progress: the path is alive. Restart the silence timer for the
+      // remainder and forgive past timeouts (they measured congestion, not
+      // loss).
+      it->second.retries = 0;
+      arm_timer(data.request_id, it->second);
+    }
+  }
   ++stats_.pages_arrived;
   if (on_arrival_) {
     on_arrival_(data.page, data.urgent);
   }
+}
+
+void PagingClient::cancel_outstanding() {
+  for (auto& [request_id, pending] : outstanding_) {
+    sim_.cancel(pending.timer);
+  }
+  outstanding_.clear();
 }
 
 }  // namespace ampom::proc

@@ -1,9 +1,18 @@
 #pragma once
 // Migrant-side remote-paging transport: batches page requests to the home
 // node's deputy and dispatches PageData arrivals to the fault policy.
+//
+// With reliability enabled (see PagingRetryConfig) each request is tracked
+// until every page it named has arrived: a per-request timer derived from
+// the InfoDaemon's RTT estimate retransmits the still-missing pages with
+// exponential backoff, and page arrivals the tracker has already seen
+// (retransmit races, network duplication) are suppressed before they reach
+// the fault policy. Reliability off (the default) is byte- and event-exact
+// with the original fire-and-forget client.
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "mem/page.hpp"
@@ -19,6 +28,30 @@ struct PagingClientStats {
   std::uint64_t pages_requested{0};
   std::uint64_t prefetch_pages_requested{0};  // pages beyond the urgent one
   std::uint64_t pages_arrived{0};
+  // Reliability counters (all zero when reliability is off).
+  std::uint64_t retransmits{0};          // requests re-sent after a timeout
+  std::uint64_t timeouts{0};             // timer expiries (== retransmits unless capped)
+  std::uint64_t duplicates_dropped{0};   // PageData arrivals already satisfied
+  std::uint64_t pages_retransmitted{0};  // pages named across all retransmits
+};
+
+// Timeout/backoff policy for reliable paging. The timer detects *silence*,
+// not slow service: the base timeout is
+//   clamp(rtt_multiplier * rtt_estimate, min_timeout, max_timeout)
+//     + missing_pages * per_page_allowance
+// (a batch of N replies legitimately takes N serialization slots of the
+// home node's TX port, so big prefetch batches get proportionally more
+// patience), doubles (backoff_factor) per retry of the same request, and is
+// re-armed — with the retry count reset — every time any page of the
+// request arrives, since progress proves the path is alive.
+struct PagingRetryConfig {
+  bool enabled{false};
+  double rtt_multiplier{4.0};
+  sim::Time min_timeout{sim::Time::from_ms(1)};
+  sim::Time max_timeout{sim::Time::from_ms(200)};
+  sim::Time per_page_allowance{sim::Time::from_us(500)};
+  double backoff_factor{2.0};
+  std::uint32_t max_retries{10};  // exceeded => simulation error (throws)
 };
 
 class PagingClient {
@@ -37,15 +70,39 @@ class PagingClient {
     on_arrival_ = std::move(fn);
   }
 
+  void set_retry_config(PagingRetryConfig config) { retry_ = config; }
+  [[nodiscard]] const PagingRetryConfig& retry_config() const { return retry_; }
+
+  // RTT estimate feeding the timeout formula (typically InfoDaemon::rtt_to
+  // the home node). Unset or zero falls back to min_timeout.
+  void set_rtt_provider(std::function<sim::Time()> fn) { rtt_provider_ = std::move(fn); }
+
   // Send one batched request. `urgent` must be pages.front() when present.
   void request_pages(const std::vector<mem::PageId>& pages, mem::PageId urgent);
 
   // Node router entry point.
   void on_page_data(const net::PageData& data);
 
+  // Abandon all in-flight requests (the process is leaving this node or the
+  // node crashed); cancels every retransmit timer.
+  void cancel_outstanding();
+
+  [[nodiscard]] std::size_t outstanding_requests() const { return outstanding_.size(); }
+
   [[nodiscard]] const PagingClientStats& stats() const { return stats_; }
 
  private:
+  struct Pending {
+    std::vector<mem::PageId> pages;  // still-missing pages, request order
+    mem::PageId urgent{mem::kInvalidPage};
+    std::uint32_t retries{0};
+    sim::Simulator::EventId timer;
+  };
+
+  [[nodiscard]] sim::Time base_timeout() const;
+  void arm_timer(std::uint64_t request_id, Pending& pending);
+  void on_timeout(std::uint64_t request_id);
+
   sim::Simulator& sim_;
   net::Fabric& fabric_;
   WireCosts wire_;
@@ -54,6 +111,9 @@ class PagingClient {
   std::uint64_t pid_;
   std::uint64_t next_request_id_{1};
   std::function<void(mem::PageId, bool)> on_arrival_;
+  std::function<sim::Time()> rtt_provider_;
+  PagingRetryConfig retry_;
+  std::map<std::uint64_t, Pending> outstanding_;  // request_id -> tracker
   PagingClientStats stats_;
 };
 

@@ -18,6 +18,14 @@ class Counters {
 
   [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const { return values_; }
 
+  // Accumulate another counter set (per-run reliability counters roll up
+  // into a sweep-wide summary this way).
+  void merge(const Counters& other) {
+    for (const auto& [name, value] : other.values_) {
+      values_[name] += value;
+    }
+  }
+
   void reset() { values_.clear(); }
 
  private:

@@ -67,7 +67,9 @@ struct MigrationFixture : ::testing::Test {
     return MigrationContext{simulator, fabric,   wire,  *process, *executor,
                             *deputy,   kHome,    kDest, costs,    costs,
                             ledger.get(),
-                            [this] { before_resume_called = true; }};
+                            [this] { before_resume_called = true; },
+                            /*src_node=*/nullptr, /*dst_node=*/nullptr,
+                            /*reliability=*/{}};
   }
 
   // Runs until the migration completes (the sim halts at resume so that

@@ -144,7 +144,8 @@ TEST(RemigrationEngineUnit, ConfigValidationAndAtHomeRejection) {
   migration::RemigrationEngine engine;
   migration::MigrationContext ctx{simulator, fabric, wire, process, executor, deputy,
                                   /*src=*/0,  /*dst=*/2, costs,   costs,    &ledger,
-                                  {}};
+                                  {},        /*src_node=*/nullptr, /*dst_node=*/nullptr,
+                                  /*reliability=*/{}};
   executor.start();
   executor.request_freeze([&] {
     // The process never left home: a re-migration engine is the wrong tool.
