@@ -26,10 +26,13 @@ int main(int argc, char** argv) {
                       "dup dropped", "replayed", "chunk rexmit", "net dropped"}};
   stats::Counters rollup;
   for (const double drop : {0.0, 0.01, 0.02, 0.05}) {
-    driver::Scenario s = bench::make_scenario(kernel, mib, driver::Scheme::Ampom);
-    s.reliability = driver::ReliabilityConfig::all_on();
-    s.faults.seed = 17;
-    s.faults.default_faults.drop_probability = drop;
+    driver::FaultPlan plan;
+    plan.seed = 17;
+    plan.default_faults.drop_probability = drop;
+    const driver::Scenario s = bench::cell_builder(kernel, mib, driver::Scheme::Ampom)
+                                   .reliability(driver::ReliabilityConfig::all_on())
+                                   .faults(plan)
+                                   .build();
     const driver::RunMetrics m = driver::run_experiment(s);
     table.add_row({stats::Table::percent(drop, 0),
                    stats::Table::num(m.total_time.sec()),

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "driver/builder.hpp"
 #include "driver/experiment.hpp"
 #include "stats/table.hpp"
 #include "workload/hpcc.hpp"
@@ -88,16 +89,16 @@ inline constexpr workload::HpccKernel kAllKernels[] = {
 inline constexpr driver::Scheme kAllSchemes[] = {
     driver::Scheme::OpenMosix, driver::Scheme::NoPrefetch, driver::Scheme::Ampom};
 
+// A ready-to-extend builder for one paper cell; callers chain further knobs
+// (reliability, faults, tracing) before build().
+inline driver::ScenarioBuilder cell_builder(workload::HpccKernel kernel,
+                                            std::uint64_t memory_mib, driver::Scheme scheme) {
+  return driver::ScenarioBuilder{}.scheme(scheme).hpcc_workload(kernel, memory_mib);
+}
+
 inline driver::Scenario make_scenario(workload::HpccKernel kernel, std::uint64_t memory_mib,
                                       driver::Scheme scheme) {
-  driver::Scenario s;
-  s.scheme = scheme;
-  s.memory_mib = memory_mib;
-  s.workload_label = workload::hpcc_kernel_name(kernel);
-  s.make_workload = [kernel, memory_mib] {
-    return workload::make_hpcc_kernel(kernel, memory_mib);
-  };
-  return s;
+  return cell_builder(kernel, memory_mib, scheme).build();
 }
 
 inline driver::RunMetrics run_cell(workload::HpccKernel kernel, std::uint64_t memory_mib,

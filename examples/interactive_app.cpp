@@ -11,6 +11,7 @@
 #include <iostream>
 #include <memory>
 
+#include "driver/builder.hpp"
 #include "driver/experiment.hpp"
 #include "stats/table.hpp"
 #include "workload/synthetic.hpp"
@@ -32,11 +33,10 @@ int main() {
                      {"scheme", "freeze", "total (s)", "pages moved", "MB moved"}};
   for (const auto scheme :
        {driver::Scheme::OpenMosix, driver::Scheme::NoPrefetch, driver::Scheme::Ampom}) {
-    driver::Scenario s;
-    s.scheme = scheme;
-    s.memory_mib = kMemory / sim::kMiB;
-    s.workload_label = "interactive";
-    s.make_workload = make_session;
+    const driver::Scenario s = driver::ScenarioBuilder{}
+                                   .scheme(scheme)
+                                   .workload("interactive", make_session, kMemory / sim::kMiB)
+                                   .build();
     const auto m = driver::run_experiment(s);
     const std::uint64_t moved = m.pages_migrated + m.pages_arrived;
     table.add_row({m.scheme, m.freeze_time.str(), stats::Table::num(m.total_time.sec(), 2),
@@ -59,12 +59,12 @@ int main() {
   stats::Table home{"Syscall-heavy session: home dependency (openMosix) vs local (Zap-style)",
                     {"syscall handling", "total (s)", "redirected calls"}};
   for (const bool home_dep : {true, false}) {
-    driver::Scenario s;
-    s.scheme = driver::Scheme::Ampom;
-    s.memory_mib = kMemory / sim::kMiB;
-    s.workload_label = "interactive-syscalls";
-    s.make_workload = make_syscall_session;
-    s.home_dependency = home_dep;
+    const driver::Scenario s =
+        driver::ScenarioBuilder{}
+            .scheme(driver::Scheme::Ampom)
+            .workload("interactive-syscalls", make_syscall_session, kMemory / sim::kMiB)
+            .home_dependency(home_dep)
+            .build();
     const auto m = driver::run_experiment(s);
     home.add_row({home_dep ? "redirected to home" : "executed locally",
                   stats::Table::num(m.total_time.sec(), 2),

@@ -14,6 +14,7 @@
 #include <iostream>
 #include <vector>
 
+#include "driver/builder.hpp"
 #include "driver/experiment.hpp"
 #include "stats/table.hpp"
 #include "workload/hpcc.hpp"
@@ -37,23 +38,22 @@ struct Job {
 
 // Run one job either in place (busy node, no migration) or migrated away.
 driver::RunMetrics run_job(const Job& job, bool migrate, driver::Scheme scheme) {
-  driver::Scenario s;
-  s.scheme = scheme;
-  s.memory_mib = job.memory_mib;
-  s.workload_label = job.label();
-  s.make_workload = [job] {
-    if (job.working_set_mib != 0) {
-      return workload::make_small_ws_dgemm(job.memory_mib, job.working_set_mib);
-    }
-    return workload::make_hpcc_kernel(job.kernel, job.memory_mib);
-  };
-  if (migrate) {
-    s.dest_background_load = 0.0;  // the idle node
-  } else {
-    // Staying: the job keeps running on the loaded node. Emulated by a
-    // migration whose destination carries the same background load.
-    s.dest_background_load = 0.7;
-  }
+  // Staying: the job keeps running on the loaded node. Emulated by a
+  // migration whose destination carries the same background load.
+  const driver::Scenario s =
+      driver::ScenarioBuilder{}
+          .scheme(scheme)
+          .workload(job.label(),
+                    [job] {
+                      if (job.working_set_mib != 0) {
+                        return workload::make_small_ws_dgemm(job.memory_mib,
+                                                             job.working_set_mib);
+                      }
+                      return workload::make_hpcc_kernel(job.kernel, job.memory_mib);
+                    },
+                    job.memory_mib)
+          .dest_background_load(migrate ? 0.0 : 0.7)
+          .build();
   return driver::run_experiment(s);
 }
 

@@ -7,8 +7,8 @@
 
 #include <iostream>
 
+#include "driver/builder.hpp"
 #include "driver/experiment.hpp"
-#include "net/traffic_shaper.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 #include "workload/hpcc.hpp"
@@ -17,23 +17,8 @@ int main() {
   using namespace ampom;
   using sim::Time;
 
-  driver::Scenario s;
-  s.scheme = driver::Scheme::Ampom;
-  s.memory_mib = 129;
-  s.workload_label = "STREAM";
-  s.make_workload = [] {
-    return workload::make_hpcc_kernel(workload::HpccKernel::Stream, 129);
-  };
-
-  // Degrade the migrant/home link 6 s into the run; restore at 14 s.
-  s.on_setup = [](sim::Simulator& simulator, net::Fabric& fabric) {
-    simulator.schedule_at(Time::from_sec(6.0), [&fabric] {
-      fabric.set_link(0, 1, net::TrafficShaper::broadband());
-    });
-    simulator.schedule_at(Time::from_sec(14.0), [&fabric] {
-      fabric.set_link(0, 1, net::LinkParams{});
-    });
-  };
+  driver::ScenarioBuilder builder;
+  builder.scheme(driver::Scheme::Ampom).hpcc_workload(workload::HpccKernel::Stream, 129);
 
   // Bucket the zone-size trace per second of simulated time.
   struct Bucket {
@@ -42,14 +27,23 @@ int main() {
     stats::Summary td_us;
   };
   std::vector<Bucket> buckets(30);
-  // The trace runs inside the simulation; we need the current time, so we
-  // capture it via a second hook around the provider inputs.
+  // The trace runs inside the simulation; we need the current time, so the
+  // setup hook also smuggles out the simulator pointer.
   sim::Simulator* sim_ptr = nullptr;
-  s.on_setup = [&, degrade = s.on_setup](sim::Simulator& simulator, net::Fabric& fabric) {
+
+  // Degrade the migrant/home link 6 s into the run (the paper's broadband
+  // profile); restore the testbed link at 14 s.
+  const net::LinkParams healthy = driver::gideon300_profile().link;
+  builder.on_setup([&sim_ptr, healthy](sim::Simulator& simulator, net::Fabric& fabric) {
     sim_ptr = &simulator;
-    degrade(simulator, fabric);
-  };
-  s.ampom_trace = [&](const core::ZoneInputs& in, std::uint64_t n, std::size_t) {
+    simulator.schedule_at(Time::from_sec(6.0), [&fabric] {
+      fabric.set_link(0, 1, driver::broadband_link());
+    });
+    simulator.schedule_at(Time::from_sec(14.0), [&fabric, healthy] {
+      fabric.set_link(0, 1, healthy);
+    });
+  });
+  builder.ampom_trace([&](const core::ZoneInputs& in, std::uint64_t n, std::size_t) {
     if (sim_ptr == nullptr) {
       return;
     }
@@ -59,9 +53,9 @@ int main() {
       buckets[sec].t0_us.add(in.rtt_one_way.us());
       buckets[sec].td_us.add(in.page_transfer.us());
     }
-  };
+  });
 
-  const auto m = driver::run_experiment(s);
+  const auto m = driver::run_experiment(builder.build());
 
   stats::Table table{"Dependent-zone size under a mid-run network degradation "
                      "(6 Mb/s + 2 ms between t=6 s and t=14 s)",

@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "driver/builder.hpp"
 #include "driver/experiment.hpp"
 #include "stats/table.hpp"
 #include "workload/hpcc.hpp"
@@ -19,13 +20,11 @@ int main() {
 
   for (const driver::Scheme scheme :
        {driver::Scheme::OpenMosix, driver::Scheme::NoPrefetch, driver::Scheme::Ampom}) {
-    driver::Scenario scenario;
-    scenario.scheme = scheme;
-    scenario.workload_label = "STREAM";
-    scenario.memory_mib = 129;
-    scenario.make_workload = [] {
-      return workload::make_hpcc_kernel(workload::HpccKernel::Stream, 129);
-    };
+    const driver::Scenario scenario =
+        driver::ScenarioBuilder{}
+            .scheme(scheme)
+            .hpcc_workload(workload::HpccKernel::Stream, 129)
+            .build();
 
     const driver::RunMetrics m = driver::run_experiment(scenario);
     table.add_row({m.scheme, m.freeze_time.str(), m.total_time.str(),

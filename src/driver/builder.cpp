@@ -1,0 +1,47 @@
+#include "driver/builder.hpp"
+
+#include <stdexcept>
+
+namespace ampom::driver {
+
+std::string ScenarioBuilder::validate() const {
+  const Scenario& s = scenario_;
+  if (!s.make_workload) {
+    return "ScenarioBuilder: no workload set — call workload() or hpcc_workload()";
+  }
+  if (s.faults.active() && !s.reliability.enabled) {
+    return "ScenarioBuilder: fault plan is active but reliability is off — lost messages "
+           "would never be retransmitted and the run would hang; set "
+           "reliability(ReliabilityConfig::all_on()) or clear the fault plan";
+  }
+  const bool remigrates = s.remigrate_after > sim::Time::zero();
+  if (remigrates && s.background_traffic > 0.0) {
+    return "ScenarioBuilder: remigrate_after and background_traffic are mutually exclusive "
+           "(the third node plays both roles)";
+  }
+  if (remigrates && s.scheme == Scheme::Checkpoint) {
+    return "ScenarioBuilder: checkpoint placement uses the third node as its file server; "
+           "re-migration is not supported with it";
+  }
+  if (s.background_traffic < 0.0 || s.background_traffic > 1.0) {
+    return "ScenarioBuilder: background_traffic must be a fraction in [0, 1]";
+  }
+  if (s.dest_background_load < 0.0 || s.dest_background_load >= 1.0) {
+    return "ScenarioBuilder: dest_background_load must be a fraction in [0, 1)";
+  }
+  if (s.trace.enabled && s.trace.max_events == 0) {
+    return "ScenarioBuilder: tracing is enabled with max_events == 0 — every event would "
+           "be dropped; raise the cap or disable tracing";
+  }
+  return {};
+}
+
+Scenario ScenarioBuilder::build() const {
+  std::string problem = validate();
+  if (!problem.empty()) {
+    throw std::invalid_argument(problem);
+  }
+  return scenario_;
+}
+
+}  // namespace ampom::driver

@@ -1,0 +1,153 @@
+#pragma once
+// ScenarioBuilder: a fluent, validating front door for Scenario.
+//
+// Scenario stays a plain aggregate — every existing brace-initialized call
+// site keeps working — but hand-assembling one silently accepts
+// combinations the harness then rejects deep inside run_experiment (or
+// worse, runs into a hung simulation: a fault plan with the reliability
+// protocols off loses messages nobody retransmits). The builder centralizes
+// those rules at build() time with errors that name the offending knobs.
+//
+//   auto s = ScenarioBuilder{}
+//                .scheme(Scheme::Ampom)
+//                .hpcc_workload(workload::HpccKernel::Stream, 129)
+//                .reliability(ReliabilityConfig::all_on())
+//                .tracing()
+//                .build();  // throws std::invalid_argument on bad combos
+
+#include <cstdint>
+#include <string>
+
+#include "driver/scenario.hpp"
+#include "workload/hpcc.hpp"
+
+namespace ampom::driver {
+
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder& scheme(Scheme value) {
+    scenario_.scheme = value;
+    return *this;
+  }
+
+  // Arbitrary workload: label + factory (+ nominal size, reporting only).
+  ScenarioBuilder& workload(std::string label,
+                            std::function<std::unique_ptr<proc::ReferenceStream>()> factory,
+                            std::uint64_t memory_mib = 0) {
+    scenario_.workload_label = std::move(label);
+    scenario_.make_workload = std::move(factory);
+    scenario_.memory_mib = memory_mib;
+    return *this;
+  }
+
+  // The paper's HPCC kernels (Table 1): label, factory and size in one call.
+  ScenarioBuilder& hpcc_workload(workload::HpccKernel kernel, std::uint64_t memory_mib) {
+    scenario_.workload_label = workload::hpcc_kernel_name(kernel);
+    scenario_.make_workload = [kernel, memory_mib] {
+      return workload::make_hpcc_kernel(kernel, memory_mib);
+    };
+    scenario_.memory_mib = memory_mib;
+    return *this;
+  }
+
+  ScenarioBuilder& profile(ClusterProfile value) {
+    scenario_.profile = value;
+    return *this;
+  }
+
+  ScenarioBuilder& ampom_config(core::AmpomConfig value) {
+    scenario_.ampom = value;
+    return *this;
+  }
+
+  // Shapes the home/destination link (e.g. broadband_link() for Fig. 9).
+  ScenarioBuilder& shaped_link(net::LinkParams value) {
+    scenario_.shape_migrant_link = true;
+    scenario_.shaped_link = value;
+    return *this;
+  }
+
+  ScenarioBuilder& dest_background_load(double fraction) {
+    scenario_.dest_background_load = fraction;
+    return *this;
+  }
+
+  ScenarioBuilder& background_traffic(double fraction) {
+    scenario_.background_traffic = fraction;
+    return *this;
+  }
+
+  ScenarioBuilder& ram_limit_pages(std::uint64_t pages) {
+    scenario_.ram_limit_pages = pages;
+    return *this;
+  }
+
+  ScenarioBuilder& home_dependency(bool enabled) {
+    scenario_.home_dependency = enabled;
+    return *this;
+  }
+
+  ScenarioBuilder& warmup(sim::Time value) {
+    scenario_.warmup = value;
+    return *this;
+  }
+
+  ScenarioBuilder& migrate_after(sim::Time value) {
+    scenario_.migrate_after = value;
+    return *this;
+  }
+
+  ScenarioBuilder& remigrate_after(sim::Time value) {
+    scenario_.remigrate_after = value;
+    return *this;
+  }
+
+  ScenarioBuilder& seed(std::uint64_t value) {
+    scenario_.seed = value;
+    return *this;
+  }
+
+  ScenarioBuilder& faults(FaultPlan plan) {
+    scenario_.faults = std::move(plan);
+    return *this;
+  }
+
+  ScenarioBuilder& reliability(ReliabilityConfig value) {
+    scenario_.reliability = value;
+    return *this;
+  }
+
+  // Full trace configuration, or just the switch: tracing() turns the
+  // default config on.
+  ScenarioBuilder& trace(trace::TraceConfig value) {
+    scenario_.trace = value;
+    return *this;
+  }
+  ScenarioBuilder& tracing(bool enabled = true) {
+    scenario_.trace.enabled = enabled;
+    return *this;
+  }
+
+  ScenarioBuilder& ampom_trace(core::AmpomPolicy::TraceHook hook) {
+    scenario_.ampom_trace = std::move(hook);
+    return *this;
+  }
+
+  ScenarioBuilder& on_setup(std::function<void(sim::Simulator&, net::Fabric&)> hook) {
+    scenario_.on_setup = std::move(hook);
+    return *this;
+  }
+
+  // Empty string = consistent; otherwise the first problem found, phrased
+  // in terms of the knobs that conflict. build() throws exactly this text.
+  [[nodiscard]] std::string validate() const;
+
+  // Validates and returns the finished scenario (leaves the builder
+  // reusable). Throws std::invalid_argument with validate()'s message.
+  [[nodiscard]] Scenario build() const;
+
+ private:
+  Scenario scenario_;
+};
+
+}  // namespace ampom::driver

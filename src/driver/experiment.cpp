@@ -15,10 +15,12 @@
 #include "net/background_traffic.hpp"
 #include "net/fault_injector.hpp"
 #include "net/traffic_shaper.hpp"
+#include "driver/runner.hpp"
 #include "proc/demand_paging.hpp"
 #include "proc/executor.hpp"
 #include "proc/paging_client.hpp"
 #include "simcore/simulator.hpp"
+#include "trace/trace.hpp"
 
 namespace ampom::driver {
 
@@ -28,13 +30,16 @@ constexpr net::NodeId kDest = 1;
 constexpr net::NodeId kThird = 2;  // background-traffic source / re-migration target
 }  // namespace
 
-RunMetrics run_experiment(const Scenario& scenario) {
+RunMetrics run_experiment(const Scenario& scenario) { return Runner{}.run(scenario); }
+
+RunMetrics detail::run_scenario(const Scenario& scenario, trace::TraceRecorder* recorder) {
   if (!scenario.make_workload) {
     throw std::invalid_argument("run_experiment: scenario has no workload factory");
   }
 
   sim::Simulator sim;
   net::Fabric fabric{sim, 3, scenario.profile.link};
+  fabric.set_trace(recorder);
   net::TrafficShaper shaper{fabric};
   if (scenario.shape_migrant_link) {
     shaper.shape_pair(kHome, kDest, scenario.shaped_link);
@@ -113,10 +118,13 @@ RunMetrics run_experiment(const Scenario& scenario) {
   proc::Deputy deputy{sim,   fabric, scenario.profile.wire,        scenario.profile.costs,
                       kHome, 1,      process.aspace().page_count(), &ledger};
   home.set_deputy(&deputy);
+  deputy.set_trace(recorder);
 
   proc::PagingClient client{sim, fabric, scenario.profile.wire, kDest, kHome, 1};
   dest.set_paging_client(&client);
   proc::PagingClient client2{sim, fabric, scenario.profile.wire, kThird, kHome, 1};
+  client.set_trace(recorder);
+  client2.set_trace(recorder);
 
   const ReliabilityConfig& rel = scenario.reliability;
   if (rel.enabled) {
@@ -199,7 +207,8 @@ RunMetrics run_experiment(const Scenario& scenario) {
                                   /*on_before_resume=*/{},
                                   /*src_node=*/nullptr,
                                   /*dst_node=*/nullptr,
-                                  /*reliability=*/{}};
+                                  /*reliability=*/{},
+                                  /*trace=*/recorder};
   if (rel.enabled && rel.migration.enabled) {
     ctx.src_node = &home;
     ctx.dst_node = &dest;
@@ -319,6 +328,9 @@ RunMetrics run_experiment(const Scenario& scenario) {
   });
 
   executor.set_on_finished([&sim] { sim.halt(); });
+  if (recorder != nullptr) {
+    recorder->attach_scheduler_probe(sim);
+  }
   sim.run();
 
   if (!executor.stats().finished) {
@@ -403,6 +415,10 @@ RunMetrics run_experiment(const Scenario& scenario) {
   // flushes B -> H); the per-transfer owner checks inside PageLedger still
   // guarded every move.
   m.ledger_ok = remigrates || ledger.at_most_one_transfer_each();
+
+  if (recorder != nullptr && recorder->enabled()) {
+    m.trace_summary = recorder->summary();
+  }
   return m;
 }
 

@@ -5,8 +5,23 @@
 #include "driver/metrics.hpp"
 #include "driver/scenario.hpp"
 
+namespace ampom::trace {
+class TraceRecorder;
+}
+
 namespace ampom::driver {
 
+// Convenience wrapper: equivalent to Runner{}.run(scenario) (see runner.hpp),
+// which is the full-featured entry point (trace export, metric sinks,
+// scoped log level).
 [[nodiscard]] RunMetrics run_experiment(const Scenario& scenario);
+
+namespace detail {
+// The harness itself: builds the cluster, wires the (possibly disabled)
+// trace recorder into every instrumented layer, runs to completion.
+// `recorder` may be null; Runner always passes one.
+[[nodiscard]] RunMetrics run_scenario(const Scenario& scenario,
+                                      trace::TraceRecorder* recorder);
+}  // namespace detail
 
 }  // namespace ampom::driver

@@ -62,6 +62,11 @@ struct RunMetrics {
 
   bool ledger_ok{true};  // conservation invariant held throughout
 
+  // --- tracing (empty unless Scenario::trace.enabled) --------------------------
+  // Per-category event counts ("trace.<category>.<name>" -> occurrences),
+  // taken from the run's TraceRecorder summary.
+  stats::Counters trace_summary{};
+
   // --- reliability & fault injection (all zero when both are off) -------------
   bool migration_completed{true};                   // first hop reached its destination
   std::uint64_t paging_retransmits{0};              // page requests re-sent on timeout

@@ -1,0 +1,62 @@
+#pragma once
+// Runner: the per-run observability facade.
+//
+// run_experiment's historical contract is "scenario in, metrics out" with
+// every knob global (the process-wide Logger) or lost (the trace recorder
+// died with the harness stack frame). A Runner owns that per-run state
+// instead: it applies a scoped log level for the duration of the run,
+// constructs the TraceRecorder from Scenario::trace and keeps it alive so
+// the caller can export the timeline afterwards, and fans the finished
+// RunMetrics out to any registered sinks (CSV emitters, aggregators).
+//
+// run_experiment(s) remains a thin wrapper over Runner{}.run(s).
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driver/metrics.hpp"
+#include "driver/scenario.hpp"
+#include "simcore/log.hpp"
+#include "trace/trace.hpp"
+
+namespace ampom::driver {
+
+class Runner {
+ public:
+  struct Options {
+    // Applied to the global Logger for the duration of each run() and
+    // restored afterwards; nullopt leaves the level alone.
+    std::optional<sim::LogLevel> log_level;
+  };
+
+  Runner() = default;
+  explicit Runner(Options options) : options_{options} {}
+
+  // Observers of every finished run, invoked in registration order.
+  void add_metric_sink(std::function<void(const RunMetrics&)> sink) {
+    sinks_.push_back(std::move(sink));
+  }
+
+  // Runs one scenario to completion. The recorder from the previous run is
+  // replaced, so trace() / write_trace_json() always describe the last run.
+  RunMetrics run(const Scenario& scenario);
+
+  // Last run's recorder (null before the first run). Disabled tracing still
+  // yields a recorder — an empty one.
+  [[nodiscard]] const trace::TraceRecorder* trace() const { return recorder_.get(); }
+
+  // Exports the last run's events as Chrome trace_event JSON
+  // (chrome://tracing, Perfetto). Returns false when there is nothing to
+  // write (no run yet or tracing was off) or the file cannot be opened.
+  [[nodiscard]] bool write_trace_json(const std::string& path) const;
+
+ private:
+  Options options_;
+  std::unique_ptr<trace::TraceRecorder> recorder_;
+  std::vector<std::function<void(const RunMetrics&)>> sinks_;
+};
+
+}  // namespace ampom::driver

@@ -15,6 +15,7 @@
 #include "net/fault_injector.hpp"
 #include "proc/paging_client.hpp"
 #include "proc/reference_stream.hpp"
+#include "trace/trace.hpp"
 
 namespace ampom::driver {
 
@@ -157,6 +158,10 @@ struct Scenario {
 
   // Observability: per-fault trace of the AMPoM analysis (Ampom scheme only).
   core::AmpomPolicy::TraceHook ampom_trace;
+  // Structured event tracing (off by default: bit-identical run, see
+  // trace/trace.hpp). The Runner owns the recorder; RunMetrics carries the
+  // per-category summary and Runner::write_trace_json the full timeline.
+  trace::TraceConfig trace{};
 
   // Called once after the cluster is wired, before the simulation runs —
   // for scheduling mid-run events (e.g. reshaping the network, injecting

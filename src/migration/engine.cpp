@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace ampom::migration {
 
 void MigrationEngine::finish_resume(MigrationContext& ctx, MigrationResult result,
@@ -12,6 +14,12 @@ void MigrationEngine::finish_resume(MigrationContext& ctx, MigrationResult resul
     ctx.on_before_resume();
   }
   ctx.executor.resume_migrated(ctx.dst_costs);
+  if (ctx.trace != nullptr) {
+    ctx.trace->instant(trace::Category::kMigration, "resume", ctx.sim.now(), ctx.dst,
+                       ctx.process.pid(), result.pages_transferred);
+    ctx.trace->async_end(trace::Category::kMigration, "migration", ctx.sim.now(), ctx.src,
+                         ctx.process.pid(), result.pages_transferred);
+  }
   if (done) {
     done(result);
   }
@@ -24,6 +32,12 @@ void MigrationEngine::abort_unfreeze(MigrationContext& ctx, MigrationResult resu
   result.resume_at = ctx.sim.now();
   result.pages_transferred = 0;
   ctx.executor.resume_migrated(ctx.src_costs);
+  if (ctx.trace != nullptr) {
+    ctx.trace->instant(trace::Category::kMigration, "abort_unfreeze", ctx.sim.now(), ctx.src,
+                       ctx.process.pid(), static_cast<std::uint64_t>(outcome));
+    ctx.trace->async_end(trace::Category::kMigration, "migration", ctx.sim.now(), ctx.src,
+                         ctx.process.pid());
+  }
   if (done) {
     done(result);
   }
@@ -34,6 +48,10 @@ void migrate_process(MigrationContext ctx, MigrationEngine& engine,
   if (ctx.src == ctx.dst) {
     throw std::invalid_argument("migrate_process: source and destination are the same node");
   }
+  if (ctx.trace != nullptr) {
+    ctx.trace->async_begin(trace::Category::kMigration, "migration", ctx.sim.now(), ctx.src,
+                           ctx.process.pid(), ctx.dst);
+  }
   if (!engine.needs_freeze_first()) {
     engine.execute(std::move(ctx), std::move(done));
     return;
@@ -41,6 +59,10 @@ void migrate_process(MigrationContext ctx, MigrationEngine& engine,
   proc::Executor& executor = ctx.executor;
   executor.request_freeze(
       [&engine, ctx = std::move(ctx), done = std::move(done)]() mutable {
+        if (ctx.trace != nullptr) {
+          ctx.trace->instant(trace::Category::kMigration, "frozen", ctx.sim.now(), ctx.src,
+                             ctx.process.pid());
+        }
         engine.execute(std::move(ctx), std::move(done));
       });
 }

@@ -21,6 +21,10 @@ namespace ampom::cluster {
 class Node;
 }
 
+namespace ampom::trace {
+class TraceRecorder;
+}
+
 namespace ampom::migration {
 
 // How a migration attempt ended.
@@ -62,6 +66,9 @@ struct MigrationContext {
   cluster::Node* src_node{nullptr};
   cluster::Node* dst_node{nullptr};
   MigrationReliability reliability;
+  // Observability (optional, not owned): migration/phase spans and per-round
+  // retransmission markers, correlated by pid. Null = untouched timeline.
+  trace::TraceRecorder* trace{nullptr};
 
   [[nodiscard]] bool reliable() const {
     return reliability.enabled && src_node != nullptr && dst_node != nullptr;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "migration/reliable.hpp"
+#include "trace/trace.hpp"
 
 namespace ampom::migration {
 
@@ -137,6 +138,13 @@ void FullCopyEngine::execute(MigrationContext ctx, std::function<void(MigrationR
                              static_cast<std::int64_t>(last_chunk);
     const sim::Time restore =
         ctx.dst_costs.restore_setup.scaled(1.0 / ctx.dst_costs.cpu_speed);
+    if (ctx.trace != nullptr) {
+      const std::uint64_t pid = ctx.process.pid();
+      ctx.trace->async_begin(trace::Category::kMigration, "unpack_restore", last_arrival,
+                             ctx.src, pid, last_chunk);
+      ctx.trace->async_end(trace::Category::kMigration, "unpack_restore",
+                           last_arrival + unpack + restore, ctx.src, pid);
+    }
     ctx.sim.schedule_at(last_arrival + unpack + restore, [ctx, done, shared]() mutable {
       shared->resume_at = ctx.sim.now();
       finish_resume(ctx, *shared, done);
@@ -148,6 +156,12 @@ void FullCopyEngine::execute(MigrationContext ctx, std::function<void(MigrationR
     const sim::Time pcb_arrival =
         pack_done + ctx.fabric.link(ctx.src, ctx.dst).bandwidth.transfer_time(ctx.wire.pcb_bytes) +
         ctx.fabric.link(ctx.src, ctx.dst).latency;
+    if (ctx.trace != nullptr) {
+      ctx.trace->async_begin(trace::Category::kMigration, "freeze_pack", result.freeze_begin,
+                             ctx.src, ctx.process.pid());
+      ctx.trace->async_end(trace::Category::kMigration, "freeze_pack", pack_done, ctx.src,
+                           ctx.process.pid());
+    }
     complete(pcb_arrival, 0);
     return;
   }
@@ -168,6 +182,13 @@ void FullCopyEngine::execute(MigrationContext ctx, std::function<void(MigrationR
             complete(arrival, count);
           }
         });
+  }
+  // Pipelined pack: the span closes when the last chunk finishes packing.
+  if (ctx.trace != nullptr) {
+    ctx.trace->async_begin(trace::Category::kMigration, "freeze_pack", result.freeze_begin,
+                           ctx.src, ctx.process.pid(), total);
+    ctx.trace->async_end(trace::Category::kMigration, "freeze_pack", pack_done, ctx.src,
+                         ctx.process.pid());
   }
 }
 

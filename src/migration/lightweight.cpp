@@ -4,6 +4,7 @@
 #include <array>
 
 #include "migration/reliable.hpp"
+#include "trace/trace.hpp"
 
 namespace ampom::migration {
 
@@ -77,6 +78,15 @@ void LightweightEngineBase::run_freeze(MigrationContext ctx, std::vector<mem::Pa
       static_cast<sim::Bytes>(carried.size()) * ctx.wire.page_message_bytes();
   result.bytes_transferred = ctx.wire.pcb_bytes + page_bytes + extra_bytes;
 
+  // Phase spans share the migration's correlation id (pid): pack ends at the
+  // already-known send instant, so both edges are recorded up front.
+  if (ctx.trace != nullptr) {
+    ctx.trace->async_begin(trace::Category::kMigration, "freeze_pack", ctx.sim.now(), ctx.src,
+                           ctx.process.pid(), carried.size());
+    ctx.trace->async_end(trace::Category::kMigration, "freeze_pack", send_at, ctx.src,
+                         ctx.process.pid());
+  }
+
   if (!ctx.reliable()) {
     // Classic fire-and-forget: partition now, time the resume off the
     // fabric's predicted arrivals (byte-identical to the seed protocol).
@@ -103,6 +113,15 @@ void LightweightEngineBase::run_freeze(MigrationContext ctx, std::vector<mem::Pa
               static_cast<std::int64_t>(result.pages_transferred) +
           extra_unpack.scaled(1.0 / dst_speed) +
           ctx.dst_costs.restore_setup.scaled(1.0 / dst_speed);
+      if (ctx.trace != nullptr) {
+        ctx.trace->async_begin(trace::Category::kMigration, "transfer", ctx.sim.now(), ctx.src,
+                               pid, result.pages_transferred);
+        ctx.trace->async_end(trace::Category::kMigration, "transfer", last_arrival, ctx.src, pid);
+        ctx.trace->async_begin(trace::Category::kMigration, "unpack_restore", last_arrival,
+                               ctx.src, pid);
+        ctx.trace->async_end(trace::Category::kMigration, "unpack_restore", last_arrival + unpack,
+                             ctx.src, pid);
+      }
       ctx.sim.schedule_at(last_arrival + unpack, [ctx, done = std::move(done), result]() mutable {
         result.resume_at = ctx.sim.now();
         finish_resume(ctx, result, done);

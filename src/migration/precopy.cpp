@@ -5,6 +5,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "trace/trace.hpp"
+
 namespace ampom::migration {
 
 namespace {
@@ -67,6 +69,10 @@ struct PreCopyRun {
   void run_round(std::vector<mem::PageId> to_copy) {
     ++rounds_run;
     redirtied.clear();
+    if (ctx.trace != nullptr) {
+      ctx.trace->instant(trace::Category::kMigration, "precopy_round", ctx.sim.now(), ctx.src,
+                         ctx.process.pid(), rounds_run, to_copy.size());
+    }
     stream_pages(std::move(to_copy), ctx.sim.now(), /*final_round=*/false,
                  [this](sim::Time last_arrival) {
                    ctx.sim.schedule_at(last_arrival, [this] { next_round_or_freeze(); });
@@ -94,6 +100,12 @@ struct PreCopyRun {
   void final_round() {
     result.freeze_begin = ctx.sim.now();
     ctx.executor.set_touch_observer(nullptr);
+    if (ctx.trace != nullptr) {
+      // Pre-copy freezes itself (needs_freeze_first() is false), so the
+      // orchestrator's "frozen" marker never fires; emit it here.
+      ctx.trace->instant(trace::Category::kMigration, "frozen", ctx.sim.now(), ctx.src,
+                         ctx.process.pid(), redirtied.size());
+    }
 
     std::vector<mem::PageId> residue(redirtied.begin(), redirtied.end());
     const sim::Time setup = ctx.src_costs.freeze_setup.scaled(1.0 / ctx.src_costs.cpu_speed);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "cluster/node.hpp"
+#include "trace/trace.hpp"
 
 namespace ampom::migration {
 
@@ -17,6 +18,7 @@ ReliableTransfer::ReliableTransfer(const MigrationContext& ctx, std::vector<Item
       src_node_{ctx.src_node},
       dst_node_{ctx.dst_node},
       config_{ctx.reliability},
+      trace_{ctx.trace},
       items_{std::move(items)},
       acked_(items_.size(), false),
       received_(items_.size(), false) {
@@ -58,12 +60,16 @@ void ReliableTransfer::send_round() {
     chunk.last = i + 1 == total;
     chunk.seq = i + 1;
     chunk.total_chunks = total;
-    last_predicted = fabric_.send(net::Message{src_, dst_, item.wire_bytes, chunk});
+    last_predicted = fabric_.send(net::Message{src_, dst_, item.wire_bytes, chunk, chunk.seq});
     if (!first_round) {
       ++stats_.chunk_retransmits;
       stats_.bytes_retransmitted += item.wire_bytes;
       if (item.counts_pages) {
         stats_.pages_retransmitted += item.item_count;
+      }
+      if (trace_ != nullptr) {
+        trace_->instant(trace::Category::kMigration, "chunk_retransmit", sim_.now(), src_,
+                        chunk.seq, item.item_count, rounds_);
       }
     }
   }
@@ -82,7 +88,7 @@ void ReliableTransfer::on_chunk(const net::MigrationChunk& chunk) {
   }
   // Always ack — the ack for an earlier copy may have been lost.
   fabric_.send(net::Message{dst_, src_, wire_.control_message,
-                            net::MigrationAck{pid_, chunk.seq}});
+                            net::MigrationAck{pid_, chunk.seq}, chunk.seq});
   const std::uint64_t idx = chunk.seq - 1;
   if (received_[idx]) {
     ++stats_.duplicate_chunks;

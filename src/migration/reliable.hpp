@@ -70,6 +70,7 @@ class ReliableTransfer : public std::enable_shared_from_this<ReliableTransfer> {
   cluster::Node* src_node_;
   cluster::Node* dst_node_;
   MigrationReliability config_;
+  trace::TraceRecorder* trace_;
 
   std::vector<Item> items_;
   std::vector<bool> acked_;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cluster/node.hpp"
+#include "trace/trace.hpp"
 
 namespace ampom::migration {
 
@@ -56,6 +57,7 @@ class FlushTracker : public std::enable_shared_from_this<FlushTracker> {
         pid_{ctx.process.pid()},
         src_node_{ctx.src_node},
         config_{ctx.reliability},
+        trace_{ctx.trace},
         sink_{sink},
         chunk_count_{chunk_count},
         outstanding_(pages.begin(), pages.end()) {}
@@ -94,8 +96,12 @@ class FlushTracker : public std::enable_shared_from_this<FlushTracker> {
     for (const mem::PageId page : outstanding_) {
       last_predicted_ = std::max(
           last_predicted_, fabric_.send(net::Message{src_, home_, wire_.page_message_bytes(),
-                                                     net::FlushPage{pid_, page}}));
+                                                     net::FlushPage{pid_, page}, page}));
       ++sink_->retransmits;
+      if (trace_ != nullptr) {
+        trace_->instant(trace::Category::kMigration, "flush_retransmit", sim_.now(), src_, page,
+                        rounds_);
+      }
     }
     arm();
   }
@@ -114,6 +120,7 @@ class FlushTracker : public std::enable_shared_from_this<FlushTracker> {
   std::uint64_t pid_;
   cluster::Node* src_node_;
   MigrationReliability config_;
+  trace::TraceRecorder* trace_;
   RemigrationEngine::FlushStats* sink_;
   std::uint64_t chunk_count_;
   std::uint64_t chunks_sent_{0};
@@ -277,7 +284,7 @@ void RemigrationEngine::execute_drained(MigrationContext ctx,
                                   last,
                                   fabric.send(net::Message{src, home,
                                                            wire.page_message_bytes(),
-                                                           net::FlushPage{pid, page}}));
+                                                           net::FlushPage{pid, page}, page}));
                             }
                             if (tracker != nullptr) {
                               tracker->chunk_sent(last);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "net/fault_injector.hpp"
+#include "trace/trace.hpp"
 
 namespace ampom::net {
 
@@ -65,16 +66,29 @@ sim::Time Fabric::send(Message msg) {
     dst.rx_free = arrival;
   }
 
+  if (trace_ != nullptr) {
+    trace_->instant(trace::Category::kNet, payload_name(msg.payload), now, msg.src, msg.corr,
+                    msg.wire_bytes, msg.dst);
+  }
+
   if (injector_ != nullptr) {
     const FaultInjector::Decision d = injector_->decide(msg);
     if (!d.deliver) {
       // Lost in the network: the sender's ports and TX counters already saw
       // it, but no delivery event is scheduled. The returned prediction is
       // what a fault-free delivery would have been.
+      if (trace_ != nullptr) {
+        trace_->instant(trace::Category::kNet, "drop", now, msg.src, msg.corr, msg.wire_bytes,
+                        msg.dst);
+      }
       return arrival;
     }
     arrival = arrival + d.extra_delay;
     if (d.duplicate) {
+      if (trace_ != nullptr) {
+        trace_->instant(trace::Category::kNet, "duplicate", now, msg.src, msg.corr,
+                        msg.wire_bytes, msg.dst);
+      }
       deliver_at(arrival + d.duplicate_delay, msg);
     }
   }
@@ -85,11 +99,19 @@ sim::Time Fabric::send(Message msg) {
 void Fabric::deliver_at(sim::Time when, Message msg) {
   sim_.schedule_at(when, [this, m = std::move(msg)]() mutable {
     if (injector_ != nullptr && injector_->drop_in_flight(m)) {
+      if (trace_ != nullptr) {
+        trace_->instant(trace::Category::kNet, "crash_drop", sim_.now(), m.dst, m.corr,
+                        m.wire_bytes, m.src);
+      }
       return;
     }
     Nic& receiver = nics_.at(m.dst);
     receiver.counters.rx_bytes += m.wire_bytes;
     receiver.counters.rx_messages += 1;
+    if (trace_ != nullptr) {
+      trace_->instant(trace::Category::kNet, "deliver", sim_.now(), m.dst, m.corr,
+                      m.wire_bytes, m.src);
+    }
     if (receiver.handler) {
       receiver.handler(m);
     }

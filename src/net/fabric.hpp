@@ -29,6 +29,10 @@
 #include "simcore/simulator.hpp"
 #include "simcore/units.hpp"
 
+namespace ampom::trace {
+class TraceRecorder;
+}
+
 namespace ampom::net {
 
 class FaultInjector;
@@ -76,6 +80,10 @@ class Fabric {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
 
+  // Observability: emit send/deliver/drop/duplicate events per message.
+  // Null (the default) keeps the send path untouched. Not owned.
+  void set_trace(trace::TraceRecorder* recorder) { trace_ = recorder; }
+
   // Link parameters between a pair (unordered); assigning affects only
   // messages sent afterwards.
   [[nodiscard]] LinkParams link(NodeId a, NodeId b) const;
@@ -108,6 +116,7 @@ class Fabric {
   std::map<std::pair<NodeId, NodeId>, LinkParams> link_overrides_;
   std::vector<Nic> nics_;
   FaultInjector* injector_{nullptr};
+  trace::TraceRecorder* trace_{nullptr};
 };
 
 }  // namespace ampom::net

@@ -109,6 +109,40 @@ struct Message {
   NodeId dst{kInvalidNode};
   sim::Bytes wire_bytes{0};
   Payload payload;
+  // Correlation id threaded through the protocol layers so observability
+  // can follow one request across fabric, deputy and paging client
+  // (paging: request_id; migration: chunk seq; syscalls: seq). Zero means
+  // "uncorrelated"; the field never influences protocol behavior.
+  std::uint64_t corr{0};
 };
+
+// Stable short name of the payload alternative (trace/event labels).
+[[nodiscard]] constexpr const char* payload_name(const Payload& p) {
+  switch (p.index()) {
+    case 0:
+      return "PageRequest";
+    case 1:
+      return "PageData";
+    case 2:
+      return "MigrationChunk";
+    case 3:
+      return "MigrationAck";
+    case 4:
+      return "LoadPing";
+    case 5:
+      return "LoadAck";
+    case 6:
+      return "SyscallRequest";
+    case 7:
+      return "SyscallReply";
+    case 8:
+      return "FlushPage";
+    case 9:
+      return "FlushAck";
+    case 10:
+      return "Background";
+  }
+  return "?";
+}
 
 }  // namespace ampom::net

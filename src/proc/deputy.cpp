@@ -27,6 +27,11 @@ void Deputy::on_page_request(const net::PageRequest& request) {
     throw std::logic_error("Deputy: page request for a different process");
   }
   ++stats_.requests_served;
+  if (trace_ != nullptr) {
+    trace_->instant(trace::Category::kPaging, "deputy_request", sim_.now(), home_node_,
+                    request.request_id, request.pages.size(),
+                    request.urgent != net::kNoPage ? 1 : 0);
+  }
 
   // The deputy is a single kernel thread at the home node: requests and page
   // sends serialize on its CPU, pipelining with the NIC which serializes the
@@ -90,17 +95,23 @@ void Deputy::ship_page(mem::PageId page, std::uint64_t request_id, bool urgent) 
                    [this, page, urgent, request_id] {
                      fabric_.send(net::Message{home_node_, migrant_node_,
                                                wire_.page_message_bytes(),
-                                               net::PageData{pid_, request_id, page, urgent}});
+                                               net::PageData{pid_, request_id, page, urgent},
+                                               request_id});
                    });
 }
 
 void Deputy::replay_page(mem::PageId page, std::uint64_t request_id, bool urgent) {
   ++stats_.pages_replayed;
+  if (trace_ != nullptr) {
+    trace_->instant(trace::Category::kPaging, "deputy_replay", sim_.now(), home_node_,
+                    request_id, page, urgent ? 1 : 0);
+  }
   sim_.schedule_at(std::max(busy_until_, sim_.now()),
                    [this, page, urgent, request_id] {
                      fabric_.send(net::Message{home_node_, migrant_node_,
                                                wire_.page_message_bytes(),
-                                               net::PageData{pid_, request_id, page, urgent}});
+                                               net::PageData{pid_, request_id, page, urgent},
+                                               request_id});
                    });
 }
 
@@ -116,19 +127,23 @@ void Deputy::on_flush_page(net::NodeId from, const net::FlushPage& flush) {
       // tracker converges, but change nothing.
       ++stats_.duplicate_flushes;
       fabric_.send(net::Message{home_node_, from, wire_.control_message,
-                                net::FlushAck{pid_, page}});
+                                net::FlushAck{pid_, page}, page});
       return;
     }
     throw std::logic_error("Deputy: flush arrival for a page not marked Incoming");
   }
   ++stats_.flush_pages_received;
+  if (trace_ != nullptr) {
+    trace_->instant(trace::Category::kMigration, "flush_arrival", sim_.now(), home_node_, page,
+                    from);
+  }
   hpt_.set_loc(page, mem::PageTable::Loc::Here);
   if (ledger_ != nullptr) {
     ledger_->transfer(page, from, home_node_);
   }
   if (reliable_) {
     fabric_.send(net::Message{home_node_, from, wire_.control_message,
-                              net::FlushAck{pid_, page}});
+                              net::FlushAck{pid_, page}, page});
   }
   const auto it = waiting_on_flush_.find(page);
   if (it != waiting_on_flush_.end()) {
@@ -169,7 +184,7 @@ void Deputy::on_syscall_request(const net::SyscallRequest& request) {
   ++stats_.syscalls_served;
   sim_.schedule_at(busy_until_, [this, seq = request.seq] {
     fabric_.send(net::Message{home_node_, migrant_node_, wire_.control_message,
-                              net::SyscallReply{pid_, seq}});
+                              net::SyscallReply{pid_, seq}, seq});
   });
 }
 

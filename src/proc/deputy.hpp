@@ -13,6 +13,7 @@
 #include "net/fabric.hpp"
 #include "proc/costs.hpp"
 #include "simcore/simulator.hpp"
+#include "trace/trace.hpp"
 
 namespace ampom::proc {
 
@@ -52,6 +53,10 @@ class Deputy {
   // updates the ledger, and forgets the migrant. Returns pages reclaimed.
   std::uint64_t recover_pages_from(net::NodeId lost_node);
 
+  // Observability: request service, replays and flush arrivals, correlated
+  // by request id / page. Null (the default) is a no-op. Not owned.
+  void set_trace(trace::TraceRecorder* recorder) { trace_ = recorder; }
+
   // The HPT; the migration engine populates it during the freeze.
   [[nodiscard]] mem::PageTable& hpt() { return hpt_; }
   [[nodiscard]] const mem::PageTable& hpt() const { return hpt_; }
@@ -83,6 +88,7 @@ class Deputy {
   bool reliable_{false};
   // Reliability: request_id -> pages already shipped for it (replay source).
   std::map<std::uint64_t, std::set<mem::PageId>> served_;
+  trace::TraceRecorder* trace_{nullptr};
 
   void ship_page(mem::PageId page, std::uint64_t request_id, bool urgent);
   void replay_page(mem::PageId page, std::uint64_t request_id, bool urgent);

@@ -39,9 +39,22 @@ void PagingClient::request_pages(const std::vector<mem::PageId>& pages, mem::Pag
     arm_timer(req.request_id, it->second);
   }
 
+  if (trace_ != nullptr) {
+    const std::uint64_t batch = pages.size();
+    if (urgent != mem::kInvalidPage) {
+      trace_->async_begin(trace::Category::kPaging, "fault", sim_.now(), self_node_,
+                          req.request_id, urgent, batch);
+    } else {
+      trace_->async_begin(trace::Category::kPrefetch, "prefetch_batch", sim_.now(), self_node_,
+                          req.request_id, batch);
+    }
+    trace_open_[req.request_id] = TraceOpen{batch, urgent != mem::kInvalidPage};
+  }
+
+  const std::uint64_t request_id = req.request_id;
   fabric_.send(net::Message{self_node_, home_node_,
                             wire_.request_bytes(static_cast<std::uint64_t>(pages.size())),
-                            std::move(req)});
+                            std::move(req), request_id});
 }
 
 sim::Time PagingClient::base_timeout() const {
@@ -98,11 +111,15 @@ void PagingClient::on_timeout(std::uint64_t request_id) {
           pending.pages.end();
   req.urgent = urgent_pending ? pending.urgent : net::kNoPage;
   req.pages.assign(pending.pages.begin(), pending.pages.end());
+  if (trace_ != nullptr) {
+    trace_->instant(trace::Category::kPaging, "retransmit", sim_.now(), self_node_, request_id,
+                    pending.pages.size(), pending.retries);
+  }
   arm_timer(request_id, pending);
   fabric_.send(
       net::Message{self_node_, home_node_,
                    wire_.request_bytes(static_cast<std::uint64_t>(pending.pages.size())),
-                   std::move(req)});
+                   std::move(req), request_id});
 }
 
 void PagingClient::on_page_data(const net::PageData& data) {
@@ -136,6 +153,24 @@ void PagingClient::on_page_data(const net::PageData& data) {
     }
   }
   ++stats_.pages_arrived;
+  if (trace_ != nullptr) {
+    trace_->instant(trace::Category::kPaging, "page_arrival", sim_.now(), self_node_,
+                    data.request_id, data.page, data.urgent ? 1 : 0);
+    const auto open = trace_open_.find(data.request_id);
+    if (open != trace_open_.end()) {
+      if (data.urgent && open->second.fault) {
+        trace_->async_end(trace::Category::kPaging, "fault", sim_.now(), self_node_,
+                          data.request_id, data.page);
+      }
+      if (open->second.remaining > 0 && --open->second.remaining == 0) {
+        if (!open->second.fault) {
+          trace_->async_end(trace::Category::kPrefetch, "prefetch_batch", sim_.now(),
+                            self_node_, data.request_id);
+        }
+        trace_open_.erase(open);
+      }
+    }
+  }
   if (on_arrival_) {
     on_arrival_(data.page, data.urgent);
   }
@@ -146,6 +181,9 @@ void PagingClient::cancel_outstanding() {
     sim_.cancel(pending.timer);
   }
   outstanding_.clear();
+  // Abandoned requests never complete; their spans stay open in the trace
+  // (Perfetto renders unfinished async spans), but stop tracking them.
+  trace_open_.clear();
 }
 
 }  // namespace ampom::proc

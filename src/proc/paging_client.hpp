@@ -19,6 +19,7 @@
 #include "net/fabric.hpp"
 #include "proc/costs.hpp"
 #include "simcore/simulator.hpp"
+#include "trace/trace.hpp"
 
 namespace ampom::proc {
 
@@ -77,6 +78,11 @@ class PagingClient {
   // the home node). Unset or zero falls back to min_timeout.
   void set_rtt_provider(std::function<sim::Time()> fn) { rtt_provider_ = std::move(fn); }
 
+  // Observability: fault spans (request -> urgent arrival), prefetch-batch
+  // spans (request -> last arrival) and retransmit markers, correlated by
+  // request id. Null (the default) leaves the client untouched. Not owned.
+  void set_trace(trace::TraceRecorder* recorder) { trace_ = recorder; }
+
   // Send one batched request. `urgent` must be pages.front() when present.
   void request_pages(const std::vector<mem::PageId>& pages, mem::PageId urgent);
 
@@ -115,6 +121,13 @@ class PagingClient {
   PagingRetryConfig retry_;
   std::map<std::uint64_t, Pending> outstanding_;  // request_id -> tracker
   PagingClientStats stats_;
+  trace::TraceRecorder* trace_{nullptr};
+  // Tracing only: pages still expected per request, to close batch spans.
+  struct TraceOpen {
+    std::uint64_t remaining{0};
+    bool fault{false};  // request carried an urgent page
+  };
+  std::map<std::uint64_t, TraceOpen> trace_open_;
 };
 
 }  // namespace ampom::proc

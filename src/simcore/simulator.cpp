@@ -71,6 +71,38 @@ std::uint64_t Simulator::run() {
   return processed_ - before;
 }
 
+void Simulator::start_probe(Time period, Probe probe) {
+  if (period <= Time::zero()) {
+    throw std::invalid_argument("Simulator::start_probe: period must be positive");
+  }
+  stop_probe();
+  probe_ = std::move(probe);
+  probe_period_ = period;
+  probe_event_ = schedule_after(period, [this] { fire_probe(); });
+}
+
+void Simulator::stop_probe() {
+  if (probe_event_.valid()) {
+    cancel(probe_event_);
+    probe_event_ = EventId{};
+  }
+  probe_ = nullptr;
+  probe_period_ = Time::zero();
+}
+
+void Simulator::fire_probe() {
+  probe_event_ = EventId{};
+  if (!probe_) {
+    return;
+  }
+  probe_(now_, live_.size(), processed_);
+  // Reschedule only while other work remains: a probe alone in the queue
+  // would otherwise keep run() alive forever.
+  if (!live_.empty()) {
+    probe_event_ = schedule_after(probe_period_, [this] { fire_probe(); });
+  }
+}
+
 std::uint64_t Simulator::run_until(Time limit) {
   halted_ = false;
   const std::uint64_t before = processed_;

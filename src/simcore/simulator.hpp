@@ -55,6 +55,15 @@ class Simulator {
   [[nodiscard]] std::size_t pending() const { return live_.size(); }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
 
+  // Observability hook: invoke `probe` every `period` of simulated time with
+  // the current time, queue depth and cumulative events processed. The probe
+  // rides the ordinary event queue (so it perturbs no other event's relative
+  // order) and stops rescheduling itself once it is the only pending event,
+  // letting run() drain naturally. One probe at a time; stop_probe() cancels.
+  using Probe = std::function<void(Time now, std::size_t pending, std::uint64_t processed)>;
+  void start_probe(Time period, Probe probe);
+  void stop_probe();
+
  private:
   struct Item {
     Time at;
@@ -73,12 +82,17 @@ class Simulator {
   // Pops the next live (non-cancelled) item; false if none.
   bool pop_next(Item& out);
 
+  void fire_probe();
+
   std::priority_queue<Item, std::vector<Item>, Later> heap_;
   std::unordered_set<std::uint64_t> live_;  // pending, not-cancelled event seqs
   Time now_{Time::zero()};
   std::uint64_t next_seq_{1};
   std::uint64_t processed_{0};
   bool halted_{false};
+  Probe probe_;
+  Time probe_period_{Time::zero()};
+  EventId probe_event_{};
 };
 
 }  // namespace ampom::sim

@@ -1,0 +1,117 @@
+#include "trace/chrome_export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <ostream>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "simcore/fmt.hpp"
+
+namespace ampom::trace {
+
+namespace {
+
+// Fixed-point microseconds from the integer nanosecond tick: deterministic
+// bytes, no floating-point formatting in the timeline.
+std::string ts_us(sim::Time t) {
+  const std::int64_t ns = t.ns();
+  return sim::strfmt("%" PRId64 ".%03" PRId64, ns / 1000, ns % 1000);
+}
+
+const char* phase(Event::Kind kind) {
+  switch (kind) {
+    case Event::Kind::kInstant:
+      return "i";
+    case Event::Kind::kAsyncBegin:
+      return "b";
+    case Event::Kind::kAsyncEnd:
+      return "e";
+    case Event::Kind::kCounter:
+      return "C";
+  }
+  return "i";
+}
+
+}  // namespace
+
+void write_chrome_trace(const TraceRecorder& recorder, std::ostream& out) {
+  // Span ends are emitted at their (known) future timestamp the moment the
+  // outcome is decided, so the raw stream is not time-ordered. Sort stably:
+  // ties keep emission order, which is itself deterministic.
+  std::vector<const Event*> ordered;
+  ordered.reserve(recorder.events().size());
+  for (const Event& e : recorder.events()) {
+    ordered.push_back(&e);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Event* a, const Event* b) { return a->ts < b->ts; });
+
+  std::set<std::uint32_t> nodes;
+  std::set<std::pair<std::uint32_t, std::uint8_t>> tracks;
+  for (const Event* e : ordered) {
+    nodes.insert(e->node);
+    tracks.emplace(e->node, static_cast<std::uint8_t>(e->cat));
+  }
+
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+  };
+
+  for (const std::uint32_t node : nodes) {
+    sep();
+    out << sim::strfmt(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,\"tid\":0,"
+        "\"args\":{\"name\":\"node%u\"}}",
+        node, node);
+  }
+  for (const auto& [node, cat] : tracks) {
+    sep();
+    out << sim::strfmt(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+        "\"args\":{\"name\":\"%s\"}}",
+        node, static_cast<unsigned>(cat) + 1,
+        category_name(static_cast<Category>(cat)));
+  }
+
+  for (const Event* e : ordered) {
+    sep();
+    const unsigned tid = static_cast<unsigned>(e->cat) + 1;
+    out << sim::strfmt("{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"pid\":%u,\"tid\":%u,"
+                       "\"ts\":%s",
+                       e->name, category_name(e->cat), phase(e->kind), e->node, tid,
+                       ts_us(e->ts).c_str());
+    switch (e->kind) {
+      case Event::Kind::kInstant:
+        out << ",\"s\":\"t\"";
+        if (e->corr != 0 || e->arg0 != 0 || e->arg1 != 0) {
+          out << sim::strfmt(",\"args\":{\"corr\":%" PRIu64 ",\"a0\":%" PRIu64
+                             ",\"a1\":%" PRIu64 "}",
+                             e->corr, e->arg0, e->arg1);
+        }
+        break;
+      case Event::Kind::kAsyncBegin:
+      case Event::Kind::kAsyncEnd:
+        out << sim::strfmt(",\"id\":\"0x%" PRIx64 "\"", e->corr);
+        if (e->arg0 != 0 || e->arg1 != 0) {
+          out << sim::strfmt(",\"args\":{\"a0\":%" PRIu64 ",\"a1\":%" PRIu64 "}", e->arg0,
+                             e->arg1);
+        }
+        break;
+      case Event::Kind::kCounter:
+        out << sim::strfmt(",\"args\":{\"value\":%.3f}", e->value());
+        break;
+    }
+    out << "}";
+  }
+
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace ampom::trace

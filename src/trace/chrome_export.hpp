@@ -1,0 +1,26 @@
+#pragma once
+// Chrome trace_event exporter: serializes a TraceRecorder's event stream
+// into the JSON Object Format understood by chrome://tracing and Perfetto.
+//
+// Mapping:
+//   node id            -> "pid" (one track group per simulated node, named
+//                         by process_name metadata)
+//   category           -> "tid" within the node, plus "cat"
+//   kInstant           -> ph "i" (scope "t": thread-local tick)
+//   kAsyncBegin / End  -> ph "b" / "e", "id" = correlation id (Perfetto
+//                         joins them by (cat, id, name))
+//   kCounter           -> ph "C", args {"value": v}
+//
+// Timestamps are microseconds with fixed three-decimal formatting computed
+// from the integer nanosecond tick, so the same event stream always
+// serializes to the same bytes (the determinism the trace tests pin down).
+
+#include <iosfwd>
+
+#include "trace/trace.hpp"
+
+namespace ampom::trace {
+
+void write_chrome_trace(const TraceRecorder& recorder, std::ostream& out);
+
+}  // namespace ampom::trace

@@ -1,0 +1,49 @@
+#include "trace/trace.hpp"
+
+#include <map>
+#include <string>
+#include <utility>
+
+namespace ampom::trace {
+
+stats::Counters TraceRecorder::summary() const {
+  // Group by the name *pointer* first: names are literals, so the handful
+  // of distinct (category, pointer) pairs stand in for the string keys and
+  // the per-event work is one map bump instead of a heap-allocating
+  // concatenation. (Equal literals from different TUs would merely split a
+  // pair; Counters::add re-merges them by value below.)
+  std::map<std::pair<Category, const char*>, std::uint64_t> by_site;
+  for (const Event& e : events_) {
+    ++by_site[{e.cat, e.name}];
+  }
+  stats::Counters c;
+  for (const auto& [site, count] : by_site) {
+    c.add(std::string{"trace."} + category_name(site.first) + "." + site.second, count);
+  }
+  if (dropped_ > 0) {
+    c.add("trace.dropped", dropped_);
+  }
+  return c;
+}
+
+void TraceRecorder::attach_scheduler_probe(sim::Simulator& simulator) {
+  if (!config_.enabled || config_.sched_sample_period <= sim::Time::zero()) {
+    return;
+  }
+  probe_last_processed_ = simulator.events_processed();
+  probe_last_at_ = simulator.now();
+  simulator.start_probe(
+      config_.sched_sample_period,
+      [this](sim::Time now, std::size_t pending, std::uint64_t processed) {
+        counter(Category::kSched, "queue_depth", now, 0, static_cast<double>(pending));
+        const sim::Time span = now - probe_last_at_;
+        if (span > sim::Time::zero()) {
+          const double events = static_cast<double>(processed - probe_last_processed_);
+          counter(Category::kSched, "events_per_vms", now, 0, events / span.ms());
+        }
+        probe_last_processed_ = processed;
+        probe_last_at_ = now;
+      });
+}
+
+}  // namespace ampom::trace

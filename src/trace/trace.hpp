@@ -1,0 +1,158 @@
+#pragma once
+// Structured simulation tracing: typed, timestamped events collected by a
+// per-run TraceRecorder and exported as Chrome trace_event JSON
+// (chrome://tracing, Perfetto) plus a per-category counter summary.
+//
+// Discipline (same as the fault injector's): tracing off means *nothing*
+// happens — no allocation, no RNG draws, no extra simulator events — so a
+// run with TraceConfig{} is bit-identical to one without the subsystem.
+// Instrumented components hold a nullable TraceRecorder* and emit through
+// the inline wrappers below, which reduce to one pointer test when off.
+//
+// Events carry the simulated timestamp, the node they happened on, and a
+// correlation id (threaded through net::Message::corr) so one request can
+// be followed across fabric, deputy and paging client. Span pairs share a
+// (category, name, correlation id) key; the exporter matches them into
+// Chrome async spans.
+//
+// Names passed to the recorder must be string literals (or otherwise
+// outlive the recorder): events store the pointer, not a copy.
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simcore/simulator.hpp"
+#include "simcore/time.hpp"
+#include "stats/counters.hpp"
+
+namespace ampom::trace {
+
+enum class Category : std::uint8_t {
+  kNet,        // fabric: send / deliver / drop / duplicate
+  kPaging,     // page-fault spans, page arrivals, deputy service
+  kPrefetch,   // prefetch-batch spans
+  kMigration,  // freeze phases, chunk rounds, flush traffic
+  kSched,      // event-queue depth, events per virtual millisecond
+  kProc,       // executor-level markers
+};
+inline constexpr std::size_t kCategoryCount = 6;
+
+[[nodiscard]] constexpr const char* category_name(Category c) {
+  switch (c) {
+    case Category::kNet:
+      return "net";
+    case Category::kPaging:
+      return "paging";
+    case Category::kPrefetch:
+      return "prefetch";
+    case Category::kMigration:
+      return "migration";
+    case Category::kSched:
+      return "sched";
+    case Category::kProc:
+      return "proc";
+  }
+  return "?";
+}
+
+// Scenario-level switch. Default-constructed = tracing off = zero overhead.
+struct TraceConfig {
+  bool enabled{false};
+  // Scheduler sampling period (queue depth, event rate). Zero disables the
+  // sampler even when tracing is on, leaving the event stream untouched.
+  sim::Time sched_sample_period{sim::Time::from_ms(10)};
+  // Hard cap on recorded events; beyond it events are counted but dropped,
+  // so a runaway scenario cannot exhaust memory.
+  std::size_t max_events{1u << 22};
+};
+
+struct Event {
+  enum class Kind : std::uint8_t {
+    kInstant,     // point event        -> ph "i"
+    kAsyncBegin,  // span open by corr  -> ph "b"
+    kAsyncEnd,    // span close by corr -> ph "e"
+    kCounter,     // sampled value      -> ph "C"
+  };
+  sim::Time ts{};
+  const char* name{""};
+  Category cat{Category::kNet};
+  Kind kind{Kind::kInstant};
+  std::uint32_t node{0};
+  std::uint64_t corr{0};
+  // kCounter stores its double bit-pattern in arg0 (see value()); keeping
+  // the struct at 48 bytes matters — recording a few hundred thousand
+  // events per run, the buffer write traffic IS the tracing overhead.
+  std::uint64_t arg0{0};
+  std::uint64_t arg1{0};
+
+  [[nodiscard]] double value() const { return std::bit_cast<double>(arg0); }
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(TraceConfig config = {}) : config_{config} {
+    if (config_.enabled) {
+      // Reserve generously up front: growth reallocations would copy the
+      // whole (large) buffer mid-run, the single place the recorder could
+      // cost real wall-clock time. Virtual memory is committed on touch,
+      // so an under-filled reservation costs address space, not RAM.
+      events_.reserve(std::min<std::size_t>(config_.max_events, 1u << 20));
+    }
+  }
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+  [[nodiscard]] const TraceConfig& config() const { return config_; }
+
+  void instant(Category cat, const char* name, sim::Time ts, std::uint32_t node,
+               std::uint64_t corr = 0, std::uint64_t arg0 = 0, std::uint64_t arg1 = 0) {
+    push(Event{ts, name, cat, Event::Kind::kInstant, node, corr, arg0, arg1});
+  }
+  void async_begin(Category cat, const char* name, sim::Time ts, std::uint32_t node,
+                   std::uint64_t corr, std::uint64_t arg0 = 0, std::uint64_t arg1 = 0) {
+    push(Event{ts, name, cat, Event::Kind::kAsyncBegin, node, corr, arg0, arg1});
+  }
+  void async_end(Category cat, const char* name, sim::Time ts, std::uint32_t node,
+                 std::uint64_t corr, std::uint64_t arg0 = 0, std::uint64_t arg1 = 0) {
+    push(Event{ts, name, cat, Event::Kind::kAsyncEnd, node, corr, arg0, arg1});
+  }
+  void counter(Category cat, const char* name, sim::Time ts, std::uint32_t node, double value) {
+    push(Event{ts, name, cat, Event::Kind::kCounter, node, 0, std::bit_cast<std::uint64_t>(value), 0});
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::uint64_t events_dropped() const { return dropped_; }
+
+  // Per-category event counts ("trace.<category>.<name>" -> count), merged
+  // into RunMetrics::trace_summary by the driver.
+  [[nodiscard]] stats::Counters summary() const;
+
+  // Start the scheduler sampler on `simulator` (no-op when tracing is off
+  // or sched_sample_period is zero). Emits kSched counters for the event
+  // queue depth and the event rate since the previous sample.
+  void attach_scheduler_probe(sim::Simulator& simulator);
+
+ private:
+  void push(const Event& e) {
+    if (!config_.enabled) {
+      return;
+    }
+    if (events_.size() >= config_.max_events) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(e);
+  }
+
+  TraceConfig config_;
+  std::vector<Event> events_;
+  std::uint64_t dropped_{0};
+  std::uint64_t probe_last_processed_{0};
+  sim::Time probe_last_at_{};
+};
+
+}  // namespace ampom::trace

@@ -1,0 +1,122 @@
+// ScenarioBuilder: fluent construction and build()-time validation.
+
+#include <gtest/gtest.h>
+
+#include "driver/builder.hpp"
+#include "driver/experiment.hpp"
+#include "workload/hpcc.hpp"
+
+namespace {
+
+using namespace ampom;
+
+driver::ScenarioBuilder minimal() {
+  return driver::ScenarioBuilder{}.hpcc_workload(workload::HpccKernel::Stream, 9);
+}
+
+TEST(ScenarioBuilder, BuildsARunnableScenario) {
+  const driver::Scenario s = minimal().scheme(driver::Scheme::Ampom).build();
+  EXPECT_EQ(s.scheme, driver::Scheme::Ampom);
+  EXPECT_EQ(s.memory_mib, 9u);
+  EXPECT_EQ(s.workload_label, workload::hpcc_kernel_name(workload::HpccKernel::Stream));
+  ASSERT_TRUE(static_cast<bool>(s.make_workload));
+
+  const driver::RunMetrics m = driver::run_experiment(s);
+  EXPECT_GT(m.total_time, sim::Time::zero());
+  EXPECT_TRUE(m.ledger_ok);
+}
+
+TEST(ScenarioBuilder, MatchesHandRolledScenario) {
+  // The builder is sugar, not semantics: same knobs, same simulation.
+  driver::Scenario by_hand;
+  by_hand.scheme = driver::Scheme::NoPrefetch;
+  by_hand.memory_mib = 9;
+  by_hand.workload_label = workload::hpcc_kernel_name(workload::HpccKernel::Stream);
+  by_hand.make_workload = [] {
+    return workload::make_hpcc_kernel(workload::HpccKernel::Stream, 9);
+  };
+
+  const driver::Scenario built = minimal().scheme(driver::Scheme::NoPrefetch).build();
+
+  const driver::RunMetrics a = driver::run_experiment(by_hand);
+  const driver::RunMetrics b = driver::run_experiment(built);
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.freeze_time, b.freeze_time);
+  EXPECT_EQ(a.hard_faults, b.hard_faults);
+  EXPECT_EQ(a.pages_arrived, b.pages_arrived);
+}
+
+TEST(ScenarioBuilder, RejectsMissingWorkload) {
+  driver::ScenarioBuilder empty;
+  EXPECT_FALSE(empty.validate().empty());
+  EXPECT_THROW((void)empty.build(), std::invalid_argument);
+}
+
+TEST(ScenarioBuilder, RejectsFaultsWithoutReliability) {
+  driver::FaultPlan plan;
+  plan.default_faults.drop_probability = 0.05;
+  auto b = minimal().faults(plan);
+  const std::string problem = b.validate();
+  // The message must name both sides of the conflict.
+  EXPECT_NE(problem.find("fault plan"), std::string::npos) << problem;
+  EXPECT_NE(problem.find("reliability"), std::string::npos) << problem;
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+
+  // Turning reliability on resolves it.
+  b.reliability(driver::ReliabilityConfig::all_on());
+  EXPECT_TRUE(b.validate().empty());
+}
+
+TEST(ScenarioBuilder, InactiveFaultPlanNeedsNoReliability) {
+  // A default (inactive) plan with a custom seed is not "faults on".
+  driver::FaultPlan plan;
+  plan.seed = 99;
+  EXPECT_TRUE(minimal().faults(plan).validate().empty());
+}
+
+TEST(ScenarioBuilder, RejectsRemigrationWithBackgroundTraffic) {
+  auto b = minimal()
+               .remigrate_after(sim::Time::from_ms(100))
+               .background_traffic(0.3);
+  EXPECT_NE(b.validate().find("mutually exclusive"), std::string::npos);
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(ScenarioBuilder, RejectsRemigrationOfCheckpoint) {
+  auto b = minimal()
+               .scheme(driver::Scheme::Checkpoint)
+               .remigrate_after(sim::Time::from_ms(100));
+  EXPECT_FALSE(b.validate().empty());
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(ScenarioBuilder, RejectsOutOfRangeFractions) {
+  EXPECT_THROW((void)minimal().background_traffic(1.5).build(), std::invalid_argument);
+  EXPECT_THROW((void)minimal().background_traffic(-0.1).build(), std::invalid_argument);
+  EXPECT_THROW((void)minimal().dest_background_load(1.0).build(), std::invalid_argument);
+}
+
+TEST(ScenarioBuilder, RejectsTracingWithZeroCap) {
+  trace::TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.max_events = 0;
+  EXPECT_THROW((void)minimal().trace(cfg).build(), std::invalid_argument);
+}
+
+TEST(ScenarioBuilder, TracingTogglesTheDefaultConfig) {
+  const driver::Scenario s = minimal().tracing().build();
+  EXPECT_TRUE(s.trace.enabled);
+  EXPECT_GT(s.trace.max_events, 0u);
+  const driver::Scenario off = minimal().tracing(false).build();
+  EXPECT_FALSE(off.trace.enabled);
+}
+
+TEST(ScenarioBuilder, BuilderIsReusable) {
+  auto b = minimal();
+  const driver::Scenario first = b.scheme(driver::Scheme::Ampom).build();
+  const driver::Scenario second = b.scheme(driver::Scheme::OpenMosix).build();
+  EXPECT_EQ(first.scheme, driver::Scheme::Ampom);
+  EXPECT_EQ(second.scheme, driver::Scheme::OpenMosix);
+}
+
+}  // namespace

@@ -3,6 +3,7 @@
 //   ampom_sim --kernel=stream --memory-mib=129 --scheme=ampom
 //   ampom_sim --kernel=dgemm --memory-mib=575 --working-set-mib=115
 //   ampom_sim --kernel=randomaccess --memory-mib=65 --broadband --trace=500
+//   ampom_sim --kernel=stream --memory-mib=129 --trace-out=run.json
 //
 // Prints the full metric set of one run; every AMPoM knob is exposed so the
 // tool doubles as an exploration harness for the ablation space.
@@ -11,7 +12,8 @@
 #include <iostream>
 #include <string>
 
-#include "driver/experiment.hpp"
+#include "driver/builder.hpp"
+#include "driver/runner.hpp"
 #include "simcore/fmt.hpp"
 #include "workload/hpcc.hpp"
 
@@ -41,6 +43,8 @@ using namespace ampom;
 
   output:
   --trace=N              print every Nth dependent-zone analysis
+  --trace-out=FILE       record a structured event trace and write it as
+                         Chrome trace_event JSON (chrome://tracing, Perfetto)
   -h, --help
 )";
   std::exit(code);
@@ -81,7 +85,14 @@ int main(int argc, char** argv) {
   std::uint64_t memory_mib = 129;
   std::uint64_t working_set_mib = 0;
   std::uint64_t trace_every = 0;
-  driver::Scenario s;
+  std::uint64_t seed = 1;
+  std::uint64_t ram_limit_pages = 0;
+  double background_load = 0.0;
+  double background_traffic = 0.0;
+  bool broadband = false;
+  bool home_dependency = true;
+  core::AmpomConfig ampom{};
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -90,33 +101,33 @@ int main(int argc, char** argv) {
     if (arg == "-h" || arg == "--help") {
       usage(0);
     } else if (parse_str(arg, "--kernel", kernel_name) ||
-               parse_str(arg, "--scheme", scheme_name)) {
+               parse_str(arg, "--scheme", scheme_name) ||
+               parse_str(arg, "--trace-out", trace_out)) {
     } else if (parse_u64(arg, "--memory-mib", memory_mib) ||
                parse_u64(arg, "--working-set-mib", working_set_mib) ||
-               parse_u64(arg, "--seed", s.seed) ||
-               parse_u64(arg, "--ram-limit-pages", s.ram_limit_pages) ||
+               parse_u64(arg, "--seed", seed) ||
+               parse_u64(arg, "--ram-limit-pages", ram_limit_pages) ||
                parse_u64(arg, "--trace", trace_every)) {
     } else if (parse_u64(arg, "--lookback", u)) {
-      s.ampom.lookback_length = u;
+      ampom.lookback_length = u;
     } else if (parse_u64(arg, "--dmax", u)) {
-      s.ampom.dmax = u;
+      ampom.dmax = u;
     } else if (parse_u64(arg, "--zone-cap", u)) {
-      s.ampom.zone_cap = u;
+      ampom.zone_cap = u;
     } else if (parse_u64(arg, "--min-zone", u)) {
-      s.ampom.min_zone = u;
+      ampom.min_zone = u;
     } else if (parse_u64(arg, "--partitions", u)) {
-      s.ampom.window_partitions = u;
+      ampom.window_partitions = u;
     } else if (parse_double(arg, "--background-load", d)) {
-      s.dest_background_load = d;
+      background_load = d;
     } else if (parse_double(arg, "--background-traffic", d)) {
-      s.background_traffic = d;
+      background_traffic = d;
     } else if (arg == "--broadband") {
-      s.shape_migrant_link = true;
-      s.shaped_link = driver::broadband_link();
+      broadband = true;
     } else if (arg == "--no-batch") {
-      s.ampom.batch_requests = false;
+      ampom.batch_requests = false;
     } else if (arg == "--no-home-dependency") {
-      s.home_dependency = false;
+      home_dependency = false;
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       usage(2);
@@ -137,41 +148,57 @@ int main(int argc, char** argv) {
     usage(2);
   }
 
+  driver::ScenarioBuilder builder;
   if (scheme_name == "openmosix") {
-    s.scheme = driver::Scheme::OpenMosix;
+    builder.scheme(driver::Scheme::OpenMosix);
   } else if (scheme_name == "noprefetch") {
-    s.scheme = driver::Scheme::NoPrefetch;
+    builder.scheme(driver::Scheme::NoPrefetch);
   } else if (scheme_name == "ampom") {
-    s.scheme = driver::Scheme::Ampom;
+    builder.scheme(driver::Scheme::Ampom);
   } else if (scheme_name == "precopy") {
-    s.scheme = driver::Scheme::PreCopy;
+    builder.scheme(driver::Scheme::PreCopy);
   } else if (scheme_name == "checkpoint") {
-    s.scheme = driver::Scheme::Checkpoint;
+    builder.scheme(driver::Scheme::Checkpoint);
   } else {
     std::cerr << "unknown scheme: " << scheme_name << "\n";
     usage(2);
   }
 
-  s.memory_mib = memory_mib;
-  s.workload_label = workload::hpcc_kernel_name(kernel);
   if (working_set_mib != 0) {
     if (kernel != workload::HpccKernel::Dgemm) {
       std::cerr << "--working-set-mib requires --kernel=dgemm\n";
       return 2;
     }
-    s.make_workload = [memory_mib, working_set_mib] {
-      return workload::make_small_ws_dgemm(memory_mib, working_set_mib);
-    };
+    builder.workload(workload::hpcc_kernel_name(kernel),
+                     [memory_mib, working_set_mib] {
+                       return workload::make_small_ws_dgemm(memory_mib, working_set_mib);
+                     },
+                     memory_mib);
   } else {
-    s.make_workload = [kernel, memory_mib, seed = s.seed] {
-      return workload::make_hpcc_kernel(kernel, memory_mib, seed);
-    };
+    builder.workload(workload::hpcc_kernel_name(kernel),
+                     [kernel, memory_mib, seed] {
+                       return workload::make_hpcc_kernel(kernel, memory_mib, seed);
+                     },
+                     memory_mib);
+  }
+
+  builder.seed(seed)
+      .ampom_config(ampom)
+      .dest_background_load(background_load)
+      .background_traffic(background_traffic)
+      .ram_limit_pages(ram_limit_pages)
+      .home_dependency(home_dependency);
+  if (broadband) {
+    builder.shaped_link(driver::broadband_link());
+  }
+  if (!trace_out.empty()) {
+    builder.tracing();
   }
 
   if (trace_every > 0) {
     std::uint64_t count = 0;
-    s.ampom_trace = [trace_every, count](const core::ZoneInputs& in, std::uint64_t n,
-                                         std::size_t m) mutable {
+    builder.ampom_trace([trace_every, count](const core::ZoneInputs& in, std::uint64_t n,
+                                             std::size_t m) mutable {
       if (++count % trace_every != 0) {
         return;
       }
@@ -180,10 +207,19 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(count), in.locality_score, in.paging_rate_hz,
           in.cpu_mean, in.cpu_next, in.rtt_one_way.us(), in.page_transfer.us(),
           static_cast<unsigned long long>(n), m);
-    };
+    });
   }
 
-  const driver::RunMetrics m = driver::run_experiment(s);
+  driver::Scenario s;
+  try {
+    s = builder.build();
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  driver::Runner runner;
+  const driver::RunMetrics m = runner.run(s);
 
   std::cout << "workload:               " << m.workload << " (" << m.memory_mib << " MiB, "
             << m.page_count << " pages)\n"
@@ -218,5 +254,18 @@ int main(int argc, char** argv) {
             << "syscalls (local/redir): " << m.syscalls_local << "/" << m.syscalls_redirected
             << "\n"
             << "ledger intact:          " << (m.ledger_ok ? "yes" : "NO") << "\n";
+
+  if (!trace_out.empty()) {
+    if (!runner.write_trace_json(trace_out)) {
+      std::cerr << "failed to write trace to " << trace_out << "\n";
+      return 1;
+    }
+    const trace::TraceRecorder* rec = runner.trace();
+    std::cout << "trace:                  " << rec->events().size() << " events -> " << trace_out;
+    if (rec->events_dropped() > 0) {
+      std::cout << " (" << rec->events_dropped() << " dropped at the cap)";
+    }
+    std::cout << "\n";
+  }
   return 0;
 }
