@@ -12,32 +12,39 @@
 int main(int argc, char** argv) {
   using namespace ampom;
   const bench::Options opts = bench::parse_options(argc, argv);
+  bench::SweepRunner runner{opts};
   const std::uint64_t mib = opts.quick ? 33 : 129;
 
-  stats::Table table{"Ablation: request batching (paper: batched)",
-                     {"kernel", "network", "batching", "requests sent", "req wire KiB",
-                      "total (s)"}};
+  bench::SweepSpec spec{"Ablation: request batching (paper: batched)",
+                        {"kernel", "network", "batching", "requests sent", "req wire KiB",
+                         "total (s)"}};
   for (const auto kernel : {workload::HpccKernel::Stream, workload::HpccKernel::Dgemm}) {
     for (const bool broadband : {false, true}) {
       for (const bool batching : {true, false}) {
-        driver::Scenario s = bench::make_scenario(kernel, mib, driver::Scheme::Ampom);
-        s.ampom.batch_requests = batching;
-        if (broadband) {
-          s.shape_migrant_link = true;
-          s.shaped_link = driver::broadband_link();
-        }
-        const auto m = run_experiment(s);
-        const std::uint64_t requests = m.remote_fault_requests + m.prefetch_requests;
-        const std::uint64_t pages = m.prefetch_pages_issued + m.remote_fault_requests;
-        const sim::Bytes req_bytes =
-            requests * proc::WireCosts{}.request_base + pages * proc::WireCosts{}.request_per_page;
-        table.add_row({workload::hpcc_kernel_name(kernel), broadband ? "6Mb/s" : "100Mb/s",
-                       batching ? "on" : "off", stats::Table::integer(requests),
-                       stats::Table::integer(req_bytes / 1024),
-                       stats::Table::num(m.total_time.sec(), 2)});
+        spec.add_case(
+            [kernel, mib, broadband, batching] {
+              driver::Scenario s = bench::make_scenario(kernel, mib, driver::Scheme::Ampom);
+              s.ampom.batch_requests = batching;
+              if (broadband) {
+                s.shape_migrant_link = true;
+                s.shaped_link = driver::broadband_link();
+              }
+              return s;
+            },
+            [kernel, broadband, batching](const driver::RunMetrics& m)
+                -> bench::SweepSpec::Row {
+              const std::uint64_t requests = m.remote_fault_requests + m.prefetch_requests;
+              const std::uint64_t pages = m.prefetch_pages_issued + m.remote_fault_requests;
+              const sim::Bytes req_bytes = requests * proc::WireCosts{}.request_base +
+                                           pages * proc::WireCosts{}.request_per_page;
+              return {workload::hpcc_kernel_name(kernel), broadband ? "6Mb/s" : "100Mb/s",
+                      batching ? "on" : "off", stats::Table::integer(requests),
+                      stats::Table::integer(req_bytes / 1024),
+                      stats::Table::num(m.total_time.sec(), 2)};
+            });
       }
     }
   }
-  bench::emit(table, opts);
+  runner.run(spec);
   return 0;
 }

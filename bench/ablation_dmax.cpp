@@ -13,30 +13,36 @@
 int main(int argc, char** argv) {
   using namespace ampom;
   const bench::Options opts = bench::parse_options(argc, argv);
+  bench::SweepRunner runner{opts};
   const sim::Bytes memory = (opts.quick ? 16 : 65) * sim::kMiB;
 
-  stats::Table table{"Ablation: maximum analyzed stride dmax (paper: 4)",
-                     {"interleaved streams", "dmax", "fault reqs", "prevented", "total (s)"}};
+  bench::SweepSpec spec{"Ablation: maximum analyzed stride dmax (paper: 4)",
+                        {"interleaved streams", "dmax", "fault reqs", "prevented", "total (s)"}};
   for (const std::uint64_t streams : {2u, 3u, 4u}) {
     for (const std::size_t dmax : {1u, 2u, 3u, 4u, 8u}) {
-      driver::Scenario s;
-      s.scheme = driver::Scheme::Ampom;
-      s.memory_mib = memory / sim::kMiB;
-      s.workload_label = "interleaved";
-      s.make_workload = [memory, streams] {
-        return std::make_unique<workload::InterleavedStream>(memory, streams,
-                                                             sim::Time::from_us(15));
-      };
-      s.ampom.dmax = dmax;
-      s.ampom.min_zone = 0;  // isolate the stride detector
-      s.ampom.fallback_zone = 0;
-      const auto m = run_experiment(s);
-      table.add_row({stats::Table::integer(streams), stats::Table::integer(dmax),
-                     stats::Table::integer(m.remote_fault_requests),
-                     stats::Table::percent(m.prevented_fault_fraction()),
-                     stats::Table::num(m.total_time.sec(), 2)});
+      spec.add_case(
+          [memory, streams, dmax] {
+            driver::Scenario s;
+            s.scheme = driver::Scheme::Ampom;
+            s.memory_mib = memory / sim::kMiB;
+            s.workload_label = "interleaved";
+            s.make_workload = [memory, streams] {
+              return std::make_unique<workload::InterleavedStream>(memory, streams,
+                                                                   sim::Time::from_us(15));
+            };
+            s.ampom.dmax = dmax;
+            s.ampom.min_zone = 0;  // isolate the stride detector
+            s.ampom.fallback_zone = 0;
+            return s;
+          },
+          [streams, dmax](const driver::RunMetrics& m) -> bench::SweepSpec::Row {
+            return {stats::Table::integer(streams), stats::Table::integer(dmax),
+                    stats::Table::integer(m.remote_fault_requests),
+                    stats::Table::percent(m.prevented_fault_fraction()),
+                    stats::Table::num(m.total_time.sec(), 2)};
+          });
     }
   }
-  bench::emit(table, opts);
+  runner.run(spec);
   return 0;
 }

@@ -8,23 +8,29 @@
 int main(int argc, char** argv) {
   using namespace ampom;
   const bench::Options opts = bench::parse_options(argc, argv);
+  bench::SweepRunner runner{opts};
   const std::uint64_t mib = opts.quick ? 33 : 129;
 
-  stats::Table table{"Ablation: lookback window length l (paper: 20)",
-                     {"kernel", "l", "fault reqs", "prevented", "zone/fault", "total (s)",
-                      "analysis"}};
+  bench::SweepSpec spec{"Ablation: lookback window length l (paper: 20)",
+                        {"kernel", "l", "fault reqs", "prevented", "zone/fault", "total (s)",
+                         "analysis"}};
   for (const auto kernel : {workload::HpccKernel::Stream, workload::HpccKernel::RandomAccess}) {
     for (const std::size_t l : {4u, 8u, 20u, 40u, 64u}) {
-      driver::Scenario s = bench::make_scenario(kernel, mib, driver::Scheme::Ampom);
-      s.ampom.lookback_length = l;
-      const auto m = run_experiment(s);
-      table.add_row({workload::hpcc_kernel_name(kernel), stats::Table::integer(l),
-                     stats::Table::integer(m.remote_fault_requests),
-                     stats::Table::percent(m.prevented_fault_fraction()),
-                     stats::Table::num(m.prefetched_per_fault(), 1),
-                     stats::Table::num(m.total_time.sec(), 2), m.ampom_analysis_time.str()});
+      spec.add_case(
+          [kernel, mib, l] {
+            driver::Scenario s = bench::make_scenario(kernel, mib, driver::Scheme::Ampom);
+            s.ampom.lookback_length = l;
+            return s;
+          },
+          [kernel, l](const driver::RunMetrics& m) -> bench::SweepSpec::Row {
+            return {workload::hpcc_kernel_name(kernel), stats::Table::integer(l),
+                    stats::Table::integer(m.remote_fault_requests),
+                    stats::Table::percent(m.prevented_fault_fraction()),
+                    stats::Table::num(m.prefetched_per_fault(), 1),
+                    stats::Table::num(m.total_time.sec(), 2), m.ampom_analysis_time.str()};
+          });
     }
   }
-  bench::emit(table, opts);
+  runner.run(spec);
   return 0;
 }

@@ -11,28 +11,34 @@
 int main(int argc, char** argv) {
   using namespace ampom;
   const bench::Options opts = bench::parse_options(argc, argv);
+  bench::SweepRunner runner{opts};
   const sim::Bytes memory = (opts.quick ? 16 : 65) * sim::kMiB;
 
-  stats::Table table{"Ablation: window partitions vs interleaved stream count (dmax = 4)",
-                     {"streams", "partitions", "fault reqs", "prevented", "total (s)"}};
+  bench::SweepSpec spec{"Ablation: window partitions vs interleaved stream count (dmax = 4)",
+                        {"streams", "partitions", "fault reqs", "prevented", "total (s)"}};
   for (const std::uint64_t streams : {2u, 4u, 8u, 16u}) {
     for (const std::size_t partitions : {1u, 16u}) {
-      driver::Scenario s;
-      s.scheme = driver::Scheme::Ampom;
-      s.memory_mib = memory / sim::kMiB;
-      s.workload_label = "interleaved";
-      s.make_workload = [memory, streams] {
-        return std::make_unique<workload::InterleavedStream>(memory, streams,
-                                                             sim::Time::from_us(15));
-      };
-      s.ampom.window_partitions = partitions;
-      const auto m = run_experiment(s);
-      table.add_row({stats::Table::integer(streams), stats::Table::integer(partitions),
-                     stats::Table::integer(m.remote_fault_requests),
-                     stats::Table::percent(m.prevented_fault_fraction()),
-                     stats::Table::num(m.total_time.sec(), 2)});
+      spec.add_case(
+          [memory, streams, partitions] {
+            driver::Scenario s;
+            s.scheme = driver::Scheme::Ampom;
+            s.memory_mib = memory / sim::kMiB;
+            s.workload_label = "interleaved";
+            s.make_workload = [memory, streams] {
+              return std::make_unique<workload::InterleavedStream>(memory, streams,
+                                                                   sim::Time::from_us(15));
+            };
+            s.ampom.window_partitions = partitions;
+            return s;
+          },
+          [streams, partitions](const driver::RunMetrics& m) -> bench::SweepSpec::Row {
+            return {stats::Table::integer(streams), stats::Table::integer(partitions),
+                    stats::Table::integer(m.remote_fault_requests),
+                    stats::Table::percent(m.prevented_fault_fraction()),
+                    stats::Table::num(m.total_time.sec(), 2)};
+          });
     }
   }
-  bench::emit(table, opts);
+  runner.run(spec);
   return 0;
 }

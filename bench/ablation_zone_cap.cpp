@@ -8,34 +8,45 @@
 int main(int argc, char** argv) {
   using namespace ampom;
   const bench::Options opts = bench::parse_options(argc, argv);
+  bench::SweepRunner runner{opts};
   const std::uint64_t mib = opts.quick ? 33 : 129;
 
-  stats::Table cap_table{"Ablation: zone cap (default 256)",
-                         {"kernel", "cap", "prevented", "zone/fault", "total (s)"}};
+  bench::SweepSpec cap_spec{"Ablation: zone cap (default 256)",
+                            {"kernel", "cap", "prevented", "zone/fault", "total (s)"}};
   for (const auto kernel : {workload::HpccKernel::Stream, workload::HpccKernel::Dgemm}) {
     for (const std::uint64_t cap : {16u, 64u, 256u, 1024u}) {
-      driver::Scenario s = bench::make_scenario(kernel, mib, driver::Scheme::Ampom);
-      s.ampom.zone_cap = cap;
-      const auto m = run_experiment(s);
-      cap_table.add_row({workload::hpcc_kernel_name(kernel), stats::Table::integer(cap),
-                         stats::Table::percent(m.prevented_fault_fraction()),
-                         stats::Table::num(m.prefetched_per_fault(), 1),
-                         stats::Table::num(m.total_time.sec(), 2)});
+      cap_spec.add_case(
+          [kernel, mib, cap] {
+            driver::Scenario s = bench::make_scenario(kernel, mib, driver::Scheme::Ampom);
+            s.ampom.zone_cap = cap;
+            return s;
+          },
+          [kernel, cap](const driver::RunMetrics& m) -> bench::SweepSpec::Row {
+            return {workload::hpcc_kernel_name(kernel), stats::Table::integer(cap),
+                    stats::Table::percent(m.prevented_fault_fraction()),
+                    stats::Table::num(m.prefetched_per_fault(), 1),
+                    stats::Table::num(m.total_time.sec(), 2)};
+          });
     }
   }
-  bench::emit(cap_table, opts);
+  runner.run(cap_spec);
 
-  stats::Table floor_table{"Ablation: read-ahead floor min_zone (default 8)",
-                           {"floor", "RandomAccess prevented", "RandomAccess total (s)"}};
+  bench::SweepSpec floor_spec{"Ablation: read-ahead floor min_zone (default 8)",
+                              {"floor", "RandomAccess prevented", "RandomAccess total (s)"}};
   for (const std::uint64_t floor : {0u, 2u, 4u, 8u, 16u, 32u}) {
-    driver::Scenario s =
-        bench::make_scenario(workload::HpccKernel::RandomAccess, mib, driver::Scheme::Ampom);
-    s.ampom.min_zone = floor;
-    const auto m = run_experiment(s);
-    floor_table.add_row({stats::Table::integer(floor),
-                         stats::Table::percent(m.prevented_fault_fraction()),
-                         stats::Table::num(m.total_time.sec(), 2)});
+    floor_spec.add_case(
+        [mib, floor] {
+          driver::Scenario s = bench::make_scenario(workload::HpccKernel::RandomAccess, mib,
+                                                    driver::Scheme::Ampom);
+          s.ampom.min_zone = floor;
+          return s;
+        },
+        [floor](const driver::RunMetrics& m) -> bench::SweepSpec::Row {
+          return {stats::Table::integer(floor),
+                  stats::Table::percent(m.prevented_fault_fraction()),
+                  stats::Table::num(m.total_time.sec(), 2)};
+        });
   }
-  bench::emit(floor_table, opts);
+  runner.run(floor_spec);
   return 0;
 }

@@ -8,6 +8,10 @@
 // that mechanism's typical freeze (openMosix: seconds -> conservative;
 // AMPoM / NoPrefetch: sub-second -> aggressive). Reported: makespan, mean
 // job time, migrations performed, and total frozen time.
+//
+// ClusterSim worlds are not driver::Scenarios, so each (mechanism,
+// balancing) cell runs as a SweepSpec task: a self-contained row producer
+// that still executes on the --jobs pool (each world is hermetic).
 
 #include <memory>
 
@@ -19,58 +23,61 @@
 int main(int argc, char** argv) {
   using namespace ampom;
   const bench::Options opts = bench::parse_options(argc, argv);
+  bench::SweepRunner runner{opts};
   const std::uint64_t touches = opts.quick ? 40000 : 120000;
   const int jobs_per_hot_node = opts.quick ? 3 : 5;
 
-  stats::Table table{"Load balancing under each migration mechanism (8 nodes, "
-                     "jobs arriving on 2)",
-                     {"mechanism", "balancing", "makespan (s)", "mean job (s)", "migrations",
-                      "total frozen (s)"}};
+  bench::SweepSpec spec{"Load balancing under each migration mechanism (8 nodes, "
+                        "jobs arriving on 2)",
+                        {"mechanism", "balancing", "makespan (s)", "mean job (s)", "migrations",
+                         "total frozen (s)"}};
 
   for (const auto scheme :
        {driver::Scheme::OpenMosix, driver::Scheme::NoPrefetch, driver::Scheme::Ampom}) {
     for (const bool balance : {false, true}) {
-      balancer::ClusterSim world{8, scheme};
-      for (int i = 0; i < jobs_per_hot_node; ++i) {
-        for (const net::NodeId hot : {net::NodeId{0}, net::NodeId{1}}) {
-          balancer::JobSpec job;
-          job.home = hot;
-          job.label = "mixed";
-          job.start = sim::Time::from_ms(50 * i);
-          job.make_workload = [touches, i] {
-            return std::make_unique<workload::HotColdStream>(
-                16 * sim::kMiB, /*hot_pages=*/512,
-                touches + 10000u * static_cast<std::uint64_t>(i),
-                /*cold_fraction=*/0.05, sim::Time::from_us(80));
-          };
-          world.spawn(std::move(job));
+      spec.add_task([scheme, balance, touches, jobs_per_hot_node]() -> bench::SweepSpec::Row {
+        balancer::ClusterSim world{8, scheme};
+        for (int i = 0; i < jobs_per_hot_node; ++i) {
+          for (const net::NodeId hot : {net::NodeId{0}, net::NodeId{1}}) {
+            balancer::JobSpec job;
+            job.home = hot;
+            job.label = "mixed";
+            job.start = sim::Time::from_ms(50 * i);
+            job.make_workload = [touches, i] {
+              return std::make_unique<workload::HotColdStream>(
+                  16 * sim::kMiB, /*hot_pages=*/512,
+                  touches + 10000u * static_cast<std::uint64_t>(i),
+                  /*cold_fraction=*/0.05, sim::Time::from_us(80));
+            };
+            world.spawn(std::move(job));
+          }
         }
-      }
-      std::unique_ptr<balancer::LoadBalancer> lb;
-      if (balance) {
-        balancer::LoadBalancer::Config cfg;
-        // The cost gate encodes the mechanism's freeze price.
-        cfg.assumed_freeze_seconds = scheme == driver::Scheme::OpenMosix ? 3.0 : 0.2;
-        lb = std::make_unique<balancer::LoadBalancer>(world, cfg);
-        lb->start();
-      }
-      world.run();
+        std::unique_ptr<balancer::LoadBalancer> lb;
+        if (balance) {
+          balancer::LoadBalancer::Config cfg;
+          // The cost gate encodes the mechanism's freeze price.
+          cfg.assumed_freeze_seconds = scheme == driver::Scheme::OpenMosix ? 3.0 : 0.2;
+          lb = std::make_unique<balancer::LoadBalancer>(world, cfg);
+          lb->start();
+        }
+        world.run();
 
-      double mean = 0.0;
-      std::uint64_t migrations = 0;
-      double frozen = 0.0;
-      for (const auto& host : world.hosts()) {
-        mean += (host->finished_at() - sim::Time::zero()).sec();
-        migrations += host->migrations();
-        frozen += host->freeze_total().sec();
-      }
-      mean /= static_cast<double>(world.hosts().size());
+        double mean = 0.0;
+        std::uint64_t migrations = 0;
+        double frozen = 0.0;
+        for (const auto& host : world.hosts()) {
+          mean += (host->finished_at() - sim::Time::zero()).sec();
+          migrations += host->migrations();
+          frozen += host->freeze_total().sec();
+        }
+        mean /= static_cast<double>(world.hosts().size());
 
-      table.add_row({driver::scheme_name(scheme), balance ? "on" : "off",
-                     stats::Table::num(world.makespan().sec(), 2), stats::Table::num(mean, 2),
-                     stats::Table::integer(migrations), stats::Table::num(frozen, 2)});
+        return {driver::scheme_name(scheme), balance ? "on" : "off",
+                stats::Table::num(world.makespan().sec(), 2), stats::Table::num(mean, 2),
+                stats::Table::integer(migrations), stats::Table::num(frozen, 2)};
+      });
     }
   }
-  bench::emit(table, opts);
+  runner.run(spec);
   return 0;
 }

@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace ampom;
   const bench::Options opts = bench::parse_options(argc, argv);
+  bench::SweepRunner runner{opts};
   const std::uint64_t mib = opts.quick ? 65 : 129;
 
   struct Kernel {
@@ -33,28 +34,38 @@ int main(int argc, char** argv) {
        }},
   };
 
-  stats::Table table{"Beyond the paper: HPL and PTRANS (" + std::to_string(mib) + " MB)",
-                     {"kernel", "scheme", "freeze", "total (s)", "vs openMosix",
-                      "prevented", "zone/fault"}};
+  bench::SweepSpec spec{"Beyond the paper: HPL and PTRANS (" + std::to_string(mib) + " MB)",
+                        {"kernel", "scheme", "freeze", "total (s)", "vs openMosix",
+                         "prevented", "zone/fault"}};
   for (const Kernel& kernel : kernels) {
-    double om_total = 0.0;
+    std::vector<bench::SweepSpec::ScenarioFn> scenarios;
     for (const auto scheme : bench::kAllSchemes) {
-      driver::Scenario s;
-      s.scheme = scheme;
-      s.memory_mib = mib;
-      s.workload_label = kernel.label;
-      s.make_workload = kernel.make;
-      const auto m = run_experiment(s);
-      if (scheme == driver::Scheme::OpenMosix) {
-        om_total = m.total_time.sec();
-      }
-      table.add_row({kernel.label, m.scheme, m.freeze_time.str(),
-                     stats::Table::num(m.total_time.sec(), 2),
-                     stats::Table::percent(m.total_time.sec() / om_total - 1.0),
-                     stats::Table::percent(m.prevented_fault_fraction()),
-                     stats::Table::num(m.prefetched_per_fault(), 1)});
+      scenarios.push_back([kernel, mib, scheme] {
+        driver::Scenario s;
+        s.scheme = scheme;
+        s.memory_mib = mib;
+        s.workload_label = kernel.label;
+        s.make_workload = kernel.make;
+        return s;
+      });
     }
+    // One row per scheme, all normalized against the group's openMosix run
+    // (kAllSchemes order: OpenMosix, NoPrefetch, Ampom).
+    spec.add_case_rows(std::move(scenarios),
+                       [kernel](std::span<const driver::RunMetrics> m) {
+                         const double om_total = m[0].total_time.sec();
+                         std::vector<bench::SweepSpec::Row> rows;
+                         for (const driver::RunMetrics& run : m) {
+                           rows.push_back(
+                               {kernel.label, run.scheme, run.freeze_time.str(),
+                                stats::Table::num(run.total_time.sec(), 2),
+                                stats::Table::percent(run.total_time.sec() / om_total - 1.0),
+                                stats::Table::percent(run.prevented_fault_fraction()),
+                                stats::Table::num(run.prefetched_per_fault(), 1)});
+                         }
+                         return rows;
+                       });
   }
-  bench::emit(table, opts);
+  runner.run(spec);
   return 0;
 }

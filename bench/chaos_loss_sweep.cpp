@@ -16,41 +16,50 @@
 int main(int argc, char** argv) {
   using namespace ampom;
   const bench::Options opts = bench::parse_options(argc, argv);
+  bench::SweepRunner runner{opts};
 
   const auto kernel = workload::HpccKernel::Dgemm;
   const std::uint64_t mib = opts.quick ? bench::kernel_sizes(kernel, true).front()
                                        : bench::kernel_sizes(kernel, false)[2];
 
-  stats::Table table{"Chaos: loss sweep - DGEMM, reliable protocol",
-                     {"loss", "total (s)", "freeze (s)", "retransmits", "timeouts",
-                      "dup dropped", "replayed", "chunk rexmit", "net dropped"}};
-  stats::Counters rollup;
+  bench::SweepSpec spec{"Chaos: loss sweep - DGEMM, reliable protocol",
+                        {"loss", "total (s)", "freeze (s)", "retransmits", "timeouts",
+                         "dup dropped", "replayed", "chunk rexmit", "net dropped"}};
   for (const double drop : {0.0, 0.01, 0.02, 0.05}) {
-    driver::FaultPlan plan;
-    plan.seed = 17;
-    plan.default_faults.drop_probability = drop;
-    const driver::Scenario s = bench::cell_builder(kernel, mib, driver::Scheme::Ampom)
-                                   .reliability(driver::ReliabilityConfig::all_on())
-                                   .faults(plan)
-                                   .build();
-    const driver::RunMetrics m = driver::run_experiment(s);
-    table.add_row({stats::Table::percent(drop, 0),
-                   stats::Table::num(m.total_time.sec()),
-                   stats::Table::num(m.freeze_time.sec()),
-                   stats::Table::integer(m.paging_retransmits),
-                   stats::Table::integer(m.paging_timeouts),
-                   stats::Table::integer(m.paging_duplicates_dropped),
-                   stats::Table::integer(m.deputy_pages_replayed),
-                   stats::Table::integer(m.migration_chunk_retransmits),
-                   stats::Table::integer(m.net_messages_dropped)});
-    rollup.merge(m.reliability_counters());
+    spec.add_case(
+        [kernel, mib, drop] {
+          driver::FaultPlan plan;
+          plan.seed = 17;
+          plan.default_faults.drop_probability = drop;
+          return bench::cell_builder(kernel, mib, driver::Scheme::Ampom)
+              .reliability(driver::ReliabilityConfig::all_on())
+              .faults(plan)
+              .build();
+        },
+        [drop](const driver::RunMetrics& m) -> bench::SweepSpec::Row {
+          return {stats::Table::percent(drop, 0),
+                  stats::Table::num(m.total_time.sec()),
+                  stats::Table::num(m.freeze_time.sec()),
+                  stats::Table::integer(m.paging_retransmits),
+                  stats::Table::integer(m.paging_timeouts),
+                  stats::Table::integer(m.paging_duplicates_dropped),
+                  stats::Table::integer(m.deputy_pages_replayed),
+                  stats::Table::integer(m.migration_chunk_retransmits),
+                  stats::Table::integer(m.net_messages_dropped)};
+        });
   }
-  bench::emit(table, opts);
+  const auto metrics = runner.run(spec);
 
+  stats::Counters rollup;
+  for (const auto& case_metrics : metrics) {
+    for (const driver::RunMetrics& m : case_metrics) {
+      rollup.merge(m.reliability_counters());
+    }
+  }
   stats::Table summary{"Chaos: reliability counters (sweep total)", {"counter", "value"}};
   for (const auto& [name, value] : rollup.all()) {
     summary.add_row({name, stats::Table::integer(value)});
   }
-  bench::emit(summary, opts);
+  runner.emit(summary);
   return 0;
 }

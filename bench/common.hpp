@@ -3,20 +3,43 @@
 //
 // Every binary accepts:
 //   --quick        run a reduced sweep (small sizes; for CI smoke runs)
-//   --csv=FILE     additionally dump the table as CSV
+//   --jobs=N       run the sweep's cases on N worker threads (default 1;
+//                  results are bit-identical to the serial run)
+//   --csv=FILE     additionally dump every table as CSV
 // and prints one aligned table per paper figure, with the paper's reported
 // values quoted in the header comment of each binary for comparison.
+//
+// A bench declares its sweep instead of hand-rolling the loop: a SweepSpec
+// is a table schema plus a list of cases, where each case contributes one
+// or more scenario factories and one row computed from their finished
+// metrics. SweepRunner executes every scenario of every case on a
+// driver::SweepExecutor pool (--jobs wide), then assembles, prints and
+// CSV-appends the rows in declaration order — the table is identical no
+// matter how many workers ran the cases. The runner owns the binary's one
+// CSV stream for its whole lifetime (truncated at open), so concurrent
+// cases can never interleave table fragments in the file.
+//
+//   bench::SweepRunner runner{opts};
+//   bench::SweepSpec spec{"Fig. N: ...", {"size", "AMPoM", "openMosix"}};
+//   spec.add_case({bench::cell(k, mib, Scheme::Ampom),
+//                  bench::cell(k, mib, Scheme::OpenMosix)},
+//                 [mib](std::span<const driver::RunMetrics> m) { ...row... });
+//   runner.run(spec);
 
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "driver/builder.hpp"
 #include "driver/experiment.hpp"
+#include "driver/runner.hpp"
+#include "driver/sweep_executor.hpp"
 #include "stats/table.hpp"
 #include "workload/hpcc.hpp"
 
@@ -24,6 +47,7 @@ namespace ampom::bench {
 
 struct Options {
   bool quick{false};
+  std::size_t jobs{1};
   std::optional<std::string> csv_path;
 };
 
@@ -33,10 +57,12 @@ inline Options parse_options(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       opts.quick = true;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      opts.jobs = static_cast<std::size_t>(std::stoull(arg.substr(7)));
     } else if (arg.rfind("--csv=", 0) == 0) {
       opts.csv_path = arg.substr(6);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: " << argv[0] << " [--quick] [--csv=FILE]\n";
+      std::cout << "usage: " << argv[0] << " [--quick] [--jobs=N] [--csv=FILE]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown option: " << arg << "\n";
@@ -46,13 +72,152 @@ inline Options parse_options(int argc, char** argv) {
   return opts;
 }
 
-inline void emit(const stats::Table& table, const Options& opts) {
-  table.print(std::cout);
-  if (opts.csv_path) {
-    std::ofstream out{*opts.csv_path, std::ios::app};
-    table.write_csv(out);
+// One sweep: a table schema plus cases. Scenario cases run on the pool and
+// format a row from their metrics; task cases are free-form row producers
+// for studies that do not go through run_experiment (they run on the pool
+// too, but nothing is guaranteed about their determinism — that is up to
+// the task).
+class SweepSpec {
+ public:
+  using ScenarioFn = driver::SweepExecutor::ScenarioFactory;
+  using Row = std::vector<std::string>;
+  using RowFn = std::function<Row(std::span<const driver::RunMetrics>)>;
+  using RowsFn = std::function<std::vector<Row>(std::span<const driver::RunMetrics>)>;
+  using TaskFn = std::function<Row()>;
+
+  SweepSpec(std::string title, std::vector<std::string> columns)
+      : title_{std::move(title)}, columns_{std::move(columns)} {}
+
+  // N runs, several rows (e.g. one row per scheme, normalized against the
+  // group's baseline run); the span preserves the factories' order.
+  SweepSpec& add_case_rows(std::vector<ScenarioFn> scenarios, RowsFn rows) {
+    cases_.push_back(Case{std::move(scenarios), std::move(rows), {}});
+    return *this;
   }
-}
+
+  // One row from N runs.
+  SweepSpec& add_case(std::vector<ScenarioFn> scenarios, RowFn row) {
+    return add_case_rows(std::move(scenarios),
+                         [row = std::move(row)](std::span<const driver::RunMetrics> m) {
+                           return std::vector<Row>{row(m)};
+                         });
+  }
+
+  // The common one-run-one-row case.
+  SweepSpec& add_case(ScenarioFn scenario,
+                      std::function<Row(const driver::RunMetrics&)> row) {
+    std::vector<ScenarioFn> scenarios;
+    scenarios.push_back(std::move(scenario));
+    return add_case(std::move(scenarios),
+                    [row = std::move(row)](std::span<const driver::RunMetrics> m) {
+                      return row(m.front());
+                    });
+  }
+
+  SweepSpec& add_task(TaskFn task) {
+    cases_.push_back(Case{{}, {}, std::move(task)});
+    return *this;
+  }
+
+ private:
+  friend class SweepRunner;
+  struct Case {
+    std::vector<ScenarioFn> scenarios;
+    RowsFn rows;
+    TaskFn task;  // set iff scenarios is empty
+  };
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<Case> cases_;
+};
+
+// Executes SweepSpecs and owns all of the binary's table output: stdout and
+// the optional CSV file, written only by the caller's thread, in case order.
+class SweepRunner {
+ public:
+  explicit SweepRunner(Options opts) : opts_{std::move(opts)} {
+    if (opts_.csv_path) {
+      csv_.emplace(*opts_.csv_path);  // truncate once; one stream per binary
+      if (!*csv_) {
+        std::cerr << "cannot open " << *opts_.csv_path << " for writing\n";
+        std::exit(2);
+      }
+    }
+  }
+
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  // Runs every scenario and task of the spec at --jobs, emits the table,
+  // and returns each case's metrics (empty for task cases) for follow-up
+  // aggregation (counter rollups, cross-table summaries). Any failed case
+  // rethrows its error (first by declaration order) after the pool drains.
+  std::vector<std::vector<driver::RunMetrics>> run(const SweepSpec& spec) {
+    struct Unit {
+      std::size_t case_index;
+      std::size_t slot;  // index into that case's scenarios, or 0 for a task
+    };
+    std::vector<Unit> units;
+    std::vector<std::vector<driver::RunMetrics>> metrics(spec.cases_.size());
+    std::vector<std::vector<std::string>> task_rows(spec.cases_.size());
+    for (std::size_t c = 0; c < spec.cases_.size(); ++c) {
+      const SweepSpec::Case& one = spec.cases_[c];
+      metrics[c].resize(one.scenarios.size());
+      for (std::size_t s = 0; s < one.scenarios.size(); ++s) {
+        units.push_back(Unit{c, s});
+      }
+      if (one.scenarios.empty()) {
+        units.push_back(Unit{c, 0});
+      }
+    }
+
+    std::vector<std::exception_ptr> errors(units.size());
+    driver::SweepExecutor::parallel_for(opts_.jobs, units.size(), [&](std::size_t u) {
+      const Unit& unit = units[u];
+      const SweepSpec::Case& one = spec.cases_[unit.case_index];
+      try {
+        if (one.scenarios.empty()) {
+          task_rows[unit.case_index] = one.task();
+        } else {
+          driver::Runner runner{driver::Runner::Options{std::nullopt, /*capture_log=*/true}};
+          metrics[unit.case_index][unit.slot] = runner.run(one.scenarios[unit.slot]());
+        }
+      } catch (...) {
+        errors[u] = std::current_exception();
+      }
+    });
+    for (const std::exception_ptr& error : errors) {
+      if (error) {
+        std::rethrow_exception(error);
+      }
+    }
+
+    stats::Table table{spec.title_, spec.columns_};
+    for (std::size_t c = 0; c < spec.cases_.size(); ++c) {
+      const SweepSpec::Case& one = spec.cases_[c];
+      if (one.scenarios.empty()) {
+        table.add_row(task_rows[c]);
+      } else {
+        for (auto& row : one.rows(std::span<const driver::RunMetrics>{metrics[c]})) {
+          table.add_row(std::move(row));
+        }
+      }
+    }
+    emit(table);
+    return metrics;
+  }
+
+  // Hand-assembled tables (sweep summaries) go through the same writer.
+  void emit(const stats::Table& table) {
+    table.print(std::cout);
+    if (csv_) {
+      table.write_csv(*csv_);
+    }
+  }
+
+ private:
+  Options opts_;
+  std::optional<std::ofstream> csv_;
+};
 
 // The paper's sweep for one kernel (Table 1 sizes), reduced under --quick.
 inline std::vector<std::uint64_t> kernel_sizes(workload::HpccKernel kernel, bool quick) {
@@ -101,9 +266,11 @@ inline driver::Scenario make_scenario(workload::HpccKernel kernel, std::uint64_t
   return cell_builder(kernel, memory_mib, scheme).build();
 }
 
-inline driver::RunMetrics run_cell(workload::HpccKernel kernel, std::uint64_t memory_mib,
-                                   driver::Scheme scheme) {
-  return driver::run_experiment(make_scenario(kernel, memory_mib, scheme));
+// The paper-cell scenario as a pool-ready factory (build() runs on the
+// worker, so validation errors surface as that case's outcome).
+inline SweepSpec::ScenarioFn cell(workload::HpccKernel kernel, std::uint64_t memory_mib,
+                                  driver::Scheme scheme) {
+  return [kernel, memory_mib, scheme] { return make_scenario(kernel, memory_mib, scheme); };
 }
 
 }  // namespace ampom::bench

@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace ampom;
   const bench::Options opts = bench::parse_options(argc, argv);
+  bench::SweepRunner runner{opts};
 
   const std::uint64_t alloc_mib = opts.quick ? 129 : 575;
   std::vector<std::uint64_t> working_sets;
@@ -20,14 +21,9 @@ int main(int argc, char** argv) {
     working_sets = {115, 230, 345, 460, 575};
   }
 
-  stats::Table table{"Fig. 10: total execution time (s) with smaller working sets "
-                     "(DGEMM allocating " + std::to_string(alloc_mib) + " MB)",
-                     {"working set (MB)", "openMosix", "AMPoM", "AMPoM pages moved",
-                      "openMosix pages moved"}};
-  for (const std::uint64_t ws : working_sets) {
-    driver::RunMetrics m[2];
-    int i = 0;
-    for (const auto scheme : {driver::Scheme::OpenMosix, driver::Scheme::Ampom}) {
+  auto ws_cell = [alloc_mib](driver::Scheme scheme,
+                             std::uint64_t ws) -> bench::SweepSpec::ScenarioFn {
+    return [alloc_mib, scheme, ws] {
       driver::Scenario s;
       s.scheme = scheme;
       s.memory_mib = alloc_mib;
@@ -35,13 +31,24 @@ int main(int argc, char** argv) {
       s.make_workload = [alloc_mib, ws] {
         return workload::make_small_ws_dgemm(alloc_mib, ws);
       };
-      m[i++] = driver::run_experiment(s);
-    }
-    table.add_row({stats::Table::integer(ws), stats::Table::num(m[0].total_time.sec(), 2),
-                   stats::Table::num(m[1].total_time.sec(), 2),
-                   stats::Table::integer(m[1].pages_arrived + m[1].pages_migrated),
-                   stats::Table::integer(m[0].pages_migrated)});
+      return s;
+    };
+  };
+
+  bench::SweepSpec spec{"Fig. 10: total execution time (s) with smaller working sets "
+                        "(DGEMM allocating " + std::to_string(alloc_mib) + " MB)",
+                        {"working set (MB)", "openMosix", "AMPoM", "AMPoM pages moved",
+                         "openMosix pages moved"}};
+  for (const std::uint64_t ws : working_sets) {
+    spec.add_case({ws_cell(driver::Scheme::OpenMosix, ws), ws_cell(driver::Scheme::Ampom, ws)},
+                  [ws](std::span<const driver::RunMetrics> m) -> bench::SweepSpec::Row {
+                    return {stats::Table::integer(ws),
+                            stats::Table::num(m[0].total_time.sec(), 2),
+                            stats::Table::num(m[1].total_time.sec(), 2),
+                            stats::Table::integer(m[1].pages_arrived + m[1].pages_migrated),
+                            stats::Table::integer(m[0].pages_migrated)};
+                  });
   }
-  bench::emit(table, opts);
+  runner.run(spec);
   return 0;
 }

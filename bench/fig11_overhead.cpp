@@ -8,18 +8,21 @@
 int main(int argc, char** argv) {
   using namespace ampom;
   const bench::Options opts = bench::parse_options(argc, argv);
+  bench::SweepRunner runner{opts};
 
-  stats::Table table{"Fig. 11: AMPoM analysis overhead (% of execution time)",
-                     {"kernel", "size (MB)", "overhead", "analysis time", "faults analyzed"}};
+  bench::SweepSpec spec{"Fig. 11: AMPoM analysis overhead (% of execution time)",
+                        {"kernel", "size (MB)", "overhead", "analysis time", "faults analyzed"}};
   for (const auto kernel : bench::kAllKernels) {
     for (const std::uint64_t mib : bench::kernel_sizes(kernel, opts.quick)) {
-      const auto m = bench::run_cell(kernel, mib, driver::Scheme::Ampom);
-      table.add_row({workload::hpcc_kernel_name(kernel), stats::Table::integer(mib),
-                     stats::Table::percent(m.analysis_overhead_fraction(), 3),
-                     m.ampom_analysis_time.str(),
-                     stats::Table::integer(m.ampom_faults_seen)});
+      spec.add_case(bench::cell(kernel, mib, driver::Scheme::Ampom),
+                    [kernel, mib](const driver::RunMetrics& m) -> bench::SweepSpec::Row {
+                      return {workload::hpcc_kernel_name(kernel), stats::Table::integer(mib),
+                              stats::Table::percent(m.analysis_overhead_fraction(), 3),
+                              m.ampom_analysis_time.str(),
+                              stats::Table::integer(m.ampom_faults_seen)};
+                    });
     }
   }
-  bench::emit(table, opts);
+  runner.run(spec);
   return 0;
 }

@@ -11,28 +11,26 @@
 int main(int argc, char** argv) {
   using namespace ampom;
   const bench::Options opts = bench::parse_options(argc, argv);
+  bench::SweepRunner runner{opts};
 
   for (const auto kernel : bench::kAllKernels) {
-    stats::Table table{
+    bench::SweepSpec spec{
         std::string("Fig. 5: migration freeze time (s) - ") + workload::hpcc_kernel_name(kernel),
         {"size (MB)", "AMPoM", "openMosix", "NoPrefetch", "AMPoM MPT bytes"}};
     for (const std::uint64_t mib : bench::kernel_sizes(kernel, opts.quick)) {
-      double freeze[3] = {};
-      sim::Bytes mpt = 0;
-      for (const auto scheme : bench::kAllSchemes) {
-        const auto m = bench::run_cell(kernel, mib, scheme);
-        freeze[static_cast<int>(scheme)] = m.freeze_time.sec();
-        if (scheme == driver::Scheme::Ampom) {
-          mpt = m.page_count * mem::kMptEntryBytes;
-        }
-      }
-      table.add_row({stats::Table::integer(mib),
-                     stats::Table::num(freeze[static_cast<int>(driver::Scheme::Ampom)], 3),
-                     stats::Table::num(freeze[static_cast<int>(driver::Scheme::OpenMosix)], 3),
-                     stats::Table::num(freeze[static_cast<int>(driver::Scheme::NoPrefetch)], 3),
-                     stats::Table::integer(mpt)});
+      spec.add_case({bench::cell(kernel, mib, driver::Scheme::Ampom),
+                     bench::cell(kernel, mib, driver::Scheme::OpenMosix),
+                     bench::cell(kernel, mib, driver::Scheme::NoPrefetch)},
+                    [mib](std::span<const driver::RunMetrics> m) -> bench::SweepSpec::Row {
+                      const sim::Bytes mpt = m[0].page_count * mem::kMptEntryBytes;
+                      return {stats::Table::integer(mib),
+                              stats::Table::num(m[0].freeze_time.sec(), 3),
+                              stats::Table::num(m[1].freeze_time.sec(), 3),
+                              stats::Table::num(m[2].freeze_time.sec(), 3),
+                              stats::Table::integer(mpt)};
+                    });
     }
-    bench::emit(table, opts);
+    runner.run(spec);
   }
   return 0;
 }

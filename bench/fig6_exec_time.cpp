@@ -11,26 +11,27 @@
 int main(int argc, char** argv) {
   using namespace ampom;
   const bench::Options opts = bench::parse_options(argc, argv);
+  bench::SweepRunner runner{opts};
 
   for (const auto kernel : bench::kAllKernels) {
-    stats::Table table{
+    bench::SweepSpec spec{
         std::string("Fig. 6: total execution time (s) - ") + workload::hpcc_kernel_name(kernel),
         {"size (MB)", "AMPoM", "openMosix", "NoPrefetch", "AMPoM vs oM", "NoPf vs oM"}};
     for (const std::uint64_t mib : bench::kernel_sizes(kernel, opts.quick)) {
-      double total[3] = {};
-      for (const auto scheme : bench::kAllSchemes) {
-        total[static_cast<int>(scheme)] =
-            bench::run_cell(kernel, mib, scheme).total_time.sec();
-      }
-      const double om = total[static_cast<int>(driver::Scheme::OpenMosix)];
-      const double am = total[static_cast<int>(driver::Scheme::Ampom)];
-      const double np = total[static_cast<int>(driver::Scheme::NoPrefetch)];
-      table.add_row({stats::Table::integer(mib), stats::Table::num(am, 2),
-                     stats::Table::num(om, 2), stats::Table::num(np, 2),
-                     stats::Table::percent(am / om - 1.0),
-                     stats::Table::percent(np / om - 1.0)});
+      spec.add_case({bench::cell(kernel, mib, driver::Scheme::Ampom),
+                     bench::cell(kernel, mib, driver::Scheme::OpenMosix),
+                     bench::cell(kernel, mib, driver::Scheme::NoPrefetch)},
+                    [mib](std::span<const driver::RunMetrics> m) -> bench::SweepSpec::Row {
+                      const double am = m[0].total_time.sec();
+                      const double om = m[1].total_time.sec();
+                      const double np = m[2].total_time.sec();
+                      return {stats::Table::integer(mib), stats::Table::num(am, 2),
+                              stats::Table::num(om, 2), stats::Table::num(np, 2),
+                              stats::Table::percent(am / om - 1.0),
+                              stats::Table::percent(np / om - 1.0)};
+                    });
     }
-    bench::emit(table, opts);
+    runner.run(spec);
   }
   return 0;
 }

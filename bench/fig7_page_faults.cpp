@@ -9,20 +9,23 @@
 int main(int argc, char** argv) {
   using namespace ampom;
   const bench::Options opts = bench::parse_options(argc, argv);
+  bench::SweepRunner runner{opts};
 
   for (const auto kernel : bench::kAllKernels) {
-    stats::Table table{std::string("Fig. 7: page-fault requests - ") +
-                           workload::hpcc_kernel_name(kernel),
-                       {"size (MB)", "AMPoM", "NoPrefetch", "prevented"}};
+    bench::SweepSpec spec{std::string("Fig. 7: page-fault requests - ") +
+                              workload::hpcc_kernel_name(kernel),
+                          {"size (MB)", "AMPoM", "NoPrefetch", "prevented"}};
     for (const std::uint64_t mib : bench::kernel_sizes(kernel, opts.quick)) {
-      const auto am = bench::run_cell(kernel, mib, driver::Scheme::Ampom);
-      const auto np = bench::run_cell(kernel, mib, driver::Scheme::NoPrefetch);
-      table.add_row({stats::Table::integer(mib),
-                     stats::Table::integer(am.remote_fault_requests),
-                     stats::Table::integer(np.remote_fault_requests),
-                     stats::Table::percent(am.prevented_fault_fraction())});
+      spec.add_case({bench::cell(kernel, mib, driver::Scheme::Ampom),
+                     bench::cell(kernel, mib, driver::Scheme::NoPrefetch)},
+                    [mib](std::span<const driver::RunMetrics> m) -> bench::SweepSpec::Row {
+                      return {stats::Table::integer(mib),
+                              stats::Table::integer(m[0].remote_fault_requests),
+                              stats::Table::integer(m[1].remote_fault_requests),
+                              stats::Table::percent(m[0].prevented_fault_fraction())};
+                    });
     }
-    bench::emit(table, opts);
+    runner.run(spec);
   }
   return 0;
 }

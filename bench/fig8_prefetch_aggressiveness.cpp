@@ -10,20 +10,23 @@
 int main(int argc, char** argv) {
   using namespace ampom;
   const bench::Options opts = bench::parse_options(argc, argv);
+  bench::SweepRunner runner{opts};
 
-  stats::Table table{"Fig. 8: prefetched pages per page fault (AMPoM)",
-                     {"kernel", "size (MB)", "zone/fault", "prefetch pages", "faults",
-                      "last S"}};
+  bench::SweepSpec spec{"Fig. 8: prefetched pages per page fault (AMPoM)",
+                        {"kernel", "size (MB)", "zone/fault", "prefetch pages", "faults",
+                         "last S"}};
   for (const auto kernel : bench::kAllKernels) {
     for (const std::uint64_t mib : bench::kernel_sizes(kernel, opts.quick)) {
-      const auto m = bench::run_cell(kernel, mib, driver::Scheme::Ampom);
-      table.add_row({workload::hpcc_kernel_name(kernel), stats::Table::integer(mib),
-                     stats::Table::num(m.prefetched_per_fault(), 1),
-                     stats::Table::integer(m.prefetch_pages_issued),
-                     stats::Table::integer(m.ampom_faults_seen),
-                     stats::Table::num(m.last_locality_score, 3)});
+      spec.add_case(bench::cell(kernel, mib, driver::Scheme::Ampom),
+                    [kernel, mib](const driver::RunMetrics& m) -> bench::SweepSpec::Row {
+                      return {workload::hpcc_kernel_name(kernel), stats::Table::integer(mib),
+                              stats::Table::num(m.prefetched_per_fault(), 1),
+                              stats::Table::integer(m.prefetch_pages_issued),
+                              stats::Table::integer(m.ampom_faults_seen),
+                              stats::Table::num(m.last_locality_score, 3)};
+                    });
     }
   }
-  bench::emit(table, opts);
+  runner.run(spec);
   return 0;
 }

@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace ampom;
   const bench::Options opts = bench::parse_options(argc, argv);
+  bench::SweepRunner runner{opts};
 
   struct Case {
     workload::HpccKernel kernel;
@@ -21,27 +22,32 @@ int main(int argc, char** argv) {
   const Case cases[] = {{workload::HpccKernel::Dgemm, opts.quick ? 65u : 115u},
                         {workload::HpccKernel::RandomAccess, opts.quick ? 65u : 129u}};
 
-  stats::Table table{"Fig. 9: % increase in execution time vs openMosix (same network)",
-                     {"kernel", "network", "AMPoM", "NoPrefetch"}};
+  bench::SweepSpec spec{"Fig. 9: % increase in execution time vs openMosix (same network)",
+                        {"kernel", "network", "AMPoM", "NoPrefetch"}};
   for (const Case& c : cases) {
     for (const bool broadband : {false, true}) {
-      double total[3] = {};
-      for (const auto scheme : bench::kAllSchemes) {
-        driver::Scenario s = bench::make_scenario(c.kernel, c.mib, scheme);
-        if (broadband) {
-          s.shape_migrant_link = true;
-          s.shaped_link = driver::broadband_link();
-        }
-        total[static_cast<int>(scheme)] = driver::run_experiment(s).total_time.sec();
-      }
-      const double om = total[static_cast<int>(driver::Scheme::OpenMosix)];
-      table.add_row({workload::hpcc_kernel_name(c.kernel), broadband ? "6Mb/s" : "100Mb/s",
-                     stats::Table::percent(
-                         total[static_cast<int>(driver::Scheme::Ampom)] / om - 1.0),
-                     stats::Table::percent(
-                         total[static_cast<int>(driver::Scheme::NoPrefetch)] / om - 1.0)});
+      auto shaped_cell = [c, broadband](driver::Scheme scheme) -> bench::SweepSpec::ScenarioFn {
+        return [c, broadband, scheme] {
+          driver::Scenario s = bench::make_scenario(c.kernel, c.mib, scheme);
+          if (broadband) {
+            s.shape_migrant_link = true;
+            s.shaped_link = driver::broadband_link();
+          }
+          return s;
+        };
+      };
+      spec.add_case({shaped_cell(driver::Scheme::Ampom), shaped_cell(driver::Scheme::OpenMosix),
+                     shaped_cell(driver::Scheme::NoPrefetch)},
+                    [c, broadband](std::span<const driver::RunMetrics> m)
+                        -> bench::SweepSpec::Row {
+                      const double om = m[1].total_time.sec();
+                      return {workload::hpcc_kernel_name(c.kernel),
+                              broadband ? "6Mb/s" : "100Mb/s",
+                              stats::Table::percent(m[0].total_time.sec() / om - 1.0),
+                              stats::Table::percent(m[2].total_time.sec() / om - 1.0)};
+                    });
     }
   }
-  bench::emit(table, opts);
+  runner.run(spec);
   return 0;
 }

@@ -9,39 +9,48 @@
 int main(int argc, char** argv) {
   using namespace ampom;
   const bench::Options opts = bench::parse_options(argc, argv);
+  bench::SweepRunner runner{opts};
 
-  stats::Table table{"Headline claims (largest runs per kernel)",
-                     {"kernel", "size (MB)", "freeze avoided", "faults prevented",
-                      "runtime vs openMosix"}};
+  bench::SweepSpec spec{"Headline claims (largest runs per kernel)",
+                        {"kernel", "size (MB)", "freeze avoided", "faults prevented",
+                         "runtime vs openMosix"}};
   for (const auto kernel : bench::kAllKernels) {
-    const auto sizes = bench::kernel_sizes(kernel, opts.quick);
-    const std::uint64_t mib = sizes.back();
-    const auto om = bench::run_cell(kernel, mib, driver::Scheme::OpenMosix);
-    const auto am = bench::run_cell(kernel, mib, driver::Scheme::Ampom);
-    table.add_row(
-        {workload::hpcc_kernel_name(kernel), stats::Table::integer(mib),
-         stats::Table::percent(1.0 - am.freeze_time / om.freeze_time),
-         stats::Table::percent(am.prevented_fault_fraction()),
-         stats::Table::percent(am.total_time / om.total_time - 1.0)});
+    const std::uint64_t mib = bench::kernel_sizes(kernel, opts.quick).back();
+    spec.add_case({bench::cell(kernel, mib, driver::Scheme::OpenMosix),
+                   bench::cell(kernel, mib, driver::Scheme::Ampom)},
+                  [kernel, mib](std::span<const driver::RunMetrics> m) -> bench::SweepSpec::Row {
+                    const driver::RunMetrics& om = m[0];
+                    const driver::RunMetrics& am = m[1];
+                    return {workload::hpcc_kernel_name(kernel), stats::Table::integer(mib),
+                            stats::Table::percent(1.0 - am.freeze_time / om.freeze_time),
+                            stats::Table::percent(am.prevented_fault_fraction()),
+                            stats::Table::percent(am.total_time / om.total_time - 1.0)};
+                  });
   }
-  bench::emit(table, opts);
+  runner.run(spec);
 
   // Claim (4): small working set (quarter of the allocation).
   const std::uint64_t alloc = opts.quick ? 129 : 575;
   const std::uint64_t ws = opts.quick ? 33 : 115;
-  stats::Table small{"Small working set: DGEMM allocating " + std::to_string(alloc) +
-                         " MB, touching " + std::to_string(ws) + " MB",
-                     {"scheme", "total (s)", "pages moved"}};
+  auto ws_cell = [alloc, ws](driver::Scheme scheme) -> bench::SweepSpec::ScenarioFn {
+    return [alloc, ws, scheme] {
+      driver::Scenario s;
+      s.scheme = scheme;
+      s.memory_mib = alloc;
+      s.workload_label = "DGEMM-ws";
+      s.make_workload = [alloc, ws] { return workload::make_small_ws_dgemm(alloc, ws); };
+      return s;
+    };
+  };
+  bench::SweepSpec small{"Small working set: DGEMM allocating " + std::to_string(alloc) +
+                             " MB, touching " + std::to_string(ws) + " MB",
+                         {"scheme", "total (s)", "pages moved"}};
   for (const auto scheme : {driver::Scheme::OpenMosix, driver::Scheme::Ampom}) {
-    driver::Scenario s;
-    s.scheme = scheme;
-    s.memory_mib = alloc;
-    s.workload_label = "DGEMM-ws";
-    s.make_workload = [alloc, ws] { return workload::make_small_ws_dgemm(alloc, ws); };
-    const auto m = driver::run_experiment(s);
-    small.add_row({m.scheme, stats::Table::num(m.total_time.sec(), 2),
-                   stats::Table::integer(m.pages_arrived + m.pages_migrated)});
+    small.add_case(ws_cell(scheme), [](const driver::RunMetrics& m) -> bench::SweepSpec::Row {
+      return {m.scheme, stats::Table::num(m.total_time.sec(), 2),
+              stats::Table::integer(m.pages_arrived + m.pages_migrated)};
+    });
   }
-  bench::emit(small, opts);
+  runner.run(small);
   return 0;
 }

@@ -24,6 +24,7 @@
 int main(int argc, char** argv) {
   using namespace ampom;
   const bench::Options opts = bench::parse_options(argc, argv);
+  bench::SweepRunner runner{opts};
 
   struct Case {
     const char* label;
@@ -45,28 +46,32 @@ int main(int argc, char** argv) {
        hot_mib},
   };
 
-  stats::Table table{"Related work (paper §1/§6): five placement mechanisms compared",
-                     {"workload", "mechanism", "freeze", "total (s)", "pages sent",
-                      "resent", "fault reqs"}};
+  bench::SweepSpec spec{"Related work (paper §1/§6): five placement mechanisms compared",
+                        {"workload", "mechanism", "freeze", "total (s)", "pages sent",
+                         "resent", "fault reqs"}};
   for (const Case& c : cases) {
     for (const auto scheme :
          {driver::Scheme::Checkpoint, driver::Scheme::OpenMosix, driver::Scheme::PreCopy,
           driver::Scheme::NoPrefetch, driver::Scheme::Ampom}) {
-      driver::Scenario s;
-      s.scheme = scheme;
-      s.memory_mib = c.memory_mib;
-      s.workload_label = c.label;
-      s.make_workload = c.make;
-      const auto m = run_experiment(s);
-      const bool aborted = scheme == driver::Scheme::PreCopy && m.pages_migrated == 0;
-      table.add_row({c.label, m.scheme,
-                     aborted ? "(aborted)" : m.freeze_time.str(),
-                     stats::Table::num(m.total_time.sec(), 2),
-                     stats::Table::integer(m.pages_migrated + m.pages_resent + m.pages_arrived),
-                     stats::Table::integer(m.pages_resent),
-                     stats::Table::integer(m.remote_fault_requests)});
+      spec.add_case(
+          [c, scheme] {
+            driver::Scenario s;
+            s.scheme = scheme;
+            s.memory_mib = c.memory_mib;
+            s.workload_label = c.label;
+            s.make_workload = c.make;
+            return s;
+          },
+          [c, scheme](const driver::RunMetrics& m) -> bench::SweepSpec::Row {
+            const bool aborted = scheme == driver::Scheme::PreCopy && m.pages_migrated == 0;
+            return {c.label, m.scheme, aborted ? "(aborted)" : m.freeze_time.str(),
+                    stats::Table::num(m.total_time.sec(), 2),
+                    stats::Table::integer(m.pages_migrated + m.pages_resent + m.pages_arrived),
+                    stats::Table::integer(m.pages_resent),
+                    stats::Table::integer(m.remote_fault_requests)};
+          });
     }
   }
-  bench::emit(table, opts);
+  runner.run(spec);
   return 0;
 }

@@ -15,24 +15,33 @@
 int main(int argc, char** argv) {
   using namespace ampom;
   const bench::Options opts = bench::parse_options(argc, argv);
+  bench::SweepRunner runner{opts};
   const std::uint64_t mib = opts.quick ? 65 : 230;
 
-  stats::Table table{"Cost of correcting a wrong placement (STREAM, " + std::to_string(mib) +
-                         " MB; second hop 1 s after the first)",
-                     {"mechanism", "freeze 1", "freeze 2", "flush pages", "total (s)",
-                      "one-hop total (s)", "penalty"}};
+  bench::SweepSpec spec{"Cost of correcting a wrong placement (STREAM, " + std::to_string(mib) +
+                            " MB; second hop 1 s after the first)",
+                        {"mechanism", "freeze 1", "freeze 2", "flush pages", "total (s)",
+                         "one-hop total (s)", "penalty"}};
   for (const auto scheme : {driver::Scheme::OpenMosix, driver::Scheme::NoPrefetch,
                             driver::Scheme::Ampom}) {
-    driver::Scenario s = bench::make_scenario(workload::HpccKernel::Stream, mib, scheme);
-    const auto one_hop = run_experiment(s);
-    s.remigrate_after = sim::Time::from_sec(1.0);
-    const auto two_hop = run_experiment(s);
-    table.add_row({two_hop.scheme, two_hop.freeze_time.str(), two_hop.freeze_time_2.str(),
-                   stats::Table::integer(two_hop.flush_pages),
-                   stats::Table::num(two_hop.total_time.sec(), 2),
-                   stats::Table::num(one_hop.total_time.sec(), 2),
-                   stats::Table::percent(two_hop.total_time / one_hop.total_time - 1.0)});
+    spec.add_case({bench::cell(workload::HpccKernel::Stream, mib, scheme),
+                   [mib, scheme] {
+                     driver::Scenario s =
+                         bench::make_scenario(workload::HpccKernel::Stream, mib, scheme);
+                     s.remigrate_after = sim::Time::from_sec(1.0);
+                     return s;
+                   }},
+                  [](std::span<const driver::RunMetrics> m) -> bench::SweepSpec::Row {
+                    const driver::RunMetrics& one_hop = m[0];
+                    const driver::RunMetrics& two_hop = m[1];
+                    return {two_hop.scheme, two_hop.freeze_time.str(),
+                            two_hop.freeze_time_2.str(),
+                            stats::Table::integer(two_hop.flush_pages),
+                            stats::Table::num(two_hop.total_time.sec(), 2),
+                            stats::Table::num(one_hop.total_time.sec(), 2),
+                            stats::Table::percent(two_hop.total_time / one_hop.total_time - 1.0)};
+                  });
   }
-  bench::emit(table, opts);
+  runner.run(spec);
   return 0;
 }

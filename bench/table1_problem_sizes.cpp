@@ -1,14 +1,13 @@
 // Table 1 of the paper: HPCC problem sizes and the resulting process
 // memory sizes, plus the page counts our models derive from them.
 
-#include <iostream>
-
+#include "bench/common.hpp"
 #include "mem/page.hpp"
-#include "stats/table.hpp"
-#include "workload/hpcc.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ampom;
+  const bench::Options opts = bench::parse_options(argc, argv);
+  bench::SweepRunner runner{opts};
 
   stats::Table table{"Table 1: problem and memory sizes of HPCC",
                      {"kernel", "problem size", "memory (MB)", "pages", "modeled refs name"}};
@@ -26,6 +25,6 @@ int main() {
   add(workload::HpccKernel::RandomAccess, workload::kRandomAccessCases);
   add(workload::HpccKernel::Fft, workload::kFftCases);
 
-  table.print(std::cout);
+  runner.emit(table);
   return 0;
 }

@@ -57,6 +57,9 @@ bool identical(const driver::RunMetrics& a, const driver::RunMetrics& b) {
 
 int main(int argc, char** argv) {
   const bench::Options opts = bench::parse_options(argc, argv);
+  // Wall-clock timing: the repetitions stay serial on purpose (--jobs would
+  // make them contend for cores and corrupt the measurement).
+  bench::SweepRunner runner{opts};
   const auto kernel = workload::HpccKernel::Stream;
   const std::uint64_t mib = bench::kernel_sizes(kernel, opts.quick).back();
   const int reps = opts.quick ? 5 : 9;
@@ -93,7 +96,7 @@ int main(int argc, char** argv) {
   table.add_row({"on, no sched sampler", stats::Table::num(t_on_ns.best_ms, 1),
                  stats::Table::integer(t_on_ns.events), stats::Table::percent(ns_overhead),
                  identical(t_off.metrics, t_on_ns.metrics) ? "yes" : "NO"});
-  bench::emit(table, opts);
+  runner.emit(table);
 
   if (!identical(t_off.metrics, t_on.metrics) ||
       !identical(t_off.metrics, t_on_ns.metrics)) {

@@ -15,10 +15,12 @@
 #include "net/background_traffic.hpp"
 #include "net/fault_injector.hpp"
 #include "net/traffic_shaper.hpp"
+#include "driver/run_context.hpp"
 #include "driver/runner.hpp"
 #include "proc/demand_paging.hpp"
 #include "proc/executor.hpp"
 #include "proc/paging_client.hpp"
+#include "simcore/log.hpp"
 #include "simcore/simulator.hpp"
 #include "trace/trace.hpp"
 
@@ -32,10 +34,12 @@ constexpr net::NodeId kThird = 2;  // background-traffic source / re-migration t
 
 RunMetrics run_experiment(const Scenario& scenario) { return Runner{}.run(scenario); }
 
-RunMetrics detail::run_scenario(const Scenario& scenario, trace::TraceRecorder* recorder) {
+RunMetrics detail::run_scenario(const Scenario& scenario, RunContext& run_ctx) {
   if (!scenario.make_workload) {
     throw std::invalid_argument("run_experiment: scenario has no workload factory");
   }
+  trace::TraceRecorder* recorder = &run_ctx.trace();
+  sim::Logger& log = run_ctx.log();
 
   sim::Simulator sim;
   net::Fabric fabric{sim, 3, scenario.profile.link};
@@ -307,20 +311,31 @@ RunMetrics detail::run_scenario(const Scenario& scenario, trace::TraceRecorder* 
   std::optional<migration::MigrationResult> migration_result;
   std::optional<migration::MigrationResult> remigration_result;
   const sim::Time process_start = scenario.warmup;
+  AMPOM_LOG(log, sim::LogLevel::Debug, sim.now(), "driver", "run start: %s %llu MiB, scheme %s",
+            scenario.workload_label.c_str(),
+            static_cast<unsigned long long>(scenario.memory_mib), scheme_name(scenario.scheme));
   sim.schedule_at(process_start, [&executor] { executor.start(); });
   sim.schedule_at(process_start + scenario.migrate_after, [&] {
     migration::migrate_process(ctx, *engine,
                                [&](migration::MigrationResult r) {
                                  migration_result = r;
+                                 AMPOM_LOG(log, sim::LogLevel::Info, sim.now(), "migration",
+                                           "hop 1 %s: freeze %s, %llu pages moved",
+                                           r.completed() ? "completed" : "aborted",
+                                           r.freeze_time().str().c_str(),
+                                           static_cast<unsigned long long>(r.pages_transferred));
                                  if (remigrates && r.completed()) {
                                    sim.schedule_after(scenario.remigrate_after, [&] {
                                      if (process.state() == proc::ProcState::Finished) {
                                        return;  // too late to re-migrate
                                      }
                                      migration::migrate_process(
-                                         ctx2, *engine2,
-                                         [&remigration_result](migration::MigrationResult r2) {
+                                         ctx2, *engine2, [&](migration::MigrationResult r2) {
                                            remigration_result = r2;
+                                           AMPOM_LOG(log, sim::LogLevel::Info, sim.now(),
+                                                     "migration", "hop 2 %s: freeze %s",
+                                                     r2.completed() ? "completed" : "aborted",
+                                                     r2.freeze_time().str().c_str());
                                          });
                                    });
                                  }
@@ -336,6 +351,10 @@ RunMetrics detail::run_scenario(const Scenario& scenario, trace::TraceRecorder* 
   if (!executor.stats().finished) {
     throw std::runtime_error("run_experiment: simulation drained before the process finished");
   }
+  AMPOM_LOG(log, sim::LogLevel::Info, executor.stats().finished_at, "driver",
+            "run finished: %s/%s, %llu refs",
+            scenario.workload_label.c_str(), scheme_name(scenario.scheme),
+            static_cast<unsigned long long>(executor.stats().refs_consumed));
 
   // --- assemble metrics -------------------------------------------------------
   RunMetrics m;

@@ -5,23 +5,21 @@
 #include "driver/metrics.hpp"
 #include "driver/scenario.hpp"
 
-namespace ampom::trace {
-class TraceRecorder;
-}
-
 namespace ampom::driver {
+
+class RunContext;
 
 // Convenience wrapper: equivalent to Runner{}.run(scenario) (see runner.hpp),
 // which is the full-featured entry point (trace export, metric sinks,
-// scoped log level).
+// per-run log level). For parameter sweeps use driver::SweepExecutor.
 [[nodiscard]] RunMetrics run_experiment(const Scenario& scenario);
 
 namespace detail {
-// The harness itself: builds the cluster, wires the (possibly disabled)
-// trace recorder into every instrumented layer, runs to completion.
-// `recorder` may be null; Runner always passes one.
-[[nodiscard]] RunMetrics run_scenario(const Scenario& scenario,
-                                      trace::TraceRecorder* recorder);
+// The harness itself: builds the cluster, wires the run's trace recorder
+// into every instrumented layer, logs through the run's Logger, runs to
+// completion. Touches nothing outside `scenario` and `ctx`, so concurrent
+// calls with distinct contexts are safe.
+[[nodiscard]] RunMetrics run_scenario(const Scenario& scenario, RunContext& ctx);
 }  // namespace detail
 
 }  // namespace ampom::driver

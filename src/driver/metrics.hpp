@@ -111,6 +111,10 @@ struct RunMetrics {
     return ampom_analysis_time / exec_time;
   }
 
+  // Field-for-field equality — the "parallel sweep is bit-identical to the
+  // serial one" guarantee is stated (and tested) in terms of this.
+  [[nodiscard]] bool operator==(const RunMetrics&) const = default;
+
   // The reliability/fault counters as a named counter set, so benches and
   // sweep summaries can roll them up with stats::Counters::merge.
   [[nodiscard]] stats::Counters reliability_counters() const {

@@ -1,53 +1,26 @@
 #include "driver/runner.hpp"
 
-#include <fstream>
-
 #include "driver/experiment.hpp"
-#include "trace/chrome_export.hpp"
 
 namespace ampom::driver {
 
-namespace {
-
-// Restores the global log level on scope exit (including exceptions).
-class ScopedLogLevel {
- public:
-  explicit ScopedLogLevel(std::optional<sim::LogLevel> level)
-      : saved_{sim::Logger::instance().level()} {
-    if (level) {
-      sim::Logger::instance().set_level(*level);
-    }
-  }
-  ~ScopedLogLevel() { sim::Logger::instance().set_level(saved_); }
-  ScopedLogLevel(const ScopedLogLevel&) = delete;
-  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
-
- private:
-  sim::LogLevel saved_;
-};
-
-}  // namespace
-
 RunMetrics Runner::run(const Scenario& scenario) {
-  ScopedLogLevel scoped_level{options_.log_level};
-  recorder_ = std::make_unique<trace::TraceRecorder>(scenario.trace);
-  RunMetrics metrics = detail::run_scenario(scenario, recorder_.get());
-  for (const auto& sink : sinks_) {
-    sink(metrics);
+  RunContext::Options ctx_options;
+  if (options_.log_level) {
+    ctx_options.log_level = *options_.log_level;
   }
+  ctx_options.capture_log = options_.capture_log;
+  context_ = std::make_unique<RunContext>(scenario, ctx_options);
+  for (const auto& sink : sinks_) {
+    context_->add_metric_sink(sink);
+  }
+  RunMetrics metrics = detail::run_scenario(scenario, *context_);
+  context_->notify_sinks(metrics);
   return metrics;
 }
 
 bool Runner::write_trace_json(const std::string& path) const {
-  if (recorder_ == nullptr || !recorder_->enabled()) {
-    return false;
-  }
-  std::ofstream out{path};
-  if (!out) {
-    return false;
-  }
-  trace::write_chrome_trace(*recorder_, out);
-  return out.good();
+  return context_ != nullptr && context_->write_trace_json(path);
 }
 
 }  // namespace ampom::driver

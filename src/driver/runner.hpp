@@ -1,13 +1,13 @@
 #pragma once
-// Runner: the per-run observability facade.
+// Runner: the one-at-a-time experiment facade.
 //
-// run_experiment's historical contract is "scenario in, metrics out" with
-// every knob global (the process-wide Logger) or lost (the trace recorder
-// died with the harness stack frame). A Runner owns that per-run state
-// instead: it applies a scoped log level for the duration of the run,
-// constructs the TraceRecorder from Scenario::trace and keeps it alive so
-// the caller can export the timeline afterwards, and fans the finished
-// RunMetrics out to any registered sinks (CSV emitters, aggregators).
+// run_experiment's historical contract is "scenario in, metrics out". A
+// Runner adds the observability around that: each run() constructs a fresh
+// RunContext (per-run logger at the configured level, trace recorder built
+// from Scenario::trace, the registered metric sinks) and keeps the finished
+// context alive so the caller can export the timeline or read the captured
+// log afterwards. Nothing is process-wide — two Runners on two threads
+// never interact (see driver/sweep_executor.hpp for the pooled version).
 //
 // run_experiment(s) remains a thin wrapper over Runner{}.run(s).
 
@@ -18,18 +18,20 @@
 #include <vector>
 
 #include "driver/metrics.hpp"
+#include "driver/run_context.hpp"
 #include "driver/scenario.hpp"
 #include "simcore/log.hpp"
-#include "trace/trace.hpp"
 
 namespace ampom::driver {
 
 class Runner {
  public:
   struct Options {
-    // Applied to the global Logger for the duration of each run() and
-    // restored afterwards; nullopt leaves the level alone.
+    // Log level of each run's Logger; nullopt keeps the default (Warn).
     std::optional<sim::LogLevel> log_level;
+    // Capture each run's log into its RunContext (read it back with
+    // context()->captured_log()) instead of writing to stderr.
+    bool capture_log{false};
   };
 
   Runner() = default;
@@ -40,13 +42,19 @@ class Runner {
     sinks_.push_back(std::move(sink));
   }
 
-  // Runs one scenario to completion. The recorder from the previous run is
-  // replaced, so trace() / write_trace_json() always describe the last run.
+  // Runs one scenario to completion. The context from the previous run is
+  // replaced, so context() / trace() / write_trace_json() always describe
+  // the last run.
   RunMetrics run(const Scenario& scenario);
+
+  // Last run's context (null before the first run).
+  [[nodiscard]] const RunContext* context() const { return context_.get(); }
 
   // Last run's recorder (null before the first run). Disabled tracing still
   // yields a recorder — an empty one.
-  [[nodiscard]] const trace::TraceRecorder* trace() const { return recorder_.get(); }
+  [[nodiscard]] const trace::TraceRecorder* trace() const {
+    return context_ ? &context_->trace() : nullptr;
+  }
 
   // Exports the last run's events as Chrome trace_event JSON
   // (chrome://tracing, Perfetto). Returns false when there is nothing to
@@ -55,7 +63,7 @@ class Runner {
 
  private:
   Options options_;
-  std::unique_ptr<trace::TraceRecorder> recorder_;
+  std::unique_ptr<RunContext> context_;
   std::vector<std::function<void(const RunMetrics&)>> sinks_;
 };
 

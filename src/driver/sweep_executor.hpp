@@ -1,0 +1,83 @@
+#pragma once
+// SweepExecutor: run a batch of scenarios on a fixed-size worker pool.
+//
+// Every result in the paper is a parameter sweep, and the simulations are
+// deterministic and independent — embarrassingly parallel once no run
+// touches process-wide state. Each worker builds the scenario (factories
+// run inside the pool, so build()-time validation errors are per-case
+// outcomes, not batch aborts), creates a private RunContext, and runs to
+// completion. Results come back in submission order regardless of which
+// worker finished first, and a parallel sweep is bit-identical to running
+// the same batch serially: there is nothing shared for the schedule to
+// perturb (tests/sweep_test.cpp pins this down under TSan in CI).
+//
+//   driver::SweepExecutor pool{{.jobs = 4}};
+//   auto outcomes = pool.run_all({[...]{ return builder.build(); }, ...});
+//   outcomes[i].metrics / .context->trace() / .error
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "driver/metrics.hpp"
+#include "driver/run_context.hpp"
+#include "driver/scenario.hpp"
+#include "simcore/log.hpp"
+
+namespace ampom::driver {
+
+class SweepExecutor {
+ public:
+  struct Options {
+    // Worker threads. 1 (the default) runs inline on the calling thread;
+    // 0 means "one per hardware thread".
+    std::size_t jobs{1};
+    // Log level for every run's Logger.
+    sim::LogLevel log_level{sim::LogLevel::Warn};
+    // Capture each run's log in its RunContext. Default on: concurrent
+    // runs interleaving on stderr are useless, and the captured text is
+    // still available per-outcome.
+    bool capture_logs{true};
+  };
+
+  using ScenarioFactory = std::function<Scenario()>;
+
+  struct Outcome {
+    RunMetrics metrics{};
+    // Trace recorder + captured log of the run; null when the case failed
+    // before a context existed (factory/validation threw).
+    std::unique_ptr<RunContext> context;
+    // Set when the factory or the run threw; metrics are default-initialized.
+    std::exception_ptr error;
+    [[nodiscard]] bool ok() const { return error == nullptr; }
+  };
+
+  SweepExecutor() = default;
+  explicit SweepExecutor(Options options) : options_{options} {}
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  // Runs every case; outcome i belongs to cases[i]. A throwing case does
+  // not stop the batch — the remaining cases still run, and the error is
+  // reported in that case's outcome.
+  [[nodiscard]] std::vector<Outcome> run_all(const std::vector<ScenarioFactory>& cases);
+
+  // Convenience for pre-built scenarios when only metrics matter. Throws
+  // the first failed case's exception (by submission order, after the
+  // whole batch drained).
+  [[nodiscard]] std::vector<RunMetrics> run_scenarios(const std::vector<Scenario>& cases);
+
+  // The pool primitive run_all is built on: invokes fn(0..n-1), each index
+  // exactly once, spread over min(jobs, n) workers. fn must confine itself
+  // to per-index state; exceptions must not escape fn.
+  static void parallel_for(std::size_t jobs, std::size_t n,
+                           const std::function<void(std::size_t)>& fn);
+
+ private:
+  Options options_;
+};
+
+}  // namespace ampom::driver

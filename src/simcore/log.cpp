@@ -28,10 +28,9 @@ namespace {
 
 Logger::Logger() : sink_{&std::cerr} {}
 
-Logger& Logger::instance() {
-  static Logger logger;
-  return logger;
-}
+Logger::Logger(LogLevel level) : level_{level}, sink_{&std::cerr} {}
+
+Logger::Logger(LogLevel level, std::ostream* sink) : level_{level}, sink_{sink} {}
 
 void Logger::write(LogLevel level, Time now, const std::string& component,
                    const std::string& message) {

@@ -1,6 +1,11 @@
 #pragma once
 // Leveled logging tied to simulated time.
 //
+// A Logger is a plain per-run value: the experiment driver creates one per
+// RunContext, so concurrent runs never share a sink or a level. There is no
+// process-wide instance — code that wants to log receives a Logger& from
+// whoever owns the run (see driver/run_context.hpp).
+//
 // Logging defaults to Warn so large parameter sweeps stay quiet; tests and
 // examples raise the level when tracing a scenario.
 
@@ -16,27 +21,30 @@ enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4,
 
 class Logger {
  public:
-  // Process-wide logger used by the whole simulation.
-  [[nodiscard]] static Logger& instance();
+  // Defaults to stderr; pass nullptr to discard everything.
+  Logger();
+  explicit Logger(LogLevel level);
+  Logger(LogLevel level, std::ostream* sink);
 
   void set_level(LogLevel level) { level_ = level; }
   [[nodiscard]] LogLevel level() const { return level_; }
   [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
 
-  // Route output somewhere else (tests capture it). Not owned.
+  // Route output somewhere else (tests and RunContext capture it). Not owned.
   void set_sink(std::ostream* sink) { sink_ = sink; }
 
   void write(LogLevel level, Time now, const std::string& component, const std::string& message);
 
  private:
-  Logger();
   LogLevel level_{LogLevel::Warn};
   std::ostream* sink_;
 };
 
-#define AMPOM_LOG(level, now, component, ...)                                         \
+// `logger` is any expression yielding a Logger&; the format arguments are
+// only evaluated when the level passes.
+#define AMPOM_LOG(logger, level, now, component, ...)                                 \
   do {                                                                                \
-    auto& ampom_logger_ = ::ampom::sim::Logger::instance();                           \
+    ::ampom::sim::Logger& ampom_logger_ = (logger);                                   \
     if (ampom_logger_.enabled(level)) {                                               \
       ampom_logger_.write(level, now, component, ::ampom::sim::strfmt(__VA_ARGS__));  \
     }                                                                                 \

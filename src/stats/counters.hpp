@@ -28,6 +28,8 @@ class Counters {
 
   void reset() { values_.clear(); }
 
+  [[nodiscard]] bool operator==(const Counters&) const = default;
+
  private:
   std::map<std::string, std::uint64_t> values_;
 };

@@ -32,18 +32,27 @@ TEST(TimeStr, HumanReadableUnits) {
 }
 
 TEST(Logger, RespectsLevelAndSink) {
-  auto& logger = sim::Logger::instance();
   std::ostringstream sink;
-  logger.set_sink(&sink);
-  logger.set_level(sim::LogLevel::Info);
-  AMPOM_LOG(sim::LogLevel::Debug, sim::Time::zero(), "test", "hidden %d", 1);
-  AMPOM_LOG(sim::LogLevel::Warn, sim::Time::from_sec(2.0), "test", "visible %d", 2);
-  logger.set_level(sim::LogLevel::Warn);
-  logger.set_sink(nullptr);
+  sim::Logger logger{sim::LogLevel::Info, &sink};
+  AMPOM_LOG(logger, sim::LogLevel::Debug, sim::Time::zero(), "test", "hidden %d", 1);
+  AMPOM_LOG(logger, sim::LogLevel::Warn, sim::Time::from_sec(2.0), "test", "visible %d", 2);
   const std::string out = sink.str();
   EXPECT_EQ(out.find("hidden"), std::string::npos);
   EXPECT_NE(out.find("visible 2"), std::string::npos);
   EXPECT_NE(out.find("WARN"), std::string::npos);
+}
+
+TEST(Logger, IndependentLoggersDoNotShareState) {
+  // Loggers are per-run values now (the process-wide singleton is gone);
+  // two of them never observe each other's level or sink.
+  std::ostringstream a_sink;
+  std::ostringstream b_sink;
+  sim::Logger a{sim::LogLevel::Debug, &a_sink};
+  sim::Logger b{sim::LogLevel::Error, &b_sink};
+  AMPOM_LOG(a, sim::LogLevel::Debug, sim::Time::zero(), "test", "a says %d", 1);
+  AMPOM_LOG(b, sim::LogLevel::Debug, sim::Time::zero(), "test", "b says %d", 2);
+  EXPECT_NE(a_sink.str().find("a says 1"), std::string::npos);
+  EXPECT_TRUE(b_sink.str().empty());
 }
 
 TEST(Summary, OrderStatistics) {

@@ -11,6 +11,7 @@
 
 #include "driver/builder.hpp"
 #include "driver/experiment.hpp"
+#include "driver/run_context.hpp"
 #include "driver/runner.hpp"
 #include "trace/chrome_export.hpp"
 #include "trace/trace.hpp"
@@ -117,13 +118,14 @@ void expect_same_results(const driver::RunMetrics& a, const driver::RunMetrics& 
   EXPECT_EQ(a.refs_consumed, b.refs_consumed);
 }
 
-TEST(TraceTransparency, DisabledConfigMatchesNoRecorderAtAll) {
-  // Runner always wires a (disabled) recorder; the pre-Runner path passed
-  // nullptr. Both must produce the same run.
+TEST(TraceTransparency, DisabledConfigMatchesFreshContext) {
+  // Runner wires a (disabled) recorder through a RunContext it owns; a
+  // hand-built context must produce the same run.
   const driver::Scenario s = small_ampom().build();
-  const driver::RunMetrics with_null = driver::detail::run_scenario(s, nullptr);
+  driver::RunContext ctx{s, driver::RunContext::Options{.capture_log = true}};
+  const driver::RunMetrics with_own_ctx = driver::detail::run_scenario(s, ctx);
   const driver::RunMetrics with_disabled = driver::run_experiment(s);
-  expect_same_results(with_null, with_disabled);
+  expect_same_results(with_own_ctx, with_disabled);
 }
 
 TEST(TraceTransparency, EnablingTracingKeepsChaosRunBitIdentical) {
@@ -289,11 +291,20 @@ TEST(Runner, WriteTraceJsonRefusesWhenTracingOff) {
   EXPECT_FALSE(runner.write_trace_json("/tmp/ampom_should_not_exist.json"));
 }
 
-TEST(Runner, ScopedLogLevelIsRestored) {
-  const sim::LogLevel before = sim::Logger::instance().level();
-  driver::Runner runner{driver::Runner::Options{sim::LogLevel::Error}};
-  (void)runner.run(small_ampom().build());
-  EXPECT_EQ(sim::Logger::instance().level(), before);
+TEST(Runner, PerRunLogLevelAndCapture) {
+  // The log level is per run now, not a scoped mutation of global state:
+  // a verbose captured run and a quiet one can coexist in one process.
+  driver::Runner verbose{driver::Runner::Options{sim::LogLevel::Debug, /*capture_log=*/true}};
+  (void)verbose.run(small_ampom().build());
+  ASSERT_NE(verbose.context(), nullptr);
+  const std::string log = verbose.context()->captured_log();
+  EXPECT_NE(log.find("run start"), std::string::npos);
+  EXPECT_NE(log.find("run finished"), std::string::npos);
+
+  driver::Runner quiet{driver::Runner::Options{sim::LogLevel::Error, /*capture_log=*/true}};
+  (void)quiet.run(small_ampom().build());
+  ASSERT_NE(quiet.context(), nullptr);
+  EXPECT_TRUE(quiet.context()->captured_log().empty());
 }
 
 }  // namespace

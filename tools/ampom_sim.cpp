@@ -1,20 +1,26 @@
-// ampom_sim — command-line front end for single experiments.
+// ampom_sim — command-line front end for experiments.
 //
 //   ampom_sim --kernel=stream --memory-mib=129 --scheme=ampom
 //   ampom_sim --kernel=dgemm --memory-mib=575 --working-set-mib=115
 //   ampom_sim --kernel=randomaccess --memory-mib=65 --broadband --trace=500
 //   ampom_sim --kernel=stream --memory-mib=129 --trace-out=run.json
+//   ampom_sim --kernel=stream --memory-mib=33,65,129 --scheme=ampom,openmosix --jobs=4
 //
-// Prints the full metric set of one run; every AMPoM knob is exposed so the
-// tool doubles as an exploration harness for the ablation space.
+// One (kernel, size, scheme) cell prints the full metric set. Comma lists
+// in --memory-mib / --scheme sweep the cross product instead — run on a
+// --jobs-wide worker pool and summarized as one table, identical no matter
+// how many workers ran it.
 
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "driver/builder.hpp"
 #include "driver/runner.hpp"
+#include "driver/sweep_executor.hpp"
 #include "simcore/fmt.hpp"
+#include "stats/table.hpp"
 #include "workload/hpcc.hpp"
 
 namespace {
@@ -25,11 +31,13 @@ using namespace ampom;
   std::cout <<
       R"(usage: ampom_sim [options]
   --kernel=NAME          dgemm | stream | randomaccess | fft   (default stream)
-  --memory-mib=N         process size in MiB                   (default 129)
+  --memory-mib=N[,N...]  process size(s) in MiB                (default 129)
   --working-set-mib=N    DGEMM small-working-set variant (0 = full)
-  --scheme=NAME          openmosix | noprefetch | ampom | precopy | checkpoint
+  --scheme=NAME[,NAME...]openmosix | noprefetch | ampom | precopy | checkpoint
                          (default ampom)
   --seed=N               workload seed                         (default 1)
+  --jobs=N               worker threads for sweeps (comma lists); results
+                         are bit-identical to --jobs=1          (default 1)
 
   environment:
   --broadband            shape the migrant/home link to 6 Mb/s + 2 ms
@@ -41,7 +49,7 @@ using namespace ampom;
   AMPoM knobs:
   --lookback=N --dmax=N --zone-cap=N --min-zone=N --partitions=N --no-batch
 
-  output:
+  output (single run only):
   --trace=N              print every Nth dependent-zone analysis
   --trace-out=FILE       record a structured event trace and write it as
                          Chrome trace_event JSON (chrome://tracing, Perfetto)
@@ -77,16 +85,88 @@ bool parse_str(const std::string& arg, const char* key, std::string& out) {
   return true;
 }
 
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    if (comma == std::string::npos) {
+      items.push_back(value.substr(start));
+      break;
+    }
+    items.push_back(value.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return items;
+}
+
+driver::Scheme parse_scheme(const std::string& name) {
+  if (name == "openmosix") {
+    return driver::Scheme::OpenMosix;
+  }
+  if (name == "noprefetch") {
+    return driver::Scheme::NoPrefetch;
+  }
+  if (name == "ampom") {
+    return driver::Scheme::Ampom;
+  }
+  if (name == "precopy") {
+    return driver::Scheme::PreCopy;
+  }
+  if (name == "checkpoint") {
+    return driver::Scheme::Checkpoint;
+  }
+  std::cerr << "unknown scheme: " << name << "\n";
+  usage(2);
+}
+
+void print_single_run(const driver::RunMetrics& m) {
+  std::cout << "workload:               " << m.workload << " (" << m.memory_mib << " MiB, "
+            << m.page_count << " pages)\n"
+            << "scheme:                 " << m.scheme << "\n"
+            << "freeze time:            " << m.freeze_time.str() << "\n"
+            << "total time:             " << m.total_time.str() << "\n"
+            << "execution time:         " << m.exec_time.str() << "\n"
+            << "cpu time:               " << m.cpu_time.str() << "\n"
+            << "stall time:             " << m.stall_time.str() << "\n"
+            << "handler time:           " << m.handler_time.str() << "\n"
+            << "refs consumed:          " << m.refs_consumed << "\n"
+            << "hard faults:            " << m.hard_faults << "\n"
+            << "soft faults:            " << m.soft_faults << "\n"
+            << "in-flight waits:        " << m.inflight_waits << "\n"
+            << "fault requests:         " << m.remote_fault_requests << "\n"
+            << "prefetch pages issued:  " << m.prefetch_pages_issued << "\n"
+            << "pages arrived:          " << m.pages_arrived << "\n"
+            << "pages moved in freeze:  " << m.pages_migrated << "\n"
+            << "pages resent (precopy): " << m.pages_resent << "\n"
+            << "migration span:         " << m.migration_span.str() << "\n"
+            << "freeze bytes:           " << m.bytes_freeze << "\n"
+            << "paging bytes:           " << m.bytes_paging << "\n"
+            << "prevented faults:       "
+            << sim::strfmt("%.2f%%", m.prevented_fault_fraction() * 100.0) << "\n"
+            << "zone per fault:         " << sim::strfmt("%.1f", m.prefetched_per_fault()) << "\n"
+            << "fault latency us (p50/p95/max): "
+            << sim::strfmt("%.0f/%.0f/%.0f", m.fault_latency_p50_us, m.fault_latency_p95_us,
+                           m.fault_latency_max_us)
+            << "\n"
+            << "analysis overhead:      "
+            << sim::strfmt("%.3f%%", m.analysis_overhead_fraction() * 100.0) << "\n"
+            << "syscalls (local/redir): " << m.syscalls_local << "/" << m.syscalls_redirected
+            << "\n"
+            << "ledger intact:          " << (m.ledger_ok ? "yes" : "NO") << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string kernel_name = "stream";
-  std::string scheme_name = "ampom";
-  std::uint64_t memory_mib = 129;
+  std::string scheme_list = "ampom";
+  std::string memory_list = "129";
   std::uint64_t working_set_mib = 0;
   std::uint64_t trace_every = 0;
   std::uint64_t seed = 1;
   std::uint64_t ram_limit_pages = 0;
+  std::uint64_t jobs = 1;
   double background_load = 0.0;
   double background_traffic = 0.0;
   bool broadband = false;
@@ -101,12 +181,13 @@ int main(int argc, char** argv) {
     if (arg == "-h" || arg == "--help") {
       usage(0);
     } else if (parse_str(arg, "--kernel", kernel_name) ||
-               parse_str(arg, "--scheme", scheme_name) ||
+               parse_str(arg, "--scheme", scheme_list) ||
+               parse_str(arg, "--memory-mib", memory_list) ||
                parse_str(arg, "--trace-out", trace_out)) {
-    } else if (parse_u64(arg, "--memory-mib", memory_mib) ||
-               parse_u64(arg, "--working-set-mib", working_set_mib) ||
+    } else if (parse_u64(arg, "--working-set-mib", working_set_mib) ||
                parse_u64(arg, "--seed", seed) ||
                parse_u64(arg, "--ram-limit-pages", ram_limit_pages) ||
+               parse_u64(arg, "--jobs", jobs) ||
                parse_u64(arg, "--trace", trace_every)) {
     } else if (parse_u64(arg, "--lookback", u)) {
       ampom.lookback_length = u;
@@ -148,53 +229,93 @@ int main(int argc, char** argv) {
     usage(2);
   }
 
-  driver::ScenarioBuilder builder;
-  if (scheme_name == "openmosix") {
-    builder.scheme(driver::Scheme::OpenMosix);
-  } else if (scheme_name == "noprefetch") {
-    builder.scheme(driver::Scheme::NoPrefetch);
-  } else if (scheme_name == "ampom") {
-    builder.scheme(driver::Scheme::Ampom);
-  } else if (scheme_name == "precopy") {
-    builder.scheme(driver::Scheme::PreCopy);
-  } else if (scheme_name == "checkpoint") {
-    builder.scheme(driver::Scheme::Checkpoint);
-  } else {
-    std::cerr << "unknown scheme: " << scheme_name << "\n";
-    usage(2);
+  std::vector<driver::Scheme> schemes;
+  for (const std::string& name : split_list(scheme_list)) {
+    schemes.push_back(parse_scheme(name));
+  }
+  std::vector<std::uint64_t> sizes;
+  for (const std::string& value : split_list(memory_list)) {
+    sizes.push_back(std::stoull(value));
   }
 
-  if (working_set_mib != 0) {
-    if (kernel != workload::HpccKernel::Dgemm) {
-      std::cerr << "--working-set-mib requires --kernel=dgemm\n";
+  if (working_set_mib != 0 && kernel != workload::HpccKernel::Dgemm) {
+    std::cerr << "--working-set-mib requires --kernel=dgemm\n";
+    return 2;
+  }
+
+  // One builder recipe shared by the single-run and sweep paths.
+  auto make_builder = [&](std::uint64_t memory_mib, driver::Scheme scheme) {
+    driver::ScenarioBuilder builder;
+    builder.scheme(scheme);
+    if (working_set_mib != 0) {
+      builder.workload(workload::hpcc_kernel_name(kernel),
+                       [memory_mib, working_set_mib] {
+                         return workload::make_small_ws_dgemm(memory_mib, working_set_mib);
+                       },
+                       memory_mib);
+    } else {
+      builder.workload(workload::hpcc_kernel_name(kernel),
+                       [kernel, memory_mib, seed] {
+                         return workload::make_hpcc_kernel(kernel, memory_mib, seed);
+                       },
+                       memory_mib);
+    }
+    builder.seed(seed)
+        .ampom_config(ampom)
+        .dest_background_load(background_load)
+        .background_traffic(background_traffic)
+        .ram_limit_pages(ram_limit_pages)
+        .home_dependency(home_dependency);
+    if (broadband) {
+      builder.shaped_link(driver::broadband_link());
+    }
+    return builder;
+  };
+
+  const bool sweep = schemes.size() > 1 || sizes.size() > 1;
+  if (sweep) {
+    if (!trace_out.empty() || trace_every > 0) {
+      std::cerr << "--trace/--trace-out apply to a single run, not a sweep\n";
       return 2;
     }
-    builder.workload(workload::hpcc_kernel_name(kernel),
-                     [memory_mib, working_set_mib] {
-                       return workload::make_small_ws_dgemm(memory_mib, working_set_mib);
-                     },
-                     memory_mib);
-  } else {
-    builder.workload(workload::hpcc_kernel_name(kernel),
-                     [kernel, memory_mib, seed] {
-                       return workload::make_hpcc_kernel(kernel, memory_mib, seed);
-                     },
-                     memory_mib);
+    std::vector<driver::SweepExecutor::ScenarioFactory> cases;
+    for (const std::uint64_t mib : sizes) {
+      for (const driver::Scheme scheme : schemes) {
+        cases.push_back([&make_builder, mib, scheme] { return make_builder(mib, scheme).build(); });
+      }
+    }
+    driver::SweepExecutor pool{{.jobs = jobs == 0 ? 0 : jobs}};
+    const auto outcomes = pool.run_all(cases);
+
+    stats::Table table{std::string("Sweep: ") + workload::hpcc_kernel_name(kernel),
+                       {"size (MB)", "scheme", "freeze", "total (s)", "fault reqs",
+                        "prevented", "zone/fault"}};
+    bool failed = false;
+    for (const auto& outcome : outcomes) {
+      if (!outcome.ok()) {
+        failed = true;
+        try {
+          std::rethrow_exception(outcome.error);
+        } catch (const std::exception& e) {
+          std::cerr << "case failed: " << e.what() << "\n";
+        }
+        continue;
+      }
+      const driver::RunMetrics& m = outcome.metrics;
+      table.add_row({stats::Table::integer(m.memory_mib), m.scheme, m.freeze_time.str(),
+                     stats::Table::num(m.total_time.sec(), 2),
+                     stats::Table::integer(m.remote_fault_requests),
+                     stats::Table::percent(m.prevented_fault_fraction()),
+                     stats::Table::num(m.prefetched_per_fault(), 1)});
+    }
+    table.print(std::cout);
+    return failed ? 1 : 0;
   }
 
-  builder.seed(seed)
-      .ampom_config(ampom)
-      .dest_background_load(background_load)
-      .background_traffic(background_traffic)
-      .ram_limit_pages(ram_limit_pages)
-      .home_dependency(home_dependency);
-  if (broadband) {
-    builder.shaped_link(driver::broadband_link());
-  }
+  driver::ScenarioBuilder builder = make_builder(sizes.front(), schemes.front());
   if (!trace_out.empty()) {
     builder.tracing();
   }
-
   if (trace_every > 0) {
     std::uint64_t count = 0;
     builder.ampom_trace([trace_every, count](const core::ZoneInputs& in, std::uint64_t n,
@@ -220,40 +341,7 @@ int main(int argc, char** argv) {
 
   driver::Runner runner;
   const driver::RunMetrics m = runner.run(s);
-
-  std::cout << "workload:               " << m.workload << " (" << m.memory_mib << " MiB, "
-            << m.page_count << " pages)\n"
-            << "scheme:                 " << m.scheme << "\n"
-            << "freeze time:            " << m.freeze_time.str() << "\n"
-            << "total time:             " << m.total_time.str() << "\n"
-            << "execution time:         " << m.exec_time.str() << "\n"
-            << "cpu time:               " << m.cpu_time.str() << "\n"
-            << "stall time:             " << m.stall_time.str() << "\n"
-            << "handler time:           " << m.handler_time.str() << "\n"
-            << "refs consumed:          " << m.refs_consumed << "\n"
-            << "hard faults:            " << m.hard_faults << "\n"
-            << "soft faults:            " << m.soft_faults << "\n"
-            << "in-flight waits:        " << m.inflight_waits << "\n"
-            << "fault requests:         " << m.remote_fault_requests << "\n"
-            << "prefetch pages issued:  " << m.prefetch_pages_issued << "\n"
-            << "pages arrived:          " << m.pages_arrived << "\n"
-            << "pages moved in freeze:  " << m.pages_migrated << "\n"
-            << "pages resent (precopy): " << m.pages_resent << "\n"
-            << "migration span:         " << m.migration_span.str() << "\n"
-            << "freeze bytes:           " << m.bytes_freeze << "\n"
-            << "paging bytes:           " << m.bytes_paging << "\n"
-            << "prevented faults:       " << sim::strfmt("%.2f%%", m.prevented_fault_fraction() * 100.0)
-            << "\n"
-            << "zone per fault:         " << sim::strfmt("%.1f", m.prefetched_per_fault()) << "\n"
-            << "fault latency us (p50/p95/max): "
-            << sim::strfmt("%.0f/%.0f/%.0f", m.fault_latency_p50_us, m.fault_latency_p95_us,
-                           m.fault_latency_max_us)
-            << "\n"
-            << "analysis overhead:      "
-            << sim::strfmt("%.3f%%", m.analysis_overhead_fraction() * 100.0) << "\n"
-            << "syscalls (local/redir): " << m.syscalls_local << "/" << m.syscalls_redirected
-            << "\n"
-            << "ledger intact:          " << (m.ledger_ok ? "yes" : "NO") << "\n";
+  print_single_run(m);
 
   if (!trace_out.empty()) {
     if (!runner.write_trace_json(trace_out)) {
