@@ -28,8 +28,10 @@ Timed time_scenario(const driver::Scenario& s, int reps) {
   Timed t;
   for (int i = 0; i < reps; ++i) {
     driver::Runner runner;
+    // ampom-lint: nondet-ok(wall-clock overhead is the quantity this bench measures)
     const auto begin = std::chrono::steady_clock::now();
     t.metrics = runner.run(s);
+    // ampom-lint: nondet-ok(wall-clock overhead is the quantity this bench measures)
     const auto end = std::chrono::steady_clock::now();
     const double ms =
         std::chrono::duration<double, std::milli>(end - begin).count();

@@ -1,0 +1,43 @@
+# Sanitizer presets: configure with -DAMPOM_SANITIZE=<list>, where <list> is
+# a comma- or semicolon-separated subset of {address, undefined, leak,
+# thread}. address/undefined/leak compose; thread excludes the others.
+#
+#   cmake -B build-asan -S . -DAMPOM_SANITIZE=address,undefined
+#   cmake -B build-tsan -S . -DAMPOM_SANITIZE=thread
+#
+# Flags are applied globally (compile + link) so every target — libraries,
+# tests, benches, tools — runs instrumented; UBSan is configured
+# no-recover so ctest fails on the first report.
+
+if(NOT AMPOM_SANITIZE)
+  return()
+endif()
+
+string(REPLACE "," ";" _ampom_san_requested "${AMPOM_SANITIZE}")
+set(_ampom_san_list "")
+foreach(_san IN LISTS _ampom_san_requested)
+  string(TOLOWER "${_san}" _san)
+  string(STRIP "${_san}" _san)
+  if(NOT _san MATCHES "^(address|undefined|leak|thread)$")
+    message(FATAL_ERROR
+      "AMPOM_SANITIZE: unknown sanitizer '${_san}' "
+      "(expected address, undefined, leak, or thread)")
+  endif()
+  list(APPEND _ampom_san_list "${_san}")
+endforeach()
+list(REMOVE_DUPLICATES _ampom_san_list)
+
+if("thread" IN_LIST _ampom_san_list AND NOT _ampom_san_list STREQUAL "thread")
+  message(FATAL_ERROR
+    "AMPOM_SANITIZE: 'thread' cannot be combined with address/leak/undefined")
+endif()
+
+list(JOIN _ampom_san_list "," _ampom_san_joined)
+set(_ampom_san_flags -fsanitize=${_ampom_san_joined} -fno-omit-frame-pointer -g)
+if("undefined" IN_LIST _ampom_san_list)
+  list(APPEND _ampom_san_flags -fno-sanitize-recover=all)
+endif()
+
+message(STATUS "AMPoM sanitizers enabled: ${_ampom_san_joined}")
+add_compile_options(${_ampom_san_flags})
+add_link_options(${_ampom_san_flags})

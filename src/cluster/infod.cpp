@@ -148,8 +148,8 @@ void InfoDaemon::on_ack(net::NodeId src, const net::LoadAck& ack) {
     peer.rtt_ewma = rtt;
     peer.measured = true;
   } else {
-    // EWMA with alpha = 0.3, computed in integer nanoseconds.
-    peer.rtt_ewma = sim::Time::from_ns((peer.rtt_ewma.ns() * 7 + rtt.ns() * 3) / 10);
+    // EWMA with alpha = 0.3; Time's integer operators keep it exact.
+    peer.rtt_ewma = (peer.rtt_ewma * 7 + rtt * 3) / 10;
   }
 }
 

@@ -28,6 +28,7 @@ std::vector<mem::PageId> select_zone(const LookbackWindow& window,
     return zone;
   }
   zone.reserve(zone_pages);
+  // ampom-lint: ordered-safe(membership test only; zone order comes from the stream walk below)
   std::unordered_set<mem::PageId> chosen;
   chosen.reserve(zone_pages * 2);
 

@@ -1,5 +1,6 @@
 #include "migration/precopy.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <unordered_set>
@@ -11,8 +12,23 @@ namespace ampom::migration {
 
 namespace {
 
-// Shared state of one pre-copy run; kept alive by the event closures.
-struct PreCopyRun {
+// Extract the dirty set in page order. The copy rounds only ever consume
+// counts and byte totals, but keeping the extraction sorted means any future
+// per-page consumer (tracing, chunk checksums) inherits a deterministic
+// order for free instead of the set's hash order.
+[[nodiscard]] std::vector<mem::PageId> sorted_pages(
+    const std::unordered_set<mem::PageId>& pages) {  // ampom-lint: ordered-safe(sorted below)
+  std::vector<mem::PageId> out(pages.begin(), pages.end());  // ampom-lint: ordered-safe(sorted below)
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Shared state of one pre-copy run. Ownership rides the event closures:
+// every callback scheduled on the simulator captures a shared_ptr to the
+// run, so it lives exactly as long as some continuation is pending — even
+// when the simulation halts early with events still queued (a self-owning
+// cycle here leaked in that case; LeakSanitizer caught it).
+struct PreCopyRun : std::enable_shared_from_this<PreCopyRun> {
   PreCopyRun(MigrationContext context, PreCopyEngine::Config configuration,
              std::function<void(MigrationResult)> done_cb)
       : ctx{std::move(context)}, config{configuration}, done{std::move(done_cb)} {}
@@ -21,11 +37,9 @@ struct PreCopyRun {
   PreCopyEngine::Config config;
   std::function<void(MigrationResult)> done;
   MigrationResult result;
+  // ampom-lint: ordered-safe(only iterated via sorted_pages(); O(1) insert on the touch path)
   std::unordered_set<mem::PageId> redirtied;
   std::uint64_t rounds_run{0};
-  // Keeps the run alive across its event closures (which capture `this`);
-  // released when the migration completes or aborts.
-  std::shared_ptr<PreCopyRun> self;
 
   [[nodiscard]] sim::Time pack_time_per_page() const {
     return ctx.src_costs.pack_page.scaled(1.0 / ctx.src_costs.cpu_speed);
@@ -54,11 +68,12 @@ struct PreCopyRun {
       const bool last = first + count >= total;
       const sim::Bytes bytes = count * ctx.wire.page_message_bytes();
       result.bytes_transferred += bytes;
-      ctx.sim.schedule_at(pack_done, [this, bytes, count, last, final_round, self_complete] {
-        const sim::Time arrival = ctx.fabric.send(net::Message{
-            ctx.src, ctx.dst, bytes,
-            net::MigrationChunk{ctx.process.pid(), net::MigrationChunk::Kind::DirtyPages, count,
-                                last && final_round}});
+      ctx.sim.schedule_at(pack_done, [self = shared_from_this(), bytes, count, last,
+                                      final_round, self_complete] {
+        const sim::Time arrival = self->ctx.fabric.send(net::Message{
+            self->ctx.src, self->ctx.dst, bytes,
+            net::MigrationChunk{self->ctx.process.pid(), net::MigrationChunk::Kind::DirtyPages,
+                                count, last && final_round}});
         if (last) {
           (*self_complete)(arrival);
         }
@@ -74,8 +89,9 @@ struct PreCopyRun {
                          ctx.process.pid(), rounds_run, to_copy.size());
     }
     stream_pages(std::move(to_copy), ctx.sim.now(), /*final_round=*/false,
-                 [this](sim::Time last_arrival) {
-                   ctx.sim.schedule_at(last_arrival, [this] { next_round_or_freeze(); });
+                 [self = shared_from_this()](sim::Time last_arrival) {
+                   self->ctx.sim.schedule_at(last_arrival,
+                                             [self] { self->next_round_or_freeze(); });
                  });
   }
 
@@ -83,18 +99,18 @@ struct PreCopyRun {
     const auto threshold = static_cast<double>(ctx.process.aspace().page_count()) *
                            config.stop_fraction;
     if (ctx.process.state() == proc::ProcState::Finished) {
-      // The process outran the migration; abort.
+      // The process outran the migration; abort. Dropping the last
+      // continuation releases the run.
       ctx.executor.set_touch_observer(nullptr);
-      self.reset();
       return;
     }
     if (rounds_run < config.max_rounds &&
         static_cast<double>(redirtied.size()) > threshold) {
-      run_round(std::vector<mem::PageId>(redirtied.begin(), redirtied.end()));
+      run_round(sorted_pages(redirtied));
       return;
     }
     // Converged (or out of rounds): stop-and-copy the residue.
-    ctx.executor.request_freeze([this] { final_round(); });
+    ctx.executor.request_freeze([self = shared_from_this()] { self->final_round(); });
   }
 
   void final_round() {
@@ -107,19 +123,21 @@ struct PreCopyRun {
                          ctx.process.pid(), redirtied.size());
     }
 
-    std::vector<mem::PageId> residue(redirtied.begin(), redirtied.end());
+    std::vector<mem::PageId> residue = sorted_pages(redirtied);
     const sim::Time setup = ctx.src_costs.freeze_setup.scaled(1.0 / ctx.src_costs.cpu_speed);
     result.bytes_transferred += ctx.wire.pcb_bytes;
-    ctx.sim.schedule_at(ctx.sim.now() + setup, [this] {
-      ctx.fabric.send(net::Message{
-          ctx.src, ctx.dst, ctx.wire.pcb_bytes,
-          net::MigrationChunk{ctx.process.pid(), net::MigrationChunk::Kind::Pcb, 1, false}});
+    ctx.sim.schedule_at(ctx.sim.now() + setup, [self = shared_from_this()] {
+      self->ctx.fabric.send(net::Message{
+          self->ctx.src, self->ctx.dst, self->ctx.wire.pcb_bytes,
+          net::MigrationChunk{self->ctx.process.pid(), net::MigrationChunk::Kind::Pcb, 1,
+                              false}});
     });
     stream_pages(std::move(residue), ctx.sim.now() + setup, /*final_round=*/true,
-                 [this](sim::Time last_arrival) {
-                   const sim::Time restore =
-                       ctx.dst_costs.restore_setup.scaled(1.0 / ctx.dst_costs.cpu_speed);
-                   ctx.sim.schedule_at(last_arrival + restore, [this] { complete(); });
+                 [self = shared_from_this()](sim::Time last_arrival) {
+                   const sim::Time restore = self->ctx.dst_costs.restore_setup.scaled(
+                       1.0 / self->ctx.dst_costs.cpu_speed);
+                   self->ctx.sim.schedule_at(last_arrival + restore,
+                                             [self] { self->complete(); });
                  });
   }
 
@@ -138,7 +156,8 @@ struct PreCopyRun {
     result.pages_transferred = moved;
     result.resume_at = ctx.sim.now();
     MigrationEngine::finish_resume(ctx, result, done);
-    self.reset();  // may destroy this; nothing below
+    // The closure firing this was the last shared owner; the run is
+    // destroyed when it unwinds.
   }
 };
 
@@ -155,11 +174,10 @@ PreCopyEngine::PreCopyEngine(Config config) : config_{config} {
 
 void PreCopyEngine::execute(MigrationContext ctx, std::function<void(MigrationResult)> done) {
   auto run = std::make_shared<PreCopyRun>(std::move(ctx), config_, std::move(done));
-  run->self = run;
   run->result.initiated_at = run->ctx.sim.now();
 
   // Track pages the still-running process touches (they need re-copying).
-  // Captures a weak reference: the run owns itself via `self`.
+  // Captures a weak reference: liveness belongs to the event closures.
   run->ctx.executor.set_touch_observer(
       [weak = std::weak_ptr<PreCopyRun>(run)](mem::PageId page) {
         if (const auto strong = weak.lock()) {
@@ -169,10 +187,10 @@ void PreCopyEngine::execute(MigrationContext ctx, std::function<void(MigrationRe
         }
       });
 
-  // Round 1 copies the entire current local set.
+  // Round 1 copies the entire current local set. The closures it schedules
+  // hold shared ownership; when the simulator drops them — fired or
+  // discarded at teardown — the run goes with them.
   run->run_round(run->ctx.process.aspace().pages_in_state(mem::PageState::Local));
-  // Keep the run alive until completion: the closures above hold shared
-  // ownership; nothing else to do here.
 }
 
 }  // namespace ampom::migration

@@ -142,6 +142,7 @@ class Executor {
   // RAM-limit LRU (active only when ram_limit_pages_ > 0).
   std::uint64_t ram_limit_pages_{0};
   std::list<mem::PageId> lru_;  // front = most recent
+  // ampom-lint: ordered-safe(lookup index only; eviction order is the std::list, never this map)
   std::unordered_map<mem::PageId, std::list<mem::PageId>::iterator> lru_pos_;
 };
 

@@ -26,8 +26,10 @@ namespace {
 }
 }  // namespace
 
+// ampom-lint: raw-io-ok(the Logger itself owns the default stderr sink)
 Logger::Logger() : sink_{&std::cerr} {}
 
+// ampom-lint: raw-io-ok(the Logger itself owns the default stderr sink)
 Logger::Logger(LogLevel level) : level_{level}, sink_{&std::cerr} {}
 
 Logger::Logger(LogLevel level, std::ostream* sink) : level_{level}, sink_{sink} {}

@@ -85,6 +85,7 @@ class Simulator {
   void fire_probe();
 
   std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  // ampom-lint: ordered-safe(membership test only; firing order is the seq-tiebroken heap)
   std::unordered_set<std::uint64_t> live_;  // pending, not-cancelled event seqs
   Time now_{Time::zero()};
   std::uint64_t next_seq_{1};

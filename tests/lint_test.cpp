@@ -1,0 +1,361 @@
+// ampom_lint rule engine: every determinism rule D1–D5 has a positive case
+// (fires at the expected line), a negative case (idiomatic code stays
+// clean), and a suppression case (a well-formed annotation silences it).
+// The JSON report schema is pinned so CI consumers can rely on it.
+//
+// Snippets are fed through lint_source() with a synthetic path whose first
+// segment selects the rule scope, exactly as the CLI does.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ampom_lint/lint.hpp"
+
+namespace {
+
+using ampom::lint::Diagnostic;
+using ampom::lint::lint_source;
+using ampom::lint::Report;
+using ampom::lint::Severity;
+
+std::vector<Diagnostic> run(const std::string& path, const std::string& src) {
+  return lint_source(path, src);
+}
+
+// Count diagnostics for `rule`; line < 0 matches any line.
+int count_rule(const std::vector<Diagnostic>& diags, const std::string& rule,
+               int line = -1) {
+  int n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.rule == rule && (line < 0 || d.line == line)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// --- D1: nondeterminism sources --------------------------------------------
+
+TEST(LintD1, FlagsWallClocksAndUnseededRngs) {
+  const auto diags = run("src/x/clock_user.cpp", R"lint(
+#include <chrono>
+void f() {
+  auto t = std::chrono::steady_clock::now();
+  auto u = std::chrono::system_clock::now();
+  std::random_device rd;
+}
+)lint");
+  EXPECT_EQ(count_rule(diags, "D1-nondet-source", 4), 1);
+  EXPECT_EQ(count_rule(diags, "D1-nondet-source", 5), 1);
+  EXPECT_EQ(count_rule(diags, "D1-nondet-source", 6), 1);
+}
+
+TEST(LintD1, FlagsCTimeAndGetenvCalls) {
+  const auto diags = run("src/x/ctime_user.cpp", R"lint(
+void f() {
+  auto t = std::time(nullptr);
+  srand(42);
+  int r = rand();
+  const char* home = getenv("HOME");
+}
+)lint");
+  EXPECT_EQ(count_rule(diags, "D1-nondet-source", 3), 1);
+  EXPECT_EQ(count_rule(diags, "D1-nondet-source", 4), 1);
+  EXPECT_EQ(count_rule(diags, "D1-nondet-source", 5), 1);
+  EXPECT_EQ(count_rule(diags, "D1-nondet-source", 6), 1);
+}
+
+TEST(LintD1, SeededRngAndTimeTypedIdentifiersAreClean) {
+  const auto diags = run("src/x/rng_user.cpp", R"lint(
+#include "simcore/rng.hpp"
+#include "simcore/time.hpp"
+void f(ampom::sim::Rng& rng) {
+  auto draw = rng.uniform(10);
+  ampom::sim::Time time(ampom::sim::Time::zero());
+  auto frozen = freeze_time(time);
+}
+)lint");
+  EXPECT_EQ(count_rule(diags, "D1-nondet-source"), 0);
+}
+
+TEST(LintD1, AnnotationSuppresses) {
+  const auto diags = run("bench/wallclock_bench.cpp", R"lint(
+void f() {
+  // ampom-lint: nondet-ok(measures wall-clock overhead on purpose)
+  auto t = std::chrono::steady_clock::now();
+}
+)lint");
+  EXPECT_EQ(count_rule(diags, "D1-nondet-source"), 0);
+}
+
+// --- D2: unordered container iteration -------------------------------------
+
+TEST(LintD2, FlagsDeclarationAndIterationSites) {
+  const auto diags = run("src/x/hashy.cpp", R"lint(
+#include <unordered_map>
+struct S {
+  std::unordered_map<int, int> scores;
+  int sum() {
+    int total = 0;
+    for (const auto& kv : scores) {
+      total += kv.second;
+    }
+    return total;
+  }
+  auto first() { return scores.begin(); }
+};
+)lint");
+  EXPECT_EQ(count_rule(diags, "D2-unordered-iter", 4), 1);   // declaration
+  EXPECT_EQ(count_rule(diags, "D2-unordered-iter", 7), 1);   // range-for
+  EXPECT_EQ(count_rule(diags, "D2-unordered-iter", 12), 1);  // .begin()
+}
+
+TEST(LintD2, OrderedContainersAndIncludesAreClean) {
+  const auto diags = run("src/x/ordered.cpp", R"lint(
+#include <unordered_map>
+#include <map>
+#include <vector>
+void f() {
+  std::map<int, int> m;
+  std::vector<int> v;
+  for (const auto& kv : m) {
+    v.push_back(kv.first);
+  }
+}
+)lint");
+  EXPECT_EQ(count_rule(diags, "D2-unordered-iter"), 0);
+}
+
+TEST(LintD2, AnnotationSuppressesDeclarationButNotIteration) {
+  const auto diags = run("src/x/annotated.cpp", R"lint(
+#include <unordered_set>
+struct S {
+  // ampom-lint: ordered-safe(membership test only)
+  std::unordered_set<int> seen;
+  bool drain() {
+    for (int v : seen) {
+      use(v);
+    }
+    return true;
+  }
+};
+)lint");
+  EXPECT_EQ(count_rule(diags, "D2-unordered-iter", 5), 0);
+  EXPECT_EQ(count_rule(diags, "D2-unordered-iter", 7), 1);
+}
+
+TEST(LintD2, TestsAreExemptBenchIsNot) {
+  const std::string snippet = R"lint(
+#include <unordered_set>
+void f() {
+  std::unordered_set<int> s;
+}
+)lint";
+  EXPECT_EQ(count_rule(run("tests/foo_test.cpp", snippet), "D2-unordered-iter"), 0);
+  EXPECT_EQ(count_rule(run("bench/foo_bench.cpp", snippet), "D2-unordered-iter"), 1);
+}
+
+// --- D3: mutable statics and singletons ------------------------------------
+
+TEST(LintD3, FlagsMutableStaticsAndInstanceAccessors) {
+  const auto diags = run("src/x/singleton.cpp", R"lint(
+struct Logger {
+  static Logger& instance();
+};
+static int call_count = 0;
+void f() {
+  static bool warned{false};
+  Logger::instance();
+}
+)lint");
+  EXPECT_EQ(count_rule(diags, "D3-mutable-static", 3), 1);  // instance() decl
+  EXPECT_EQ(count_rule(diags, "D3-mutable-static", 5), 1);  // namespace static
+  EXPECT_EQ(count_rule(diags, "D3-mutable-static", 7), 1);  // function-local static
+  EXPECT_EQ(count_rule(diags, "D3-mutable-static", 8), 1);  // instance() call
+}
+
+TEST(LintD3, ImmutableStaticsAndStaticFunctionsAreClean) {
+  const auto diags = run("src/x/static_ok.cpp", R"lint(
+struct Time {
+  static constexpr int kTicks = 7;
+  static Time zero() { return Time{}; }
+  [[nodiscard]] static std::string render(double v, int precision = 3);
+};
+static const char* kName = "ampom";
+static void helper(int x);
+int g(long v) { return static_cast<int>(v); }
+)lint");
+  EXPECT_EQ(count_rule(diags, "D3-mutable-static"), 0);
+}
+
+TEST(LintD3, AnnotationSuppresses) {
+  const auto diags = run("src/x/annotated_static.cpp", R"lint(
+// ampom-lint: static-ok(write-once table built before any worker starts)
+static int lookup_table[256] = {};
+)lint");
+  EXPECT_EQ(count_rule(diags, "D3-mutable-static"), 0);
+}
+
+// --- D4: raw I/O in library code -------------------------------------------
+
+TEST(LintD4, FlagsStreamsAndPrintfInSrc) {
+  const auto diags = run("src/x/chatty.cpp", R"lint(
+#include <cstdio>
+#include <iostream>
+void f() {
+  std::cout << "hello";
+  std::cerr << "oops";
+  printf("%d", 42);
+}
+)lint");
+  EXPECT_EQ(count_rule(diags, "D4-raw-io", 5), 1);
+  EXPECT_EQ(count_rule(diags, "D4-raw-io", 6), 1);
+  EXPECT_EQ(count_rule(diags, "D4-raw-io", 7), 1);
+}
+
+TEST(LintD4, AmpomLogAndNonSrcRootsAreClean) {
+  const auto clean = run("src/x/quiet.cpp", R"lint(
+void f(ampom::sim::Logger& log) {
+  AMPOM_LOG(log, LogLevel::Info, now, "exec", "resumed pid=%d", 7);
+  std::string sprintf_name = "not_a_call";
+}
+)lint");
+  EXPECT_EQ(count_rule(clean, "D4-raw-io"), 0);
+  const auto bench = run("bench/report.cpp", R"lint(
+#include <iostream>
+int main() { std::cout << "csv goes to stdout by design\n"; }
+)lint");
+  EXPECT_EQ(count_rule(bench, "D4-raw-io"), 0);
+}
+
+TEST(LintD4, FormatAttributeIsNotACall) {
+  const auto diags = run("src/x/fmt.hpp", R"lint(
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+)lint");
+  EXPECT_EQ(count_rule(diags, "D4-raw-io"), 0);
+}
+
+// --- D5: raw sim-time tick arithmetic --------------------------------------
+
+TEST(LintD5, FlagsTickRoundTripsAndUnitNamedIntegers) {
+  const auto diags = run("src/x/ticks.cpp", R"lint(
+void f(ampom::sim::Time a, ampom::sim::Time b) {
+  auto ewma = ampom::sim::Time::from_ns((a.ns() * 7 + b.ns() * 3) / 10);
+  std::int64_t timeout_ms = 250;
+  uint64_t lag_us = 3;
+}
+)lint");
+  EXPECT_EQ(count_rule(diags, "D5-raw-ticks", 3), 1);
+  EXPECT_EQ(count_rule(diags, "D5-raw-ticks", 4), 1);
+  EXPECT_EQ(count_rule(diags, "D5-raw-ticks", 5), 1);
+}
+
+TEST(LintD5, TypedTimeArithmeticIsClean) {
+  const auto diags = run("src/x/typed_ticks.cpp", R"lint(
+void f(ampom::sim::Time a, ampom::sim::Time b) {
+  auto ewma = (a * 7 + b * 3) / 10;
+  auto plain = ampom::sim::Time::from_ms(250);
+  double window_sec = a.sec();
+  const std::int64_t ns = a.ns();
+}
+)lint");
+  EXPECT_EQ(count_rule(diags, "D5-raw-ticks"), 0);
+}
+
+TEST(LintD5, WarningSeverityAndSuppression) {
+  const auto diags = run("src/x/ticks2.cpp", R"lint(
+void f() {
+  // ampom-lint: raw-ticks-ok(interop with the kernel ABI struct)
+  std::int64_t deadline_ns = 5;
+}
+)lint");
+  EXPECT_EQ(count_rule(diags, "D5-raw-ticks"), 0);
+
+  const auto fired = run("src/x/ticks3.cpp", "void f() { std::int64_t lag_ns = 5; }");
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].severity, Severity::Warning);
+}
+
+// --- annotations, comments, strings ----------------------------------------
+
+TEST(LintAnnotations, MalformedAnnotationIsAViolation) {
+  const auto no_reason = run("src/x/bad1.cpp", R"lint(
+// ampom-lint: ordered-safe()
+)lint");
+  EXPECT_EQ(count_rule(no_reason, "A0-bad-annotation", 2), 1);
+  const auto no_tag = run("src/x/bad2.cpp", R"lint(
+// ampom-lint:
+)lint");
+  EXPECT_EQ(count_rule(no_tag, "A0-bad-annotation", 2), 1);
+}
+
+TEST(LintAnnotations, WrongTagDoesNotSuppress) {
+  const auto diags = run("src/x/wrong_tag.cpp", R"lint(
+// ampom-lint: nondet-ok(not the tag this rule wants)
+static int counter = 0;
+)lint");
+  EXPECT_EQ(count_rule(diags, "D3-mutable-static", 3), 1);
+}
+
+TEST(LintLexer, CommentsAndStringsNeverTrigger) {
+  const auto diags = run("src/x/benign.cpp", R"lint(
+// rand() and std::cout in a comment are fine
+/* so is getenv("HOME") in a block comment,
+   and std::unordered_map<int,int> too */
+const char* doc = "call rand() then print via std::cout";
+)lint");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- report rendering -------------------------------------------------------
+
+TEST(LintReport, JsonSchemaIsStable) {
+  Report report;
+  report.files_scanned = 2;
+  report.diagnostics = run("src/x/one.cpp", "static int hits = 0;");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  const std::string json = ampom::lint::render_json(report);
+  EXPECT_NE(json.find("\"tool\":\"ampom_lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\":{\"error\":1,\"warning\":0}"), std::string::npos);
+  EXPECT_NE(json.find("\"file\":\"src/x/one.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"D3-mutable-static\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"suppression\":\"static-ok\""), std::string::npos);
+}
+
+TEST(LintReport, CleanTreeRendersEmptyViolations) {
+  Report report;
+  report.files_scanned = 5;
+  const std::string json = ampom::lint::render_json(report);
+  EXPECT_NE(json.find("\"violations\":[]"), std::string::npos);
+  const std::string text = ampom::lint::render_text(report);
+  EXPECT_NE(text.find("5 files, 0 error(s), 0 warning(s)"), std::string::npos);
+}
+
+TEST(LintReport, TextNamesTheSuppressionTag) {
+  Report report;
+  report.files_scanned = 1;
+  report.diagnostics = run("src/x/one.cpp", "static int hits = 0;");
+  const std::string text = ampom::lint::render_text(report);
+  EXPECT_NE(text.find("src/x/one.cpp:1: error: [D3-mutable-static]"), std::string::npos);
+  EXPECT_NE(text.find("static-ok(<reason>)"), std::string::npos);
+}
+
+// One finding per line+rule even when begin() and end() share the line.
+TEST(LintReport, DuplicateFindingsOnOneLineCollapse) {
+  const auto diags = run("src/x/dup.cpp", R"lint(
+#include <unordered_set>
+void f() {
+  std::unordered_set<int> s;
+  std::vector<int> v(s.begin(), s.end());
+}
+)lint");
+  EXPECT_EQ(count_rule(diags, "D2-unordered-iter", 5), 1);
+}
+
+}  // namespace

@@ -1,0 +1,694 @@
+#include "ampom_lint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+namespace ampom::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer: strips comments, string/char literals and preprocessor directives,
+// keeps identifier/punctuation tokens with line numbers, and records
+// `ampom-lint: tag(reason)` annotations found inside comments.
+// ---------------------------------------------------------------------------
+
+enum class TokKind { Ident, Punct, Number };
+
+struct Token {
+  std::string text;
+  int line{0};
+  TokKind kind{TokKind::Punct};
+};
+
+struct Annotation {
+  int line{0};
+  std::string tag;
+  bool well_formed{false};  // tag present and reason non-empty
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  std::vector<Annotation> annotations;
+};
+
+[[nodiscard]] bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+[[nodiscard]] bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
+[[nodiscard]] bool digit(char c) { return c >= '0' && c <= '9'; }
+
+// Parse every annotation marker in a comment body. (The marker string is
+// spelled split so this function's own sources never register as one.)
+void parse_annotations(std::string_view comment, int line, std::vector<Annotation>& out) {
+  constexpr std::string_view kMarker = "ampom-lint:";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kMarker, pos)) != std::string_view::npos) {
+    std::size_t i = pos + kMarker.size();
+    while (i < comment.size() && comment[i] == ' ') {
+      ++i;
+    }
+    std::size_t tag_begin = i;
+    while (i < comment.size() && (ident_char(comment[i]) || comment[i] == '-')) {
+      ++i;
+    }
+    Annotation ann;
+    ann.line = line;
+    ann.tag = std::string(comment.substr(tag_begin, i - tag_begin));
+    if (!ann.tag.empty() && i < comment.size() && comment[i] == '(') {
+      const std::size_t close = comment.find(')', i);
+      if (close != std::string_view::npos) {
+        std::string_view reason = comment.substr(i + 1, close - i - 1);
+        ann.well_formed =
+            reason.find_first_not_of(" \t") != std::string_view::npos;
+      }
+    }
+    out.push_back(std::move(ann));
+    pos = i;
+  }
+}
+
+[[nodiscard]] Lexed lex(const std::string& src) {
+  Lexed out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool at_line_start = true;  // only whitespace seen so far on this line
+
+  auto bump_line = [&] {
+    ++line;
+    at_line_start = true;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++i;
+      bump_line();
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honouring backslash
+    // continuations (annotations never live inside directives).
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          i += 2;
+          bump_line();
+          continue;
+        }
+        if (src[i] == '\n') {
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t begin = i + 2;
+      std::size_t end = begin;
+      while (end < n && src[end] != '\n') {
+        ++end;
+      }
+      parse_annotations(std::string_view(src).substr(begin, end - begin), line,
+                        out.annotations);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t j = i + 2;
+      const int open_line = line;
+      std::size_t seg_begin = j;
+      int seg_line = open_line;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') {
+          parse_annotations(std::string_view(src).substr(seg_begin, j - seg_begin),
+                            seg_line, out.annotations);
+          ++line;
+          seg_begin = j + 1;
+          seg_line = line;
+        }
+        ++j;
+      }
+      parse_annotations(std::string_view(src).substr(seg_begin, j - seg_begin), seg_line,
+                        out.annotations);
+      i = (j + 1 < n) ? j + 2 : n;
+      at_line_start = false;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(' && src[j] != '\n') {
+        delim.push_back(src[j]);
+        ++j;
+      }
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = src.find(closer, j);
+      const std::size_t stop = (end == std::string::npos) ? n : end + closer.size();
+      for (std::size_t k = i; k < stop; ++k) {
+        if (src[k] == '\n') {
+          ++line;
+        }
+      }
+      i = stop;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          ++j;
+        } else if (src[j] == '\n') {
+          ++line;  // unterminated on this line; keep scanning defensively
+        }
+        ++j;
+      }
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // Identifier.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) {
+        ++j;
+      }
+      out.tokens.push_back(Token{src.substr(i, j - i), line, TokKind::Ident});
+      i = j;
+      continue;
+    }
+    // Number (consume so `1'000'000` or `0x1.0p-53` never splits into idents).
+    if (digit(c)) {
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(src[j]) || src[j] == '\'' || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > 0 &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+                         src[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back(Token{src.substr(i, j - i), line, TokKind::Number});
+      i = j;
+      continue;
+    }
+    // Single-character punctuation.
+    out.tokens.push_back(Token{std::string(1, c), line, TokKind::Punct});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule engine
+// ---------------------------------------------------------------------------
+
+enum class Root { Src, Bench, Tests, Tools, Other };
+
+[[nodiscard]] Root root_of(const std::string& path) {
+  const std::size_t slash = path.find('/');
+  const std::string head = path.substr(0, slash);
+  if (head == "src") {
+    return Root::Src;
+  }
+  if (head == "bench") {
+    return Root::Bench;
+  }
+  if (head == "tests") {
+    return Root::Tests;
+  }
+  if (head == "tools") {
+    return Root::Tools;
+  }
+  return Root::Other;
+}
+
+struct Checker {
+  const std::string& path;
+  Root root;
+  const Lexed& lexed;
+  std::vector<Diagnostic> diags;
+  // Annotation tags present per line (well-formed only).
+  std::map<int, std::set<std::string>> ann_by_line;
+
+  Checker(const std::string& p, const Lexed& lx) : path{p}, root{root_of(p)}, lexed{lx} {
+    for (const Annotation& ann : lx.annotations) {
+      if (ann.well_formed) {
+        ann_by_line[ann.line].insert(ann.tag);
+      } else {
+        Diagnostic d;
+        d.file = path;
+        d.line = ann.line;
+        d.rule = "A0-bad-annotation";
+        d.severity = Severity::Error;
+        d.message = ann.tag.empty()
+                        ? "ampom-lint annotation without a tag"
+                        : "ampom-lint annotation '" + ann.tag +
+                              "' needs a non-empty (reason)";
+        diags.push_back(std::move(d));
+      }
+    }
+  }
+
+  // An annotation on the offending line or the line directly above
+  // suppresses the finding.
+  [[nodiscard]] bool suppressed(int line, const std::string& tag) const {
+    for (int l : {line, line - 1}) {
+      auto it = ann_by_line.find(l);
+      if (it != ann_by_line.end() && it->second.count(tag) > 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void emit(int line, const char* rule, Severity sev, std::string message,
+            const char* tag) {
+    if (suppressed(line, tag)) {
+      return;
+    }
+    Diagnostic d;
+    d.file = path;
+    d.line = line;
+    d.rule = rule;
+    d.severity = sev;
+    d.message = std::move(message);
+    d.suppression = tag;
+    diags.push_back(std::move(d));
+  }
+
+  [[nodiscard]] const Token* tok(std::size_t i) const {
+    return i < lexed.tokens.size() ? &lexed.tokens[i] : nullptr;
+  }
+  [[nodiscard]] std::string_view text(std::size_t i) const {
+    const Token* t = tok(i);
+    return t ? std::string_view(t->text) : std::string_view{};
+  }
+  // Previous token, stepping back `k` (k=1 is the immediate predecessor).
+  [[nodiscard]] std::string_view prev(std::size_t i, std::size_t k = 1) const {
+    return i >= k ? std::string_view(lexed.tokens[i - k].text) : std::string_view{};
+  }
+
+  // --- D1: nondeterminism sources ------------------------------------------
+  void check_nondet() {
+    static constexpr std::array<std::string_view, 8> kBannedIdents = {
+        "system_clock",   "steady_clock", "high_resolution_clock", "random_device",
+        "mt19937",        "mt19937_64",   "default_random_engine", "minstd_rand"};
+    static constexpr std::array<std::string_view, 10> kBannedCalls = {
+        "time",         "clock",    "rand",      "srand",     "getenv",
+        "gettimeofday", "localtime", "gmtime",   "timespec_get", "clock_gettime"};
+    // Tokens after which a bare identifier is in call (statement/operand)
+    // position rather than a declarator or member name.
+    static constexpr std::array<std::string_view, 10> kCallPosition = {
+        ";", "{", "}", "(", "=", ",", "return", "!", "&", "|"};
+
+    for (std::size_t i = 0; i < lexed.tokens.size(); ++i) {
+      const Token& t = lexed.tokens[i];
+      if (t.kind != TokKind::Ident) {
+        continue;
+      }
+      for (std::string_view banned : kBannedIdents) {
+        if (t.text == banned) {
+          emit(t.line, "D1-nondet-source", Severity::Error,
+               "'" + t.text +
+                   "' breaks seeded reproducibility; draw from the run's sim::Rng "
+                   "(simcore/rng.hpp) instead",
+               "nondet-ok");
+        }
+      }
+      if (text(i + 1) != "(") {
+        continue;
+      }
+      for (std::string_view banned : kBannedCalls) {
+        if (t.text != banned) {
+          continue;
+        }
+        const bool std_qualified = prev(i) == ":" && prev(i, 2) == ":" && prev(i, 3) == "std";
+        const bool call_position =
+            std::find(kCallPosition.begin(), kCallPosition.end(), prev(i)) !=
+            kCallPosition.end();
+        if (std_qualified || call_position) {
+          emit(t.line, "D1-nondet-source", Severity::Error,
+               "call to '" + t.text +
+                   "()' reads ambient state; scenarios must be pure functions of "
+                   "(config, seed)",
+               "nondet-ok");
+        }
+      }
+    }
+  }
+
+  // --- D2: unordered container declarations and iteration ------------------
+  void check_unordered() {
+    if (root == Root::Tests) {
+      return;  // tests compare final results; scratch containers are fine
+    }
+    static constexpr std::array<std::string_view, 4> kUnordered = {
+        "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+    std::set<std::string> vars;  // names declared with an unordered type here
+
+    for (std::size_t i = 0; i < lexed.tokens.size(); ++i) {
+      const Token& t = lexed.tokens[i];
+      if (t.kind != TokKind::Ident) {
+        continue;
+      }
+      if (std::find(kUnordered.begin(), kUnordered.end(), t.text) != kUnordered.end()) {
+        emit(t.line, "D2-unordered-iter", Severity::Error,
+             "'" + t.text +
+                 "' has hash-order iteration that can leak into results; use "
+                 "std::map/vector or annotate why order never escapes",
+             "ordered-safe");
+        // Find the declared variable name (skip balanced template args and
+        // ref/pointer/cv tokens) so iteration sites can be flagged too.
+        std::size_t j = i + 1;
+        if (text(j) == "<") {
+          int depth = 0;
+          for (; j < lexed.tokens.size(); ++j) {
+            if (text(j) == "<") {
+              ++depth;
+            } else if (text(j) == ">") {
+              if (--depth == 0) {
+                ++j;
+                break;
+              }
+            }
+          }
+        }
+        while (j < lexed.tokens.size() &&
+               (text(j) == "&" || text(j) == "*" || text(j) == "const")) {
+          ++j;
+        }
+        const Token* name = tok(j);
+        if (name != nullptr && name->kind == TokKind::Ident) {
+          vars.insert(name->text);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < lexed.tokens.size(); ++i) {
+      const Token& t = lexed.tokens[i];
+      if (t.kind != TokKind::Ident || vars.count(t.text) == 0) {
+        continue;
+      }
+      const bool member_iter =
+          text(i + 1) == "." &&
+          (text(i + 2) == "begin" || text(i + 2) == "end" || text(i + 2) == "cbegin" ||
+           text(i + 2) == "cend" || text(i + 2) == "rbegin" || text(i + 2) == "rend") &&
+          text(i + 3) == "(";
+      const bool range_for = prev(i) == ":" && prev(i, 2) != ":" && text(i + 1) == ")";
+      if (member_iter || range_for) {
+        emit(t.line, "D2-unordered-iter", Severity::Error,
+             "iteration over unordered container '" + t.text +
+                 "' is hash-order; sort the extraction or annotate why order "
+                 "cannot reach results",
+             "ordered-safe");
+      }
+    }
+  }
+
+  // --- D3: mutable statics and singletons ----------------------------------
+  void check_statics() {
+    if (root != Root::Src && root != Root::Tools) {
+      return;
+    }
+    for (std::size_t i = 0; i < lexed.tokens.size(); ++i) {
+      const Token& t = lexed.tokens[i];
+      if (t.kind != TokKind::Ident) {
+        continue;
+      }
+      if (t.text == "instance" && text(i + 1) == "(") {
+        emit(t.line, "D3-mutable-static", Severity::Error,
+             "'instance()' is the singleton pattern this codebase retired in PR 3; "
+             "pass state through driver::RunContext",
+             "static-ok");
+        continue;
+      }
+      if (t.text != "static") {
+        continue;
+      }
+      // Immutable statics are fine.
+      std::size_t j = i + 1;
+      while (text(j) == "inline") {
+        ++j;
+      }
+      if (text(j) == "constexpr" || text(j) == "consteval" || text(j) == "constinit" ||
+          text(j) == "const") {
+        continue;
+      }
+      // Declarator shape: a '(' before any of ';', '=', '{' means a static
+      // member/free *function*, which carries no state.
+      bool is_function = false;
+      bool is_variable = false;
+      int angle_depth = 0;
+      for (std::size_t k = j; k < lexed.tokens.size(); ++k) {
+        const std::string_view s = text(k);
+        if (s == "<") {
+          ++angle_depth;
+        } else if (s == ">") {
+          angle_depth = std::max(0, angle_depth - 1);
+        } else if (angle_depth == 0) {
+          if (s == "(") {
+            is_function = true;
+            break;
+          }
+          if (s == ";" || s == "=" || s == "{") {
+            is_variable = true;
+            break;
+          }
+        }
+      }
+      if (is_variable && !is_function) {
+        emit(t.line, "D3-mutable-static", Severity::Error,
+             "mutable static state is shared across parallel sweep workers and "
+             "breaks run isolation; own it in the RunContext",
+             "static-ok");
+      }
+    }
+  }
+
+  // --- D4: raw I/O in library code -----------------------------------------
+  void check_raw_io() {
+    if (root != Root::Src) {
+      return;
+    }
+    static constexpr std::array<std::string_view, 3> kStreams = {"cout", "cerr", "clog"};
+    static constexpr std::array<std::string_view, 7> kPrintCalls = {
+        "printf", "fprintf", "vprintf", "vfprintf", "puts", "fputs", "putchar"};
+    for (std::size_t i = 0; i < lexed.tokens.size(); ++i) {
+      const Token& t = lexed.tokens[i];
+      if (t.kind != TokKind::Ident) {
+        continue;
+      }
+      const bool std_stream =
+          std::find(kStreams.begin(), kStreams.end(), t.text) != kStreams.end() &&
+          prev(i) == ":" && prev(i, 2) == ":" && prev(i, 3) == "std";
+      if (std_stream) {
+        emit(t.line, "D4-raw-io", Severity::Error,
+             "library code must log through AMPOM_LOG(logger, ...) so sweep "
+             "workers never interleave on a shared stream",
+             "raw-io-ok");
+        continue;
+      }
+      if (std::find(kPrintCalls.begin(), kPrintCalls.end(), t.text) != kPrintCalls.end() &&
+          text(i + 1) == "(") {
+        emit(t.line, "D4-raw-io", Severity::Error,
+             "'" + t.text + "()' bypasses the per-run Logger; use AMPOM_LOG",
+             "raw-io-ok");
+      }
+    }
+  }
+
+  // --- D5: raw sim-time tick arithmetic ------------------------------------
+  void check_raw_ticks() {
+    if (root != Root::Src) {
+      return;
+    }
+    static constexpr std::array<std::string_view, 4> kFrom = {"from_ns", "from_us",
+                                                              "from_ms", "from_sec"};
+    static constexpr std::array<std::string_view, 4> kUnits = {"ns", "us", "ms", "sec"};
+    static constexpr std::array<std::string_view, 16> kIntTypes = {
+        "int",      "long",     "short",    "unsigned", "int8_t",   "int16_t",
+        "int32_t",  "int64_t",  "uint8_t",  "uint16_t", "uint32_t", "uint64_t",
+        "size_t",   "ptrdiff_t", "intptr_t", "uintptr_t"};
+    static constexpr std::array<std::string_view, 4> kSuffixes = {"_ns", "_us", "_ms",
+                                                                  "_ticks"};
+    for (std::size_t i = 0; i < lexed.tokens.size(); ++i) {
+      const Token& t = lexed.tokens[i];
+      if (t.kind != TokKind::Ident) {
+        continue;
+      }
+      // (a) Time::from_X(...) whose argument does arithmetic on raw .X()
+      // ticks — the computation should stay in the Time domain.
+      if (std::find(kFrom.begin(), kFrom.end(), t.text) != kFrom.end() &&
+          text(i + 1) == "(") {
+        int depth = 0;
+        bool unit_extract = false;
+        bool arithmetic = false;
+        for (std::size_t k = i + 1; k < lexed.tokens.size(); ++k) {
+          const std::string_view s = text(k);
+          if (s == "(") {
+            ++depth;
+          } else if (s == ")") {
+            if (--depth == 0) {
+              break;
+            }
+          } else if (s == "+" || s == "-" || s == "*" || s == "/" || s == "%") {
+            arithmetic = true;
+          }
+          if (s == "." &&
+              std::find(kUnits.begin(), kUnits.end(), text(k + 1)) != kUnits.end() &&
+              text(k + 2) == "(" && text(k + 3) == ")") {
+            unit_extract = true;
+          }
+        }
+        if (unit_extract && arithmetic) {
+          emit(t.line, "D5-raw-ticks", Severity::Warning,
+               "arithmetic on raw ticks re-wrapped via Time::" + t.text +
+                   "(); use sim::Time's typed operators so unit mixes cannot "
+                   "compile",
+               "raw-ticks-ok");
+        }
+        continue;
+      }
+      // (b) integer variables named like durations (foo_ns, foo_ms, ...)
+      // should be sim::Time.
+      bool unit_named = false;
+      for (std::string_view suffix : kSuffixes) {
+        if (t.text.size() > suffix.size() &&
+            std::string_view(t.text).substr(t.text.size() - suffix.size()) == suffix) {
+          unit_named = true;
+        }
+      }
+      if (!unit_named) {
+        continue;
+      }
+      for (std::size_t k = 1; k <= 3 && k <= i; ++k) {
+        if (std::find(kIntTypes.begin(), kIntTypes.end(), prev(i, k)) != kIntTypes.end()) {
+          emit(t.line, "D5-raw-ticks", Severity::Warning,
+               "integer '" + t.text +
+                   "' carries a time unit in its name; represent durations as "
+                   "sim::Time so mixed-unit arithmetic cannot compile",
+               "raw-ticks-ok");
+          break;
+        }
+      }
+    }
+  }
+};
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const char* severity_name(Severity s) {
+  return s == Severity::Error ? "error" : "warning";
+}
+
+std::vector<Diagnostic> lint_source(const std::string& path, const std::string& content) {
+  const Lexed lexed = lex(content);
+  Checker checker{path, lexed};
+  checker.check_nondet();
+  checker.check_unordered();
+  checker.check_statics();
+  checker.check_raw_io();
+  checker.check_raw_ticks();
+  std::sort(checker.diags.begin(), checker.diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.line != b.line) {
+                return a.line < b.line;
+              }
+              if (a.rule != b.rule) {
+                return a.rule < b.rule;
+              }
+              return a.message < b.message;
+            });
+  // One finding per (line, rule, message): `x.begin(), x.end()` on one line
+  // is one violation, not two.
+  checker.diags.erase(
+      std::unique(checker.diags.begin(), checker.diags.end(),
+                  [](const Diagnostic& a, const Diagnostic& b) {
+                    return a.line == b.line && a.rule == b.rule && a.message == b.message;
+                  }),
+      checker.diags.end());
+  return std::move(checker.diags);
+}
+
+std::string render_text(const Report& report) {
+  std::ostringstream os;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const Diagnostic& d : report.diagnostics) {
+    os << d.file << ':' << d.line << ": " << severity_name(d.severity) << ": [" << d.rule
+       << "] " << d.message << "\n      suppress with: // ampom-lint: " << d.suppression
+       << "(<reason>)\n";
+    (d.severity == Severity::Error ? errors : warnings) += 1;
+  }
+  os << "ampom_lint: " << report.files_scanned << " files, " << errors << " error(s), "
+     << warnings << " warning(s)\n";
+  return os.str();
+}
+
+std::string render_json(const Report& report) {
+  std::ostringstream os;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const Diagnostic& d : report.diagnostics) {
+    (d.severity == Severity::Error ? errors : warnings) += 1;
+  }
+  os << "{\"tool\":\"ampom_lint\",\"schema_version\":1,\"files_scanned\":"
+     << report.files_scanned << ",\"counts\":{\"error\":" << errors
+     << ",\"warning\":" << warnings << "},\"violations\":[";
+  bool first = true;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (!first) {
+      os << ',';
+    }
+    first = false;
+    os << "{\"file\":\"";
+    json_escape(os, d.file);
+    os << "\",\"line\":" << d.line << ",\"rule\":\"";
+    json_escape(os, d.rule);
+    os << "\",\"severity\":\"" << severity_name(d.severity) << "\",\"message\":\"";
+    json_escape(os, d.message);
+    os << "\",\"suppression\":\"";
+    json_escape(os, d.suppression);
+    os << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace ampom::lint

@@ -1,0 +1,68 @@
+#pragma once
+// ampom_lint — a self-contained static-analysis pass over the simulator's
+// sources that enforces the bit-identity contract before code runs.
+//
+// The runtime diff tests (jobs=1 vs jobs=N, tracing on/off, fault-free vs
+// seed) catch nondeterminism only on the paths a scenario happens to
+// exercise; this linter bans the sources of nondeterminism outright:
+//
+//   D1-nondet-source   wall clocks, C time, unseeded RNGs, getenv
+//   D2-unordered-iter  unordered_{map,set} declarations and iteration
+//   D3-mutable-static  mutable statics and instance()-style singletons
+//   D4-raw-io          printf/std::cout/std::cerr instead of AMPOM_LOG
+//   D5-raw-ticks       raw integer arithmetic on sim-time units
+//
+// Each rule has an annotation escape hatch written as a comment on the
+// offending line or the line above, with a mandatory non-empty reason:
+//
+//   // ampom-lint: ordered-safe(membership-only; never iterated)
+//
+// Tags: nondet-ok (D1), ordered-safe (D2), static-ok (D3), raw-io-ok (D4),
+// raw-ticks-ok (D5). A malformed annotation (missing tag or empty reason)
+// is itself a violation (A0-bad-annotation).
+//
+// The analysis is token-based (comments, strings and preprocessor
+// directives are stripped; no libclang dependency), so it is conservative
+// by construction: rules trigger on syntactic patterns and the escape
+// hatch documents the reviewed exceptions.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ampom::lint {
+
+enum class Severity { Warning, Error };
+
+[[nodiscard]] const char* severity_name(Severity s);
+
+struct Diagnostic {
+  std::string file;         // repo-relative path as given to lint_source
+  int line{0};              // 1-based
+  std::string rule;         // e.g. "D2-unordered-iter"
+  Severity severity{Severity::Error};
+  std::string message;
+  std::string suppression;  // annotation tag that would suppress this
+};
+
+// Lint one translation unit. `path` must be repo-relative with forward
+// slashes; its first segment (src/bench/tests/tools) selects which rules
+// apply. Unknown roots get the strictest (src) rule set.
+[[nodiscard]] std::vector<Diagnostic> lint_source(const std::string& path,
+                                                  const std::string& content);
+
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+  std::size_t files_scanned{0};
+};
+
+// Human-readable `file:line: severity: [rule] message` lines plus a summary.
+[[nodiscard]] std::string render_text(const Report& report);
+
+// Stable machine-readable schema:
+//   {"tool":"ampom_lint","schema_version":1,"files_scanned":N,
+//    "counts":{"error":N,"warning":N},
+//    "violations":[{"file","line","rule","severity","message","suppression"}]}
+[[nodiscard]] std::string render_json(const Report& report);
+
+}  // namespace ampom::lint

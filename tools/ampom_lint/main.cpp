@@ -1,0 +1,128 @@
+// ampom_lint CLI — walks the tree and reports determinism-contract
+// violations. Exit codes: 0 clean, 1 violations found, 2 internal error
+// (bad arguments, unreadable file), so CI and benches can distinguish
+// "dirty tree" from "broken run".
+//
+//   ampom_lint [--root=DIR] [--format=text|json] [--output=FILE] [subdir...]
+//
+// Default subdirs: src bench tests tools.
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ampom_lint/lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Options {
+  std::string root{"."};
+  std::string format{"text"};
+  std::string output;
+  std::vector<std::string> subdirs;
+};
+
+[[nodiscard]] bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+[[nodiscard]] Options parse_args(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (starts_with(arg, "--root=")) {
+      opts.root = arg.substr(7);
+    } else if (starts_with(arg, "--format=")) {
+      opts.format = arg.substr(9);
+    } else if (starts_with(arg, "--output=")) {
+      opts.output = arg.substr(9);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: ampom_lint [--root=DIR] [--format=text|json] "
+                   "[--output=FILE] [subdir...]\n";
+      std::exit(0);
+    } else if (starts_with(arg, "--")) {
+      throw std::invalid_argument("unknown option: " + arg);
+    } else {
+      opts.subdirs.push_back(arg);
+    }
+  }
+  if (opts.format != "text" && opts.format != "json") {
+    throw std::invalid_argument("--format must be 'text' or 'json'");
+  }
+  if (opts.subdirs.empty()) {
+    opts.subdirs = {"src", "bench", "tests", "tools"};
+  }
+  return opts;
+}
+
+[[nodiscard]] bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" || ext == ".hh";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opts = parse_args(argc, argv);
+    ampom::lint::Report report;
+
+    std::vector<fs::path> files;
+    for (const std::string& sub : opts.subdirs) {
+      const fs::path dir = fs::path(opts.root) / sub;
+      if (!fs::exists(dir)) {
+        continue;  // e.g. a checkout without bench/
+      }
+      for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    }
+    std::sort(files.begin(), files.end());
+
+    for (const fs::path& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      if (!in) {
+        throw std::runtime_error("cannot read " + file.string());
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const std::string rel =
+          fs::relative(file, fs::path(opts.root)).generic_string();
+      auto diags = ampom::lint::lint_source(rel, buf.str());
+      report.diagnostics.insert(report.diagnostics.end(),
+                                std::make_move_iterator(diags.begin()),
+                                std::make_move_iterator(diags.end()));
+      ++report.files_scanned;
+    }
+
+    const std::string rendered = opts.format == "json"
+                                     ? ampom::lint::render_json(report)
+                                     : ampom::lint::render_text(report);
+    if (opts.output.empty()) {
+      std::cout << rendered;
+      if (opts.format == "json") {
+        std::cout << '\n';
+      }
+    } else {
+      std::ofstream out(opts.output, std::ios::binary);
+      if (!out) {
+        throw std::runtime_error("cannot write " + opts.output);
+      }
+      out << rendered << '\n';
+    }
+    return report.diagnostics.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "ampom_lint: internal error: " << e.what() << '\n';
+    return 2;
+  }
+}
