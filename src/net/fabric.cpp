@@ -89,7 +89,14 @@ sim::Time Fabric::send(Message msg) {
         trace_->instant(trace::Category::kNet, "duplicate", now, msg.src, msg.corr,
                         msg.wire_bytes, msg.dst);
       }
-      deliver_at(arrival + d.duplicate_delay, msg);
+      // The original is scheduled before its copy: with duplicate_delay == 0
+      // both land on the same instant and the engine's same-time FIFO would
+      // otherwise hand the receiver the duplicate first, making the real
+      // message the one counted (and dropped) as the dup.
+      const sim::Time dup_arrival = arrival + d.duplicate_delay;
+      deliver_at(arrival, msg);
+      deliver_at(dup_arrival, std::move(msg));
+      return arrival;
     }
   }
   deliver_at(arrival, std::move(msg));

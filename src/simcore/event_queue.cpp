@@ -1,0 +1,125 @@
+#include "simcore/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ampom::sim {
+
+namespace {
+constexpr std::size_t kArity = 4;
+}
+
+EventQueue::Handle EventQueue::push(Time at, Callback cb) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+
+  const std::size_t i = heap_.size();
+  heap_.push_back(Entry{at, next_order_++, slot});
+  s.heap_index = static_cast<std::uint32_t>(i);
+  sift_up(i);
+  return make_handle(slot, s.generation);
+}
+
+bool EventQueue::cancel(Handle handle) {
+  if (handle == 0) {
+    return false;
+  }
+  const std::uint32_t slot = static_cast<std::uint32_t>(handle & 0xffffffffU) - 1U;
+  if (slot >= slots_.size()) {
+    return false;
+  }
+  Slot& s = slots_[slot];
+  if (s.generation != static_cast<std::uint32_t>(handle >> 32U)) {
+    return false;  // already fired or cancelled (slot possibly reused)
+  }
+  remove_at(s.heap_index);
+  release(slot);
+  return true;
+}
+
+bool EventQueue::pop(Time& at, Callback& cb) {
+  if (heap_.empty()) {
+    return false;
+  }
+  const std::uint32_t slot = heap_.front().slot;
+  at = heap_.front().at;
+  cb = std::move(slots_[slot].cb);
+  remove_at(0);
+  release(slot);
+  return true;
+}
+
+void EventQueue::place(std::size_t i, Entry entry) {
+  slots_[entry.slot].heap_index = static_cast<std::uint32_t>(i);
+  heap_[i] = entry;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  Entry entry = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(entry, heap_[parent])) {
+      break;
+    }
+    place(i, heap_[parent]);
+    i = parent;
+  }
+  place(i, entry);
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  Entry entry = heap_[i];
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t first_child = i * kArity + 1;
+    if (first_child >= n) {
+      break;
+    }
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (earlier(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!earlier(heap_[best], entry)) {
+      break;
+    }
+    place(i, heap_[best]);
+    i = best;
+  }
+  place(i, entry);
+}
+
+void EventQueue::remove_at(std::size_t i) {
+  assert(i < heap_.size());
+  const std::size_t last = heap_.size() - 1;
+  if (i == last) {
+    heap_.pop_back();
+    return;
+  }
+  Entry moved = heap_[last];
+  heap_.pop_back();
+  place(i, moved);
+  // The displaced entry may belong either above or below its new position.
+  sift_up(i);
+  sift_down(slots_[moved.slot].heap_index);
+}
+
+void EventQueue::release(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb = nullptr;  // destroy the closure immediately, not at its deadline
+  ++s.generation;
+  free_slots_.push_back(slot);
+}
+
+}  // namespace ampom::sim

@@ -1,0 +1,109 @@
+#pragma once
+// Indexed 4-ary min-heap of timed callbacks: the storage engine under the
+// Simulator.
+//
+// The engine it replaced was a std::priority_queue with lazy deletion: a
+// cancelled event's heap entry (and its std::function closure) stayed queued
+// until its deadline bubbled to the top. Under the reliable-paging protocol
+// — which cancels and re-arms a silence timer on *every* page arrival — that
+// strands one dead entry per page, so the heap held O(timeout/page-gap)
+// garbage per in-flight request and every pop paid to skip it.
+//
+// This queue keeps a side index from event handle to heap position, so
+// cancel() is an O(log n) in-place removal that destroys the callback
+// immediately, and the heap never holds a dead entry: size() is exactly the
+// number of live events. The 4-ary layout halves the tree depth of a binary
+// heap and keeps sift-downs inside one or two cache lines of children, which
+// is where a discrete-event simulator spends its life.
+//
+// Determinism: entries are ordered by (time, push order), so same-instant
+// events pop in FIFO push order. Cancellation never perturbs the relative
+// order of surviving events.
+//
+// Handles: push() returns an opaque non-zero handle encoding the slot the
+// callback lives in plus a generation counter; a handle for an event that
+// already fired or was cancelled mismatches its slot's current generation
+// and cancel() returns false. Zero is never a valid handle.
+//
+// Storage: three flat vectors (heap entries, callback slots, slot free
+// list). At steady state push/pop/cancel touch no allocator at all, and a
+// callback whose closure fits Callback's small buffer never touches the
+// heap anywhere in its life.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simcore/inplace_function.hpp"
+#include "simcore/time.hpp"
+
+namespace ampom::sim {
+
+class EventQueue {
+ public:
+  using Callback = InplaceFunction<void()>;
+  using Handle = std::uint64_t;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Insert `cb` keyed by (`at`, arrival order). O(log n), allocation-free at
+  // steady state. Returns a non-zero handle for cancel().
+  Handle push(Time at, Callback cb);
+
+  // Remove a pending event in place and destroy its callback now. Returns
+  // false for the zero handle or one whose event already popped/cancelled.
+  bool cancel(Handle handle);
+
+  // Move the earliest event (FIFO among equal times) into `at`/`cb`;
+  // false when empty.
+  bool pop(Time& at, Callback& cb);
+
+  // Earliest pending time without popping. Precondition: !empty().
+  [[nodiscard]] Time top_time() const { return heap_.front().at; }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  // Storage introspection for soak tests and the perf harness.
+  // Entries physically held by the heap. For this engine it equals size()
+  // by construction — the lazy-delete engine it replaced kept cancelled
+  // entries queued, which is exactly what the cancel-heavy soak pins.
+  [[nodiscard]] std::size_t queued_entries() const { return heap_.size(); }
+  // High-water mark of concurrently live events (slots are recycled).
+  [[nodiscard]] std::size_t slot_high_water() const { return slots_.size(); }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t order;  // monotonic push counter: FIFO tie-break
+    std::uint32_t slot;
+  };
+  struct Slot {
+    Callback cb;
+    std::uint32_t heap_index{0};
+    std::uint32_t generation{0};
+  };
+
+  [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) {
+    return a.at != b.at ? a.at < b.at : a.order < b.order;
+  }
+
+  [[nodiscard]] static Handle make_handle(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<Handle>(generation) << 32U) | (static_cast<Handle>(slot) + 1U);
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void place(std::size_t i, Entry entry);  // write + maintain the index
+  void remove_at(std::size_t i);
+  void release(std::uint32_t slot);
+
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_order_{1};
+};
+
+}  // namespace ampom::sim

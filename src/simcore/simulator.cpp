@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 #include "simcore/fmt.hpp"
 
@@ -27,47 +28,29 @@ Simulator::EventId Simulator::schedule_at(Time at, Callback cb) {
     throw std::logic_error(
         strfmt("schedule_at(%s) is in the past (now=%s)", at.str().c_str(), now_.str().c_str()));
   }
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Item{at, seq, std::move(cb)});
-  live_.insert(seq);
-  return EventId{seq};
+  return EventId{queue_.push(at, std::move(cb))};
 }
 
-bool Simulator::cancel(EventId id) {
-  // We cannot remove from the middle of the heap; drop the id from the live
-  // set and skip the dead heap entry when it reaches the top.
-  return id.valid() && live_.erase(id.seq) > 0;
-}
-
-bool Simulator::pop_next(Item& out) {
-  while (!heap_.empty()) {
-    // priority_queue::top() is const; move is safe because we pop right away.
-    out = std::move(const_cast<Item&>(heap_.top()));
-    heap_.pop();
-    if (live_.erase(out.seq) > 0) {
-      return true;
-    }
-  }
-  return false;
-}
+bool Simulator::cancel(EventId id) { return queue_.cancel(id.seq); }
 
 bool Simulator::step() {
-  Item item;
-  if (!pop_next(item)) {
+  Time at;
+  Callback cb;
+  if (!queue_.pop(at, cb)) {
     return false;
   }
-  assert(item.at >= now_);
-  now_ = item.at;
+  assert(at >= now_);
+  now_ = at;
   ++processed_;
-  item.cb();
+  cb();
   return true;
 }
 
 std::uint64_t Simulator::run() {
-  halted_ = false;
   const std::uint64_t before = processed_;
   while (!halted_ && step()) {
   }
+  halted_ = false;  // consumed by this run, whether it stopped us or was pending
   return processed_ - before;
 }
 
@@ -95,36 +78,31 @@ void Simulator::fire_probe() {
   if (!probe_) {
     return;
   }
-  probe_(now_, live_.size(), processed_);
+  probe_(now_, queue_.size(), processed_);
   // Reschedule only while other work remains: a probe alone in the queue
   // would otherwise keep run() alive forever.
-  if (!live_.empty()) {
+  if (!queue_.empty()) {
     probe_event_ = schedule_after(probe_period_, [this] { fire_probe(); });
   }
 }
 
 std::uint64_t Simulator::run_until(Time limit) {
-  halted_ = false;
   const std::uint64_t before = processed_;
   while (!halted_) {
-    Item item;
-    if (!pop_next(item)) {
-      break;
-    }
-    if (item.at > limit) {
-      // Put it back; it stays pending (and live) for a later run.
-      live_.insert(item.seq);
-      heap_.push(std::move(item));
-      now_ = limit;
+    if (queue_.empty() || queue_.top_time() > limit) {
+      // Drained the window: the full interval elapsed.
+      if (now_ < limit) {
+        now_ = limit;
+      }
+      halted_ = false;
       return processed_ - before;
     }
-    now_ = item.at;
-    ++processed_;
-    item.cb();
+    step();
   }
-  if (now_ < limit) {
-    now_ = limit;
-  }
+  // Halted (possibly before the first event): the clock stays where the halt
+  // caught it, so delays scheduled afterwards are measured from the true
+  // stopping point, not a limit this run never reached.
+  halted_ = false;
   return processed_ - before;
 }
 

@@ -2,21 +2,33 @@
 // The discrete-event engine: a time-ordered queue of callbacks.
 //
 // Determinism: events scheduled for the same instant fire in schedule order
-// (FIFO by sequence number), so a run is a pure function of the scenario.
+// (FIFO by sequence), so a run is a pure function of the scenario.
+//
+// Storage is an indexed 4-ary heap (simcore/event_queue.hpp): cancel() is an
+// in-place O(log n) removal that destroys the callback immediately, and
+// callbacks are small-buffer-optimized (simcore/inplace_function.hpp), so
+// the schedule/fire/cancel hot path performs no heap allocations for
+// typical closures.
+//
+// Halt semantics: halt() requests that the engine stop dispatching. The run
+// in progress — or, if none is in progress, the *next* run() / run_until()
+// call — returns before processing another event. The request is consumed
+// by the run it stops; a subsequent run proceeds normally. A run stopped by
+// halt() leaves now() at the instant of the last processed event: it never
+// fast-forwards to a run_until() limit it did not actually reach. step()
+// ignores halt requests; it processes exactly one event regardless.
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
+#include "simcore/event_queue.hpp"
 #include "simcore/time.hpp"
 
 namespace ampom::sim {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventQueue::Callback;
 
   struct EventId {
     std::uint64_t seq{0};
@@ -35,15 +47,16 @@ class Simulator {
   // Schedule `cb` `delay` after now.
   EventId schedule_after(Time delay, Callback cb) { return schedule_at(now_ + delay, std::move(cb)); }
 
-  // Cancel a pending event. Returns false if it already fired or was
-  // cancelled before.
+  // Cancel a pending event in place (its callback is destroyed immediately).
+  // Returns false if it already fired or was cancelled before.
   bool cancel(EventId id);
 
   // Run until the queue drains or halt() is called. Returns the number of
   // events processed by this call.
   std::uint64_t run();
 
-  // Run events with time <= `limit`; afterwards now() == min(limit, drain).
+  // Run events with time <= `limit`; afterwards now() == min(limit, drain),
+  // unless halt() stopped the run early — then now() stays at the halt point.
   std::uint64_t run_until(Time limit);
 
   // Process a single event; returns false when the queue is empty.
@@ -52,8 +65,15 @@ class Simulator {
   void halt() { halted_ = true; }
   [[nodiscard]] bool halted() const { return halted_; }
 
-  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  // Storage introspection (soak tests, perf harness): entries physically in
+  // the queue — equal to pending() for this engine, where the retired
+  // lazy-delete engine kept cancelled entries queued until their deadline —
+  // and the high-water mark of concurrently live events.
+  [[nodiscard]] std::size_t queued_entries() const { return queue_.queued_entries(); }
+  [[nodiscard]] std::size_t slot_high_water() const { return queue_.slot_high_water(); }
 
   // Observability hook: invoke `probe` every `period` of simulated time with
   // the current time, queue depth and cumulative events processed. The probe
@@ -65,30 +85,10 @@ class Simulator {
   void stop_probe();
 
  private:
-  struct Item {
-    Time at;
-    std::uint64_t seq;
-    Callback cb;
-  };
-  struct Later {
-    [[nodiscard]] bool operator()(const Item& a, const Item& b) const {
-      if (a.at != b.at) {
-        return a.at > b.at;
-      }
-      return a.seq > b.seq;
-    }
-  };
-
-  // Pops the next live (non-cancelled) item; false if none.
-  bool pop_next(Item& out);
-
   void fire_probe();
 
-  std::priority_queue<Item, std::vector<Item>, Later> heap_;
-  // ampom-lint: ordered-safe(membership test only; firing order is the seq-tiebroken heap)
-  std::unordered_set<std::uint64_t> live_;  // pending, not-cancelled event seqs
+  EventQueue queue_;
   Time now_{Time::zero()};
-  std::uint64_t next_seq_{1};
   std::uint64_t processed_{0};
   bool halted_{false};
   Probe probe_;

@@ -119,6 +119,28 @@ TEST(FaultInjector, DuplicateProbabilityOneDeliversTwice) {
   EXPECT_EQ(w.injector.stats().duplicated, 10u);
 }
 
+// Regression: the fabric used to schedule the duplicate's delivery before
+// the original's, so whenever the copy's trailing delay was zero the
+// engine's same-time FIFO handed the receiver the duplicate first and the
+// real message was the one counted (and dropped) as the dup. The original
+// must always be the first delivery the receiver observes, at exactly the
+// arrival send() returns, with the copy strictly trailing it.
+TEST(FaultInjector, OriginalIsDeliveredBeforeItsDuplicate) {
+  World w{5};
+  LinkFaults faults;
+  faults.duplicate_probability = 1.0;  // no jitter: the copy trails by 1 us
+  w.injector.set_default_faults(faults);
+  Time arrival{};
+  w.sim.schedule_at(Time::from_us(10), [&] {
+    arrival = w.fabric.send(Message{0, 1, kBulkBytes, PageData{1, 1, 7, false}});
+  });
+  w.sim.run();
+  ASSERT_EQ(w.deliveries.size(), 2u);
+  EXPECT_EQ(w.deliveries[0].first, arrival);  // the original, as predicted
+  EXPECT_EQ(w.deliveries[1].first, arrival + Time::from_us(1));
+  EXPECT_GT(w.deliveries[1].first, w.deliveries[0].first);
+}
+
 TEST(FaultInjector, JitterDelaysButNeverDropsOrReorders) {
   World w{11};
   LinkFaults faults;

@@ -1,0 +1,180 @@
+// Tests of the perf_gate comparator: JSON parsing, normalization of raw
+// google-benchmark output, the committed-schema round trip, and the gate
+// rules (SBO zero-alloc invariant, cancel-heavy speedup floor, baseline
+// trajectory tolerance).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "perf_gate/gate.hpp"
+
+namespace ampom::perfgate {
+namespace {
+
+JsonValue parse_ok(const std::string& text) {
+  std::string error;
+  auto doc = parse_json(text, &error);
+  EXPECT_TRUE(doc.has_value()) << error;
+  return doc ? *doc : JsonValue{};
+}
+
+TEST(PerfGateJson, ParsesScalarsArraysAndNestedObjects) {
+  const JsonValue doc = parse_ok(
+      R"({"name": "x", "n": -2.5e3, "flag": true, "none": null,
+          "list": [1, 2, 3], "inner": {"k": "v\n\"q\""}})");
+  ASSERT_EQ(doc.kind, JsonValue::Kind::Object);
+  EXPECT_EQ(doc.find("name")->string, "x");
+  EXPECT_DOUBLE_EQ(doc.find("n")->number, -2500.0);
+  EXPECT_TRUE(doc.find("flag")->boolean);
+  EXPECT_EQ(doc.find("none")->kind, JsonValue::Kind::Null);
+  ASSERT_EQ(doc.find("list")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.find("list")->array[2].number, 3.0);
+  EXPECT_EQ(doc.find("inner")->find("k")->string, "v\n\"q\"");
+  EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(PerfGateJson, RejectsMalformedInput) {
+  for (const char* bad : {"{", "[1,]", "{\"a\" 1}", "{\"a\": 1} x", "\"unterminated",
+                          "{\"a\": nope}", ""}) {
+    std::string error;
+    EXPECT_FALSE(parse_json(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+// A raw google-benchmark document with the six profile benches (extra
+// benches and fields present, as in real output).
+std::string raw_run(double indexed_cancel_rate, double indexed_cancel_allocs) {
+  auto bench = [](const std::string& name, double rate, double allocs, double peak) {
+    return R"({"name": ")" + name + R"(", "run_type": "iteration",
+               "real_time": 1.0, "events_per_sec": )" + std::to_string(rate) +
+           R"(, "allocs_per_op": )" + std::to_string(allocs) +
+           R"(, "peak_queued": )" + std::to_string(peak) + "}";
+  };
+  return R"({"context": {"num_cpus": 8}, "benchmarks": [)" +
+         bench("BM_ScheduleHeavy_Indexed", 11.0e6, 0.0, 65536) + "," +
+         bench("BM_ScheduleHeavy_Lazy", 7.0e6, 1.0, 65536) + "," +
+         bench("BM_CancelHeavy_Indexed", indexed_cancel_rate, indexed_cancel_allocs, 1) + "," +
+         bench("BM_CancelHeavy_Lazy", 15.0e6, 0.75, 1000) + "," +
+         bench("BM_Mixed_Indexed", 36.0e6, 0.0, 2048) + "," +
+         bench("BM_Mixed_Lazy", 12.0e6, 1.0, 4096) + "," +
+         bench("BM_ScheduleAndRun/1000", 1.0e6, 0.0, 0) + "]}";
+}
+
+TEST(PerfGateSummary, NormalizesRawBenchmarkOutput) {
+  std::string error;
+  const auto summary = summarize_raw(parse_ok(raw_run(73.0e6, 0.0)), &error);
+  ASSERT_TRUE(summary.has_value()) << error;
+  ASSERT_EQ(summary->profiles.size(), 3u);
+  const EngineProfile& cancel = summary->profiles.at("cancel_heavy");
+  EXPECT_DOUBLE_EQ(cancel.indexed.events_per_sec, 73.0e6);
+  EXPECT_DOUBLE_EQ(cancel.lazy.peak_queued, 1000.0);
+  EXPECT_NEAR(cancel.speedup_vs_lazy, 73.0 / 15.0, 1e-9);
+  EXPECT_NEAR(summary->profiles.at("mixed").speedup_vs_lazy, 3.0, 1e-9);
+}
+
+TEST(PerfGateSummary, MissingBenchmarkOrCounterIsAnErrorNotAPass) {
+  std::string error;
+  EXPECT_FALSE(summarize_raw(parse_ok(R"({"benchmarks": []})"), &error).has_value());
+  EXPECT_NE(error.find("BM_ScheduleHeavy_Indexed"), std::string::npos) << error;
+
+  // Drop one counter from one bench: still an error.
+  std::string raw = raw_run(73.0e6, 0.0);
+  const auto pos = raw.find("\"peak_queued\"");
+  ASSERT_NE(pos, std::string::npos);
+  raw.replace(pos, 13, "\"renamed\"");
+  EXPECT_FALSE(summarize_raw(parse_ok(raw), &error).has_value());
+  EXPECT_NE(error.find("peak_queued"), std::string::npos) << error;
+}
+
+TEST(PerfGateSummary, RenderedSummaryRoundTripsThroughLoad) {
+  std::string error;
+  const auto summary = summarize_raw(parse_ok(raw_run(73.0e6, 0.0)), &error);
+  ASSERT_TRUE(summary.has_value()) << error;
+  const std::string rendered = render_summary(*summary);
+  const auto reloaded = load_summary(parse_ok(rendered), &error);
+  ASSERT_TRUE(reloaded.has_value()) << error;
+  ASSERT_EQ(reloaded->profiles.size(), 3u);
+  EXPECT_NEAR(reloaded->profiles.at("cancel_heavy").speedup_vs_lazy, 73.0 / 15.0, 1e-4);
+  EXPECT_DOUBLE_EQ(reloaded->profiles.at("mixed").indexed.allocs_per_op, 0.0);
+  // Rendering is deterministic: same summary, same bytes.
+  EXPECT_EQ(rendered, render_summary(*summary));
+}
+
+Summary summary_of(double cancel_rate, double cancel_allocs) {
+  std::string error;
+  const auto summary = summarize_raw(parse_ok(raw_run(cancel_rate, cancel_allocs)), &error);
+  EXPECT_TRUE(summary.has_value()) << error;
+  return summary ? *summary : Summary{};
+}
+
+TEST(PerfGateGate, PassesAHealthyRunWithoutABaseline) {
+  const Summary current = summary_of(73.0e6, 0.0);
+  const GateResult result = gate(current, nullptr, GateOptions{});
+  EXPECT_TRUE(result.pass) << (result.failures.empty() ? "" : result.failures.front());
+  EXPECT_TRUE(result.failures.empty());
+  EXPECT_EQ(result.notes.size(), 3u);  // one throughput line per profile
+}
+
+TEST(PerfGateGate, AnySingleIndexedAllocationFailsTheSboInvariant) {
+  const Summary current = summary_of(73.0e6, 1e-6);  // one alloc per million ops
+  const GateResult result = gate(current, nullptr, GateOptions{});
+  EXPECT_FALSE(result.pass);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_NE(result.failures[0].find("allocs_per_op"), std::string::npos);
+}
+
+TEST(PerfGateGate, CancelHeavySpeedupBelowTheFloorFails) {
+  const Summary current = summary_of(20.0e6, 0.0);  // 1.33x < the 1.5x floor
+  const GateResult result = gate(current, nullptr, GateOptions{});
+  EXPECT_FALSE(result.pass);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_NE(result.failures[0].find("1.5x floor"), std::string::npos);
+}
+
+TEST(PerfGateGate, BaselineTrajectoryIsEnforcedWithTolerance) {
+  const Summary baseline = summary_of(73.0e6, 0.0);  // speedup 4.87x
+  // 30% tolerance: floor is 3.41x. A run at 3.5x passes, a run at 3.0x fails.
+  EXPECT_TRUE(gate(summary_of(3.5 * 15.0e6, 0.0), &baseline, GateOptions{}).pass);
+  const GateResult slow = gate(summary_of(3.0 * 15.0e6, 0.0), &baseline, GateOptions{});
+  EXPECT_FALSE(slow.pass);
+  ASSERT_EQ(slow.failures.size(), 1u);
+  EXPECT_NE(slow.failures[0].find("regressed"), std::string::npos);
+  // A tighter tolerance flips the 3.5x run to a failure too.
+  EXPECT_FALSE(gate(summary_of(3.5 * 15.0e6, 0.0), &baseline,
+                    GateOptions{.tolerance = 0.05, .min_speedup = 1.5})
+                   .pass);
+}
+
+TEST(PerfGateGate, PeakQueuedGrowthPastBaselineFails) {
+  const Summary baseline = summary_of(73.0e6, 0.0);
+  Summary current = summary_of(73.0e6, 0.0);
+  // A leak-shaped regression: cancelled entries pile up again.
+  current.profiles.at("cancel_heavy").indexed.peak_queued = 500.0;
+  const GateResult result = gate(current, &baseline, GateOptions{});
+  EXPECT_FALSE(result.pass);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_NE(result.failures[0].find("peak_queued"), std::string::npos);
+}
+
+TEST(PerfGateGate, ProfileMissingFromCurrentRunFails) {
+  const Summary baseline = summary_of(73.0e6, 0.0);
+  Summary current = summary_of(73.0e6, 0.0);
+  current.profiles.erase("mixed");
+  const GateResult result = gate(current, &baseline, GateOptions{});
+  EXPECT_FALSE(result.pass);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_NE(result.failures[0].find("missing from this run"), std::string::npos);
+}
+
+TEST(PerfGateLoad, RejectsDocumentsWithoutSchemaOrProfiles) {
+  std::string error;
+  EXPECT_FALSE(load_summary(parse_ok(R"({"profiles": {}})"), &error).has_value());
+  EXPECT_NE(error.find("schema"), std::string::npos);
+  EXPECT_FALSE(load_summary(parse_ok(R"({"schema": 1})"), &error).has_value());
+  EXPECT_NE(error.find("profiles"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ampom::perfgate

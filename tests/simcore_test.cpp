@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "simcore/event_queue.hpp"
+#include "simcore/inplace_function.hpp"
 #include "simcore/rng.hpp"
 #include "simcore/simulator.hpp"
 #include "simcore/units.hpp"
@@ -139,6 +144,191 @@ TEST(Simulator, PendingCountsLiveEvents) {
   EXPECT_EQ(sim.pending(), 2u);
   sim.cancel(a);
   EXPECT_EQ(sim.pending(), 1u);
+}
+
+// Regression: run_until used to fast-forward now() to the limit even when a
+// callback halted the run mid-window, so delays armed after an early halt
+// were measured from a point in time the run never reached.
+TEST(Simulator, RunUntilHaltedMidWindowKeepsClockAtHaltPoint) {
+  Simulator sim;
+  sim.schedule_at(1_ms, [&] { sim.halt(); });
+  sim.schedule_at(5_ms, [] {});
+  EXPECT_EQ(sim.run_until(10_ms), 1u);
+  EXPECT_EQ(sim.now(), 1_ms);  // not 10 ms
+  Time fired{};
+  sim.schedule_after(2_ms, [&] { fired = sim.now(); });
+  sim.run_until(10_ms);
+  EXPECT_EQ(fired, 3_ms);  // 1 ms halt point + 2 ms delay
+  EXPECT_EQ(sim.now(), 10_ms);
+}
+
+// Regression: run()/run_until() used to reset the halt flag on entry,
+// silently discarding a halt() issued between runs. The pinned semantics: a
+// pending halt makes the next run a no-op and is consumed by it.
+TEST(Simulator, PendingHaltMakesNextRunANoOp) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1_ms, [&] { ++count; });
+  sim.halt();
+  EXPECT_TRUE(sim.halted());
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_EQ(count, 0);
+  EXPECT_FALSE(sim.halted());  // consumed by the run it stopped
+  EXPECT_EQ(sim.run(), 1u);    // a subsequent run proceeds normally
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, PendingHaltMakesNextRunUntilANoOp) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1_ms, [&] { ++count; });
+  sim.halt();
+  EXPECT_EQ(sim.run_until(5_ms), 0u);
+  EXPECT_EQ(sim.now(), Time::zero());  // a no-op run leaves the clock alone
+  EXPECT_FALSE(sim.halted());
+  sim.run_until(5_ms);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), 5_ms);
+}
+
+TEST(Simulator, CancelledEventsLeaveTheQueueImmediately) {
+  Simulator sim;
+  std::vector<Simulator::EventId> ids;
+  ids.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(sim.schedule_at(Time::from_us(i + 1), [] {}));
+  }
+  EXPECT_EQ(sim.queued_entries(), 1000u);
+  for (const auto id : ids) {
+    EXPECT_TRUE(sim.cancel(id));
+  }
+  // No lazy-deleted carcasses: the storage empties with the live set.
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.queued_entries(), 0u);
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeThenFifoOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(2_ms, [&] { order.push_back(2); });
+  q.push(1_ms, [&] { order.push_back(1); });
+  q.push(1_ms, [&] { order.push_back(11); });
+  q.push(3_ms, [&] { order.push_back(3); });
+  Time at{};
+  EventQueue::Callback cb;
+  EXPECT_EQ(q.top_time(), 1_ms);
+  while (q.pop(at, cb)) {
+    cb();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 11, 2, 3}));
+  EXPECT_EQ(at, 3_ms);
+}
+
+TEST(EventQueue, CancelDestroysTheCallbackImmediately) {
+  EventQueue q;
+  auto token = std::make_shared<int>(7);
+  const auto h = q.push(1_ms, [token] {});
+  EXPECT_EQ(token.use_count(), 2);
+  EXPECT_TRUE(q.cancel(h));
+  // The closure died at cancel time, not when its deadline bubbled out.
+  EXPECT_EQ(token.use_count(), 1);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.queued_entries(), 0u);
+}
+
+TEST(EventQueue, StaleHandleForAReusedSlotIsRejected) {
+  EventQueue q;
+  const auto a = q.push(1_ms, [] {});
+  EXPECT_TRUE(q.cancel(a));
+  const auto b = q.push(1_ms, [] {});  // recycles a's slot
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(q.cancel(a));  // stale generation
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_FALSE(q.cancel(0));  // the null handle is never valid
+}
+
+TEST(EventQueue, CancelDoesNotPerturbSurvivorOrder) {
+  EventQueue q;
+  std::vector<EventQueue::Handle> handles;
+  std::vector<int> order;
+  // Same-instant block plus a spread of later times; cancel a scattered
+  // third of them and require the survivors to fire in schedule order.
+  for (int i = 0; i < 90; ++i) {
+    const Time at = Time::from_ms(1 + i / 30);
+    handles.push_back(q.push(at, [&order, i] { order.push_back(i); }));
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 3) {
+    EXPECT_TRUE(q.cancel(handles[i]));
+  }
+  Time at{};
+  EventQueue::Callback cb;
+  while (q.pop(at, cb)) {
+    cb();
+  }
+  std::vector<int> expected;
+  for (int i = 0; i < 90; ++i) {
+    if (i % 3 != 0) {
+      expected.push_back(i);
+    }
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, SlotsAreRecycled) {
+  EventQueue q;
+  Time at{};
+  EventQueue::Callback cb;
+  for (int round = 0; round < 1000; ++round) {
+    const auto keep = q.push(Time::from_us(round + 1), [] {});
+    const auto drop = q.push(Time::from_us(round + 2), [] {});
+    EXPECT_TRUE(q.cancel(drop));
+    EXPECT_TRUE(q.pop(at, cb));
+    (void)keep;
+  }
+  // Two events were ever live at once; the arena never grew past that.
+  EXPECT_LE(q.slot_high_water(), 2u);
+}
+
+TEST(InplaceFunction, InlineAndBoxedClosuresBothInvoke) {
+  int hits = 0;
+  auto small_lambda = [&hits] { ++hits; };
+  static_assert(InplaceFunction<void()>::fits_inline<decltype(small_lambda)>(),
+                "a one-pointer capture must stay in the small buffer");
+  InplaceFunction<void()> small{small_lambda};
+  std::array<std::uint64_t, 16> payload{};
+  payload[3] = 5;
+  auto big_lambda = [&hits, payload] { hits += static_cast<int>(payload[3]); };
+  static_assert(!InplaceFunction<void()>::fits_inline<decltype(big_lambda)>(),
+                "a 128-byte capture must take the boxed path");
+  InplaceFunction<void()> big{big_lambda};
+  ASSERT_TRUE(small);
+  ASSERT_TRUE(big);
+  small();
+  big();
+  EXPECT_EQ(hits, 6);
+}
+
+TEST(InplaceFunction, MoveTransfersOwnershipWithoutCopying) {
+  auto token = std::make_shared<int>(1);
+  InplaceFunction<int()> f{[token] { return *token; }};
+  EXPECT_EQ(token.use_count(), 2);
+  InplaceFunction<int()> g{std::move(f)};
+  EXPECT_EQ(token.use_count(), 2);  // moved, never copied
+  EXPECT_FALSE(f);                  // NOLINT(bugprone-use-after-move) — pinned moved-from state
+  EXPECT_TRUE(g);
+  EXPECT_EQ(g(), 1);
+  g = nullptr;
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InplaceFunction, TakesArgumentsAndReturnsValues) {
+  InplaceFunction<int(int, int)> add{[](int a, int b) { return a + b; }};
+  EXPECT_EQ(add(2, 3), 5);
+  InplaceFunction<int(int, int)> other;
+  EXPECT_TRUE(other == nullptr);
+  other = std::move(add);
+  EXPECT_EQ(other(4, 4), 8);
 }
 
 TEST(Rng, DeterministicForSameSeed) {

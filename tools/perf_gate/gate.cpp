@@ -1,0 +1,486 @@
+#include "perf_gate/gate.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace ampom::perfgate {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON parsing: recursive descent over the subset the two schemas use.
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error) : text_(text), error_(error) {}
+
+  std::optional<JsonValue> parse() {
+    skip_ws();
+    JsonValue value;
+    if (!parse_value(value)) {
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after document");
+    }
+    return value;
+  }
+
+ private:
+  std::optional<JsonValue> fail(const std::string& what) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = what + " at byte " + std::to_string(pos_);
+    }
+    return std::nullopt;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool expect(char c) {
+    if (at_end() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (at_end()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    switch (peek()) {
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      case '"':
+        out.kind = JsonValue::Kind::String;
+        return parse_string(out.string);
+      case 't':
+      case 'f':
+        return parse_bool(out);
+      case 'n':
+        return parse_literal("null") && (out.kind = JsonValue::Kind::Null, true);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (at_end() || text_[pos_] != *p) {
+        fail(std::string("expected '") + word + "'");
+        return false;
+      }
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool parse_bool(JsonValue& out) {
+    out.kind = JsonValue::Kind::Bool;
+    if (peek() == 't') {
+      out.boolean = true;
+      return parse_literal("true");
+    }
+    out.boolean = false;
+    return parse_literal("false");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    while (!at_end()) {
+      const char c = peek();
+      const bool number_char = (c >= '0' && c <= '9') || c == '-' || c == '+' ||
+                               c == '.' || c == 'e' || c == 'E';
+      if (!number_char) {
+        break;
+      }
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected a value");
+      return false;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      fail("malformed number '" + token + "'");
+      return false;
+    }
+    out.kind = JsonValue::Kind::Number;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!expect('"')) {
+      return false;
+    }
+    out.clear();
+    while (!at_end()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          // The schemas are ASCII; decode BMP escapes in range, '?' otherwise.
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+          }
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          char* end = nullptr;
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          if (end == nullptr || *end != '\0') {
+            fail("malformed \\u escape");
+            return false;
+          }
+          out += (code >= 0x20 && code < 0x7F) ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          fail("unknown escape");
+          return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::Array;
+    if (!expect('[')) {
+      return false;
+    }
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      skip_ws();
+      if (!parse_value(element)) {
+        return false;
+      }
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (at_end()) {
+        fail("unterminated array");
+        return false;
+      }
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return expect(']');
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::Object;
+    if (!expect('{')) {
+      return false;
+    }
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) {
+        return false;
+      }
+      skip_ws();
+      if (!expect(':')) {
+        return false;
+      }
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) {
+        return false;
+      }
+      out.object.insert_or_assign(std::move(key), std::move(value));
+      skip_ws();
+      if (at_end()) {
+        fail("unterminated object");
+        return false;
+      }
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return expect('}');
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_{0};
+};
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+// The three engine profiles and their benchmark-name stems in micro_simcore.
+struct ProfileName {
+  const char* key;
+  const char* bench_stem;
+};
+constexpr ProfileName kProfiles[] = {
+    {"schedule_heavy", "BM_ScheduleHeavy"},
+    {"cancel_heavy", "BM_CancelHeavy"},
+    {"mixed", "BM_Mixed"},
+};
+
+const JsonValue* find_benchmark(const JsonValue& benchmarks, const std::string& name) {
+  for (const JsonValue& entry : benchmarks.array) {
+    const JsonValue* n = entry.find("name");
+    if (n != nullptr && n->kind == JsonValue::Kind::String && n->string == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+bool read_metric(const JsonValue& bench, const char* counter, double& out,
+                 const std::string& bench_name, std::string* error) {
+  const JsonValue* v = bench.find(counter);
+  if (v == nullptr || v->kind != JsonValue::Kind::Number) {
+    if (error != nullptr) {
+      *error = bench_name + ": counter '" + counter + "' missing from benchmark output";
+    }
+    return false;
+  }
+  out = v->number;
+  return true;
+}
+
+bool read_metrics(const JsonValue& benchmarks, const std::string& bench_name,
+                  ProfileMetrics& out, std::string* error) {
+  const JsonValue* bench = find_benchmark(benchmarks, bench_name);
+  if (bench == nullptr) {
+    if (error != nullptr) {
+      *error = "benchmark '" + bench_name + "' not found in raw output";
+    }
+    return false;
+  }
+  return read_metric(*bench, "events_per_sec", out.events_per_sec, bench_name, error) &&
+         read_metric(*bench, "allocs_per_op", out.allocs_per_op, bench_name, error) &&
+         read_metric(*bench, "peak_queued", out.peak_queued, bench_name, error);
+}
+
+bool load_metrics(const JsonValue& profile, const char* engine, ProfileMetrics& out,
+                  const std::string& profile_name, std::string* error) {
+  const JsonValue* obj = profile.find(engine);
+  if (obj == nullptr || obj->kind != JsonValue::Kind::Object) {
+    if (error != nullptr) {
+      *error = "profile '" + profile_name + "' is missing the '" + engine + "' object";
+    }
+    return false;
+  }
+  return read_metric(*obj, "events_per_sec", out.events_per_sec, profile_name, error) &&
+         read_metric(*obj, "allocs_per_op", out.allocs_per_op, profile_name, error) &&
+         read_metric(*obj, "peak_queued", out.peak_queued, profile_name, error);
+}
+
+void render_metrics(std::string& out, const char* indent, const ProfileMetrics& m) {
+  out += indent;
+  out += "{\"events_per_sec\": " + fmt(m.events_per_sec);
+  out += ", \"allocs_per_op\": " + fmt(m.allocs_per_op);
+  out += ", \"peak_queued\": " + fmt(m.peak_queued) + "}";
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::Object) {
+    return nullptr;
+  }
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+std::optional<JsonValue> parse_json(const std::string& text, std::string* error) {
+  if (error != nullptr) {
+    error->clear();
+  }
+  return Parser{text, error}.parse();
+}
+
+std::optional<Summary> summarize_raw(const JsonValue& raw, std::string* error) {
+  const JsonValue* benchmarks = raw.find("benchmarks");
+  if (benchmarks == nullptr || benchmarks->kind != JsonValue::Kind::Array) {
+    if (error != nullptr) {
+      *error = "raw output has no 'benchmarks' array";
+    }
+    return std::nullopt;
+  }
+  Summary summary;
+  for (const ProfileName& p : kProfiles) {
+    EngineProfile profile;
+    const std::string stem{p.bench_stem};
+    if (!read_metrics(*benchmarks, stem + "_Indexed", profile.indexed, error) ||
+        !read_metrics(*benchmarks, stem + "_Lazy", profile.lazy, error)) {
+      return std::nullopt;
+    }
+    if (profile.lazy.events_per_sec <= 0.0) {
+      if (error != nullptr) {
+        *error = stem + "_Lazy reports a non-positive events_per_sec";
+      }
+      return std::nullopt;
+    }
+    profile.speedup_vs_lazy = profile.indexed.events_per_sec / profile.lazy.events_per_sec;
+    summary.profiles.emplace(p.key, std::move(profile));
+  }
+  return summary;
+}
+
+std::string render_summary(const Summary& summary) {
+  std::string out = "{\n  \"schema\": 1,\n  \"tool\": \"perf_gate\",\n  \"profiles\": {\n";
+  std::size_t i = 0;
+  for (const auto& [name, profile] : summary.profiles) {
+    out += "    \"" + name + "\": {\n";
+    out += "      \"indexed\": ";
+    render_metrics(out, "", profile.indexed);
+    out += ",\n      \"lazy\": ";
+    render_metrics(out, "", profile.lazy);
+    out += ",\n      \"speedup_vs_lazy\": " + fmt(profile.speedup_vs_lazy) + "\n    }";
+    out += (++i < summary.profiles.size()) ? ",\n" : "\n";
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+std::optional<Summary> load_summary(const JsonValue& doc, std::string* error) {
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::Number ||
+      schema->number != 1.0) {
+    if (error != nullptr) {
+      *error = "baseline is missing \"schema\": 1";
+    }
+    return std::nullopt;
+  }
+  const JsonValue* profiles = doc.find("profiles");
+  if (profiles == nullptr || profiles->kind != JsonValue::Kind::Object) {
+    if (error != nullptr) {
+      *error = "baseline has no 'profiles' object";
+    }
+    return std::nullopt;
+  }
+  Summary summary;
+  for (const auto& [name, value] : profiles->object) {
+    EngineProfile profile;
+    if (!load_metrics(value, "indexed", profile.indexed, name, error) ||
+        !load_metrics(value, "lazy", profile.lazy, name, error)) {
+      return std::nullopt;
+    }
+    const JsonValue* speedup = value.find("speedup_vs_lazy");
+    if (speedup == nullptr || speedup->kind != JsonValue::Kind::Number) {
+      if (error != nullptr) {
+        *error = "profile '" + name + "' is missing speedup_vs_lazy";
+      }
+      return std::nullopt;
+    }
+    profile.speedup_vs_lazy = speedup->number;
+    summary.profiles.emplace(name, std::move(profile));
+  }
+  return summary;
+}
+
+GateResult gate(const Summary& current, const Summary* baseline,
+                const GateOptions& options) {
+  GateResult result;
+  auto fail = [&result](std::string message) {
+    result.pass = false;
+    result.failures.push_back(std::move(message));
+  };
+
+  for (const auto& [name, profile] : current.profiles) {
+    result.notes.push_back(name + ": indexed " + fmt(profile.indexed.events_per_sec) +
+                           " ev/s, lazy " + fmt(profile.lazy.events_per_sec) +
+                           " ev/s, speedup " + fmt(profile.speedup_vs_lazy) +
+                           "x, peak_queued " + fmt(profile.indexed.peak_queued) + " vs " +
+                           fmt(profile.lazy.peak_queued));
+    // The SBO contract: steady-state scheduling allocates nothing. Exact —
+    // a single stray allocation per million ops is a broken inline path.
+    if (profile.indexed.allocs_per_op != 0.0) {
+      fail(name + ": indexed allocs_per_op = " + fmt(profile.indexed.allocs_per_op) +
+           " (SBO contract requires exactly 0)");
+    }
+  }
+
+  const auto cancel = current.profiles.find("cancel_heavy");
+  if (cancel == current.profiles.end()) {
+    fail("cancel_heavy profile missing from this run");
+  } else if (cancel->second.speedup_vs_lazy < options.min_speedup) {
+    fail("cancel_heavy speedup " + fmt(cancel->second.speedup_vs_lazy) +
+         "x is below the " + fmt(options.min_speedup) + "x floor");
+  }
+
+  if (baseline != nullptr) {
+    for (const auto& [name, base] : baseline->profiles) {
+      const auto it = current.profiles.find(name);
+      if (it == current.profiles.end()) {
+        fail(name + ": present in the baseline but missing from this run");
+        continue;
+      }
+      const EngineProfile& cur = it->second;
+      const double speedup_floor = base.speedup_vs_lazy * (1.0 - options.tolerance);
+      if (cur.speedup_vs_lazy < speedup_floor) {
+        fail(name + ": speedup " + fmt(cur.speedup_vs_lazy) + "x regressed below " +
+             fmt(speedup_floor) + "x (baseline " + fmt(base.speedup_vs_lazy) +
+             "x, tolerance " + fmt(options.tolerance * 100.0) + "%)");
+      }
+      const double queue_ceiling = base.indexed.peak_queued * (1.0 + options.tolerance);
+      if (cur.indexed.peak_queued > queue_ceiling) {
+        fail(name + ": indexed peak_queued " + fmt(cur.indexed.peak_queued) +
+             " exceeds " + fmt(queue_ceiling) + " (baseline " +
+             fmt(base.indexed.peak_queued) + ", tolerance " +
+             fmt(options.tolerance * 100.0) + "%)");
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ampom::perfgate

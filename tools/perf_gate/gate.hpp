@@ -1,0 +1,96 @@
+#pragma once
+// perf_gate — the continuous-performance comparator behind BENCH_simcore.json.
+//
+// bench/micro_simcore emits google-benchmark JSON for three engine profiles
+// (schedule_heavy, cancel_heavy, mixed), each run against both the indexed
+// event queue and the retired lazy-delete reference engine that lives inside
+// the bench binary. This tool:
+//
+//   1. normalizes that raw JSON into the flat committed schema
+//      (BENCH_simcore.json):
+//        {"schema":1,"tool":"perf_gate","profiles":{
+//          "cancel_heavy":{"indexed":{...},"lazy":{...},"speedup_vs_lazy":S},
+//          ...}}
+//   2. gates the run. Absolute throughput is machine-dependent and therefore
+//      only informational; the gate checks the machine-independent facts:
+//        - every indexed profile performs ZERO heap allocations per engine
+//          op (the SBO callback contract), exactly;
+//        - the cancel_heavy speedup over the lazy engine meets the hard
+//          floor (default 1.5x, the paper-repro acceptance bar);
+//        - against a committed baseline, each profile's speedup has not
+//          regressed by more than --tolerance (default 30%), and the
+//          indexed peak queued-entry count (deterministic for the fixed
+//          workload) has not grown past baseline * (1 + tolerance).
+//
+// No external JSON dependency: the parser below covers exactly the two flat
+// schemas this tool reads.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ampom::perfgate {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind{Kind::Null};
+  bool boolean{false};
+  double number{0.0};
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;  // ordered: renders deterministically
+
+  // Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+};
+
+// Parse a JSON document. On failure returns nullopt and, if `error` is
+// non-null, a one-line description with the byte offset.
+[[nodiscard]] std::optional<JsonValue> parse_json(const std::string& text,
+                                                  std::string* error);
+
+struct ProfileMetrics {
+  double events_per_sec{0.0};
+  double allocs_per_op{0.0};
+  double peak_queued{0.0};
+};
+
+struct EngineProfile {
+  ProfileMetrics indexed;
+  ProfileMetrics lazy;
+  double speedup_vs_lazy{0.0};  // indexed.events_per_sec / lazy.events_per_sec
+};
+
+struct Summary {
+  std::map<std::string, EngineProfile> profiles;
+};
+
+// Extract the profile pairs from raw google-benchmark output
+// (--benchmark_out_format=json). Fails if any expected benchmark or counter
+// is missing — a silently dropped profile must not read as a pass.
+[[nodiscard]] std::optional<Summary> summarize_raw(const JsonValue& raw,
+                                                   std::string* error);
+
+// Serialize / load the committed normalized schema.
+[[nodiscard]] std::string render_summary(const Summary& summary);
+[[nodiscard]] std::optional<Summary> load_summary(const JsonValue& doc,
+                                                  std::string* error);
+
+struct GateOptions {
+  double tolerance{0.30};   // allowed fractional regression vs the baseline
+  double min_speedup{1.5};  // hard floor for the cancel_heavy speedup
+};
+
+struct GateResult {
+  bool pass{true};
+  std::vector<std::string> failures;
+  std::vector<std::string> notes;  // informational (absolute throughput etc.)
+};
+
+// Gate `current`; `baseline` may be null (invariants only, used when
+// generating the first committed baseline).
+[[nodiscard]] GateResult gate(const Summary& current, const Summary* baseline,
+                              const GateOptions& options);
+
+}  // namespace ampom::perfgate

@@ -1,0 +1,164 @@
+// perf_gate CLI.
+//
+//   perf_gate --input=raw.json [--baseline=BENCH_simcore.json]
+//             [--output=FILE] [--tolerance=0.30] [--min-speedup=1.5]
+//
+// Reads bench/micro_simcore's --benchmark_out JSON, normalizes it to the
+// committed BENCH_simcore.json schema (written to --output when given) and
+// gates it: machine-independent invariants always, trajectory checks when a
+// --baseline is supplied. Exit 0 on pass, 1 on gate failure, 2 on usage or
+// parse errors.
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "perf_gate/gate.hpp"
+
+namespace {
+
+using namespace ampom::perfgate;
+
+struct Options {
+  std::string input;
+  std::string baseline;
+  std::string output;
+  GateOptions gate;
+};
+
+bool parse_double(const std::string& text, double& out) {
+  std::istringstream stream{text};
+  return static_cast<bool>(stream >> out) && stream.eof() && out >= 0.0;
+}
+
+std::optional<Options> parse_args(int argc, char** argv, std::string& error) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&arg](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--input=", 0) == 0) {
+      options.input = value_of("--input=");
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      options.baseline = value_of("--baseline=");
+    } else if (arg.rfind("--output=", 0) == 0) {
+      options.output = value_of("--output=");
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      if (!parse_double(value_of("--tolerance="), options.gate.tolerance)) {
+        error = "invalid --tolerance value";
+        return std::nullopt;
+      }
+    } else if (arg.rfind("--min-speedup=", 0) == 0) {
+      if (!parse_double(value_of("--min-speedup="), options.gate.min_speedup)) {
+        error = "invalid --min-speedup value";
+        return std::nullopt;
+      }
+    } else {
+      error = "unknown argument: " + arg;
+      return std::nullopt;
+    }
+  }
+  if (options.input.empty()) {
+    error = "--input=FILE is required";
+    return std::nullopt;
+  }
+  return options;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::optional<Summary> load_summary_file(const std::string& path, std::string& error) {
+  const auto text = read_file(path);
+  if (!text) {
+    error = "cannot read " + path;
+    return std::nullopt;
+  }
+  std::string parse_error;
+  const auto doc = parse_json(*text, &parse_error);
+  if (!doc) {
+    error = path + ": " + parse_error;
+    return std::nullopt;
+  }
+  auto summary = load_summary(*doc, &parse_error);
+  if (!summary) {
+    error = path + ": " + parse_error;
+  }
+  return summary;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string error;
+  const auto options = parse_args(argc, argv, error);
+  if (!options) {
+    std::cerr << "perf_gate: " << error << "\n"
+              << "usage: perf_gate --input=raw.json [--baseline=FILE] [--output=FILE]"
+                 " [--tolerance=0.30] [--min-speedup=1.5]\n";
+    return 2;
+  }
+
+  const auto raw_text = read_file(options->input);
+  if (!raw_text) {
+    std::cerr << "perf_gate: cannot read " << options->input << "\n";
+    return 2;
+  }
+  std::string parse_error;
+  const auto raw = parse_json(*raw_text, &parse_error);
+  if (!raw) {
+    std::cerr << "perf_gate: " << options->input << ": " << parse_error << "\n";
+    return 2;
+  }
+  const auto current = summarize_raw(*raw, &parse_error);
+  if (!current) {
+    std::cerr << "perf_gate: " << options->input << ": " << parse_error << "\n";
+    return 2;
+  }
+
+  std::optional<Summary> baseline;
+  if (!options->baseline.empty()) {
+    baseline = load_summary_file(options->baseline, error);
+    if (!baseline) {
+      std::cerr << "perf_gate: " << error << "\n";
+      return 2;
+    }
+  }
+
+  if (!options->output.empty()) {
+    std::ofstream out{options->output, std::ios::binary};
+    if (!out) {
+      std::cerr << "perf_gate: cannot write " << options->output << "\n";
+      return 2;
+    }
+    out << render_summary(*current);
+  }
+
+  const GateResult result =
+      gate(*current, baseline ? &*baseline : nullptr, options->gate);
+  for (const std::string& note : result.notes) {
+    std::cout << "perf_gate: " << note << "\n";
+  }
+  for (const std::string& failure : result.failures) {
+    std::cout << "perf_gate: FAIL: " << failure << "\n";
+  }
+  if (!result.pass) {
+    std::cout << "perf_gate: gate FAILED (" << result.failures.size() << " check"
+              << (result.failures.size() == 1 ? "" : "s") << ")\n";
+    return 1;
+  }
+  std::cout << "perf_gate: gate passed"
+            << (baseline ? " (invariants + baseline trajectory)" : " (invariants only)")
+            << "\n";
+  return 0;
+}
