@@ -32,12 +32,15 @@ ProcessHost::ProcessHost(ClusterSim& world, std::uint64_t pid, JobSpec spec)
     return 1.0 / static_cast<double>(std::max<std::uint64_t>(1, sharers));
   });
   executor_.set_max_burst(sim::Time::from_ms(5));  // responsive rebalancing
-  executor_.set_on_finished([this] { world_.note_finished(); });
+  executor_.set_on_finished([this] { world_.note_finished(*this); });
 }
 
 void ProcessHost::start() {
   started_ = true;
   executor_.start();
+  if (world_.observer_ != nullptr) {
+    world_.observer_->on_started(*this);
+  }
 }
 
 const proc::PagingClientStats* ProcessHost::paging_stats(net::NodeId node) const {
@@ -46,6 +49,11 @@ const proc::PagingClientStats* ProcessHost::paging_stats(net::NodeId node) const
     return nullptr;
   }
   return &it->second.client->stats();
+}
+
+const proc::PagingClient* ProcessHost::paging_client(net::NodeId node) const {
+  const auto it = stacks_.find(node);
+  return it == stacks_.end() ? nullptr : it->second.client.get();
 }
 
 void ProcessHost::on_host_crashed(net::NodeId node) {
@@ -71,6 +79,7 @@ void ProcessHost::recover_to_home() {
   executor_.set_policy(nullptr);  // every page is Local at home again
   executor_.resume_migrated(world_.profile().costs);
   ++recoveries_;
+  world_.note_rehomed(*this, lost);
 }
 
 void ProcessHost::activate_stack(net::NodeId node) {
@@ -141,6 +150,7 @@ void ProcessHost::migrate_to(net::NodeId dst) {
     return;
   }
   migrating_ = true;
+  const net::NodeId src = process_.current_node();
   const bool first_hop = process_.current_node() == process_.home_node();
   migration::MigrationEngine& engine =
       first_hop ? world_.first_hop_engine() : world_.second_hop_engine();
@@ -166,14 +176,30 @@ void ProcessHost::migrate_to(net::NodeId dst) {
     ctx.reliability = world_.reliability().migration;
   }
   migration::migrate_process(std::move(ctx), engine,
-                             [this](migration::MigrationResult result) {
+                             [this, src, dst](migration::MigrationResult result) {
                                migrating_ = false;
                                if (result.completed()) {
                                  ++migrations_;
+                                 if (world_.node_crashed(process_.current_node())) {
+                                   // The destination died while the final acks were
+                                   // in flight: the commit is legitimate (every chunk
+                                   // was acknowledged) but the image landed on a dead
+                                   // node and nobody there will thaw it. Freeze it
+                                   // now; the balancer re-homes it like any other
+                                   // stranded migrant.
+                                   on_host_crashed(process_.current_node());
+                                 }
                                } else {
                                  ++failed_migrations_;
                                }
                                freeze_total_ += result.freeze_time();
+                               if (world_.observer_ != nullptr) {
+                                 if (result.completed()) {
+                                   world_.observer_->on_migration_committed(*this, src, dst);
+                                 } else {
+                                   world_.observer_->on_migration_aborted(*this, src, dst);
+                                 }
+                               }
                              });
 }
 
@@ -231,11 +257,42 @@ void ClusterSim::set_fault_plan(const driver::FaultPlan& plan) {
     fabric_.set_fault_injector(injector_.get());
   }
   plan.apply_faults(*injector_);
+  const auto schedule_crash = [this](net::NodeId node, sim::Time at, sim::Time restore_at) {
+    sim_.schedule_at(at, [this, node] { crash_node(node); });
+    last_fault_at_ = std::max(last_fault_at_, at);
+    if (restore_at > sim::Time::zero()) {
+      sim_.schedule_at(restore_at, [this, node] { restore_node(node); });
+      last_fault_at_ = std::max(last_fault_at_, restore_at);
+    }
+  };
   for (const auto& crash : plan.crashes) {
-    sim_.schedule_at(crash.at, [this, node = crash.node] { crash_node(node); });
-    if (crash.restore_at > sim::Time::zero()) {
-      sim_.schedule_at(crash.restore_at,
-                       [this, node = crash.node] { restore_node(node); });
+    schedule_crash(crash.node, crash.at, crash.restore_at);
+  }
+  for (const auto& outage : plan.outages) {
+    last_fault_at_ = std::max({last_fault_at_, outage.down_at, outage.up_at});
+  }
+
+  if (plan.chaos.active()) {
+    // Campaigns expand to the same primitives the plan carries explicitly:
+    // outages feed the injector directly, crashes go through crash_node so
+    // the processes on dying nodes are interrupted too.
+    const cluster::ExpandedChaos expanded = cluster::expand_chaos(plan.chaos, node_count());
+    for (const auto& outage : expanded.outages) {
+      injector_->schedule_link_outage(outage.a, outage.b, outage.down_at, outage.up_at);
+    }
+    for (const auto& crash : expanded.crashes) {
+      schedule_crash(crash.node, crash.at, crash.restore_at);
+    }
+    last_fault_at_ = std::max(last_fault_at_, expanded.last_fault_at);
+    if (recovery_tracking_) {
+      sim::Time last_mark = sim::Time::zero();
+      for (const sim::Time mark : expanded.heal_marks) {
+        if (mark == last_mark) {
+          continue;  // heal_marks is sorted; watch each instant once
+        }
+        last_mark = mark;
+        sim_.schedule_at(mark, [this, mark] { poll_heal(mark); });
+      }
     }
   }
 }
@@ -269,11 +326,32 @@ void ClusterSim::crash_node(net::NodeId id) {
       host->on_host_crashed(id);
     }
   }
+  last_fault_at_ = std::max(last_fault_at_, sim_.now());
+  if (recovery_tracking_) {
+    ++recovery_.crashes;
+    crashed_at_[id] = sim_.now();
+    if (reliability_.enabled && reliability_.detection.enabled) {
+      poll_detection(id, sim_.now());
+    }
+  }
+  if (observer_ != nullptr) {
+    observer_->on_node_crashed(id);
+  }
 }
 
 void ClusterSim::restore_node(net::NodeId id) {
   if (injector_ != nullptr) {
     injector_->restore_node(id);
+  }
+  // The restored node boots fresh: its failure detector must not judge
+  // peers by pre-crash timestamps, or two restored nodes can outvote the
+  // survivors and condemn a live migrant's host.
+  if (id < infods_.size() && infods_[id] != nullptr) {
+    infods_[id]->note_rebooted();
+  }
+  last_fault_at_ = std::max(last_fault_at_, sim_.now());
+  if (observer_ != nullptr) {
+    observer_->on_node_restored(id);
   }
 }
 
@@ -287,11 +365,20 @@ cluster::PeerHealth ClusterSim::consensus_health(net::NodeId id) const {
   }
   std::size_t dead = 0;
   std::size_t suspected = 0;
-  const std::size_t voters = node_count() - 1;
+  std::size_t voters = 0;
   for (net::NodeId observer = 0; observer < node_count(); ++observer) {
     if (observer == id) {
       continue;
     }
+    // A crashed peer answers no poll, so its verdict cannot count. Without
+    // this, a half-dead cluster condemns its own survivors: crashed
+    // observers hear nobody, vote everyone dead, and a majority of them
+    // gets a live migrant's host declared kDead — and the migrant
+    // "reclaimed" while it is still running there.
+    if (node_crashed(observer)) {
+      continue;
+    }
+    ++voters;
     switch (infods_[observer]->peer_health(id)) {
       case cluster::PeerHealth::kDead:
         ++dead;
@@ -357,10 +444,93 @@ std::uint64_t ClusterSim::active_on(net::NodeId node) const {
   return count;
 }
 
-void ClusterSim::note_finished() {
+void ClusterSim::note_finished(ProcessHost& host) {
   ++finished_;
+  if (observer_ != nullptr) {
+    observer_->on_finished(host);
+  }
   if (finished_ == hosts_.size()) {
+    if (observer_ != nullptr && !run_end_notified_) {
+      run_end_notified_ = true;
+      observer_->on_run_end();
+    }
     sim_.halt();
+  }
+}
+
+void ClusterSim::note_rehomed(ProcessHost& host, net::NodeId lost) {
+  if (recovery_tracking_) {
+    ++recovery_.rehomes;
+    const auto it = crashed_at_.find(lost);
+    if (it != crashed_at_.end()) {
+      recovery_.rehome_ms.add((sim_.now() - it->second).ms());
+    }
+  }
+  if (observer_ != nullptr) {
+    observer_->on_rehomed(host);
+  }
+}
+
+void ClusterSim::poll_detection(net::NodeId id, sim::Time crashed_at) {
+  const auto it = crashed_at_.find(id);
+  if (it == crashed_at_.end() || it->second != crashed_at) {
+    return;  // superseded by a restore + re-crash; the newer watch owns it
+  }
+  if (!node_crashed(id)) {
+    return;  // restored before the survivors agreed it was dead
+  }
+  if (consensus_health(id) == cluster::PeerHealth::kDead) {
+    recovery_.detect_ms.add((sim_.now() - crashed_at).ms());
+    return;
+  }
+  sim_.schedule_after(profile_.infod_period,
+                      [this, id, crashed_at] { poll_detection(id, crashed_at); });
+}
+
+void ClusterSim::poll_heal(sim::Time mark) {
+  if (survivor_views_converged()) {
+    ++recovery_.heals;
+    recovery_.heal_ms.add((sim_.now() - mark).ms());
+    return;
+  }
+  sim_.schedule_after(profile_.infod_period, [this, mark] { poll_heal(mark); });
+}
+
+bool ClusterSim::survivor_views_converged() const {
+  if (!reliability_.enabled || !reliability_.detection.enabled) {
+    return true;  // no views to converge
+  }
+  for (net::NodeId viewer = 0; viewer < node_count(); ++viewer) {
+    if (node_crashed(viewer)) {
+      continue;
+    }
+    for (net::NodeId target = 0; target < node_count(); ++target) {
+      if (viewer == target || node_crashed(target)) {
+        continue;
+      }
+      if (infods_[viewer]->peer_health(target) != cluster::PeerHealth::kAlive) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void ClusterSim::fill_recovery_metrics(driver::RunMetrics& metrics) const {
+  metrics.crashes_injected = recovery_.crashes;
+  metrics.migrants_rehomed = recovery_.rehomes;
+  metrics.heals_observed = recovery_.heals;
+  if (!recovery_.detect_ms.empty()) {
+    metrics.detect_p50_ms = recovery_.detect_ms.percentile(0.5);
+    metrics.detect_p95_ms = recovery_.detect_ms.percentile(0.95);
+  }
+  if (!recovery_.rehome_ms.empty()) {
+    metrics.rehome_p50_ms = recovery_.rehome_ms.percentile(0.5);
+    metrics.rehome_p95_ms = recovery_.rehome_ms.percentile(0.95);
+  }
+  if (!recovery_.heal_ms.empty()) {
+    metrics.heal_p50_ms = recovery_.heal_ms.percentile(0.5);
+    metrics.heal_p95_ms = recovery_.heal_ms.percentile(0.95);
   }
 }
 
@@ -372,6 +542,14 @@ void ClusterSim::run() {
   if (finished_ != hosts_.size()) {
     throw std::runtime_error("ClusterSim::run: simulation drained with unfinished processes");
   }
+}
+
+bool ClusterSim::run_until(sim::Time deadline) {
+  if (hosts_.empty()) {
+    throw std::logic_error("ClusterSim::run_until: no jobs spawned");
+  }
+  sim_.run_until(deadline);
+  return finished_ == hosts_.size();
 }
 
 sim::Time ClusterSim::makespan() const {

@@ -18,6 +18,7 @@
 #include "cluster/infod.hpp"
 #include "cluster/node.hpp"
 #include "core/ampom_policy.hpp"
+#include "driver/metrics.hpp"
 #include "driver/profile.hpp"
 #include "driver/scenario.hpp"
 #include "mem/ledger.hpp"
@@ -29,6 +30,8 @@
 #include "proc/deputy.hpp"
 #include "proc/executor.hpp"
 #include "proc/paging_client.hpp"
+#include "stats/summary.hpp"
+#include "verify/observer.hpp"
 
 namespace ampom::balancer {
 
@@ -74,7 +77,11 @@ class ProcessHost {
   [[nodiscard]] sim::Time finished_at() const { return executor_.stats().finished_at; }
   [[nodiscard]] const mem::PageLedger& ledger() const { return ledger_; }
   [[nodiscard]] const proc::Deputy& deputy() const { return deputy_; }
+  [[nodiscard]] const proc::Process& process() const { return process_; }
   [[nodiscard]] const proc::PagingClientStats* paging_stats(net::NodeId node) const;
+  // The paging client this process uses when running on `node`, or null if
+  // it never activated a stack there. Read-only: auditor introspection.
+  [[nodiscard]] const proc::PagingClient* paging_client(net::NodeId node) const;
 
  private:
   friend class ClusterSim;
@@ -123,6 +130,14 @@ class ClusterSim {
   // Run the world until every spawned process finished.
   void run();
 
+  // Run until every process finished or `deadline` passes, whichever comes
+  // first; true iff everything finished. InfoDaemon ticks keep the event
+  // queue populated forever, so a run that livelocks (e.g. every path to a
+  // process's home node permanently dead) never drains — the fuzzer uses
+  // this bounded form instead of run() to turn a hang into a reportable
+  // failure instead of an infinite loop.
+  [[nodiscard]] bool run_until(sim::Time deadline);
+
   // --- faults & reliability --------------------------------------------------
   // Install a scripted fault schedule. Probabilistic faults and link outages
   // go straight to the injector; node crashes are orchestrated through
@@ -144,9 +159,10 @@ class ClusterSim {
   [[nodiscard]] bool node_crashed(net::NodeId id) const;
 
   // Cluster-wide health of `id` by majority vote over the other nodes'
-  // heartbeat-silence verdicts — one crashed observer (which hears nobody
-  // and would call everyone dead) cannot condemn a healthy node. Always
-  // kAlive while failure detection is disabled.
+  // heartbeat-silence verdicts. Crashed observers answer no poll and are
+  // excluded — they hear nobody, would call everyone dead, and with enough
+  // of them a healthy node would be condemned by its dead neighbours.
+  // Always kAlive while failure detection is disabled.
   [[nodiscard]] cluster::PeerHealth consensus_health(net::NodeId id) const;
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
@@ -157,6 +173,36 @@ class ClusterSim {
   [[nodiscard]] driver::Scheme scheme() const { return scheme_; }
   [[nodiscard]] const driver::ClusterProfile& profile() const { return profile_; }
   [[nodiscard]] const core::AmpomConfig& ampom_config() const { return ampom_; }
+
+  // --- verification & recovery observability --------------------------------
+  // Register (or clear, with nullptr) the verification observer. Not owned;
+  // must outlive the run. Null observer = zero overhead, bit-identical runs.
+  void set_observer(verify::WorldObserver* observer) { observer_ = observer; }
+  [[nodiscard]] verify::WorldObserver* observer() { return observer_; }
+
+  // Latest instant at which a *scheduled* fault still changes the world
+  // (crash, restore, outage edge, campaign heal), maxed with any
+  // crash_node/restore_node call made so far. After it + detector settle
+  // time, heartbeat views must converge — the auditor's quiescence gate.
+  [[nodiscard]] sim::Time last_fault_at() const { return last_fault_at_; }
+
+  // Recovery latency tracking (off by default; enabling schedules read-only
+  // poll events, so only bit-identity-indifferent runs should turn it on).
+  // Call BEFORE set_fault_plan so campaign heal marks get convergence
+  // watches.
+  void enable_recovery_tracking() { recovery_tracking_ = true; }
+
+  struct RecoveryStats {
+    stats::Summary detect_ms;  // crash -> surviving-majority dead consensus
+    stats::Summary rehome_ms;  // crash -> stranded migrant re-homed
+    stats::Summary heal_ms;    // campaign heal mark -> all-alive views
+    std::uint64_t crashes{0};
+    std::uint64_t rehomes{0};
+    std::uint64_t heals{0};
+  };
+  [[nodiscard]] const RecoveryStats& recovery_stats() const { return recovery_; }
+  // Copies counts and p50/p95 percentiles into the RunMetrics recovery block.
+  void fill_recovery_metrics(driver::RunMetrics& metrics) const;
 
   // Unfinished processes currently placed on `node` (the load metric).
   [[nodiscard]] std::uint64_t active_on(net::NodeId node) const;
@@ -170,7 +216,12 @@ class ClusterSim {
 
  private:
   friend class ProcessHost;
-  void note_finished();
+  void note_finished(ProcessHost& host);
+  void note_rehomed(ProcessHost& host, net::NodeId lost);
+  // Recovery-tracking poll loops (read-only; scheduled only when tracking).
+  void poll_detection(net::NodeId id, sim::Time crashed_at);
+  void poll_heal(sim::Time mark);
+  [[nodiscard]] bool survivor_views_converged() const;
 
   driver::Scheme scheme_;
   driver::ClusterProfile profile_;
@@ -183,6 +234,12 @@ class ClusterSim {
   std::vector<std::unique_ptr<cluster::InfoDaemon>> infods_;
   std::vector<std::unique_ptr<ProcessHost>> hosts_;
   std::size_t finished_{0};
+  verify::WorldObserver* observer_{nullptr};
+  bool run_end_notified_{false};
+  sim::Time last_fault_at_{};
+  bool recovery_tracking_{false};
+  RecoveryStats recovery_;
+  std::map<net::NodeId, sim::Time> crashed_at_;  // most recent crash per node
 
   migration::FullCopyEngine full_copy_;
   migration::ThreePageEngine three_page_;

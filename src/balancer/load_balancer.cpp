@@ -25,9 +25,19 @@ void LoadBalancer::reclaim_stranded() {
   // deputy reconstructs ownership from the HPT/ledger and the process
   // resumes at its home node.
   for (const auto& host : world_.hosts()) {
-    if (host->started() && !host->finished() && !host->migrating() &&
-        host->current_node() != host->home_node() &&
-        world_.consensus_health(host->current_node()) == cluster::PeerHealth::kDead) {
+    if (!host->started() || host->finished() || host->migrating() ||
+        host->current_node() == host->home_node()) {
+      continue;
+    }
+    const cluster::PeerHealth health = world_.consensus_health(host->current_node());
+    // A frozen, non-migrating migrant on a node the cluster sees as healthy
+    // is stranded by a crash/reboot faster than the dead threshold: the node
+    // heartbeats again but the process image died with the crash, so the
+    // kDead rule alone would leave it frozen forever. The deputy's view (a
+    // frozen migrant nobody is thawing) is enough to re-home it.
+    const bool lost_to_reboot = health == cluster::PeerHealth::kAlive &&
+                                host->process().state() == proc::ProcState::Frozen;
+    if (health == cluster::PeerHealth::kDead || lost_to_reboot) {
       host->recover_to_home();
       ++rehomes_;
     }

@@ -1,0 +1,155 @@
+#include "cluster/chaos.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "simcore/fmt.hpp"
+#include "simcore/rng.hpp"
+
+namespace ampom::cluster {
+
+namespace {
+
+void note_fault_edge(ExpandedChaos& out, sim::Time at) {
+  out.last_fault_at = std::max(out.last_fault_at, at);
+}
+
+}  // namespace
+
+std::string validate_chaos(const ChaosPlan& plan) {
+  for (const ZoneOutage& zone : plan.zone_outages) {
+    if (zone.nodes.empty()) {
+      return "chaos: zone outage with no nodes";
+    }
+    if (zone.restore_at > sim::Time::zero() && zone.restore_at <= zone.at) {
+      return "chaos: zone outage restores before it strikes";
+    }
+  }
+  for (const Partition& part : plan.partitions) {
+    if (part.group_a.empty()) {
+      return "chaos: partition with an empty group";
+    }
+    if (part.heal_at <= part.at) {
+      return "chaos: partition heals before it strikes";
+    }
+  }
+  for (const CrashWave& wave : plan.crash_waves) {
+    if (wave.crashes == 0) {
+      return "chaos: crash wave with zero crashes";
+    }
+  }
+  for (const LinkFlap& flap : plan.link_flaps) {
+    if (flap.a == flap.b) {
+      return "chaos: link flap needs two distinct endpoints";
+    }
+    if (flap.period <= sim::Time::zero()) {
+      return "chaos: link flap period must be positive";
+    }
+    if (flap.duty <= 0.0 || flap.duty >= 1.0) {
+      return "chaos: link flap duty must be a fraction in (0, 1)";
+    }
+    if (flap.stop <= flap.start) {
+      return "chaos: link flap stops before it starts";
+    }
+  }
+  return {};
+}
+
+ExpandedChaos expand_chaos(const ChaosPlan& plan, std::size_t node_count) {
+  const std::string problem = validate_chaos(plan);
+  if (!problem.empty()) {
+    throw std::invalid_argument(problem);
+  }
+  const auto check_node = [node_count](net::NodeId id) {
+    if (id >= node_count) {
+      throw std::invalid_argument(sim::strfmt(
+          "chaos: campaign names node %llu but the cluster has %llu nodes",
+          static_cast<unsigned long long>(id), static_cast<unsigned long long>(node_count)));
+    }
+  };
+
+  ExpandedChaos out;
+  sim::Rng rng{plan.seed};
+
+  for (const ZoneOutage& zone : plan.zone_outages) {
+    for (const net::NodeId node : zone.nodes) {
+      check_node(node);
+      out.crashes.push_back({node, zone.at, zone.restore_at});
+      note_fault_edge(out, zone.at);
+      if (zone.restore_at > sim::Time::zero()) {
+        note_fault_edge(out, zone.restore_at);
+      }
+    }
+    if (zone.restore_at > sim::Time::zero()) {
+      out.heal_marks.push_back(zone.restore_at);
+    }
+  }
+
+  for (const Partition& part : plan.partitions) {
+    std::vector<bool> in_a(node_count, false);
+    for (const net::NodeId node : part.group_a) {
+      check_node(node);
+      in_a[node] = true;
+    }
+    for (net::NodeId a = 0; a < node_count; ++a) {
+      if (!in_a[a]) {
+        continue;
+      }
+      for (net::NodeId b = 0; b < node_count; ++b) {
+        if (!in_a[b]) {
+          out.outages.push_back({a, b, part.at, part.heal_at});
+        }
+      }
+    }
+    note_fault_edge(out, part.at);
+    note_fault_edge(out, part.heal_at);
+    out.heal_marks.push_back(part.heal_at);
+  }
+
+  for (const CrashWave& wave : plan.crash_waves) {
+    const net::NodeId first = wave.spare_node0 ? 1 : 0;
+    if (first >= node_count) {
+      throw std::invalid_argument("chaos: crash wave has no eligible victims");
+    }
+    std::vector<net::NodeId> pool;
+    for (net::NodeId node = first; node < node_count; ++node) {
+      pool.push_back(node);
+    }
+    sim::Time at = wave.start;
+    const std::uint32_t count =
+        std::min<std::uint32_t>(wave.crashes, static_cast<std::uint32_t>(pool.size()));
+    for (std::uint32_t i = 0; i < count; ++i) {
+      // Victims are drawn without replacement so one wave never crashes the
+      // same node twice mid-downtime.
+      const std::uint64_t pick = rng.uniform(pool.size());
+      const net::NodeId victim = pool[pick];
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+      const sim::Time restore_at =
+          wave.downtime > sim::Time::zero() ? at + wave.downtime : sim::Time::zero();
+      out.crashes.push_back({victim, at, restore_at});
+      note_fault_edge(out, at);
+      if (restore_at > sim::Time::zero()) {
+        note_fault_edge(out, restore_at);
+        out.heal_marks.push_back(restore_at);
+      }
+      at = at + wave.spacing;
+    }
+  }
+
+  for (const LinkFlap& flap : plan.link_flaps) {
+    check_node(flap.a);
+    check_node(flap.b);
+    for (sim::Time t = flap.start; t < flap.stop; t = t + flap.period) {
+      const sim::Time down_until = std::min(t + flap.period.scaled(flap.duty), flap.stop);
+      out.outages.push_back({flap.a, flap.b, t, down_until});
+      note_fault_edge(out, t);
+      note_fault_edge(out, down_until);
+    }
+    out.heal_marks.push_back(flap.stop);
+  }
+
+  std::sort(out.heal_marks.begin(), out.heal_marks.end());
+  return out;
+}
+
+}  // namespace ampom::cluster

@@ -101,6 +101,16 @@ PeerHealth InfoDaemon::peer_health(net::NodeId peer) const {
   return PeerHealth::kAlive;
 }
 
+void InfoDaemon::note_rebooted() {
+  if (started_) {
+    started_at_ = sim_.now();
+  }
+  for (auto& [peer, state] : peer_state_) {
+    state.heard = false;
+    state.last_heard = sim::Time::zero();
+  }
+}
+
 sim::Time InfoDaemon::last_heard(net::NodeId peer) const {
   const auto it = peer_state_.find(peer);
   return it != peer_state_.end() && it->second.heard ? it->second.last_heard

@@ -57,6 +57,11 @@ class InfoDaemon {
   // Health judged from the silence since the peer was last heard (ping or
   // ack). Always kAlive while detection is disabled or before start().
   [[nodiscard]] PeerHealth peer_health(net::NodeId peer) const;
+  // Fresh-boot semantics after a crash+restore: forget every pre-crash
+  // last-heard timestamp and restart the silence clocks from now. Without
+  // this a restored node votes with stale clocks and condemns peers that
+  // were alive the whole time it was down.
+  void note_rebooted();
   [[nodiscard]] sim::Time last_heard(net::NodeId peer) const;
   [[nodiscard]] std::uint64_t dead_peers() const;
 

@@ -33,6 +33,12 @@ std::string ScenarioBuilder::validate() const {
     return "ScenarioBuilder: tracing is enabled with max_events == 0 — every event would "
            "be dropped; raise the cap or disable tracing";
   }
+  if (s.faults.chaos.active()) {
+    std::string chaos_problem = cluster::validate_chaos(s.faults.chaos);
+    if (!chaos_problem.empty()) {
+      return "ScenarioBuilder: " + chaos_problem;
+    }
+  }
   return {};
 }
 

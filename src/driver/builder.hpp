@@ -112,6 +112,46 @@ class ScenarioBuilder {
     return *this;
   }
 
+  // --- chaos campaigns (appended to the fault plan's ChaosPlan) -------------
+  // Correlated fault shapes on top of the per-message faults; expanded
+  // deterministically by the harness (see cluster/chaos.hpp). Like the rest
+  // of the fault plan, campaigns require reliability to be enabled.
+  ScenarioBuilder& chaos_seed(std::uint64_t value) {
+    scenario_.faults.chaos.seed = value;
+    return *this;
+  }
+
+  // Every node in `nodes` crashes at `at`; restore_at zero = stays down.
+  ScenarioBuilder& zone_outage(std::vector<net::NodeId> nodes, sim::Time at,
+                               sim::Time restore_at = {}) {
+    scenario_.faults.chaos.zone_outages.push_back({std::move(nodes), at, restore_at});
+    return *this;
+  }
+
+  // group_a cannot reach the rest of the cluster in [at, heal_at).
+  ScenarioBuilder& partition(std::vector<net::NodeId> group_a, sim::Time at,
+                             sim::Time heal_at) {
+    scenario_.faults.chaos.partitions.push_back({std::move(group_a), at, heal_at});
+    return *this;
+  }
+
+  // `crashes` seeded victims, one every `spacing` from `start`, each down
+  // for `downtime` (zero = stays down); node 0 is spared by default.
+  ScenarioBuilder& crash_wave(std::uint32_t crashes, sim::Time start, sim::Time spacing,
+                              sim::Time downtime = {}, bool spare_node0 = true) {
+    scenario_.faults.chaos.crash_waves.push_back(
+        {crashes, start, spacing, downtime, spare_node0});
+    return *this;
+  }
+
+  // Link a<->b cycles down/up with `period` and down fraction `duty` over
+  // [start, stop).
+  ScenarioBuilder& flapping_link(net::NodeId a, net::NodeId b, sim::Time start,
+                                 sim::Time stop, sim::Time period, double duty = 0.5) {
+    scenario_.faults.chaos.link_flaps.push_back({a, b, start, stop, period, duty});
+    return *this;
+  }
+
   ScenarioBuilder& reliability(ReliabilityConfig value) {
     scenario_.reliability = value;
     return *this;

@@ -58,6 +58,20 @@ RunMetrics detail::run_scenario(const Scenario& scenario, RunContext& run_ctx) {
     for (const auto& crash : scenario.faults.crashes) {
       injector->schedule_node_crash(crash.node, crash.at, crash.restore_at);
     }
+    if (scenario.faults.chaos.active()) {
+      // Campaigns expand to the same primitives the plan carries explicitly.
+      // This single-process world has no balancer to rehome a stranded
+      // migrant, so campaigns here model outage pressure the reliable
+      // protocols must ride out, not crash recovery.
+      const cluster::ExpandedChaos expanded =
+          cluster::expand_chaos(scenario.faults.chaos, /*node_count=*/3);
+      for (const auto& outage : expanded.outages) {
+        injector->schedule_link_outage(outage.a, outage.b, outage.down_at, outage.up_at);
+      }
+      for (const auto& crash : expanded.crashes) {
+        injector->schedule_node_crash(crash.node, crash.at, crash.restore_at);
+      }
+    }
     fabric.set_fault_injector(&*injector);
   }
 

@@ -81,6 +81,19 @@ struct RunMetrics {
   std::uint64_t net_crash_drops{0};                 // suppressed by a crashed node
   std::uint64_t dead_nodes_detected{0};             // peers the observer called dead
 
+  // --- recovery (zero unless ClusterSim::enable_recovery_tracking) -------------
+  // Percentile pairs, milliseconds, in the fault_latency_*_us idiom so
+  // RunMetrics keeps its field-for-field equality.
+  std::uint64_t crashes_injected{0};   // crash events the harness applied
+  std::uint64_t migrants_rehomed{0};   // stranded migrants re-established at home
+  std::uint64_t heals_observed{0};     // campaign heal marks that reached quiescence
+  double detect_p50_ms{0.0};  // crash -> surviving-majority heartbeat consensus
+  double detect_p95_ms{0.0};
+  double rehome_p50_ms{0.0};  // crash -> stranded migrant re-homed
+  double rehome_p95_ms{0.0};
+  double heal_p50_ms{0.0};    // heal mark -> every survivor sees every survivor alive
+  double heal_p95_ms{0.0};
+
   // Fig. 7's prevented fraction: of all pages that had to come from the
   // home node, how many arrived without the process blocking on a fault
   // request for them. (NoPrefetch sends one request per remotely-fetched
@@ -130,6 +143,9 @@ struct RunMetrics {
     c.add("net.duplicated", net_messages_duplicated);
     c.add("net.crash_drops", net_crash_drops);
     c.add("cluster.dead_nodes_detected", dead_nodes_detected);
+    c.add("recovery.crashes_injected", crashes_injected);
+    c.add("recovery.migrants_rehomed", migrants_rehomed);
+    c.add("recovery.heals_observed", heals_observed);
     return c;
   }
 };

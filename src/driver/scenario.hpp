@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/chaos.hpp"
 #include "cluster/infod.hpp"
 #include "core/ampom_policy.hpp"
 #include "core/config.hpp"
@@ -50,7 +51,15 @@ struct FaultPlan {
   };
   std::vector<NodeCrash> crashes;
 
+  // Correlated campaigns (zone outages, partitions, crash waves, link
+  // flaps); expanded deterministically into the primitives above by the
+  // harness once it knows the node count. See cluster/chaos.hpp.
+  cluster::ChaosPlan chaos{};
+
   [[nodiscard]] bool active() const {
+    if (chaos.active()) {
+      return true;
+    }
     const auto nonzero = [](const net::LinkFaults& f) {
       return f.drop_probability > 0.0 || f.duplicate_probability > 0.0 ||
              f.max_extra_delay > sim::Time::zero();
@@ -93,6 +102,14 @@ struct ReliabilityConfig {
     ReliabilityConfig r;
     r.enabled = true;
     r.paging.enabled = true;
+    // Chaos preset: survive long partitions instead of throwing when the
+    // legacy retry budget (~0.7 s of cumulative backoff) runs out before the
+    // 2 s dead-consensus threshold can trigger rehoming. The ceiling keeps
+    // the client probing at a bounded rate; the jitter decorrelates the
+    // heal-time probe burst across clients.
+    r.paging.backoff_ceiling = sim::Time::from_ms(500);
+    r.paging.jitter_fraction = 0.1;
+    r.paging.max_retries = 12;
     r.migration.enabled = true;
     r.detection.enabled = true;
     return r;

@@ -43,6 +43,14 @@ struct MigrationReliability {
   sim::Time ack_grace{sim::Time::from_ms(2)};
   double backoff_factor{2.0};
   std::uint32_t max_retries{4};
+  // Mutation knob for the verification layer's self-test: commit the page
+  // repartition *before* the transfer is acknowledged and skip the rollback
+  // when the destination is declared lost — the historical bug class the
+  // reliable path exists to prevent. An aborted migration then strands the
+  // carried pages' ownership at the dead destination, which the invariant
+  // auditor must flag and ampom_fuzz must shrink. Never set outside
+  // deliberate auditor/fuzzer mutation runs.
+  bool mutate_skip_abort_rollback{false};
 };
 
 struct MigrationContext {

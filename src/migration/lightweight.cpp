@@ -133,8 +133,17 @@ void LightweightEngineBase::run_freeze(MigrationContext ctx, std::vector<mem::Pa
   // Reliable: the repartition commits only once the destination verifiably
   // holds every chunk; until then the source image stays intact so a lost
   // destination costs nothing but the wasted wire time.
+  //
+  // The mutation knob reintroduces the bug this ordering prevents: partition
+  // eagerly, and on a lost destination resume without rolling the ownership
+  // back — exactly what the auditor's abort-trigger check must catch.
+  const bool mutate_early_commit = ctx.reliability.mutate_skip_abort_rollback;
+  if (mutate_early_commit) {
+    apply_partition(ctx, carried);
+  }
   ctx.sim.schedule_at(send_at, [ctx, carried = std::move(carried), done = std::move(done),
-                                result, extra_bytes, extra_unpack, page_bytes]() mutable {
+                                result, extra_bytes, extra_unpack, page_bytes,
+                                mutate_early_commit]() mutable {
     std::vector<ReliableTransfer::Item> items;
     items.push_back({net::MigrationChunk::Kind::Pcb, 1, ctx.wire.pcb_bytes, false});
     items.push_back({net::MigrationChunk::Kind::CurrentPages, result.pages_transferred,
@@ -145,9 +154,11 @@ void LightweightEngineBase::run_freeze(MigrationContext ctx, std::vector<mem::Pa
     ReliableTransfer::run(
         ctx, std::move(items),
         /*on_delivered=*/
-        [ctx, carried = std::move(carried), done, result, extra_unpack](
+        [ctx, carried = std::move(carried), done, result, extra_unpack, mutate_early_commit](
             sim::Time delivered_at, const ReliableTransferStats& st) mutable {
-          apply_partition(ctx, carried);
+          if (!mutate_early_commit) {
+            apply_partition(ctx, carried);
+          }
           result.chunk_retransmits = st.chunk_retransmits;
           result.pages_retransmitted = st.pages_retransmitted;
           result.pages_sent_total += st.pages_retransmitted;

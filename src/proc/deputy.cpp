@@ -93,6 +93,9 @@ void Deputy::ship_page(mem::PageId page, std::uint64_t request_id, bool urgent) 
   }
   sim_.schedule_at(std::max(busy_until_, sim_.now()),
                    [this, page, urgent, request_id] {
+                     if (migrant_node_ == net::kInvalidNode) {
+                       return;  // service ended by recovery while this send was queued
+                     }
                      fabric_.send(net::Message{home_node_, migrant_node_,
                                                wire_.page_message_bytes(),
                                                net::PageData{pid_, request_id, page, urgent},
@@ -108,6 +111,9 @@ void Deputy::replay_page(mem::PageId page, std::uint64_t request_id, bool urgent
   }
   sim_.schedule_at(std::max(busy_until_, sim_.now()),
                    [this, page, urgent, request_id] {
+                     if (migrant_node_ == net::kInvalidNode) {
+                       return;
+                     }
                      fabric_.send(net::Message{home_node_, migrant_node_,
                                                wire_.page_message_bytes(),
                                                net::PageData{pid_, request_id, page, urgent},

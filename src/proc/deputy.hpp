@@ -39,6 +39,11 @@ class Deputy {
   // Called by the migration engine once the migrant is resumed.
   void begin_service(net::NodeId migrant_node) { migrant_node_ = migrant_node; }
 
+  // Where the deputy believes its migrant runs (kInvalidNode before the
+  // first begin_service and after recover_pages_from). The auditor checks
+  // this against the process's actual node.
+  [[nodiscard]] net::NodeId migrant_node() const { return migrant_node_; }
+
   // Reliability: remember which pages each request id shipped so a
   // retransmitted request replays the PageData (same wire bytes, deputy CPU
   // cost) without re-transferring ledger ownership, and answer flushed

@@ -72,11 +72,24 @@ void Executor::start() {
 }
 
 void Executor::schedule_burst(sim::Time delay) {
-  sim_.schedule_after(delay, [this] { run_burst(); });
+  // The generation stamp invalidates events that were in flight when a
+  // crash interrupted the run. "Stale events see Frozen and return" is not
+  // enough on its own: recovery may freeze and resume within one instant
+  // (recover_to_home), in which case a pre-crash burst event fires against a
+  // Running process and a second burst loop starts consuming the stream.
+  sim_.schedule_after(delay, [this, gen = run_gen_] {
+    if (gen != run_gen_) {
+      return;
+    }
+    run_burst();
+  });
 }
 
 void Executor::finish(sim::Time at_delay) {
-  sim_.schedule_after(at_delay, [this] {
+  sim_.schedule_after(at_delay, [this, gen = run_gen_] {
+    if (gen != run_gen_) {
+      return;
+    }
     process_.set_state(ProcState::Finished);
     stats_.finished = true;
     stats_.finished_at = sim_.now();
@@ -257,14 +270,19 @@ void Executor::charge_handler(sim::Time t) {
 }
 
 void Executor::complete_fault(mem::PageId page) {
-  if (process_.state() == ProcState::Frozen || process_.state() == ProcState::Finished) {
+  if (process_.state() != ProcState::Blocked || !pending_ || pending_->page != page) {
+    // Stale completion. A policy charge/arrival timer armed before a crash
+    // interrupt outlives the run it belonged to — and recovery may already
+    // have the process executing at home (even in the same instant, when
+    // the balancer reclaims a just-crashed node's migrant). Consuming here
+    // would double-count the reference; only the executor can tell the
+    // timer its run is gone, so it is dropped here.
     return;
   }
   mem::AddressSpace& aspace = process_.aspace();
   if (aspace.state(page) != mem::PageState::Local) {
     throw std::logic_error("Executor::complete_fault: page is not Local");
   }
-  assert(pending_ && pending_->page == page);
   const sim::Time eviction = maybe_evict_for(page);
   const sim::Time resume_delay = pending_charge_ + eviction;
   const sim::Time latency = (sim_.now() - fault_started_) + resume_delay;
@@ -289,6 +307,11 @@ void Executor::begin_syscall(sim::Time acc) {
 }
 
 void Executor::complete_syscall(std::uint64_t seq) {
+  if (process_.state() != ProcState::Blocked || seq < syscall_seq_) {
+    // Stale: a duplicate, or a response to a run a crash interrupt already
+    // ended (see complete_fault). A *future* sequence stays a hard error.
+    return;
+  }
   if (seq != syscall_seq_) {
     throw std::logic_error("Executor::complete_syscall: unexpected sequence number");
   }
@@ -304,6 +327,7 @@ void Executor::crash_interrupt() {
   on_frozen_ = nullptr;
   pending_charge_ = sim::Time::zero();
   process_.set_state(ProcState::Frozen);
+  ++run_gen_;  // orphan every burst/finish event from the interrupted run
 }
 
 void Executor::resume_migrated(NodeCosts new_costs) {

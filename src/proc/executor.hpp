@@ -131,6 +131,9 @@ class Executor {
   sim::Time fault_started_{};        // when the active fault event fired
   sim::Time pending_charge_{};       // handler time to apply at resume
   std::uint64_t syscall_seq_{0};
+  // Bumped by crash_interrupt; burst/finish events carry the generation they
+  // were scheduled under and return if it moved (see schedule_burst).
+  std::uint64_t run_gen_{0};
   bool started_{false};
   std::function<void()> on_frozen_;  // non-null while a freeze is pending
 

@@ -8,6 +8,28 @@
 
 namespace ampom::proc {
 
+namespace {
+
+// splitmix64 finalizer over the mixed identity of one (request, retry, node,
+// pid) tuple. Pure arithmetic on values every replica of a run computes
+// identically, so the jitter is deterministic — same seed, same timers —
+// while still decorrelating clients from each other.
+std::uint64_t jitter_hash(std::uint64_t request_id, std::uint32_t retries, std::uint64_t node,
+                          std::uint64_t pid) {
+  std::uint64_t x = request_id;
+  x = x * 0x9e3779b97f4a7c15ULL + retries;
+  x = x * 0x9e3779b97f4a7c15ULL + node;
+  x = x * 0x9e3779b97f4a7c15ULL + pid;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
 void PagingClient::request_pages(const std::vector<mem::PageId>& pages, mem::PageId urgent) {
   if (pages.empty()) {
     throw std::logic_error("PagingClient::request_pages: empty batch");
@@ -78,10 +100,21 @@ void PagingClient::arm_timer(std::uint64_t request_id, Pending& pending) {
   }
   const sim::Time service =
       retry_.per_page_allowance * static_cast<std::int64_t>(backlog);
-  const sim::Time timeout =
+  const sim::Time grown =
       (base_timeout() + service).scaled(std::pow(retry_.backoff_factor, pending.retries));
-  pending.timer = sim_.schedule_after(std::min(timeout, retry_.max_timeout + service),
-                                      [this, request_id] { on_timeout(request_id); });
+  // The ceiling, when set, bounds how far backoff can stretch the silence
+  // threshold; otherwise the legacy bound (max_timeout) applies.
+  const sim::Time cap =
+      retry_.backoff_ceiling > sim::Time::zero() ? retry_.backoff_ceiling : retry_.max_timeout;
+  sim::Time timeout = std::min(grown, cap + service);
+  if (retry_.jitter_fraction > 0.0) {
+    const double unit =
+        static_cast<double>(jitter_hash(request_id, pending.retries, self_node_, pid_) >> 11) *
+        0x1.0p-53;  // 53 high bits -> [0, 1)
+    timeout = timeout.scaled(1.0 + retry_.jitter_fraction * unit);
+  }
+  pending.timer =
+      sim_.schedule_after(timeout, [this, request_id] { on_timeout(request_id); });
 }
 
 void PagingClient::on_timeout(std::uint64_t request_id) {
@@ -92,11 +125,18 @@ void PagingClient::on_timeout(std::uint64_t request_id) {
   Pending& pending = it->second;
   ++stats_.timeouts;
   if (pending.retries >= retry_.max_retries) {
-    throw std::runtime_error(sim::strfmt(
-        "PagingClient: request %llu exceeded %u retries — home node unreachable?",
-        static_cast<unsigned long long>(request_id), retry_.max_retries));
+    if (retry_.backoff_ceiling <= sim::Time::zero()) {
+      throw std::runtime_error(sim::strfmt(
+          "PagingClient: request %llu exceeded %u retries — home node unreachable?",
+          static_cast<unsigned long long>(request_id), retry_.max_retries));
+    }
+    // Ceiling mode: keep probing at the capped rate. The retry count stays
+    // pinned so the backoff exponent (and thus the probe spacing) is stable
+    // for however long the outage lasts; recovery is the home node's or the
+    // harness's job (rehoming, heal), not this timer's.
+  } else {
+    pending.retries += 1;
   }
-  pending.retries += 1;
   ++stats_.retransmits;
   stats_.pages_retransmitted += pending.pages.size();
 

@@ -45,6 +45,17 @@ struct PagingClientStats {
 // patience), doubles (backoff_factor) per retry of the same request, and is
 // re-armed — with the retry count reset — every time any page of the
 // request arrives, since progress proves the path is alive.
+//
+// backoff_ceiling (off by default for bit-compatibility with earlier runs)
+// changes the long-outage regime: the backoff curve is clamped to the
+// ceiling instead of max_timeout, and once max_retries is reached the client
+// keeps probing at the ceiling rate instead of throwing — a node that sits
+// out a two-minute partition must neither give up nor, on heal, replay a
+// burst of retries whose spacing grew unboundedly stale. jitter_fraction
+// then desynchronizes those probes across clients: each timer is stretched
+// by a deterministic per-(request, retry, node, pid) factor in
+// [1, 1 + jitter_fraction), so every client healing from the same outage
+// does not hammer the home node on the same instant.
 struct PagingRetryConfig {
   bool enabled{false};
   double rtt_multiplier{4.0};
@@ -52,7 +63,9 @@ struct PagingRetryConfig {
   sim::Time max_timeout{sim::Time::from_ms(200)};
   sim::Time per_page_allowance{sim::Time::from_us(500)};
   double backoff_factor{2.0};
-  std::uint32_t max_retries{10};  // exceeded => simulation error (throws)
+  std::uint32_t max_retries{10};  // exceeded => throws (ceiling off) or keeps probing (on)
+  sim::Time backoff_ceiling{};    // zero = legacy: clamp at max_timeout, throw at max_retries
+  double jitter_fraction{0.0};    // zero = no jitter; else timers stretch by < this fraction
 };
 
 class PagingClient {
@@ -94,6 +107,10 @@ class PagingClient {
   void cancel_outstanding();
 
   [[nodiscard]] std::size_t outstanding_requests() const { return outstanding_.size(); }
+
+  // Next id request_pages() will stamp; ids are monotone per client, which
+  // the invariant auditor checks across epochs.
+  [[nodiscard]] std::uint64_t next_request_id() const { return next_request_id_; }
 
   [[nodiscard]] const PagingClientStats& stats() const { return stats_; }
 

@@ -33,6 +33,7 @@ class Process {
   [[nodiscard]] mem::AddressSpace& aspace() { return aspace_; }
   [[nodiscard]] const mem::AddressSpace& aspace() const { return aspace_; }
   [[nodiscard]] ReferenceStream& stream() { return *stream_; }
+  [[nodiscard]] const ReferenceStream& stream() const { return *stream_; }
 
   [[nodiscard]] ProcState state() const { return state_; }
   void set_state(ProcState s) { state_ = s; }

@@ -1,0 +1,49 @@
+#pragma once
+// WorldObserver: the hook surface ClusterSim exposes to the verification
+// layer.
+//
+// Dependency-free on purpose: ampom_balancer includes this header (it is
+// just an interface) without linking ampom_verify, and the concrete
+// InvariantAuditor lives above both. Every hook has an empty default body
+// and ClusterSim guards each call site with a null check, so a world with
+// no observer runs the exact pre-hook event sequence — zero overhead, and
+// bit-identical outputs, when verification is off.
+//
+// Hooks fire inside the event that caused the transition, after the world's
+// own bookkeeping settled — the observer sees each post-state exactly once,
+// at the instant it became true.
+
+#include "net/message.hpp"
+
+namespace ampom::balancer {
+class ProcessHost;
+}
+
+namespace ampom::verify {
+
+class WorldObserver {
+ public:
+  WorldObserver() = default;
+  WorldObserver(const WorldObserver&) = delete;
+  WorldObserver& operator=(const WorldObserver&) = delete;
+  virtual ~WorldObserver() = default;
+
+  // A process started executing at its home node.
+  virtual void on_started(balancer::ProcessHost& /*host*/) {}
+  // A migration committed: the process resumed at `dst`.
+  virtual void on_migration_committed(balancer::ProcessHost& /*host*/, net::NodeId /*src*/,
+                                      net::NodeId /*dst*/) {}
+  // A migration aborted (destination lost): the process resumed at `src`
+  // and the abort rollback must have left the source image whole.
+  virtual void on_migration_aborted(balancer::ProcessHost& /*host*/, net::NodeId /*src*/,
+                                    net::NodeId /*dst*/) {}
+  virtual void on_node_crashed(net::NodeId /*node*/) {}
+  virtual void on_node_restored(net::NodeId /*node*/) {}
+  // A stranded migrant was re-established at its home node.
+  virtual void on_rehomed(balancer::ProcessHost& /*host*/) {}
+  virtual void on_finished(balancer::ProcessHost& /*host*/) {}
+  // Every spawned process finished; final conservation checks run here.
+  virtual void on_run_end() {}
+};
+
+}  // namespace ampom::verify

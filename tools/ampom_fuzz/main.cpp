@@ -1,0 +1,190 @@
+// ampom_fuzz CLI — randomized chaos campaigns under the invariant auditor,
+// with delta-debugging of failing seeds down to standalone repro files.
+// Exit codes: 0 all seeds clean (or repro confirmed fixed), 1 a failure was
+// found (or the repro still fails), 2 internal error (bad arguments,
+// unreadable repro), so CI can distinguish "bug found" from "broken run".
+//
+//   ampom_fuzz [--seeds=N] [--start=S] [--jobs=J] [--shrink]
+//              [--mutate=skip_abort_rollback] [--out=FILE]
+//   ampom_fuzz --repro=FILE [--shrink] [--out=FILE]
+//
+// Fuzz mode runs seeds S..S+N-1 in parallel; the first failing seed (lowest,
+// for determinism across --jobs) is optionally shrunk and written to FILE
+// ("ampom_fuzz_repro.txt") with the failure and audit trail beside it in
+// FILE.trail. Repro mode replays one file instead.
+
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ampom_fuzz/fuzz.hpp"
+#include "driver/sweep_executor.hpp"
+
+namespace {
+
+struct Options {
+  std::uint64_t seeds{100};
+  std::uint64_t start{1};
+  std::size_t jobs{0};  // 0 = hardware threads
+  bool shrink{false};
+  bool mutate{false};
+  std::string repro_path;
+  std::string out_path{"ampom_fuzz_repro.txt"};
+};
+
+[[nodiscard]] bool parse_args(int argc, char** argv, Options& options, std::string& problem) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&arg](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--seeds=", 0) == 0) {
+      options.seeds = std::strtoull(value_of("--seeds=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--start=", 0) == 0) {
+      options.start = std::strtoull(value_of("--start=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = std::strtoull(value_of("--jobs=").c_str(), nullptr, 10);
+    } else if (arg == "--shrink") {
+      options.shrink = true;
+    } else if (arg.rfind("--mutate=", 0) == 0) {
+      const std::string which = value_of("--mutate=");
+      if (which != "skip_abort_rollback") {
+        problem = "unknown mutation '" + which + "' (supported: skip_abort_rollback)";
+        return false;
+      }
+      options.mutate = true;
+    } else if (arg.rfind("--repro=", 0) == 0) {
+      options.repro_path = value_of("--repro=");
+    } else if (arg.rfind("--out=", 0) == 0) {
+      options.out_path = value_of("--out=");
+    } else {
+      problem = "unknown argument '" + arg + "'";
+      return false;
+    }
+  }
+  if (options.repro_path.empty() && options.seeds == 0) {
+    problem = "--seeds must be positive";
+    return false;
+  }
+  return true;
+}
+
+// Writes the repro and its failure context; reports what it wrote.
+void emit_repro(const Options& options, const ampom::fuzz::FuzzCase& fuzz_case,
+                const ampom::fuzz::FuzzResult& result) {
+  {
+    std::ofstream out{options.out_path};
+    out << ampom::fuzz::serialize_case(fuzz_case);
+  }
+  {
+    std::ofstream trail{options.out_path + ".trail"};
+    trail << "failure: " << result.failure << "\n\n" << result.trail << "\n";
+  }
+  std::cout << "repro written to " << options.out_path << " (+ .trail)\n";
+}
+
+int run_repro(const Options& options) {
+  std::ifstream in{options.repro_path};
+  if (!in) {
+    std::cerr << "ampom_fuzz: cannot read " << options.repro_path << "\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  ampom::fuzz::FuzzCase fuzz_case = ampom::fuzz::parse_case(text.str());
+  fuzz_case.mutate_skip_abort_rollback |= options.mutate;
+  ampom::fuzz::FuzzResult result = ampom::fuzz::run_case(fuzz_case);
+  if (result.ok) {
+    std::cout << "repro passed: " << options.repro_path << "\n";
+    return 0;
+  }
+  std::cout << "repro still fails: " << result.failure << "\n";
+  if (options.shrink) {
+    ampom::fuzz::ShrinkStats stats;
+    fuzz_case = ampom::fuzz::shrink_case(fuzz_case, &stats);
+    result = ampom::fuzz::run_case(fuzz_case);
+    std::cout << "shrunk to " << fuzz_case.nodes << " nodes, " << fuzz_case.jobs.size()
+              << " jobs, " << fuzz_case.fault_count() << " faults (" << stats.attempts
+              << " attempts, " << stats.accepted << " reductions)\n";
+    emit_repro(options, fuzz_case, result);
+  }
+  return 1;
+}
+
+int run_fuzz(const Options& options) {
+  std::mutex mutex;
+  std::uint64_t first_failing_seed = 0;
+  bool any_failure = false;
+  std::string first_failure_text;
+  std::uint64_t completed = 0;
+
+  ampom::driver::SweepExecutor::parallel_for(
+      options.jobs == 0 ? 0 : options.jobs, options.seeds, [&](std::size_t index) {
+        const std::uint64_t seed = options.start + index;
+        std::string failure;
+        bool ok = true;
+        try {
+          ampom::fuzz::FuzzCase fuzz_case = ampom::fuzz::generate_case(seed);
+          fuzz_case.mutate_skip_abort_rollback = options.mutate;
+          const ampom::fuzz::FuzzResult result = ampom::fuzz::run_case(fuzz_case);
+          ok = result.ok;
+          failure = result.failure;
+        } catch (const std::exception& error) {
+          ok = false;
+          failure = error.what();
+        } catch (...) {
+          ok = false;
+          failure = "non-standard exception";
+        }
+        const std::lock_guard<std::mutex> lock{mutex};
+        ++completed;
+        if (!ok && (!any_failure || seed < first_failing_seed)) {
+          any_failure = true;
+          first_failing_seed = seed;
+          first_failure_text = failure;
+        }
+      });
+
+  std::cout << completed << " seeds run (" << options.start << ".."
+            << options.start + options.seeds - 1 << ")"
+            << (options.mutate ? " with mutate=skip_abort_rollback" : "") << "\n";
+  if (!any_failure) {
+    std::cout << "no failures\n";
+    return 0;
+  }
+
+  std::cout << "seed " << first_failing_seed << " fails: " << first_failure_text << "\n";
+  ampom::fuzz::FuzzCase fuzz_case = ampom::fuzz::generate_case(first_failing_seed);
+  fuzz_case.mutate_skip_abort_rollback = options.mutate;
+  if (options.shrink) {
+    ampom::fuzz::ShrinkStats stats;
+    fuzz_case = ampom::fuzz::shrink_case(fuzz_case, &stats);
+    std::cout << "shrunk to " << fuzz_case.nodes << " nodes, " << fuzz_case.jobs.size()
+              << " jobs, " << fuzz_case.fault_count() << " faults (" << stats.attempts
+              << " attempts, " << stats.accepted << " reductions)\n";
+  }
+  emit_repro(options, fuzz_case, ampom::fuzz::run_case(fuzz_case));
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::string problem;
+  if (!parse_args(argc, argv, options, problem)) {
+    std::cerr << "ampom_fuzz: " << problem << "\n";
+    return 2;
+  }
+  try {
+    return options.repro_path.empty() ? run_fuzz(options) : run_repro(options);
+  } catch (const std::exception& error) {
+    std::cerr << "ampom_fuzz: " << error.what() << "\n";
+    return 2;
+  }
+}
