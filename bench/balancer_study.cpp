@@ -18,6 +18,7 @@
 #include "balancer/cluster_sim.hpp"
 #include "balancer/load_balancer.hpp"
 #include "bench/common.hpp"
+#include "driver/builder.hpp"
 #include "workload/synthetic.hpp"
 
 int main(int argc, char** argv) {
@@ -36,7 +37,11 @@ int main(int argc, char** argv) {
        {driver::Scheme::OpenMosix, driver::Scheme::NoPrefetch, driver::Scheme::Ampom}) {
     for (const bool balance : {false, true}) {
       spec.add_task([scheme, balance, touches, jobs_per_hot_node]() -> bench::SweepSpec::Row {
-        balancer::ClusterSim world{8, scheme};
+        // Single zone, no gossip: the exact pre-zoning all-pairs mesh, so the
+        // mechanism comparison is undisturbed by dissemination choices.
+        const driver::Scenario scenario =
+            driver::ScenarioBuilder{}.scheme(scheme).topology(1, 8).build();
+        balancer::ClusterSim world{scenario};
         for (int i = 0; i < jobs_per_hot_node; ++i) {
           for (const net::NodeId hot : {net::NodeId{0}, net::NodeId{1}}) {
             balancer::JobSpec job;

@@ -1,0 +1,205 @@
+// Scale sweep: how far does one machine carry the cluster world?
+//
+// Each case builds a zoned gossip cluster (fan-out 3), lands a job burst on
+// half of every zone's nodes and lets the zone-sharded balancer spread it,
+// then reports the cost of the whole run:
+//
+//   events                total simulator events (deterministic)
+//   sim_sec               simulated makespan (deterministic)
+//   msgs_per_node_period  InfoDaemon sends per node per gossip period
+//                         (deterministic; the O(fan_out)-not-O(n) proof)
+//   wall_sec              host wall time (informational, machine-dependent)
+//   events_per_sec        events / wall_sec (informational)
+//
+// tools/perf_gate --scale-input consumes the --json output, normalizes it
+// to the committed BENCH_scale.json and gates the deterministic fields plus
+// the wall-time trajectory. Grids:
+//
+//   --quick    64 (8x8) and 256 (16x16) nodes         (CI smoke)
+//   (default)  quick + 1024 (32x32) and 2000 (20x100)
+//   --full     default + 10000 (100x100), 100k procs  (the 10k-node claim)
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "balancer/cluster_sim.hpp"
+#include "balancer/load_balancer.hpp"
+#include "driver/builder.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace ampom;
+
+struct CaseSpec {
+  std::uint32_t zones;
+  std::uint32_t nodes_per_zone;
+  std::uint32_t procs_per_node;  // spawned on the even nodes of each zone
+};
+
+struct CaseResult {
+  std::uint32_t nodes;
+  std::uint32_t zones;
+  std::uint32_t fan_out;
+  std::uint64_t procs;
+  std::uint64_t events;
+  double sim_sec;
+  double msgs_per_node_period;
+  double wall_sec;
+  double events_per_sec;
+};
+
+constexpr std::uint32_t kFanOut = 3;
+
+balancer::JobSpec scale_job(net::NodeId home, std::uint64_t index) {
+  balancer::JobSpec job;
+  job.home = home;
+  job.label = "scale";
+  job.start = sim::Time::from_ms(25 * (index % 8));
+  // Small image, small hot set: migrations stay cheap so the sweep measures
+  // the cluster fabric (gossip, balancing, event engine), not paging volume.
+  job.make_workload = [index] {
+    return std::make_unique<workload::HotColdStream>(
+        2 * sim::kMiB, /*hot_pages=*/64, /*touches=*/4000 + 500 * (index % 5),
+        /*cold_fraction=*/0.05, sim::Time::from_us(100));
+  };
+  return job;
+}
+
+CaseResult run_case(const CaseSpec& spec) {
+  const driver::Scenario scenario = driver::ScenarioBuilder{}
+                                        .scheme(driver::Scheme::Ampom)
+                                        .topology(spec.zones, spec.nodes_per_zone)
+                                        .gossip(kFanOut)
+                                        .build();
+  const auto wall_begin = std::chrono::steady_clock::now();  // ampom-lint: nondet-ok(wall throughput is a reported quantity, never fed back into the run)
+  balancer::ClusterSim world{scenario};
+
+  // The burst: procs_per_node jobs on every even node, none on odd ones —
+  // a 2x imbalance inside every zone for the balancer to flatten.
+  std::uint64_t spawned = 0;
+  const std::uint32_t nodes = spec.zones * spec.nodes_per_zone;
+  for (net::NodeId node = 0; node < nodes; node += 2) {
+    for (std::uint32_t j = 0; j < 2 * spec.procs_per_node; ++j) {
+      world.spawn(scale_job(node, spawned++));
+    }
+  }
+
+  balancer::LoadBalancer::Config cfg;
+  cfg.assumed_freeze_seconds = 0.2;
+  balancer::LoadBalancer balancer{world, cfg};
+  balancer.start();
+  world.run();
+  const auto wall_end = std::chrono::steady_clock::now();  // ampom-lint: nondet-ok(wall throughput is a reported quantity, never fed back into the run)
+
+  std::uint64_t daemon_msgs = 0;
+  for (net::NodeId id = 0; id < nodes; ++id) {
+    // Pings this daemon sent plus acks it received ~= its total sends (every
+    // received gossip ping is answered by one ack).
+    daemon_msgs += world.infod(id).pings_sent() + world.infod(id).acks_received();
+  }
+
+  CaseResult result;
+  result.nodes = nodes;
+  result.zones = spec.zones;
+  result.fan_out = kFanOut;
+  result.procs = spawned;
+  result.events = world.simulator().events_processed();
+  result.sim_sec = world.makespan().sec();
+  const double periods = result.sim_sec / world.infod_period().sec();
+  result.msgs_per_node_period =
+      periods > 0.0 ? static_cast<double>(daemon_msgs) / nodes / periods : 0.0;
+  result.wall_sec = std::chrono::duration<double>(wall_end - wall_begin).count();
+  result.events_per_sec =
+      result.wall_sec > 0.0 ? static_cast<double>(result.events) / result.wall_sec : 0.0;
+  return result;
+}
+
+std::string fmt(double v) {
+  std::ostringstream out;
+  out.precision(6);
+  out << v;
+  return out.str();
+}
+
+std::string render_json(const std::vector<CaseResult>& results) {
+  std::string out = "{\n  \"schema\": 1,\n  \"tool\": \"scale_sweep\",\n  \"cases\": {\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    out += "    \"n" + std::to_string(r.nodes) + "\": {";
+    out += "\"nodes\": " + std::to_string(r.nodes);
+    out += ", \"zones\": " + std::to_string(r.zones);
+    out += ", \"fan_out\": " + std::to_string(r.fan_out);
+    out += ", \"procs\": " + std::to_string(r.procs);
+    out += ", \"events\": " + std::to_string(r.events);
+    out += ", \"sim_sec\": " + fmt(r.sim_sec);
+    out += ", \"msgs_per_node_period\": " + fmt(r.msgs_per_node_period);
+    out += ", \"wall_sec\": " + fmt(r.wall_sec);
+    out += ", \"events_per_sec\": " + fmt(r.events_per_sec);
+    out += i + 1 < results.size() ? "},\n" : "}\n";
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool full = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--full") {
+      full = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0] << " [--quick|--full] [--json=FILE]\n";
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<CaseSpec> grid = {{8, 8, 10}, {16, 16, 10}};
+  if (!quick) {
+    grid.push_back({32, 32, 10});
+    grid.push_back({20, 100, 10});
+  }
+  if (full) {
+    grid.push_back({100, 100, 10});
+  }
+
+  std::vector<CaseResult> results;
+  for (const CaseSpec& spec : grid) {
+    const CaseResult r = run_case(spec);
+    std::cout << "n" << r.nodes << ": " << r.procs << " procs, " << r.events
+              << " events, sim " << fmt(r.sim_sec) << " s, wall " << fmt(r.wall_sec)
+              << " s (" << fmt(r.events_per_sec / 1e6) << " Mev/s), "
+              << fmt(r.msgs_per_node_period) << " msgs/node/period\n";
+    results.push_back(r);
+  }
+
+  const std::string json = render_json(results);
+  if (!json_path.empty()) {
+    std::ofstream out{json_path, std::ios::binary};
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << json;
+  } else {
+    std::cout << json;
+  }
+  return 0;
+}

@@ -26,6 +26,13 @@ ProcessHost::ProcessHost(ClusterSim& world, std::uint64_t pid, JobSpec spec)
   if (world.reliability().enabled) {
     deputy_.set_reliability(true);
   }
+  // Keep the world's per-node load counts exact: every placement change
+  // (migration commit, rehoming) goes through set_current_node.
+  process_.set_on_node_changed([this](net::NodeId from, net::NodeId to) {
+    if (started_ && !finished()) {
+      world_.note_moved(*this, from, to);
+    }
+  });
   // Time-sharing: the process gets an equal share of whichever node it is on.
   executor_.set_cpu_share_source([this] {
     const auto sharers = world_.active_on(process_.current_node());
@@ -37,6 +44,7 @@ ProcessHost::ProcessHost(ClusterSim& world, std::uint64_t pid, JobSpec spec)
 
 void ProcessHost::start() {
   started_ = true;
+  world_.note_activated(*this, process_.current_node());
   executor_.start();
   if (world_.observer_ != nullptr) {
     world_.observer_->on_started(*this);
@@ -142,6 +150,12 @@ void ProcessHost::migrate_to(net::NodeId dst) {
   if (!migratable() || dst == process_.current_node() || dst >= world_.node_count()) {
     return;
   }
+  if (dst == process_.home_node()) {
+    // The engines model H->B first hops and B->C re-migrations, not live
+    // B->H returns (a paging stack at home would page from itself). Going
+    // home is the recovery path (recover_to_home), not a balancer move.
+    return;
+  }
   const bool reliable =
       world_.reliability().enabled && world_.reliability().migration.enabled;
   if (world_.node_crashed(dst) && !reliable) {
@@ -151,6 +165,7 @@ void ProcessHost::migrate_to(net::NodeId dst) {
   }
   migrating_ = true;
   const net::NodeId src = process_.current_node();
+  world_.note_migration_started(src, dst);
   const bool first_hop = process_.current_node() == process_.home_node();
   migration::MigrationEngine& engine =
       first_hop ? world_.first_hop_engine() : world_.second_hop_engine();
@@ -178,6 +193,7 @@ void ProcessHost::migrate_to(net::NodeId dst) {
   migration::migrate_process(std::move(ctx), engine,
                              [this, src, dst](migration::MigrationResult result) {
                                migrating_ = false;
+                               world_.note_migration_ended(src, dst);
                                if (result.completed()) {
                                  ++migrations_;
                                  if (world_.node_crashed(process_.current_node())) {
@@ -207,30 +223,74 @@ void ProcessHost::migrate_to(net::NodeId dst) {
 // ClusterSim
 // ---------------------------------------------------------------------------
 
+WorldConfig WorldConfig::from(const driver::Scenario& scenario) {
+  if (!scenario.topology.set()) {
+    throw std::invalid_argument(
+        "WorldConfig::from: scenario has no topology — cluster worlds need "
+        "ScenarioBuilder::topology(zones, nodes_per_zone)");
+  }
+  WorldConfig config;
+  config.scheme = scenario.scheme;
+  config.profile = scenario.profile;
+  config.ampom = scenario.ampom;
+  config.topology = scenario.topology;
+  config.gossip = scenario.gossip;
+  return config;
+}
+
 ClusterSim::ClusterSim(std::size_t node_count, driver::Scheme scheme,
                        driver::ClusterProfile profile, core::AmpomConfig ampom)
-    : scheme_{scheme},
-      profile_{profile},
-      ampom_{ampom},
-      fabric_{sim_, node_count, profile.link} {
+    : ClusterSim{WorldConfig{scheme, profile, ampom,
+                             cluster::Topology::flat(node_count),
+                             cluster::GossipConfig{}}} {}
+
+ClusterSim::ClusterSim(const driver::Scenario& scenario)
+    : ClusterSim{WorldConfig::from(scenario)} {
+  set_reliability(scenario.reliability);
+  if (scenario.faults.active()) {
+    set_fault_plan(scenario.faults);
+  }
+}
+
+ClusterSim::ClusterSim(const WorldConfig& config)
+    : scheme_{config.scheme},
+      profile_{config.profile},
+      ampom_{config.ampom},
+      topology_{config.topology},
+      gossip_{config.gossip},
+      fabric_{sim_, config.topology.node_count(), config.profile.link} {
+  const std::size_t node_count = topology_.node_count();
   if (node_count < 2) {
     throw std::invalid_argument("ClusterSim needs at least two nodes");
   }
+  crashed_at_.resize(node_count);
+  active_count_.assign(node_count, 0);
+  hosts_on_.resize(node_count);
+  zone_active_.assign(topology_.zones, 0);
+  migrating_zone_.assign(topology_.zones, 0);
   nodes_.reserve(node_count);
   infods_.reserve(node_count);
   for (std::size_t i = 0; i < node_count; ++i) {
     const auto id = static_cast<net::NodeId>(i);
-    nodes_.push_back(std::make_unique<cluster::Node>(sim_, fabric_, id, profile.costs));
+    nodes_.push_back(std::make_unique<cluster::Node>(sim_, fabric_, id, profile_.costs));
     infods_.push_back(
-        std::make_unique<cluster::InfoDaemon>(sim_, fabric_, id, profile.infod_period));
+        std::make_unique<cluster::InfoDaemon>(sim_, fabric_, id, profile_.infod_period));
   }
+  // The gossip domain is the zone: each daemon's membership is its zone's
+  // other nodes, so per-daemon state is O(zone size) and a 10k-node world
+  // stays linear in memory instead of quadratic. Single-zone worlds get the
+  // classic everyone-knows-everyone mesh.
   for (std::size_t i = 0; i < node_count; ++i) {
-    for (std::size_t j = 0; j < node_count; ++j) {
-      if (i != j) {
-        infods_[i]->add_peer(static_cast<net::NodeId>(j));
+    const auto id = static_cast<net::NodeId>(i);
+    const std::uint32_t zone = topology_.zone_of(id);
+    for (net::NodeId j = topology_.zone_begin(zone); j < topology_.zone_end(zone); ++j) {
+      if (j != id) {
+        infods_[i]->add_peer(j);
       }
     }
-    const auto id = static_cast<net::NodeId>(i);
+    if (gossip_.enabled) {
+      infods_[i]->set_gossip(gossip_);
+    }
     infods_[i]->set_local_load_source(
         [this, id] { return static_cast<double>(active_on(id)); });
     nodes_[i]->set_infod(infods_[i].get());
@@ -276,7 +336,7 @@ void ClusterSim::set_fault_plan(const driver::FaultPlan& plan) {
     // Campaigns expand to the same primitives the plan carries explicitly:
     // outages feed the injector directly, crashes go through crash_node so
     // the processes on dying nodes are interrupted too.
-    const cluster::ExpandedChaos expanded = cluster::expand_chaos(plan.chaos, node_count());
+    const cluster::ExpandedChaos expanded = cluster::expand_chaos(plan.chaos, topology_);
     for (const auto& outage : expanded.outages) {
       injector_->schedule_link_outage(outage.a, outage.b, outage.down_at, outage.up_at);
     }
@@ -320,16 +380,15 @@ void ClusterSim::crash_node(net::NodeId id) {
     fabric_.set_fault_injector(injector_.get());
   }
   injector_->crash_node(id);
-  for (auto& host : hosts_) {
-    if (host->started_ && !host->finished() && !host->migrating() &&
-        host->current_node() == id) {
+  for (ProcessHost* host : hosts_on_[id]) {
+    if (!host->migrating()) {
       host->on_host_crashed(id);
     }
   }
   last_fault_at_ = std::max(last_fault_at_, sim_.now());
   if (recovery_tracking_) {
     ++recovery_.crashes;
-    crashed_at_[id] = sim_.now();
+    crashed_at_[id] = CrashStamp{sim_.now(), true};
     if (reliability_.enabled && reliability_.detection.enabled) {
       poll_detection(id, sim_.now());
     }
@@ -366,7 +425,12 @@ cluster::PeerHealth ClusterSim::consensus_health(net::NodeId id) const {
   std::size_t dead = 0;
   std::size_t suspected = 0;
   std::size_t voters = 0;
-  for (net::NodeId observer = 0; observer < node_count(); ++observer) {
+  // Voters are the target's zone — the nodes whose daemons actually
+  // exchange heartbeats with it. Single-zone worlds vote cluster-wide,
+  // exactly the pre-zoning behavior.
+  const std::uint32_t zone = topology_.zone_of(id);
+  for (net::NodeId observer = topology_.zone_begin(zone);
+       observer < topology_.zone_end(zone); ++observer) {
     if (observer == id) {
       continue;
     }
@@ -434,17 +498,51 @@ ProcessHost& ClusterSim::spawn(JobSpec spec) {
   return *host;
 }
 
-std::uint64_t ClusterSim::active_on(net::NodeId node) const {
-  std::uint64_t count = 0;
-  for (const auto& host : hosts_) {
-    if (host->started_ && !host->finished() && host->current_node() == node) {
-      ++count;
-    }
+void ClusterSim::note_activated(ProcessHost& host, net::NodeId node) {
+  ++active_count_[node];
+  ++zone_active_[topology_.zone_of(node)];
+  auto& list = hosts_on_[node];
+  const auto pos = std::lower_bound(list.begin(), list.end(), &host,
+                                    [](const ProcessHost* a, const ProcessHost* b) {
+                                      return a->pid() < b->pid();
+                                    });
+  list.insert(pos, &host);
+}
+
+void ClusterSim::note_deactivated(ProcessHost& host, net::NodeId node) {
+  --active_count_[node];
+  --zone_active_[topology_.zone_of(node)];
+  auto& list = hosts_on_[node];
+  list.erase(std::find(list.begin(), list.end(), &host));
+}
+
+void ClusterSim::note_moved(ProcessHost& host, net::NodeId from, net::NodeId to) {
+  note_deactivated(host, from);
+  note_activated(host, to);
+}
+
+void ClusterSim::note_migration_started(net::NodeId src, net::NodeId dst) {
+  ++migrating_total_;
+  const std::uint32_t src_zone = topology_.zone_of(src);
+  const std::uint32_t dst_zone = topology_.zone_of(dst);
+  ++migrating_zone_[src_zone];
+  if (dst_zone != src_zone) {
+    ++migrating_zone_[dst_zone];
   }
-  return count;
+}
+
+void ClusterSim::note_migration_ended(net::NodeId src, net::NodeId dst) {
+  --migrating_total_;
+  const std::uint32_t src_zone = topology_.zone_of(src);
+  const std::uint32_t dst_zone = topology_.zone_of(dst);
+  --migrating_zone_[src_zone];
+  if (dst_zone != src_zone) {
+    --migrating_zone_[dst_zone];
+  }
 }
 
 void ClusterSim::note_finished(ProcessHost& host) {
+  note_deactivated(host, host.current_node());
   ++finished_;
   if (observer_ != nullptr) {
     observer_->on_finished(host);
@@ -461,9 +559,8 @@ void ClusterSim::note_finished(ProcessHost& host) {
 void ClusterSim::note_rehomed(ProcessHost& host, net::NodeId lost) {
   if (recovery_tracking_) {
     ++recovery_.rehomes;
-    const auto it = crashed_at_.find(lost);
-    if (it != crashed_at_.end()) {
-      recovery_.rehome_ms.add((sim_.now() - it->second).ms());
+    if (crashed_at_[lost].valid) {
+      recovery_.rehome_ms.add((sim_.now() - crashed_at_[lost].at).ms());
     }
   }
   if (observer_ != nullptr) {
@@ -472,8 +569,7 @@ void ClusterSim::note_rehomed(ProcessHost& host, net::NodeId lost) {
 }
 
 void ClusterSim::poll_detection(net::NodeId id, sim::Time crashed_at) {
-  const auto it = crashed_at_.find(id);
-  if (it == crashed_at_.end() || it->second != crashed_at) {
+  if (!crashed_at_[id].valid || crashed_at_[id].at != crashed_at) {
     return;  // superseded by a restore + re-crash; the newer watch owns it
   }
   if (!node_crashed(id)) {
@@ -483,7 +579,7 @@ void ClusterSim::poll_detection(net::NodeId id, sim::Time crashed_at) {
     recovery_.detect_ms.add((sim_.now() - crashed_at).ms());
     return;
   }
-  sim_.schedule_after(profile_.infod_period,
+  sim_.schedule_after(infod_period(),
                       [this, id, crashed_at] { poll_detection(id, crashed_at); });
 }
 
@@ -493,18 +589,22 @@ void ClusterSim::poll_heal(sim::Time mark) {
     recovery_.heal_ms.add((sim_.now() - mark).ms());
     return;
   }
-  sim_.schedule_after(profile_.infod_period, [this, mark] { poll_heal(mark); });
+  sim_.schedule_after(infod_period(), [this, mark] { poll_heal(mark); });
 }
 
 bool ClusterSim::survivor_views_converged() const {
   if (!reliability_.enabled || !reliability_.detection.enabled) {
     return true;  // no views to converge
   }
+  // Views only exist inside a zone (that is the gossip domain), so
+  // convergence is judged per zone; single-zone worlds check all pairs.
   for (net::NodeId viewer = 0; viewer < node_count(); ++viewer) {
     if (node_crashed(viewer)) {
       continue;
     }
-    for (net::NodeId target = 0; target < node_count(); ++target) {
+    const std::uint32_t zone = topology_.zone_of(viewer);
+    for (net::NodeId target = topology_.zone_begin(zone);
+         target < topology_.zone_end(zone); ++target) {
       if (viewer == target || node_crashed(target)) {
         continue;
       }

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster_view.hpp"
 #include "cluster/infod.hpp"
 #include "cluster/node.hpp"
 #include "core/ampom_policy.hpp"
@@ -115,11 +116,30 @@ class ProcessHost {
   sim::Time freeze_total_{};
 };
 
-class ClusterSim {
+// The full shape of a cluster world: scheme + profile + zone layout +
+// dissemination mode. The scenario-based constructor derives one from a
+// builder-validated Scenario, so examples and benches no longer hand-roll
+// node wiring.
+struct WorldConfig {
+  driver::Scheme scheme{driver::Scheme::Ampom};
+  driver::ClusterProfile profile{driver::gideon300_profile()};
+  core::AmpomConfig ampom{};
+  cluster::Topology topology{};
+  cluster::GossipConfig gossip{};
+
+  [[nodiscard]] static WorldConfig from(const driver::Scenario& scenario);
+};
+
+class ClusterSim : public cluster::ClusterView {
  public:
+  explicit ClusterSim(const WorldConfig& config);
+  // Single-zone, all-pairs-mesh convenience (the pre-gossip shape).
   ClusterSim(std::size_t node_count, driver::Scheme scheme,
              driver::ClusterProfile profile = driver::gideon300_profile(),
              core::AmpomConfig ampom = {});
+  // Builds the world a validated cluster-mode Scenario describes, applying
+  // its reliability config and fault plan (spawn jobs, then run).
+  explicit ClusterSim(const driver::Scenario& scenario);
 
   ClusterSim(const ClusterSim&) = delete;
   ClusterSim& operator=(const ClusterSim&) = delete;
@@ -158,12 +178,29 @@ class ClusterSim {
   void restore_node(net::NodeId id);
   [[nodiscard]] bool node_crashed(net::NodeId id) const;
 
-  // Cluster-wide health of `id` by majority vote over the other nodes'
-  // heartbeat-silence verdicts. Crashed observers answer no poll and are
-  // excluded — they hear nobody, would call everyone dead, and with enough
-  // of them a healthy node would be condemned by its dead neighbours.
-  // Always kAlive while failure detection is disabled.
+  // Zone-wide health of `id` by majority vote over its zone's other nodes'
+  // heartbeat-silence verdicts (single-zone worlds: the whole cluster).
+  // Crashed observers answer no poll and are excluded — they hear nobody,
+  // would call everyone dead, and with enough of them a healthy node would
+  // be condemned by its dead neighbours. Always kAlive while failure
+  // detection is disabled.
   [[nodiscard]] cluster::PeerHealth consensus_health(net::NodeId id) const;
+
+  // --- cluster::ClusterView (the read-side API consumers use) ---------------
+  [[nodiscard]] const cluster::Topology& topology() const override { return topology_; }
+  [[nodiscard]] double load(net::NodeId node) const override {
+    return static_cast<double>(active_count_[node]);
+  }
+  [[nodiscard]] cluster::PeerHealth health(net::NodeId node) const override {
+    return consensus_health(node);
+  }
+  [[nodiscard]] sim::Time rtt_one_way(net::NodeId from, net::NodeId to) const override {
+    return infods_[from]->rtt_one_way(to);
+  }
+  [[nodiscard]] double zone_load(std::uint32_t zone) const override {
+    return static_cast<double>(zone_active_[zone]) / topology_.nodes_per_zone;
+  }
+  [[nodiscard]] const cluster::ClusterView& view() const { return *this; }
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] net::Fabric& fabric() { return fabric_; }
@@ -172,6 +209,13 @@ class ClusterSim {
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] driver::Scheme scheme() const { return scheme_; }
   [[nodiscard]] const driver::ClusterProfile& profile() const { return profile_; }
+  // Effective InfoDaemon tick period (the gossip config may override the
+  // profile's) — detector settle times scale from this.
+  [[nodiscard]] sim::Time infod_period() const {
+    return gossip_.enabled && gossip_.period > sim::Time::zero() ? gossip_.period
+                                                                 : profile_.infod_period;
+  }
+  [[nodiscard]] const cluster::GossipConfig& gossip_config() const { return gossip_; }
   [[nodiscard]] const core::AmpomConfig& ampom_config() const { return ampom_; }
 
   // --- verification & recovery observability --------------------------------
@@ -205,8 +249,21 @@ class ClusterSim {
   void fill_recovery_metrics(driver::RunMetrics& metrics) const;
 
   // Unfinished processes currently placed on `node` (the load metric).
-  [[nodiscard]] std::uint64_t active_on(net::NodeId node) const;
+  // O(1): maintained incrementally from process start/finish/move events.
+  [[nodiscard]] std::uint64_t active_on(net::NodeId node) const {
+    return active_count_[node];
+  }
   [[nodiscard]] const std::vector<std::unique_ptr<ProcessHost>>& hosts() const { return hosts_; }
+  // Active (started, unfinished) hosts currently placed on `node`, sorted
+  // by pid — the balancer's per-node candidate list.
+  [[nodiscard]] const std::vector<ProcessHost*>& hosts_on(net::NodeId node) const {
+    return hosts_on_[node];
+  }
+  // In-flight balancer migrations (damping signals; O(1) reads).
+  [[nodiscard]] std::uint32_t migrations_in_flight() const { return migrating_total_; }
+  [[nodiscard]] std::uint32_t migrations_in_flight(std::uint32_t zone) const {
+    return migrating_zone_[zone];
+  }
 
   // Engine selection shared by all hosts.
   [[nodiscard]] migration::MigrationEngine& first_hop_engine();
@@ -218,6 +275,13 @@ class ClusterSim {
   friend class ProcessHost;
   void note_finished(ProcessHost& host);
   void note_rehomed(ProcessHost& host, net::NodeId lost);
+  // Incremental load accounting (keeps active_on / zone_load / hosts_on
+  // exact without scanning the host list).
+  void note_activated(ProcessHost& host, net::NodeId node);
+  void note_deactivated(ProcessHost& host, net::NodeId node);
+  void note_moved(ProcessHost& host, net::NodeId from, net::NodeId to);
+  void note_migration_started(net::NodeId src, net::NodeId dst);
+  void note_migration_ended(net::NodeId src, net::NodeId dst);
   // Recovery-tracking poll loops (read-only; scheduled only when tracking).
   void poll_detection(net::NodeId id, sim::Time crashed_at);
   void poll_heal(sim::Time mark);
@@ -226,6 +290,8 @@ class ClusterSim {
   driver::Scheme scheme_;
   driver::ClusterProfile profile_;
   core::AmpomConfig ampom_;
+  cluster::Topology topology_;
+  cluster::GossipConfig gossip_;
   driver::ReliabilityConfig reliability_;
   sim::Simulator sim_;
   net::Fabric fabric_;
@@ -239,7 +305,19 @@ class ClusterSim {
   sim::Time last_fault_at_{};
   bool recovery_tracking_{false};
   RecoveryStats recovery_;
-  std::map<net::NodeId, sim::Time> crashed_at_;  // most recent crash per node
+  // Most recent crash per node (dense; valid=false until the first crash).
+  struct CrashStamp {
+    sim::Time at{};
+    bool valid{false};
+  };
+  std::vector<CrashStamp> crashed_at_;
+
+  // Dense per-node/per-zone load accounting (see note_* above).
+  std::vector<std::uint32_t> active_count_;
+  std::vector<std::uint64_t> zone_active_;
+  std::vector<std::vector<ProcessHost*>> hosts_on_;
+  std::vector<std::uint32_t> migrating_zone_;
+  std::uint32_t migrating_total_{0};
 
   migration::FullCopyEngine full_copy_;
   migration::ThreePageEngine three_page_;

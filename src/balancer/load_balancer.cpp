@@ -1,11 +1,13 @@
 #include "balancer/load_balancer.hpp"
 
+#include <limits>
 #include <stdexcept>
+#include <vector>
 
 namespace ampom::balancer {
 
 LoadBalancer::LoadBalancer(ClusterSim& world, Config config)
-    : world_{world}, config_{config} {
+    : world_{world}, view_{world.view()}, config_{config} {
   if (config.imbalance_threshold <= 0.0) {
     throw std::invalid_argument("LoadBalancer: imbalance threshold must be positive");
   }
@@ -29,7 +31,7 @@ void LoadBalancer::reclaim_stranded() {
         host->current_node() == host->home_node()) {
       continue;
     }
-    const cluster::PeerHealth health = world_.consensus_health(host->current_node());
+    const cluster::PeerHealth health = view_.health(host->current_node());
     // A frozen, non-migrating migrant on a node the cluster sees as healthy
     // is stranded by a crash/reboot faster than the dead threshold: the node
     // heartbeats again but the process image died with the crash, so the
@@ -44,12 +46,71 @@ void LoadBalancer::reclaim_stranded() {
   }
 }
 
+LoadBalancer::ZoneScan LoadBalancer::scan_zone(std::uint32_t zone) const {
+  // Nodes the cluster does not consider healthy are skipped entirely —
+  // never a migration destination, and not a source either (their
+  // processes go through reclaim_stranded instead).
+  ZoneScan scan;
+  scan.min_load = std::numeric_limits<double>::max();
+  for (net::NodeId id = view_.zone_begin(zone); id < view_.zone_end(zone); ++id) {
+    if (config_.respect_failure_detection &&
+        view_.health(id) != cluster::PeerHealth::kAlive) {
+      continue;
+    }
+    scan.found = true;
+    const double load = view_.load(id);
+    if (load > scan.max_load) {
+      scan.max_load = load;
+      scan.busiest = id;
+    }
+    if (load < scan.min_load) {
+      scan.min_load = load;
+      scan.idlest = id;
+    }
+  }
+  return scan;
+}
+
+bool LoadBalancer::worth_moving(double max_load, double min_load) const {
+  const double imbalance = max_load - min_load;
+  if (imbalance < config_.imbalance_threshold) {
+    return false;
+  }
+  // Worth it? Moving one process gains roughly its share improvement over
+  // the horizon; it costs one freeze.
+  const double gain =
+      config_.horizon_seconds * (1.0 / (min_load + 1.0) - 1.0 / max_load);
+  return gain > config_.assumed_freeze_seconds;
+}
+
+bool LoadBalancer::move_one(net::NodeId from, net::NodeId to) {
+  for (ProcessHost* host : world_.hosts_on(from)) {
+    // A process whose home is the destination is skipped: migrate_to refuses
+    // live returns home (that is the recovery path), so picking it would
+    // burn the tick's one move on a no-op.
+    if (host->migratable() && host->home_node() != to) {
+      host->migrate_to(to);
+      ++decisions_;
+      return true;
+    }
+  }
+  return false;
+}
+
 void LoadBalancer::tick() {
   if (!running_) {
     return;
   }
   ++ticks_;
+  if (view_.zone_count() == 1) {
+    single_zone_tick();
+  } else {
+    zoned_tick();
+  }
+  world_.simulator().schedule_after(config_.period, [this] { tick(); });
+}
 
+void LoadBalancer::single_zone_tick() {
   if (config_.respect_failure_detection) {
     reclaim_stranded();
   }
@@ -57,63 +118,77 @@ void LoadBalancer::tick() {
   // Damping: while a migration is in flight the load vector is stale (the
   // migrant still counts at its source); deciding now causes ping-pong
   // churn — expensive exactly when freezes are expensive.
-  for (const auto& host : world_.hosts()) {
-    if (host->migrating()) {
-      world_.simulator().schedule_after(config_.period, [this] { tick(); });
-      return;
-    }
-  }
-
-  // Load vector: direct count for every node (the InfoDaemons gossip the
-  // same numbers; reading them locally avoids acting on stale pings for
-  // nodes we could inspect exactly). Nodes the cluster does not consider
-  // healthy are skipped entirely — never a migration destination, and not
-  // a source either (their processes go through reclaim_stranded instead).
-  net::NodeId busiest = 0;
-  net::NodeId idlest = 0;
-  std::uint64_t max_load = 0;
-  std::uint64_t min_load = UINT64_MAX;
-  bool found_any = false;
-  for (net::NodeId id = 0; id < world_.node_count(); ++id) {
-    if (config_.respect_failure_detection &&
-        world_.consensus_health(id) != cluster::PeerHealth::kAlive) {
-      continue;
-    }
-    found_any = true;
-    const std::uint64_t load = world_.active_on(id);
-    if (load > max_load) {
-      max_load = load;
-      busiest = id;
-    }
-    if (load < min_load) {
-      min_load = load;
-      idlest = id;
-    }
-  }
-  if (!found_any || busiest == idlest) {
-    world_.simulator().schedule_after(config_.period, [this] { tick(); });
+  if (world_.migrations_in_flight() > 0) {
     return;
   }
 
-  const double imbalance = static_cast<double>(max_load) - static_cast<double>(min_load);
-  if (imbalance >= config_.imbalance_threshold) {
-    // Worth it? Moving one process gains roughly its share improvement over
-    // the horizon; it costs one freeze.
-    const double gain =
-        config_.horizon_seconds *
-        (1.0 / static_cast<double>(min_load + 1) - 1.0 / static_cast<double>(max_load));
-    if (gain > config_.assumed_freeze_seconds) {
-      for (const auto& host : world_.hosts()) {
-        if (host->migratable() && host->current_node() == busiest) {
-          host->migrate_to(idlest);
-          ++decisions_;
-          break;
-        }
-      }
+  const ZoneScan scan = scan_zone(0);
+  if (!scan.found || scan.busiest == scan.idlest) {
+    return;
+  }
+  if (worth_moving(scan.max_load, scan.min_load) && move_one(scan.busiest, scan.idlest)) {
+    ++intra_moves_;
+  }
+}
+
+void LoadBalancer::zoned_tick() {
+  // Reclaim is zone-agnostic (a stranded migrant is stranded wherever it
+  // is), so it runs before any damping decision, like the single-zone path.
+  if (config_.respect_failure_detection) {
+    reclaim_stranded();
+  }
+
+  const std::uint32_t zones = view_.zone_count();
+  std::vector<ZoneScan> scans(zones);
+  std::vector<bool> eligible(zones, false);  // undamped; vector is reused below
+  std::vector<bool> moved(zones, false);
+  for (std::uint32_t zone = 0; zone < zones; ++zone) {
+    // Per-zone damping: a zone with an in-flight migration has a stale
+    // load vector; other zones keep balancing concurrently.
+    if (world_.migrations_in_flight(zone) > 0) {
+      continue;
+    }
+    eligible[zone] = true;
+    scans[zone] = scan_zone(zone);
+    const ZoneScan& scan = scans[zone];
+    if (!scan.found || scan.busiest == scan.idlest) {
+      continue;
+    }
+    if (worth_moving(scan.max_load, scan.min_load) && move_one(scan.busiest, scan.idlest)) {
+      ++intra_moves_;
+      moved[zone] = true;
     }
   }
 
-  world_.simulator().schedule_after(config_.period, [this] { tick(); });
+  // Global tier: one cross-zone move per tick, and only from a zone whose
+  // intra-zone pass saturated (made no move — it is either internally
+  // balanced or has nothing migratable, yet may still tower over another
+  // zone). Compares the source zone's busiest node against the overall
+  // idlest node in any other undamped zone.
+  std::uint32_t src_zone = 0;
+  std::uint32_t dst_zone = 0;
+  bool have_src = false;
+  bool have_dst = false;
+  for (std::uint32_t zone = 0; zone < zones; ++zone) {
+    if (!eligible[zone] || !scans[zone].found) {
+      continue;
+    }
+    if (!moved[zone] && (!have_src || scans[zone].max_load > scans[src_zone].max_load)) {
+      src_zone = zone;
+      have_src = true;
+    }
+    if (!have_dst || scans[zone].min_load < scans[dst_zone].min_load) {
+      dst_zone = zone;
+      have_dst = true;
+    }
+  }
+  if (!have_src || !have_dst || src_zone == dst_zone) {
+    return;
+  }
+  if (worth_moving(scans[src_zone].max_load, scans[dst_zone].min_load) &&
+      move_one(scans[src_zone].busiest, scans[dst_zone].idlest)) {
+    ++cross_moves_;
+  }
 }
 
 }  // namespace ampom::balancer

@@ -1,19 +1,27 @@
 #pragma once
 // A simple openMosix-style load balancer: periodically compare node loads
-// (own count + InfoDaemon-propagated peer loads) and migrate one process
+// (read through the cluster::ClusterView interface) and migrate one process
 // from the most- to the least-loaded node when the imbalance exceeds a
 // threshold. Greedy rather than openMosix's probabilistic exchange, but the
 // same information flow: decisions use the load vector the daemons gossip.
 //
-// The knob that matters is `min_gain_seconds`: a migration is only worth
-// its freeze time. With openMosix's multi-second freezes the balancer must
-// be conservative; with AMPoM's sub-second freezes it can chase much
+// Zoned worlds shard the balancer: each zone runs the greedy pass over its
+// own ClusterView slice (so per-tick cost is O(zone size) per zone, and
+// zones balance concurrently), and a thin global tier compares zone-level
+// load aggregates, migrating across zones only when the busiest zone's
+// intra-zone pass saturated — it could not move anything internally.
+// Single-zone worlds take the exact pre-zoning code path.
+//
+// The knob that matters is `assumed_freeze_seconds`: a migration is only
+// worth its freeze time. With openMosix's multi-second freezes the balancer
+// must be conservative; with AMPoM's sub-second freezes it can chase much
 // smaller imbalances — the paper's §7 claim, measurable in
 // bench/balancer_study.
 
 #include <cstdint>
 
 #include "balancer/cluster_sim.hpp"
+#include "cluster/cluster_view.hpp"
 
 namespace ampom::balancer {
 
@@ -43,17 +51,40 @@ class LoadBalancer {
   [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
   // Stranded migrants reclaimed to their home node after their host died.
   [[nodiscard]] std::uint64_t rehomes() const { return rehomes_; }
+  // Zoned worlds: decisions split into within-zone and cross-zone moves.
+  [[nodiscard]] std::uint64_t intra_zone_moves() const { return intra_moves_; }
+  [[nodiscard]] std::uint64_t cross_zone_moves() const { return cross_moves_; }
 
  private:
+  // One node's standing in a zone scan: the extremes and whether any alive
+  // node was seen at all.
+  struct ZoneScan {
+    net::NodeId busiest{0};
+    net::NodeId idlest{0};
+    double max_load{0.0};
+    double min_load{0.0};
+    bool found{false};
+  };
+
   void tick();
+  void single_zone_tick();
+  void zoned_tick();
   void reclaim_stranded();
+  [[nodiscard]] ZoneScan scan_zone(std::uint32_t zone) const;
+  [[nodiscard]] bool worth_moving(double max_load, double min_load) const;
+  // Migrate the lowest-pid migratable host on `from` to `to`; true if one
+  // was found and the move was issued.
+  bool move_one(net::NodeId from, net::NodeId to);
 
   ClusterSim& world_;
+  const cluster::ClusterView& view_;
   Config config_;
   bool running_{false};
   std::uint64_t decisions_{0};
   std::uint64_t ticks_{0};
   std::uint64_t rehomes_{0};
+  std::uint64_t intra_moves_{0};
+  std::uint64_t cross_moves_{0};
 };
 
 }  // namespace ampom::balancer

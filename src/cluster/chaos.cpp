@@ -18,7 +18,7 @@ void note_fault_edge(ExpandedChaos& out, sim::Time at) {
 
 std::string validate_chaos(const ChaosPlan& plan) {
   for (const ZoneOutage& zone : plan.zone_outages) {
-    if (zone.nodes.empty()) {
+    if (zone.nodes.empty() && zone.zone < 0) {
       return "chaos: zone outage with no nodes";
     }
     if (zone.restore_at > sim::Time::zero() && zone.restore_at <= zone.at) {
@@ -56,10 +56,15 @@ std::string validate_chaos(const ChaosPlan& plan) {
 }
 
 ExpandedChaos expand_chaos(const ChaosPlan& plan, std::size_t node_count) {
+  return expand_chaos(plan, Topology::flat(node_count));
+}
+
+ExpandedChaos expand_chaos(const ChaosPlan& plan, const Topology& topology) {
   const std::string problem = validate_chaos(plan);
   if (!problem.empty()) {
     throw std::invalid_argument(problem);
   }
+  const std::size_t node_count = topology.node_count();
   const auto check_node = [node_count](net::NodeId id) {
     if (id >= node_count) {
       throw std::invalid_argument(sim::strfmt(
@@ -72,7 +77,20 @@ ExpandedChaos expand_chaos(const ChaosPlan& plan, std::size_t node_count) {
   sim::Rng rng{plan.seed};
 
   for (const ZoneOutage& zone : plan.zone_outages) {
-    for (const net::NodeId node : zone.nodes) {
+    std::vector<net::NodeId> victims = zone.nodes;
+    if (zone.zone >= 0) {
+      const auto z = static_cast<std::uint32_t>(zone.zone);
+      if (z >= topology.zones) {
+        throw std::invalid_argument(sim::strfmt(
+            "chaos: zone outage names zone %u but the topology has %u zones", z,
+            topology.zones));
+      }
+      victims.clear();
+      for (net::NodeId node = topology.zone_begin(z); node < topology.zone_end(z); ++node) {
+        victims.push_back(node);
+      }
+    }
+    for (const net::NodeId node : victims) {
       check_node(node);
       out.crashes.push_back({node, zone.at, zone.restore_at});
       note_fault_edge(out, zone.at);

@@ -17,17 +17,21 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster_view.hpp"
 #include "net/message.hpp"
 #include "simcore/time.hpp"
 
 namespace ampom::cluster {
 
 // A rack/zone power event: every listed node crashes at `at` and (optionally)
-// restarts together at `restore_at` (zero = stays down).
+// restarts together at `restore_at` (zero = stays down). Either an explicit
+// node list, or (zone >= 0) a topology zone index resolved at expansion time
+// against the world's zone layout.
 struct ZoneOutage {
   std::vector<net::NodeId> nodes;
   sim::Time at{};
   sim::Time restore_at{};
+  std::int32_t zone{-1};  // >= 0: crash topology zone `zone`; nodes ignored
 };
 
 // A network partition: nodes in `group_a` cannot reach the rest of the
@@ -108,9 +112,12 @@ struct ExpandedChaos {
 
 // Deterministic expansion: campaigns are expanded in declaration order
 // (zone outages, partitions, crash waves, link flaps) with one Rng seeded
-// from plan.seed, so the same (plan, node_count) always yields the same
-// schedule. Throws std::invalid_argument on validate_chaos failures or node
-// ids outside [0, node_count).
+// from plan.seed, so the same (plan, topology) always yields the same
+// schedule. Zone-indexed outages resolve against `topology`. Throws
+// std::invalid_argument on validate_chaos failures, node ids outside
+// [0, node_count), or zone indices outside [0, zones).
+[[nodiscard]] ExpandedChaos expand_chaos(const ChaosPlan& plan, const Topology& topology);
+// Single-zone convenience: expand against Topology::flat(node_count).
 [[nodiscard]] ExpandedChaos expand_chaos(const ChaosPlan& plan, std::size_t node_count);
 
 }  // namespace ampom::cluster

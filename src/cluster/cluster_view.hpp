@@ -1,0 +1,74 @@
+#pragma once
+// The read-side cluster API.
+//
+// Everything that *consumes* cluster state — the load balancer, the
+// invariant auditor, chaos expansion, benches — reads it through this
+// interface instead of poking individual InfoDaemons. The split matters at
+// scale: consumers see one coherent view (ground-truth load counts, zone
+// membership, consensus health) while the daemons underneath gossip among
+// themselves with bounded fan-out. ClusterSim implements the interface;
+// a 10k-node world and the 2-node unit fixture expose the same surface.
+
+#include <cstdint>
+
+#include "net/message.hpp"
+#include "simcore/time.hpp"
+
+namespace ampom::cluster {
+
+enum class PeerHealth : std::uint8_t { kAlive, kSuspected, kDead };
+
+// Zone layout: `zones` contiguous blocks of `nodes_per_zone` ids each, so
+// zone z is [z * nodes_per_zone, (z + 1) * nodes_per_zone). Contiguity is a
+// deliberate constraint — it makes every per-zone structure a dense array
+// slice instead of an id set, which is what keeps a 10k-node world's
+// memory linear in (nodes x zone size) rather than quadratic in nodes.
+struct Topology {
+  std::uint32_t zones{1};
+  std::uint32_t nodes_per_zone{0};  // 0 = unset (single-process worlds)
+
+  [[nodiscard]] static Topology flat(std::size_t nodes) {
+    return Topology{1, static_cast<std::uint32_t>(nodes)};
+  }
+
+  [[nodiscard]] bool set() const { return nodes_per_zone > 0; }
+  [[nodiscard]] std::size_t node_count() const {
+    return static_cast<std::size_t>(zones) * nodes_per_zone;
+  }
+  [[nodiscard]] std::uint32_t zone_of(net::NodeId id) const { return id / nodes_per_zone; }
+  [[nodiscard]] net::NodeId zone_begin(std::uint32_t zone) const {
+    return zone * nodes_per_zone;
+  }
+  [[nodiscard]] net::NodeId zone_end(std::uint32_t zone) const {
+    return (zone + 1) * nodes_per_zone;
+  }
+};
+
+class ClusterView {
+ public:
+  virtual ~ClusterView() = default;
+
+  [[nodiscard]] virtual const Topology& topology() const = 0;
+  // Ground-truth load of `node` (unfinished processes placed there).
+  [[nodiscard]] virtual double load(net::NodeId node) const = 0;
+  // Majority-vote health of `node` among its zone's daemons. Always kAlive
+  // while failure detection is disabled.
+  [[nodiscard]] virtual PeerHealth health(net::NodeId node) const = 0;
+  // `from`'s measured one-way latency to `to` (a prior until measured).
+  [[nodiscard]] virtual sim::Time rtt_one_way(net::NodeId from, net::NodeId to) const = 0;
+  // Mean load per node over one zone (the global balancing tier's signal).
+  [[nodiscard]] virtual double zone_load(std::uint32_t zone) const = 0;
+
+  // --- membership iteration (non-virtual; derived from the topology) -------
+  [[nodiscard]] std::size_t node_count() const { return topology().node_count(); }
+  [[nodiscard]] std::uint32_t zone_count() const { return topology().zones; }
+  [[nodiscard]] std::uint32_t zone_of(net::NodeId id) const { return topology().zone_of(id); }
+  [[nodiscard]] net::NodeId zone_begin(std::uint32_t zone) const {
+    return topology().zone_begin(zone);
+  }
+  [[nodiscard]] net::NodeId zone_end(std::uint32_t zone) const {
+    return topology().zone_end(zone);
+  }
+};
+
+}  // namespace ampom::cluster

@@ -2,7 +2,24 @@
 
 #include <algorithm>
 
+#include "simcore/rng.hpp"
+
 namespace ampom::cluster {
+
+namespace {
+
+// splitmix64 finalizer: folds (seed, self, tick) into an Rng seed so the
+// peer pick for a tick depends only on those three values — never on event
+// history — which is what keeps gossip runs bit-identical under any event
+// interleaving (and across jobs=1 vs jobs=4 sweeps).
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 InfoDaemon::InfoDaemon(sim::Simulator& simulator, net::Fabric& fabric, net::NodeId self,
                        sim::Time period)
@@ -10,7 +27,34 @@ InfoDaemon::InfoDaemon(sim::Simulator& simulator, net::Fabric& fabric, net::Node
 
 void InfoDaemon::add_peer(net::NodeId peer) {
   peers_.push_back(peer);
-  peer_state_.emplace(peer, PeerState{});
+  ensure_state(peer);
+}
+
+void InfoDaemon::set_gossip(const GossipConfig& config) {
+  gossip_ = config;
+  if (config.period > sim::Time::zero()) {
+    period_ = config.period;
+  }
+}
+
+const InfoDaemon::PeerState* InfoDaemon::find_state(net::NodeId peer) const {
+  if (state_.empty() || peer < base_ || peer >= base_ + state_.size()) {
+    return nullptr;
+  }
+  return &state_[peer - base_];
+}
+
+InfoDaemon::PeerState& InfoDaemon::ensure_state(net::NodeId peer) {
+  if (state_.empty()) {
+    base_ = peer;
+    state_.resize(1);
+  } else if (peer < base_) {
+    state_.insert(state_.begin(), base_ - peer, PeerState{});
+    base_ = peer;
+  } else if (peer >= base_ + state_.size()) {
+    state_.resize(peer - base_ + 1);
+  }
+  return state_[peer - base_];
 }
 
 void InfoDaemon::start() {
@@ -32,6 +76,21 @@ void InfoDaemon::tick() {
   }
   sample_bandwidth();
   const double load = local_load_ ? local_load_() : 0.0;
+  ++tick_index_;
+  if (gossip_.enabled) {
+    // The version counter is this node's heartbeat: it advances once per
+    // tick whether the tick degenerates to all-pairs or not.
+    ++self_version_;
+  }
+  if (!gossip_.enabled || gossip_.fan_out >= peers_.size()) {
+    legacy_tick(load);
+  } else {
+    gossip_tick(load);
+  }
+  sim_.schedule_after(period_, [this] { tick(); });
+}
+
+void InfoDaemon::legacy_tick(double load) {
   for (const net::NodeId peer : peers_) {
     net::LoadPing ping;
     ping.seq = ++seq_;
@@ -40,7 +99,76 @@ void InfoDaemon::tick() {
     fabric_.send(net::Message{self_, peer, /*wire_bytes=*/64, ping});
     ++pings_sent_;
   }
-  sim_.schedule_after(period_, [this] { tick(); });
+}
+
+void InfoDaemon::gossip_tick(double load) {
+  const std::vector<net::GossipEntry> digest = build_digest(load);
+  sim::Rng rng{mix64(mix64(gossip_.seed ^ (static_cast<std::uint64_t>(self_) + 1)) ^
+                     tick_index_)};
+  // fan_out distinct peers, drawn with rejection (fan_out << peer count on
+  // the gossip path, so redraws are rare and the loop is bounded).
+  std::vector<std::uint32_t> picked;
+  picked.reserve(gossip_.fan_out);
+  while (picked.size() < gossip_.fan_out) {
+    const auto idx = static_cast<std::uint32_t>(rng.uniform(peers_.size()));
+    if (std::find(picked.begin(), picked.end(), idx) == picked.end()) {
+      picked.push_back(idx);
+    }
+  }
+  for (const std::uint32_t idx : picked) {
+    net::GossipPing ping;
+    ping.seq = ++seq_;
+    ping.sent_at = sim_.now();
+    ping.cpu_load = load;
+    ping.sender_version = self_version_;
+    ping.digest = digest;
+    // Framing as LoadPing (64 bytes) plus 24 wire bytes per digest entry
+    // (node id + version + load, padded).
+    const auto wire = static_cast<sim::Bytes>(64 + 24 * digest.size());
+    fabric_.send(net::Message{self_, peers_[idx], wire, ping});
+    ++pings_sent_;
+    digest_entries_sent_ += digest.size();
+  }
+}
+
+std::vector<net::GossipEntry> InfoDaemon::build_digest(double /*load*/) const {
+  // Relay up to digest_cap recently-advanced entries. The scan starts at a
+  // tick-rotated offset so a full digest under churn does not starve
+  // high-id peers; staleness ages entries out (a dead origin's version
+  // stops advancing, so its entry drops from circulation after
+  // digest_age_periods and the silence-based detector takes over).
+  std::vector<net::GossipEntry> digest;
+  if (peers_.empty()) {
+    return digest;
+  }
+  const sim::Time age_limit = period_.scaled(gossip_.digest_age_periods);
+  const sim::Time now = sim_.now();
+  const std::size_t start = static_cast<std::size_t>(tick_index_) % peers_.size();
+  for (std::size_t i = 0; i < peers_.size() && digest.size() < gossip_.digest_cap; ++i) {
+    const net::NodeId peer = peers_[(start + i) % peers_.size()];
+    const PeerState* st = find_state(peer);
+    if (st == nullptr || !st->heard || st->version == 0) {
+      continue;
+    }
+    if (now - st->last_heard > age_limit) {
+      continue;
+    }
+    digest.push_back(net::GossipEntry{peer, st->version, st->load});
+  }
+  return digest;
+}
+
+void InfoDaemon::merge_entry(net::NodeId origin, std::uint64_t version, double load) {
+  if (origin == self_) {
+    return;
+  }
+  PeerState& st = ensure_state(origin);
+  if (version > st.version) {
+    st.version = version;
+    st.load = load;
+    st.last_heard = sim_.now();
+    st.heard = true;
+  }
 }
 
 void InfoDaemon::sample_bandwidth() {
@@ -68,28 +196,33 @@ sim::Bandwidth InfoDaemon::available_bandwidth() const {
 }
 
 sim::Time InfoDaemon::rtt_one_way(net::NodeId peer) const {
-  const auto it = peer_state_.find(peer);
-  if (it == peer_state_.end()) {
+  const PeerState* st = find_state(peer);
+  if (st == nullptr) {
     return sim::Time::from_us(300);
   }
-  return it->second.rtt_ewma / 2;
+  return st->rtt_ewma / 2;
 }
 
-double InfoDaemon::peer_load(net::NodeId peer) const {
-  const auto it = peer_state_.find(peer);
-  return it == peer_state_.end() ? 0.0 : it->second.load;
+double InfoDaemon::known_load(net::NodeId peer) const {
+  const PeerState* st = find_state(peer);
+  return st == nullptr ? 0.0 : st->load;
+}
+
+std::uint64_t InfoDaemon::peer_version(net::NodeId peer) const {
+  const PeerState* st = find_state(peer);
+  return st == nullptr ? 0 : st->version;
 }
 
 PeerHealth InfoDaemon::peer_health(net::NodeId peer) const {
   if (!detection_.enabled || !started_) {
     return PeerHealth::kAlive;
   }
-  const auto it = peer_state_.find(peer);
+  const PeerState* st = find_state(peer);
   // Silence measured from the later of daemon start and last contact, so a
   // freshly-started cluster gets a full grace window before judging anyone.
   sim::Time baseline = started_at_;
-  if (it != peer_state_.end() && it->second.heard && it->second.last_heard > baseline) {
-    baseline = it->second.last_heard;
+  if (st != nullptr && st->heard && st->last_heard > baseline) {
+    baseline = st->last_heard;
   }
   const sim::Time silence = sim_.now() - baseline;
   if (silence >= period_.scaled(detection_.dead_periods)) {
@@ -105,16 +238,15 @@ void InfoDaemon::note_rebooted() {
   if (started_) {
     started_at_ = sim_.now();
   }
-  for (auto& [peer, state] : peer_state_) {
+  for (PeerState& state : state_) {
     state.heard = false;
     state.last_heard = sim::Time::zero();
   }
 }
 
 sim::Time InfoDaemon::last_heard(net::NodeId peer) const {
-  const auto it = peer_state_.find(peer);
-  return it != peer_state_.end() && it->second.heard ? it->second.last_heard
-                                                     : sim::Time::zero();
+  const PeerState* st = find_state(peer);
+  return st != nullptr && st->heard ? st->last_heard : sim::Time::zero();
 }
 
 std::uint64_t InfoDaemon::dead_peers() const {
@@ -129,13 +261,10 @@ std::uint64_t InfoDaemon::dead_peers() const {
 
 void InfoDaemon::on_ping(net::NodeId src, const net::LoadPing& ping) {
   // Record the peer's advertised load and acknowledge so it can measure RTT.
-  auto it = peer_state_.find(src);
-  if (it == peer_state_.end()) {
-    it = peer_state_.emplace(src, PeerState{}).first;
-  }
-  it->second.load = ping.cpu_load;
-  it->second.last_heard = sim_.now();
-  it->second.heard = true;
+  PeerState& st = ensure_state(src);
+  st.load = ping.cpu_load;
+  st.last_heard = sim_.now();
+  st.heard = true;
   net::LoadAck ack;
   ack.seq = ping.seq;
   ack.ping_sent_at = ping.sent_at;
@@ -146,11 +275,7 @@ void InfoDaemon::on_ping(net::NodeId src, const net::LoadPing& ping) {
 void InfoDaemon::on_ack(net::NodeId src, const net::LoadAck& ack) {
   ++acks_received_;
   const sim::Time rtt = sim_.now() - ack.ping_sent_at;
-  auto it = peer_state_.find(src);
-  if (it == peer_state_.end()) {
-    it = peer_state_.emplace(src, PeerState{}).first;
-  }
-  PeerState& peer = it->second;
+  PeerState& peer = ensure_state(src);
   peer.load = ack.cpu_load;
   peer.last_heard = sim_.now();
   peer.heard = true;
@@ -159,6 +284,32 @@ void InfoDaemon::on_ack(net::NodeId src, const net::LoadAck& ack) {
     peer.measured = true;
   } else {
     // EWMA with alpha = 0.3; Time's integer operators keep it exact.
+    peer.rtt_ewma = (peer.rtt_ewma * 7 + rtt * 3) / 10;
+  }
+}
+
+void InfoDaemon::on_gossip_ping(net::NodeId src, const net::GossipPing& ping) {
+  merge_entry(src, ping.sender_version, ping.cpu_load);
+  for (const net::GossipEntry& entry : ping.digest) {
+    merge_entry(entry.node, entry.version, entry.load);
+  }
+  net::GossipAck ack;
+  ack.seq = ping.seq;
+  ack.ping_sent_at = ping.sent_at;
+  ack.cpu_load = local_load_ ? local_load_() : 0.0;
+  ack.sender_version = self_version_;
+  fabric_.send(net::Message{self_, src, /*wire_bytes=*/64, ack});
+}
+
+void InfoDaemon::on_gossip_ack(net::NodeId src, const net::GossipAck& ack) {
+  ++acks_received_;
+  const sim::Time rtt = sim_.now() - ack.ping_sent_at;
+  merge_entry(src, ack.sender_version, ack.cpu_load);
+  PeerState& peer = ensure_state(src);
+  if (!peer.measured) {
+    peer.rtt_ewma = rtt;
+    peer.measured = true;
+  } else {
     peer.rtt_ewma = (peer.rtt_ewma * 7 + rtt * 3) / 10;
   }
 }

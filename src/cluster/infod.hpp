@@ -6,12 +6,22 @@
 //   available bandwidth — by diffing the node's RX/TX byte counters
 //        (the /sbin/ifconfig method) each sampling period;
 //   CPU load — the node's current utilization, exchanged in load updates.
+//
+// Two dissemination modes share the daemon:
+//   all-pairs mesh (default) — every tick pings every peer, the paper's
+//        shape; cost O(peers) per node per period.
+//   epidemic gossip — every tick pings a bounded fan-out of deterministic
+//        pseudo-random peers and piggybacks a digest of recently-changed
+//        load entries with per-origin version counters; cost O(fan_out).
+//        When fan_out >= peer count the gossip tick degenerates to the
+//        exact all-pairs tick, so small clusters stay bit-identical to the
+//        mesh (the equivalence the tests pin).
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <vector>
 
+#include "cluster/cluster_view.hpp"
 #include "net/fabric.hpp"
 #include "simcore/simulator.hpp"
 
@@ -21,14 +31,29 @@ namespace ampom::cluster {
 // period: a peer silent for suspect_periods is Suspected (skip it for new
 // placements), for dead_periods it is Dead (reclaim its migrants). Health
 // is computed lazily from the last-heard timestamp — detection adds no
-// events and no wire traffic, so it is free on the happy path.
+// events and no wire traffic, so it is free on the happy path. Under
+// gossip, "heard" means the peer's version counter advanced (directly or
+// through a relayed digest entry), so the same thresholds apply unchanged.
 struct FailureDetection {
   bool enabled{false};
   double suspect_periods{3.0};
   double dead_periods{8.0};
 };
 
-enum class PeerHealth : std::uint8_t { kAlive, kSuspected, kDead };
+// Epidemic dissemination knobs. `seed` feeds the per-(node, tick) peer
+// selection only — never the message RNG — so enabling gossip on one node
+// cannot perturb any other stochastic element of a run.
+struct GossipConfig {
+  bool enabled{false};
+  std::uint32_t fan_out{2};
+  sim::Time period{};  // zero = keep the daemon's own period
+  // Digest aging: an entry whose version last advanced more than
+  // digest_age_periods ago is stale and no longer relayed (a dead node's
+  // entry ages out instead of circulating forever).
+  double digest_age_periods{8.0};
+  std::uint32_t digest_cap{32};  // max relayed entries per ping (own excluded)
+  std::uint64_t seed{0x9E3779B97F4A7C15ULL};
+};
 
 class InfoDaemon {
  public:
@@ -36,6 +61,10 @@ class InfoDaemon {
              sim::Time period = sim::Time::from_ms(250));
 
   void add_peer(net::NodeId peer);
+  // Configure epidemic dissemination; call before start(). A nonzero
+  // config period overrides the daemon's tick period.
+  void set_gossip(const GossipConfig& config);
+  [[nodiscard]] const GossipConfig& gossip() const { return gossip_; }
   void start();
   void stop() { running_ = false; }
 
@@ -47,20 +76,35 @@ class InfoDaemon {
   [[nodiscard]] sim::Time rtt_one_way(net::NodeId peer) const;
   // Available bandwidth on this node's link: nominal minus observed use.
   [[nodiscard]] sim::Bandwidth available_bandwidth() const;
-  // Last load reported by a peer (for scheduling policies), NaN-free.
-  [[nodiscard]] double peer_load(net::NodeId peer) const;
-  [[nodiscard]] const std::vector<net::NodeId>& peers() const { return peers_; }
+  // Last load learned for a peer (directly or via gossip), NaN-free.
+  [[nodiscard]] double known_load(net::NodeId peer) const;
+  // Highest version counter seen from a peer (0 = never heard).
+  [[nodiscard]] std::uint64_t peer_version(net::NodeId peer) const;
+
+  // Deprecated read-side accessors, kept as thin forwarders for one PR:
+  // consumers read cluster state through cluster::ClusterView now.
+  [[deprecated("read loads through cluster::ClusterView or known_load()")]]
+  [[nodiscard]] double peer_load(net::NodeId peer) const {
+    return known_load(peer);
+  }
+  [[deprecated("iterate membership through cluster::ClusterView")]]
+  [[nodiscard]] const std::vector<net::NodeId>& peers() const {
+    return peers_;
+  }
 
   // --- failure detection ----------------------------------------------------
   void set_failure_detection(FailureDetection config) { detection_ = config; }
   [[nodiscard]] const FailureDetection& failure_detection() const { return detection_; }
-  // Health judged from the silence since the peer was last heard (ping or
-  // ack). Always kAlive while detection is disabled or before start().
+  // Health judged from the silence since the peer was last heard (ping,
+  // ack, or gossip version advance). Always kAlive while detection is
+  // disabled or before start().
   [[nodiscard]] PeerHealth peer_health(net::NodeId peer) const;
   // Fresh-boot semantics after a crash+restore: forget every pre-crash
   // last-heard timestamp and restart the silence clocks from now. Without
   // this a restored node votes with stale clocks and condemns peers that
-  // were alive the whole time it was down.
+  // were alive the whole time it was down. Version counters survive — they
+  // are monotone per origin, and resetting them would make the rebooted
+  // node ignore fresh gossip until the counters caught up.
   void note_rebooted();
   [[nodiscard]] sim::Time last_heard(net::NodeId peer) const;
   [[nodiscard]] std::uint64_t dead_peers() const;
@@ -68,30 +112,52 @@ class InfoDaemon {
   // Node router entry points.
   void on_ping(net::NodeId src, const net::LoadPing& ping);
   void on_ack(net::NodeId src, const net::LoadAck& ack);
+  void on_gossip_ping(net::NodeId src, const net::GossipPing& ping);
+  void on_gossip_ack(net::NodeId src, const net::GossipAck& ack);
 
   [[nodiscard]] std::uint64_t pings_sent() const { return pings_sent_; }
   [[nodiscard]] std::uint64_t acks_received() const { return acks_received_; }
+  // Digest entries relayed across all gossip pings (the piggyback volume).
+  [[nodiscard]] std::uint64_t digest_entries_sent() const { return digest_entries_sent_; }
 
  private:
+  struct PeerState {
+    sim::Time rtt_ewma{sim::Time::from_us(300)};  // prior until measured
+    bool measured{false};
+    double load{0.0};
+    std::uint64_t version{0};  // highest origin version seen
+    sim::Time last_heard{};    // latest contact or gossip version advance
+    bool heard{false};
+  };
+
   void tick();
+  void legacy_tick(double load);
+  void gossip_tick(double load);
   void sample_bandwidth();
+  void merge_entry(net::NodeId origin, std::uint64_t version, double load);
+  [[nodiscard]] std::vector<net::GossipEntry> build_digest(double load) const;
+
+  // Dense peer-state arena indexed by (id - base_). Peers are registered at
+  // construction time from a contiguous id range (the node's zone), so the
+  // arena is exactly zone-sized; the old std::map cost a pointer chase per
+  // lookup on the hottest read path in the simulator.
+  [[nodiscard]] const PeerState* find_state(net::NodeId peer) const;
+  PeerState& ensure_state(net::NodeId peer);
 
   sim::Simulator& sim_;
   net::Fabric& fabric_;
   net::NodeId self_;
   sim::Time period_;
-  std::vector<net::NodeId> peers_;
+  std::vector<net::NodeId> peers_;  // insertion order (legacy send order)
   std::function<double()> local_load_;
   bool running_{false};
 
-  struct PeerState {
-    sim::Time rtt_ewma{sim::Time::from_us(300)};  // prior until measured
-    bool measured{false};
-    double load{0.0};
-    sim::Time last_heard{};  // latest ping or ack arrival from this peer
-    bool heard{false};
-  };
-  std::map<net::NodeId, PeerState> peer_state_;
+  std::vector<PeerState> state_;  // arena over [base_, base_ + state_.size())
+  net::NodeId base_{0};
+
+  GossipConfig gossip_;
+  std::uint64_t self_version_{0};  // bumped each gossip tick (the heartbeat)
+  std::uint64_t tick_index_{0};
 
   FailureDetection detection_;
   sim::Time started_at_{};
@@ -99,6 +165,7 @@ class InfoDaemon {
 
   std::uint64_t pings_sent_{0};
   std::uint64_t acks_received_{0};
+  std::uint64_t digest_entries_sent_{0};
   std::uint64_t seq_{0};
 
   // Bandwidth estimation (ifconfig counter diffs).

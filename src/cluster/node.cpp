@@ -45,6 +45,14 @@ void Node::dispatch(const net::Message& msg) {
           if (infod_ != nullptr) {
             infod_->on_ack(msg.src, payload);
           }
+        } else if constexpr (std::is_same_v<T, net::GossipPing>) {
+          if (infod_ != nullptr) {
+            infod_->on_gossip_ping(msg.src, payload);
+          }
+        } else if constexpr (std::is_same_v<T, net::GossipAck>) {
+          if (infod_ != nullptr) {
+            infod_->on_gossip_ack(msg.src, payload);
+          }
         } else if constexpr (std::is_same_v<T, net::SyscallRequest>) {
           lookup(deputies_, payload.pid, "deputy")->on_syscall_request(payload);
         } else if constexpr (std::is_same_v<T, net::SyscallReply>) {

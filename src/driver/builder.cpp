@@ -6,8 +6,33 @@ namespace ampom::driver {
 
 std::string ScenarioBuilder::validate() const {
   const Scenario& s = scenario_;
-  if (!s.make_workload) {
+  const bool cluster_mode = s.topology.set();
+  if (!s.make_workload && !cluster_mode) {
     return "ScenarioBuilder: no workload set — call workload() or hpcc_workload()";
+  }
+  if (cluster_mode && (s.topology.zones < 1 || s.topology.nodes_per_zone < 1)) {
+    return "ScenarioBuilder: topology() needs zones >= 1 and nodes_per_zone >= 1";
+  }
+  if (s.gossip.enabled) {
+    if (s.gossip.fan_out < 1) {
+      return "ScenarioBuilder: gossip() needs fan_out >= 1 — a zero fan-out daemon would "
+             "never disseminate load and every peer would look dead";
+    }
+    if (!cluster_mode) {
+      return "ScenarioBuilder: gossip() requires topology() — gossip is a cluster-world "
+             "dissemination mode";
+    }
+    if (s.topology.node_count() < 2) {
+      return "ScenarioBuilder: gossip() on a single-node cluster is meaningless — there is "
+             "no peer to gossip with; grow the topology or drop gossip()";
+    }
+  }
+  for (const auto& outage : s.faults.chaos.zone_outages) {
+    if (outage.zone >= 0 &&
+        (!cluster_mode || static_cast<std::uint32_t>(outage.zone) >= s.topology.zones)) {
+      return "ScenarioBuilder: zone_outage(zone) names a topology zone the scenario does "
+             "not have";
+    }
   }
   if (s.faults.active() && !s.reliability.enabled) {
     return "ScenarioBuilder: fault plan is active but reliability is off — lost messages "

@@ -55,6 +55,25 @@ class ScenarioBuilder {
     return *this;
   }
 
+  // --- cluster-world shape (ClusterSim scenarios) ---------------------------
+  // Zone layout: `zones` contiguous blocks of `nodes_per_zone` node ids.
+  // Setting a topology marks the scenario as a cluster world, where a
+  // workload factory is optional (jobs are spawned per ProcessHost).
+  ScenarioBuilder& topology(std::uint32_t zones, std::uint32_t nodes_per_zone) {
+    scenario_.topology = cluster::Topology{zones, nodes_per_zone};
+    return *this;
+  }
+
+  // Epidemic load dissemination: each InfoDaemon tick gossips with
+  // `fan_out` deterministic pseudo-random zone peers instead of pinging
+  // all of them. A nonzero `period` overrides the profile's infod period.
+  ScenarioBuilder& gossip(std::uint32_t fan_out, sim::Time period = {}) {
+    scenario_.gossip.enabled = true;
+    scenario_.gossip.fan_out = fan_out;
+    scenario_.gossip.period = period;
+    return *this;
+  }
+
   ScenarioBuilder& ampom_config(core::AmpomConfig value) {
     scenario_.ampom = value;
     return *this;
@@ -125,6 +144,14 @@ class ScenarioBuilder {
   ScenarioBuilder& zone_outage(std::vector<net::NodeId> nodes, sim::Time at,
                                sim::Time restore_at = {}) {
     scenario_.faults.chaos.zone_outages.push_back({std::move(nodes), at, restore_at});
+    return *this;
+  }
+
+  // Topology-indexed form: crash every node of zone `zone` (resolved at
+  // expansion time against the scenario's topology).
+  ScenarioBuilder& zone_outage(std::uint32_t zone, sim::Time at, sim::Time restore_at = {}) {
+    scenario_.faults.chaos.zone_outages.push_back(
+        {{}, at, restore_at, static_cast<std::int32_t>(zone)});
     return *this;
   }
 

@@ -150,6 +150,12 @@ struct Scenario {
   ClusterProfile profile{gideon300_profile()};
   core::AmpomConfig ampom{};
 
+  // Cluster-world shape (ClusterSim scenarios): zone layout and the
+  // InfoDaemon dissemination mode. An unset topology means the scenario is
+  // a single-process experiment (run_experiment) and these are ignored.
+  cluster::Topology topology{};
+  cluster::GossipConfig gossip{};
+
   // Environment knobs.
   bool shape_migrant_link{false};      // apply `shaped_link` between home/dest
   net::LinkParams shaped_link{};       // e.g. broadband_link() for Fig. 9

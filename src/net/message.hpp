@@ -100,9 +100,39 @@ struct FlushAck {
 // Opaque competing traffic (load generators, other jobs).
 struct Background {};
 
+// Epidemic load dissemination (the scalable InfoDaemon mode). One entry of
+// the piggybacked digest: the origin node's load stamped with the origin's
+// monotone version counter. The version doubles as the heartbeat — a
+// receiver that sees it advance knows the origin was alive when it bumped
+// it, no matter how many hops the entry took.
+struct GossipEntry {
+  NodeId node{kInvalidNode};
+  std::uint64_t version{0};
+  double load{0.0};
+};
+
+// A gossip round-trip: like LoadPing/LoadAck (the ack still measures t0),
+// but carrying the sender's version and a digest of recently-changed
+// entries so load and liveness spread transitively through the fan-out.
+struct GossipPing {
+  std::uint64_t seq{0};
+  sim::Time sent_at{};
+  double cpu_load{0.0};
+  std::uint64_t sender_version{0};
+  std::vector<GossipEntry> digest;
+};
+struct GossipAck {
+  std::uint64_t seq{0};
+  sim::Time ping_sent_at{};
+  double cpu_load{0.0};
+  std::uint64_t sender_version{0};
+};
+
+// Gossip payloads are appended after Background so the pre-gossip
+// alternative indices (and payload_name cases) stay stable.
 using Payload = std::variant<PageRequest, PageData, MigrationChunk, MigrationAck, LoadPing,
                              LoadAck, SyscallRequest, SyscallReply, FlushPage, FlushAck,
-                             Background>;
+                             Background, GossipPing, GossipAck>;
 
 struct Message {
   NodeId src{kInvalidNode};
@@ -141,6 +171,10 @@ struct Message {
       return "FlushAck";
     case 10:
       return "Background";
+    case 11:
+      return "GossipPing";
+    case 12:
+      return "GossipAck";
   }
   return "?";
 }

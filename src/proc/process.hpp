@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 
@@ -40,7 +41,19 @@ class Process {
 
   [[nodiscard]] net::NodeId home_node() const { return home_; }
   [[nodiscard]] net::NodeId current_node() const { return current_; }
-  void set_current_node(net::NodeId n) { current_ = n; }
+  void set_current_node(net::NodeId n) {
+    const net::NodeId prev = current_;
+    current_ = n;
+    if (prev != n && on_node_changed_) {
+      on_node_changed_(prev, n);
+    }
+  }
+  // Placement hook: the cluster world maintains per-node load counts
+  // incrementally from this instead of rescanning every process (O(1) vs
+  // O(processes) per load read — the difference at 100k processes).
+  void set_on_node_changed(std::function<void(net::NodeId, net::NodeId)> fn) {
+    on_node_changed_ = std::move(fn);
+  }
   [[nodiscard]] bool migrated() const { return current_ != home_; }
 
   // Track the most recently touched page per region; the FFA-style engines
@@ -61,6 +74,7 @@ class Process {
   ProcState state_{ProcState::Running};
   net::NodeId home_;
   net::NodeId current_;
+  std::function<void(net::NodeId, net::NodeId)> on_node_changed_;
   std::array<mem::PageId, mem::kRegionCount> last_touched_;
 };
 

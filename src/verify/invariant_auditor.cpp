@@ -249,33 +249,40 @@ void InvariantAuditor::audit_convergence() {
   }
   // Quiescence gate: dead_periods of heartbeat silence build the verdict,
   // plus margin for the heartbeats themselves to flow again after a heal.
-  const sim::Time settle =
-      world_.profile().infod_period.scaled(rel.detection.dead_periods + 4.0);
+  const sim::Time settle = world_.infod_period().scaled(rel.detection.dead_periods + 4.0);
   if (world_.simulator().now() < world_.last_fault_at() + settle) {
     return;
   }
-  std::size_t crashed = 0;
-  for (net::NodeId node = 0; node < world_.node_count(); ++node) {
-    if (world_.node_crashed(node)) {
-      ++crashed;
+  // Consensus is a zone-majority vote (the zone is the gossip domain), so
+  // the surviving-majority gate and the target sweep are per zone too; a
+  // single-zone world degenerates to the original cluster-wide check.
+  const cluster::ClusterView& view = world_.view();
+  const cluster::Topology& topo = view.topology();
+  for (std::uint32_t zone = 0; zone < topo.zones; ++zone) {
+    std::size_t crashed = 0;
+    for (net::NodeId node = topo.zone_begin(zone); node < topo.zone_end(zone); ++node) {
+      if (world_.node_crashed(node)) {
+        ++crashed;
+      }
     }
-  }
-  // A crashed observer hears nobody and votes everyone dead; only a strict
-  // surviving majority makes the consensus meaningful.
-  if (crashed * 2 >= world_.node_count()) {
-    return;
-  }
-  for (net::NodeId target = 0; target < world_.node_count(); ++target) {
-    const bool dead = world_.node_crashed(target);
-    const cluster::PeerHealth health = world_.consensus_health(target);
-    if (dead && health != cluster::PeerHealth::kDead) {
-      violation(sim::strfmt(
-          "I5 node %u: crashed, faults quiesced, but the survivors have not converged on dead",
-          target));
+    // A crashed observer hears nobody and votes everyone dead; only a
+    // strict surviving majority makes the consensus meaningful.
+    if (crashed * 2 >= topo.nodes_per_zone) {
+      continue;
     }
-    if (!dead && health == cluster::PeerHealth::kDead) {
-      violation(sim::strfmt("I5 node %u: alive but condemned by the surviving majority",
-                            target));
+    for (net::NodeId target = topo.zone_begin(zone); target < topo.zone_end(zone); ++target) {
+      const bool dead = world_.node_crashed(target);
+      const cluster::PeerHealth health = view.health(target);
+      if (dead && health != cluster::PeerHealth::kDead) {
+        violation(sim::strfmt(
+            "I5 node %u: crashed, faults quiesced, but the survivors have not converged on "
+            "dead",
+            target));
+      }
+      if (!dead && health == cluster::PeerHealth::kDead) {
+        violation(sim::strfmt("I5 node %u: alive but condemned by the surviving majority",
+                              target));
+      }
     }
   }
 }

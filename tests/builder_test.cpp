@@ -111,6 +111,48 @@ TEST(ScenarioBuilder, TracingTogglesTheDefaultConfig) {
   EXPECT_FALSE(off.trace.enabled);
 }
 
+TEST(ScenarioBuilder, ClusterTopologyMakesWorkloadOptional) {
+  // A topology marks the scenario as a cluster world: jobs come from
+  // spawn(), so the per-process workload factory is no longer required.
+  const driver::Scenario s =
+      driver::ScenarioBuilder{}.scheme(driver::Scheme::Ampom).topology(2, 4).build();
+  EXPECT_TRUE(s.topology.set());
+  EXPECT_EQ(s.topology.node_count(), 8u);
+  EXPECT_EQ(s.topology.zone_of(5), 1u);
+  EXPECT_FALSE(s.gossip.enabled);
+}
+
+TEST(ScenarioBuilder, RejectsDegenerateTopologyAndGossip) {
+  EXPECT_THROW((void)driver::ScenarioBuilder{}.topology(0, 4).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)driver::ScenarioBuilder{}.topology(2, 0).build(),
+               std::invalid_argument);
+  // fan_out 0 would disseminate nothing and every peer would look dead.
+  EXPECT_THROW((void)driver::ScenarioBuilder{}.topology(2, 4).gossip(0).build(),
+               std::invalid_argument);
+  // Gossip is a cluster-world dissemination mode: it needs a topology...
+  EXPECT_THROW((void)minimal().gossip(2).build(), std::invalid_argument);
+  // ...with someone to gossip with.
+  EXPECT_THROW((void)driver::ScenarioBuilder{}.topology(1, 1).gossip(1).build(),
+               std::invalid_argument);
+}
+
+TEST(ScenarioBuilder, RejectsZoneOutageBeyondTopology) {
+  EXPECT_THROW((void)driver::ScenarioBuilder{}
+                   .topology(2, 3)
+                   .reliability(driver::ReliabilityConfig::all_on())
+                   .zone_outage(/*zone=*/2u, sim::Time::from_sec(1))
+                   .build(),
+               std::invalid_argument);
+  const driver::Scenario ok = driver::ScenarioBuilder{}
+                                  .topology(2, 3)
+                                  .reliability(driver::ReliabilityConfig::all_on())
+                                  .zone_outage(/*zone=*/1u, sim::Time::from_sec(1))
+                                  .build();
+  EXPECT_EQ(ok.faults.chaos.zone_outages.size(), 1u);
+  EXPECT_EQ(ok.faults.chaos.zone_outages[0].zone, 1);
+}
+
 TEST(ScenarioBuilder, BuilderIsReusable) {
   auto b = minimal();
   const driver::Scenario first = b.scheme(driver::Scheme::Ampom).build();

@@ -79,8 +79,8 @@ TEST_F(ClusterFixture, PeerLoadPropagatesThroughPings) {
   infod0.set_local_load_source([] { return 0.75; });
   wire_daemons();
   simulator.run_until(Time::from_sec(1));
-  EXPECT_DOUBLE_EQ(infod1.peer_load(0), 0.75);
-  EXPECT_DOUBLE_EQ(infod0.peer_load(1), 0.0);
+  EXPECT_DOUBLE_EQ(infod1.known_load(0), 0.75);
+  EXPECT_DOUBLE_EQ(infod0.known_load(1), 0.0);
 }
 
 TEST_F(ClusterFixture, NodeBackgroundLoadAndCpuShare) {

@@ -176,5 +176,120 @@ TEST(PerfGateLoad, RejectsDocumentsWithoutSchemaOrProfiles) {
   EXPECT_NE(error.find("profiles"), std::string::npos);
 }
 
+// --- scale-sweep mode -------------------------------------------------------
+
+ScaleCase scale_case(double nodes, double msgs, double events, double wall) {
+  ScaleCase c;
+  c.nodes = nodes;
+  c.zones = nodes / 8.0;
+  c.fan_out = 3.0;
+  c.procs = nodes * 10.0;
+  c.events = events;
+  c.sim_sec = 10.0;
+  c.msgs_per_node_period = msgs;
+  c.wall_sec = wall;
+  c.events_per_sec = wall > 0.0 ? events / wall : 0.0;
+  return c;
+}
+
+ScaleSummary healthy_scale() {
+  ScaleSummary s;
+  s.cases.emplace("n64", scale_case(64, 5.97, 1.0e6, 0.5));
+  s.cases.emplace("n256", scale_case(256, 5.91, 4.0e6, 3.6));
+  s.cases.emplace("n1024", scale_case(1024, 6.00, 16.0e6, 19.0));
+  return s;
+}
+
+TEST(PerfGateScale, RoundTripsAndPassesWithoutBaseline) {
+  const ScaleSummary summary = healthy_scale();
+  std::string error;
+  const auto reloaded = load_scale_summary(parse_ok(render_scale_summary(summary)), &error);
+  ASSERT_TRUE(reloaded.has_value()) << error;
+  EXPECT_EQ(reloaded->cases.size(), 3u);
+  EXPECT_DOUBLE_EQ(reloaded->cases.at("n1024").msgs_per_node_period, 6.00);
+
+  const GateResult result = gate_scale(*reloaded, nullptr, GateOptions{});
+  EXPECT_TRUE(result.pass) << (result.failures.empty() ? "" : result.failures[0]);
+}
+
+TEST(PerfGateScale, PerNodeTrafficAboveFanOutCeilingFails) {
+  ScaleSummary current = healthy_scale();
+  // An all-pairs regression: traffic scales with cluster size again.
+  current.cases.at("n1024").msgs_per_node_period = 2.0 * 1023.0;
+  const GateResult result = gate_scale(current, nullptr, GateOptions{});
+  EXPECT_FALSE(result.pass);
+  bool found = false;
+  for (const std::string& f : result.failures) {
+    found = found || f.find("O(fan_out) ceiling") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PerfGateScale, TrafficTrendingWithClusterSizeFails) {
+  ScaleSummary current = healthy_scale();
+  // Below the 3x-fan_out ceiling but clearly growing with n: the
+  // size-independence spread check must object.
+  current.cases.at("n64").msgs_per_node_period = 4.0;
+  current.cases.at("n256").msgs_per_node_period = 6.0;
+  current.cases.at("n1024").msgs_per_node_period = 8.5;
+  const GateResult result = gate_scale(current, nullptr, GateOptions{});
+  EXPECT_FALSE(result.pass);
+  bool found = false;
+  for (const std::string& f : result.failures) {
+    found = found || f.find("depends on cluster size") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PerfGateScale, ComparesOnlyTheCaseIntersection) {
+  // The committed baseline carries the --full grid; a CI --quick run with a
+  // subset of cases must still gate cleanly.
+  const ScaleSummary baseline = healthy_scale();
+  ScaleSummary current = healthy_scale();
+  current.cases.erase("n1024");
+  const GateResult result = gate_scale(current, &baseline, GateOptions{});
+  EXPECT_TRUE(result.pass) << (result.failures.empty() ? "" : result.failures[0]);
+}
+
+TEST(PerfGateScale, EventDriftPastToleranceFails) {
+  const ScaleSummary baseline = healthy_scale();
+  ScaleSummary current = healthy_scale();
+  current.cases.at("n256").events = baseline.cases.at("n256").events * 1.5;
+  const GateResult result = gate_scale(current, &baseline, GateOptions{});
+  EXPECT_FALSE(result.pass);
+  bool found = false;
+  for (const std::string& f : result.failures) {
+    found = found || f.find("outside baseline") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PerfGateScale, WallTimeTrajectoryRegressionFails) {
+  // Same machine speed at the anchor, but the big case takes 3x the
+  // baseline's relative wall time: the scaling shape regressed even though
+  // every absolute number alone could be blamed on a slower machine.
+  const ScaleSummary baseline = healthy_scale();
+  ScaleSummary current = healthy_scale();
+  current.cases.at("n1024").wall_sec = baseline.cases.at("n1024").wall_sec * 3.0;
+  const GateResult result = gate_scale(current, &baseline, GateOptions{});
+  EXPECT_FALSE(result.pass);
+  bool found = false;
+  for (const std::string& f : result.failures) {
+    found = found || f.find("scaling shape regressed") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PerfGateScale, RejectsNonScaleDocuments) {
+  std::string error;
+  EXPECT_FALSE(load_scale_summary(parse_ok(R"({"schema": 1, "tool": "perf_gate"})"), &error)
+                   .has_value());
+  EXPECT_NE(error.find("scale_sweep"), std::string::npos);
+  EXPECT_FALSE(load_scale_summary(
+                   parse_ok(R"({"schema": 1, "tool": "scale_sweep", "cases": {}})"), &error)
+                   .has_value());
+  EXPECT_NE(error.find("cases"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ampom::perfgate

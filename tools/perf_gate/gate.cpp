@@ -483,4 +483,184 @@ GateResult gate(const Summary& current, const Summary* baseline,
   return result;
 }
 
+namespace {
+
+bool read_case_field(const JsonValue& obj, const char* field, double& out,
+                     const std::string& case_name, std::string* error) {
+  const JsonValue* v = obj.find(field);
+  if (v == nullptr || v->kind != JsonValue::Kind::Number) {
+    if (error != nullptr) {
+      *error = "case '" + case_name + "' is missing numeric field '" + field + "'";
+    }
+    return false;
+  }
+  out = v->number;
+  return true;
+}
+
+}  // namespace
+
+std::optional<ScaleSummary> load_scale_summary(const JsonValue& doc, std::string* error) {
+  const JsonValue* schema = doc.find("schema");
+  const JsonValue* tool = doc.find("tool");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::Number ||
+      schema->number != 1.0 || tool == nullptr ||
+      tool->kind != JsonValue::Kind::String || tool->string != "scale_sweep") {
+    if (error != nullptr) {
+      *error = "not a scale_sweep schema-1 document";
+    }
+    return std::nullopt;
+  }
+  const JsonValue* cases = doc.find("cases");
+  if (cases == nullptr || cases->kind != JsonValue::Kind::Object || cases->object.empty()) {
+    if (error != nullptr) {
+      *error = "scale document has no 'cases' object";
+    }
+    return std::nullopt;
+  }
+  ScaleSummary summary;
+  for (const auto& [name, value] : cases->object) {
+    if (value.kind != JsonValue::Kind::Object) {
+      if (error != nullptr) {
+        *error = "case '" + name + "' is not an object";
+      }
+      return std::nullopt;
+    }
+    ScaleCase c;
+    if (!read_case_field(value, "nodes", c.nodes, name, error) ||
+        !read_case_field(value, "zones", c.zones, name, error) ||
+        !read_case_field(value, "fan_out", c.fan_out, name, error) ||
+        !read_case_field(value, "procs", c.procs, name, error) ||
+        !read_case_field(value, "events", c.events, name, error) ||
+        !read_case_field(value, "sim_sec", c.sim_sec, name, error) ||
+        !read_case_field(value, "msgs_per_node_period", c.msgs_per_node_period, name,
+                         error) ||
+        !read_case_field(value, "wall_sec", c.wall_sec, name, error) ||
+        !read_case_field(value, "events_per_sec", c.events_per_sec, name, error)) {
+      return std::nullopt;
+    }
+    summary.cases.emplace(name, c);
+  }
+  return summary;
+}
+
+std::string render_scale_summary(const ScaleSummary& summary) {
+  std::string out = "{\n  \"schema\": 1,\n  \"tool\": \"scale_sweep\",\n  \"cases\": {\n";
+  std::size_t i = 0;
+  for (const auto& [name, c] : summary.cases) {
+    out += "    \"" + name + "\": {";
+    out += "\"nodes\": " + fmt(c.nodes);
+    out += ", \"zones\": " + fmt(c.zones);
+    out += ", \"fan_out\": " + fmt(c.fan_out);
+    out += ", \"procs\": " + fmt(c.procs);
+    out += ", \"events\": " + fmt(c.events);
+    out += ", \"sim_sec\": " + fmt(c.sim_sec);
+    out += ", \"msgs_per_node_period\": " + fmt(c.msgs_per_node_period);
+    out += ", \"wall_sec\": " + fmt(c.wall_sec);
+    out += ", \"events_per_sec\": " + fmt(c.events_per_sec);
+    out += ++i < summary.cases.size() ? "},\n" : "}\n";
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+GateResult gate_scale(const ScaleSummary& current, const ScaleSummary* baseline,
+                      const GateOptions& options) {
+  GateResult result;
+  auto fail = [&result](std::string message) {
+    result.pass = false;
+    result.failures.push_back(std::move(message));
+  };
+
+  double min_traffic = 0.0;
+  double max_traffic = 0.0;
+  bool first = true;
+  for (const auto& [name, c] : current.cases) {
+    result.notes.push_back(name + ": " + fmt(c.nodes) + " nodes / " + fmt(c.procs) +
+                           " procs, " + fmt(c.events) + " events in " + fmt(c.wall_sec) +
+                           " s wall (" + fmt(c.events_per_sec) + " ev/s), " +
+                           fmt(c.msgs_per_node_period) + " msgs/node/period");
+    // The O(fan_out) invariant: a daemon sends fan_out pings and answers the
+    // ~fan_out pings aimed at it each period (~2x fan_out total). 3x is the
+    // ceiling; an all-pairs regression would sit at ~2x(n-1) instead.
+    const double ceiling = 3.0 * c.fan_out;
+    if (c.msgs_per_node_period > ceiling) {
+      fail(name + ": msgs_per_node_period " + fmt(c.msgs_per_node_period) +
+           " exceeds the O(fan_out) ceiling " + fmt(ceiling) +
+           " — per-node traffic is scaling with cluster size");
+    }
+    if (first || c.msgs_per_node_period < min_traffic) {
+      min_traffic = c.msgs_per_node_period;
+    }
+    if (first || c.msgs_per_node_period > max_traffic) {
+      max_traffic = c.msgs_per_node_period;
+    }
+    first = false;
+  }
+  // Size-independence across the grid: per-node traffic must not trend with
+  // cluster size (all cases run the same fan_out).
+  if (min_traffic > 0.0 && max_traffic > min_traffic * (1.0 + options.tolerance)) {
+    fail("msgs_per_node_period spreads from " + fmt(min_traffic) + " to " +
+         fmt(max_traffic) + " across cases (> " + fmt(options.tolerance * 100.0) +
+         "% tolerance) — per-node traffic depends on cluster size");
+  }
+
+  if (baseline == nullptr) {
+    return result;
+  }
+
+  // Compare over the case intersection; find the smallest common case to
+  // anchor the wall-time trajectory.
+  const std::string* anchor = nullptr;
+  double anchor_nodes = 0.0;
+  for (const auto& [name, base] : baseline->cases) {
+    (void)base;
+    const auto it = current.cases.find(name);
+    if (it != current.cases.end() &&
+        (anchor == nullptr || it->second.nodes < anchor_nodes)) {
+      anchor = &name;
+      anchor_nodes = it->second.nodes;
+    }
+  }
+  if (anchor == nullptr) {
+    fail("baseline and current run share no scale cases");
+    return result;
+  }
+  const ScaleCase& cur_anchor = current.cases.at(*anchor);
+  const ScaleCase& base_anchor = baseline->cases.at(*anchor);
+
+  for (const auto& [name, base] : baseline->cases) {
+    const auto it = current.cases.find(name);
+    if (it == current.cases.end()) {
+      continue;  // the committed baseline carries the --full grid; CI runs less
+    }
+    const ScaleCase& cur = it->second;
+    const double event_ceiling = base.events * (1.0 + options.tolerance);
+    const double event_floor = base.events * (1.0 - options.tolerance);
+    if (cur.events > event_ceiling || cur.events < event_floor) {
+      fail(name + ": events " + fmt(cur.events) + " outside baseline " +
+           fmt(base.events) + " +/- " + fmt(options.tolerance * 100.0) + "%");
+    }
+    const double traffic_ceiling = base.msgs_per_node_period * (1.0 + options.tolerance);
+    if (cur.msgs_per_node_period > traffic_ceiling) {
+      fail(name + ": msgs_per_node_period " + fmt(cur.msgs_per_node_period) +
+           " exceeds baseline " + fmt(base.msgs_per_node_period) + " + " +
+           fmt(options.tolerance * 100.0) + "%");
+    }
+    // Trajectory: wall time relative to the smallest common case. Machine
+    // speed cancels in the ratio; what remains is the scaling shape.
+    if (name != *anchor && cur_anchor.wall_sec > 0.0 && base_anchor.wall_sec > 0.0 &&
+        base.wall_sec > 0.0) {
+      const double cur_ratio = cur.wall_sec / cur_anchor.wall_sec;
+      const double base_ratio = base.wall_sec / base_anchor.wall_sec;
+      if (cur_ratio > base_ratio * (1.0 + options.tolerance)) {
+        fail(name + ": wall-time ratio vs " + *anchor + " is " + fmt(cur_ratio) +
+             "x (baseline " + fmt(base_ratio) + "x + " +
+             fmt(options.tolerance * 100.0) + "% tolerance) — scaling shape regressed");
+      }
+    }
+  }
+  return result;
+}
+
 }  // namespace ampom::perfgate

@@ -93,4 +93,44 @@ struct GateResult {
 [[nodiscard]] GateResult gate(const Summary& current, const Summary* baseline,
                               const GateOptions& options);
 
+// --- scale sweep (BENCH_scale.json) ----------------------------------------
+// bench/scale_sweep emits the committed schema directly:
+//   {"schema":1,"tool":"scale_sweep","cases":{"n64":{...},...}}
+// The deterministic fields (events, sim_sec, msgs_per_node_period) are
+// gated; wall_sec and events_per_sec are machine-dependent and only feed
+// the normalized trajectory check.
+
+struct ScaleCase {
+  double nodes{0};
+  double zones{0};
+  double fan_out{0};
+  double procs{0};
+  double events{0};
+  double sim_sec{0};
+  double msgs_per_node_period{0};
+  double wall_sec{0};        // informational
+  double events_per_sec{0};  // informational
+};
+
+struct ScaleSummary {
+  std::map<std::string, ScaleCase> cases;
+};
+
+[[nodiscard]] std::optional<ScaleSummary> load_scale_summary(const JsonValue& doc,
+                                                             std::string* error);
+[[nodiscard]] std::string render_scale_summary(const ScaleSummary& summary);
+
+// Gate the scale sweep. Invariants (always): per-node daemon traffic stays
+// O(fan_out) — at most 3x fan_out sends per period — and is size-independent
+// across cases (max/min within the tolerance). Against a baseline, compared
+// over the case intersection only (the committed baseline carries the --full
+// grid; CI runs --quick): deterministic event counts and per-node traffic
+// within tolerance, plus the wall-time trajectory — each case's wall time
+// normalized to the smallest common case must not outgrow the baseline's
+// shape by more than the tolerance (catches reintroduced O(n^2) work even
+// though absolute wall time is machine-dependent).
+[[nodiscard]] GateResult gate_scale(const ScaleSummary& current,
+                                    const ScaleSummary* baseline,
+                                    const GateOptions& options);
+
 }  // namespace ampom::perfgate

@@ -2,12 +2,18 @@
 //
 //   perf_gate --input=raw.json [--baseline=BENCH_simcore.json]
 //             [--output=FILE] [--tolerance=0.30] [--min-speedup=1.5]
+//   perf_gate --scale-input=scale.json [--scale-baseline=BENCH_scale.json]
+//             [--scale-output=FILE] [--tolerance=0.30]
 //
-// Reads bench/micro_simcore's --benchmark_out JSON, normalizes it to the
-// committed BENCH_simcore.json schema (written to --output when given) and
-// gates it: machine-independent invariants always, trajectory checks when a
-// --baseline is supplied. Exit 0 on pass, 1 on gate failure, 2 on usage or
-// parse errors.
+// Engine mode reads bench/micro_simcore's --benchmark_out JSON, normalizes
+// it to the committed BENCH_simcore.json schema (written to --output when
+// given) and gates it: machine-independent invariants always, trajectory
+// checks when a --baseline is supplied. Scale mode does the same for
+// bench/scale_sweep --json output against BENCH_scale.json (O(fan_out)
+// per-node traffic, deterministic event counts, wall-time trajectory).
+// Both modes may be combined in one invocation; the gate passes only if
+// every requested mode passes. Exit 0 on pass, 1 on gate failure, 2 on
+// usage or parse errors.
 
 #include <fstream>
 #include <iostream>
@@ -25,6 +31,9 @@ struct Options {
   std::string input;
   std::string baseline;
   std::string output;
+  std::string scale_input;
+  std::string scale_baseline;
+  std::string scale_output;
   GateOptions gate;
 };
 
@@ -46,6 +55,12 @@ std::optional<Options> parse_args(int argc, char** argv, std::string& error) {
       options.baseline = value_of("--baseline=");
     } else if (arg.rfind("--output=", 0) == 0) {
       options.output = value_of("--output=");
+    } else if (arg.rfind("--scale-input=", 0) == 0) {
+      options.scale_input = value_of("--scale-input=");
+    } else if (arg.rfind("--scale-baseline=", 0) == 0) {
+      options.scale_baseline = value_of("--scale-baseline=");
+    } else if (arg.rfind("--scale-output=", 0) == 0) {
+      options.scale_output = value_of("--scale-output=");
     } else if (arg.rfind("--tolerance=", 0) == 0) {
       if (!parse_double(value_of("--tolerance="), options.gate.tolerance)) {
         error = "invalid --tolerance value";
@@ -61,8 +76,8 @@ std::optional<Options> parse_args(int argc, char** argv, std::string& error) {
       return std::nullopt;
     }
   }
-  if (options.input.empty()) {
-    error = "--input=FILE is required";
+  if (options.input.empty() && options.scale_input.empty()) {
+    error = "--input=FILE or --scale-input=FILE is required";
     return std::nullopt;
   }
   return options;
@@ -97,6 +112,75 @@ std::optional<Summary> load_summary_file(const std::string& path, std::string& e
   return summary;
 }
 
+std::optional<ScaleSummary> load_scale_file(const std::string& path, std::string& error) {
+  const auto text = read_file(path);
+  if (!text) {
+    error = "cannot read " + path;
+    return std::nullopt;
+  }
+  std::string parse_error;
+  const auto doc = parse_json(*text, &parse_error);
+  if (!doc) {
+    error = path + ": " + parse_error;
+    return std::nullopt;
+  }
+  auto summary = load_scale_summary(*doc, &parse_error);
+  if (!summary) {
+    error = path + ": " + parse_error;
+  }
+  return summary;
+}
+
+// Print a gate result; returns its exit code (0 pass, 1 fail).
+int report(const GateResult& result, const char* mode, bool had_baseline) {
+  for (const std::string& note : result.notes) {
+    std::cout << "perf_gate: " << note << "\n";
+  }
+  for (const std::string& failure : result.failures) {
+    std::cout << "perf_gate: FAIL: " << failure << "\n";
+  }
+  if (!result.pass) {
+    std::cout << "perf_gate: " << mode << " gate FAILED (" << result.failures.size()
+              << " check" << (result.failures.size() == 1 ? "" : "s") << ")\n";
+    return 1;
+  }
+  std::cout << "perf_gate: " << mode << " gate passed"
+            << (had_baseline ? " (invariants + baseline trajectory)"
+                             : " (invariants only)")
+            << "\n";
+  return 0;
+}
+
+// The scale-sweep mode: load, optionally re-render, gate. Returns an exit
+// code (0/1/2) like main.
+int run_scale_mode(const Options& options) {
+  std::string error;
+  const auto current = load_scale_file(options.scale_input, error);
+  if (!current) {
+    std::cerr << "perf_gate: " << error << "\n";
+    return 2;
+  }
+  std::optional<ScaleSummary> baseline;
+  if (!options.scale_baseline.empty()) {
+    baseline = load_scale_file(options.scale_baseline, error);
+    if (!baseline) {
+      std::cerr << "perf_gate: " << error << "\n";
+      return 2;
+    }
+  }
+  if (!options.scale_output.empty()) {
+    std::ofstream out{options.scale_output, std::ios::binary};
+    if (!out) {
+      std::cerr << "perf_gate: cannot write " << options.scale_output << "\n";
+      return 2;
+    }
+    out << render_scale_summary(*current);
+  }
+  const GateResult result =
+      gate_scale(*current, baseline ? &*baseline : nullptr, options.gate);
+  return report(result, "scale", baseline.has_value());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,8 +189,21 @@ int main(int argc, char** argv) {
   if (!options) {
     std::cerr << "perf_gate: " << error << "\n"
               << "usage: perf_gate --input=raw.json [--baseline=FILE] [--output=FILE]"
-                 " [--tolerance=0.30] [--min-speedup=1.5]\n";
+                 " [--tolerance=0.30] [--min-speedup=1.5]\n"
+                 "       perf_gate --scale-input=scale.json [--scale-baseline=FILE]"
+                 " [--scale-output=FILE] [--tolerance=0.30]\n";
     return 2;
+  }
+
+  int scale_rc = 0;
+  if (!options->scale_input.empty()) {
+    scale_rc = run_scale_mode(*options);
+    if (scale_rc == 2) {
+      return 2;
+    }
+  }
+  if (options->input.empty()) {
+    return scale_rc;
   }
 
   const auto raw_text = read_file(options->input);
@@ -146,19 +243,6 @@ int main(int argc, char** argv) {
 
   const GateResult result =
       gate(*current, baseline ? &*baseline : nullptr, options->gate);
-  for (const std::string& note : result.notes) {
-    std::cout << "perf_gate: " << note << "\n";
-  }
-  for (const std::string& failure : result.failures) {
-    std::cout << "perf_gate: FAIL: " << failure << "\n";
-  }
-  if (!result.pass) {
-    std::cout << "perf_gate: gate FAILED (" << result.failures.size() << " check"
-              << (result.failures.size() == 1 ? "" : "s") << ")\n";
-    return 1;
-  }
-  std::cout << "perf_gate: gate passed"
-            << (baseline ? " (invariants + baseline trajectory)" : " (invariants only)")
-            << "\n";
-  return 0;
+  const int engine_rc = report(result, "engine", baseline.has_value());
+  return engine_rc != 0 ? engine_rc : scale_rc;
 }
