@@ -5,6 +5,10 @@
 //   --quick        run a reduced sweep (small sizes; for CI smoke runs)
 //   --jobs=N       run the sweep's cases on N worker threads (default 1;
 //                  results are bit-identical to the serial run)
+//   --workers=N    intra-run parallelism for cluster-world benches: run each
+//                  simulation on N threads over zone-partitioned event
+//                  queues (default 0 = legacy serial engine; any N >= 1 is
+//                  bit-identical to N=1, see DESIGN.md §15)
 //   --csv=FILE     additionally dump every table as CSV
 // and prints one aligned table per paper figure, with the paper's reported
 // values quoted in the header comment of each binary for comparison.
@@ -47,7 +51,10 @@ namespace ampom::bench {
 
 struct Options {
   bool quick{false};
-  std::size_t jobs{1};
+  // Inter-run (--jobs=N, sweep pool width) and intra-run (--workers=N,
+  // simulator threads for cluster worlds) parallelism in one policy block —
+  // every bench binary takes both, replacing the per-binary jobs flags.
+  driver::ExecPolicy exec{};
   std::optional<std::string> csv_path;
 };
 
@@ -57,12 +64,13 @@ inline Options parse_options(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       opts.quick = true;
-    } else if (arg.rfind("--jobs=", 0) == 0) {
-      opts.jobs = static_cast<std::size_t>(std::stoull(arg.substr(7)));
+    } else if (opts.exec.parse_flag(arg)) {
+      // --jobs=N / --workers=N handled by the policy
     } else if (arg.rfind("--csv=", 0) == 0) {
       opts.csv_path = arg.substr(6);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: " << argv[0] << " [--quick] [--jobs=N] [--csv=FILE]\n";
+      std::cout << "usage: " << argv[0]
+                << " [--quick] [--jobs=N] [--workers=N] [--csv=FILE]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown option: " << arg << "\n";
@@ -171,7 +179,7 @@ class SweepRunner {
     }
 
     std::vector<std::exception_ptr> errors(units.size());
-    driver::SweepExecutor::parallel_for(opts_.jobs, units.size(), [&](std::size_t u) {
+    driver::SweepExecutor::parallel_for(opts_.exec.jobs, units.size(), [&](std::size_t u) {
       const Unit& unit = units[u];
       const SweepSpec::Case& one = spec.cases_[unit.case_index];
       try {

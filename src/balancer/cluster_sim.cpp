@@ -5,6 +5,7 @@
 
 #include "migration/precopy.hpp"
 #include "migration/remigration.hpp"
+#include "trace/trace.hpp"
 
 namespace ampom::balancer {
 
@@ -190,6 +191,7 @@ void ProcessHost::migrate_to(net::NodeId dst) {
     ctx.dst_node = &world_.node(dst);
     ctx.reliability = world_.reliability().migration;
   }
+  ctx.trace = world_.trace_;
   migration::migrate_process(std::move(ctx), engine,
                              [this, src, dst](migration::MigrationResult result) {
                                migrating_ = false;
@@ -235,6 +237,7 @@ WorldConfig WorldConfig::from(const driver::Scenario& scenario) {
   config.ampom = scenario.ampom;
   config.topology = scenario.topology;
   config.gossip = scenario.gossip;
+  config.exec = scenario.exec;
   return config;
 }
 
@@ -262,6 +265,22 @@ ClusterSim::ClusterSim(const WorldConfig& config)
   const std::size_t node_count = topology_.node_count();
   if (node_count < 2) {
     throw std::invalid_argument("ClusterSim needs at least two nodes");
+  }
+  // Intra-run parallelism: partition the event queue by zone before anything
+  // schedules an event. The zone is the natural partition — gossip, voting
+  // and the balancer's local tier all stay zone-internal — and the default
+  // link latency is the minimum cross-zone propagation delay, i.e. the
+  // conservative lookahead bound. A single-zone world has nothing to run in
+  // parallel and silently keeps the serial engine.
+  if (config.exec.parallel_run() && topology_.zones >= 2) {
+    sim::Simulator::PartitionPlan plan;
+    plan.partitions = topology_.zones;
+    plan.node_partition.resize(node_count);
+    for (std::size_t i = 0; i < node_count; ++i) {
+      plan.node_partition[i] = topology_.zone_of(static_cast<net::NodeId>(i)) + 1;
+    }
+    plan.lookahead = profile_.link.latency;
+    sim_.configure_partitions(std::move(plan), static_cast<std::uint32_t>(config.exec.workers));
   }
   crashed_at_.resize(node_count);
   active_count_.assign(node_count, 0);
@@ -314,6 +333,12 @@ ClusterSim::ClusterSim(const WorldConfig& config)
 void ClusterSim::set_fault_plan(const driver::FaultPlan& plan) {
   if (injector_ == nullptr) {
     injector_ = std::make_unique<net::FaultInjector>(sim_, plan.seed);
+    if (sim_.partitioned()) {
+      // Partitions decide message fates concurrently: switch the injector to
+      // per-message keyed draws (fate = f(seed, src, dst, send index)) and
+      // per-partition stat shards so no RNG or counter is shared.
+      injector_->enable_keyed_mode(node_count(), sim_.partitions());
+    }
     fabric_.set_fault_injector(injector_.get());
   }
   plan.apply_faults(*injector_);
@@ -369,6 +394,16 @@ void ClusterSim::set_reliability(const driver::ReliabilityConfig& config) {
   }
 }
 
+void ClusterSim::set_trace(trace::TraceRecorder* recorder) {
+  trace_ = recorder;
+  fabric_.set_trace(recorder);
+  if (recorder != nullptr && sim_.partitioned()) {
+    // Partitions record concurrently into per-partition shards; the recorder
+    // merges them deterministically (by timestamp, then partition) on read.
+    recorder->enable_partition_shards(sim_.partitions());
+  }
+}
+
 void ClusterSim::crash_node(net::NodeId id) {
   if (id >= node_count()) {
     throw std::invalid_argument("ClusterSim::crash_node: node out of range");
@@ -377,6 +412,9 @@ void ClusterSim::crash_node(net::NodeId id) {
     // No fault plan installed: a zero-fault injector is exactly transparent,
     // so composing one in just for the crash flags is safe.
     injector_ = std::make_unique<net::FaultInjector>(sim_, /*seed=*/1);
+    if (sim_.partitioned()) {
+      injector_->enable_keyed_mode(node_count(), sim_.partitions());
+    }
     fabric_.set_fault_injector(injector_.get());
   }
   injector_->crash_node(id);
@@ -494,7 +532,9 @@ ProcessHost& ClusterSim::spawn(JobSpec spec) {
   const auto pid = static_cast<std::uint64_t>(hosts_.size() + 1);
   hosts_.push_back(std::make_unique<ProcessHost>(*this, pid, std::move(spec)));
   ProcessHost* host = hosts_.back().get();
-  sim_.schedule_at(host->spec_.start, [host] { host->start(); });
+  // The start event belongs to the home node's partition: from there the
+  // executor's burst chain stays partition-local until a migration commits.
+  sim_.schedule_on_node(host->spec_.home, host->spec_.start, [host] { host->start(); });
   return *host;
 }
 
@@ -543,11 +583,13 @@ void ClusterSim::note_migration_ended(net::NodeId src, net::NodeId dst) {
 
 void ClusterSim::note_finished(ProcessHost& host) {
   note_deactivated(host, host.current_node());
-  ++finished_;
+  // Partitioned runs finish processes concurrently across windows; the
+  // atomic increment makes exactly one caller observe the final count.
+  const std::size_t done = finished_.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (observer_ != nullptr) {
     observer_->on_finished(host);
   }
-  if (finished_ == hosts_.size()) {
+  if (done == hosts_.size()) {
     if (observer_ != nullptr && !run_end_notified_) {
       run_end_notified_ = true;
       observer_->on_run_end();

@@ -9,6 +9,7 @@
 // drives migrations from InfoDaemon load vectors — the §7 "scheduling
 // policies that make use of AMPoM" direction.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -126,6 +127,11 @@ struct WorldConfig {
   core::AmpomConfig ampom{};
   cluster::Topology topology{};
   cluster::GossipConfig gossip{};
+  // exec.workers >= 1 (with a multi-zone topology) selects the partitioned
+  // simulator: one event sub-queue per zone, run on that many OS threads.
+  // The schedule is a pure function of the scenario, so every worker count
+  // produces bit-identical results (DESIGN.md §15). Default: serial engine.
+  driver::ExecPolicy exec{};
 
   [[nodiscard]] static WorldConfig from(const driver::Scenario& scenario);
 };
@@ -221,8 +227,24 @@ class ClusterSim : public cluster::ClusterView {
   // --- verification & recovery observability --------------------------------
   // Register (or clear, with nullptr) the verification observer. Not owned;
   // must outlive the run. Null observer = zero overhead, bit-identical runs.
-  void set_observer(verify::WorldObserver* observer) { observer_ = observer; }
+  // In a partitioned world an observer drops the worker count to one thread:
+  // observer callbacks fire inside partition windows and may read state
+  // across the whole world, which is only race-free single-threaded. The
+  // schedule is unchanged, so the run stays bit-identical to any worker
+  // count — audited runs are slower, never different. Attach before run().
+  void set_observer(verify::WorldObserver* observer) {
+    observer_ = observer;
+    if (observer != nullptr && sim_.partitioned()) {
+      sim_.set_workers(1);
+    }
+  }
   [[nodiscard]] verify::WorldObserver* observer() { return observer_; }
+
+  // Observability: route fabric events (and migration phase spans) into
+  // `recorder` (not owned; nullptr detaches). In a partitioned world the
+  // recorder is switched to per-partition shards so worker threads never
+  // share a buffer. Attach before run().
+  void set_trace(trace::TraceRecorder* recorder);
 
   // Latest instant at which a *scheduled* fault still changes the world
   // (crash, restore, outage edge, campaign heal), maxed with any
@@ -299,8 +321,11 @@ class ClusterSim : public cluster::ClusterView {
   std::vector<std::unique_ptr<cluster::Node>> nodes_;
   std::vector<std::unique_ptr<cluster::InfoDaemon>> infods_;
   std::vector<std::unique_ptr<ProcessHost>> hosts_;
-  std::size_t finished_{0};
+  // Processes finish inside their partition's window; the counter is the
+  // one piece of world accounting shared across partitions mid-window.
+  std::atomic<std::size_t> finished_{0};
   verify::WorldObserver* observer_{nullptr};
+  trace::TraceRecorder* trace_{nullptr};
   bool run_end_notified_{false};
   sim::Time last_fault_at_{};
   bool recovery_tracking_{false};

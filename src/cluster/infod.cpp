@@ -67,7 +67,10 @@ void InfoDaemon::start() {
   const net::NicCounters& c = fabric_.counters(self_);
   last_bytes_ = c.tx_bytes + c.rx_bytes;
   last_sample_ = sim_.now();
-  sim_.schedule_after(period_, [this] { tick(); });
+  // Pin the tick chain to this node's partition: daemons then tick
+  // concurrently in partitioned runs instead of serializing through the
+  // scheduling context that called start() (usually the root).
+  sim_.schedule_on_node(self_, sim_.now() + period_, [this] { tick(); });
 }
 
 void InfoDaemon::tick() {
@@ -87,7 +90,7 @@ void InfoDaemon::tick() {
   } else {
     gossip_tick(load);
   }
-  sim_.schedule_after(period_, [this] { tick(); });
+  sim_.schedule_on_node(self_, sim_.now() + period_, [this] { tick(); });
 }
 
 void InfoDaemon::legacy_tick(double load) {

@@ -81,17 +81,6 @@ class InfoDaemon {
   // Highest version counter seen from a peer (0 = never heard).
   [[nodiscard]] std::uint64_t peer_version(net::NodeId peer) const;
 
-  // Deprecated read-side accessors, kept as thin forwarders for one PR:
-  // consumers read cluster state through cluster::ClusterView now.
-  [[deprecated("read loads through cluster::ClusterView or known_load()")]]
-  [[nodiscard]] double peer_load(net::NodeId peer) const {
-    return known_load(peer);
-  }
-  [[deprecated("iterate membership through cluster::ClusterView")]]
-  [[nodiscard]] const std::vector<net::NodeId>& peers() const {
-    return peers_;
-  }
-
   // --- failure detection ----------------------------------------------------
   void set_failure_detection(FailureDetection config) { detection_ = config; }
   [[nodiscard]] const FailureDetection& failure_detection() const { return detection_; }

@@ -54,6 +54,16 @@ std::string ScenarioBuilder::validate() const {
   if (s.dest_background_load < 0.0 || s.dest_background_load >= 1.0) {
     return "ScenarioBuilder: dest_background_load must be a fraction in [0, 1)";
   }
+  if (s.exec.parallel_run()) {
+    if (!cluster_mode) {
+      return "ScenarioBuilder: workers() requires topology() — intra-run parallelism "
+             "partitions the cluster world by zone; single-process experiments are serial";
+    }
+    if (s.topology.zones < 2) {
+      return "ScenarioBuilder: workers() needs a topology with at least two zones — the "
+             "zone is the partition, and one partition has nothing to run in parallel";
+    }
+  }
   if (s.trace.enabled && s.trace.max_events == 0) {
     return "ScenarioBuilder: tracing is enabled with max_events == 0 — every event would "
            "be dropped; raise the cap or disable tracing";

@@ -184,6 +184,27 @@ class ScenarioBuilder {
     return *this;
   }
 
+  // --- execution policy ------------------------------------------------------
+  // Sweep-pool width for batch drivers that consume this scenario's policy.
+  ScenarioBuilder& jobs(std::size_t value) {
+    scenario_.exec.jobs = value;
+    return *this;
+  }
+
+  // Intra-run parallelism: run the cluster simulation on `value` worker
+  // threads over zone-partitioned event queues. Requires a topology with at
+  // least two zones (the zone is the partition). Any value >= 1 selects the
+  // partitioned engine; the result is bit-identical for every worker count.
+  ScenarioBuilder& workers(std::size_t value) {
+    scenario_.exec.workers = value;
+    return *this;
+  }
+
+  ScenarioBuilder& exec_policy(ExecPolicy value) {
+    scenario_.exec = value;
+    return *this;
+  }
+
   // Full trace configuration, or just the switch: tracing() turns the
   // default config on.
   ScenarioBuilder& trace(trace::TraceConfig value) {

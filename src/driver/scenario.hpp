@@ -11,6 +11,7 @@
 #include "cluster/infod.hpp"
 #include "core/ampom_policy.hpp"
 #include "core/config.hpp"
+#include "driver/exec_policy.hpp"
 #include "driver/profile.hpp"
 #include "migration/engine.hpp"
 #include "net/fault_injector.hpp"
@@ -178,6 +179,12 @@ struct Scenario {
   // run identical to the fault-free, fire-and-forget original).
   FaultPlan faults{};
   ReliabilityConfig reliability{};
+
+  // Execution policy: sweep-pool width (jobs) and intra-run simulator
+  // threads (workers). workers >= 1 selects the partitioned engine for
+  // cluster worlds — requires a multi-zone topology; the zone is the
+  // partition (builder-validated). Default keeps the legacy serial engine.
+  ExecPolicy exec{};
 
   // Observability: per-fault trace of the AMPoM analysis (Ampom scheme only).
   core::AmpomPolicy::TraceHook ampom_trace;

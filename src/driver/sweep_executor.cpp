@@ -43,10 +43,13 @@ std::vector<SweepExecutor::Outcome> SweepExecutor::run_all(
   RunContext::Options ctx_options;
   ctx_options.log_level = options_.log_level;
   ctx_options.capture_log = options_.capture_logs;
-  parallel_for(options_.jobs, cases.size(), [&](std::size_t i) {
+  parallel_for(options_.exec.jobs, cases.size(), [&](std::size_t i) {
     Outcome& out = outcomes[i];
     try {
-      const Scenario scenario = cases[i]();
+      Scenario scenario = cases[i]();
+      if (options_.exec.workers != 0 && scenario.exec.workers == 0) {
+        scenario.exec.workers = options_.exec.workers;
+      }
       out.context = std::make_unique<RunContext>(scenario, ctx_options);
       out.metrics = detail::run_scenario(scenario, *out.context);
       out.context->notify_sinks(out.metrics);

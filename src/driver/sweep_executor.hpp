@@ -11,7 +11,7 @@
 // the same batch serially: there is nothing shared for the schedule to
 // perturb (tests/sweep_test.cpp pins this down under TSan in CI).
 //
-//   driver::SweepExecutor pool{{.jobs = 4}};
+//   driver::SweepExecutor pool{{.exec = {.jobs = 4}}};
 //   auto outcomes = pool.run_all({[...]{ return builder.build(); }, ...});
 //   outcomes[i].metrics / .context->trace() / .error
 
@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "driver/exec_policy.hpp"
 #include "driver/metrics.hpp"
 #include "driver/run_context.hpp"
 #include "driver/scenario.hpp"
@@ -32,9 +33,11 @@ namespace ampom::driver {
 class SweepExecutor {
  public:
   struct Options {
-    // Worker threads. 1 (the default) runs inline on the calling thread;
-    // 0 means "one per hardware thread".
-    std::size_t jobs{1};
+    // exec.jobs is the pool width: 1 (the default) runs inline on the
+    // calling thread; 0 means "one per hardware thread". exec.workers, when
+    // nonzero, is stamped into every scenario that did not set its own
+    // intra-run worker count — one flag block drives both axes.
+    ExecPolicy exec{};
     // Log level for every run's Logger.
     sim::LogLevel log_level{sim::LogLevel::Warn};
     // Capture each run's log in its RunContext. Default on: concurrent

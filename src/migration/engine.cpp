@@ -8,6 +8,16 @@ namespace ampom::migration {
 
 void MigrationEngine::finish_resume(MigrationContext& ctx, MigrationResult result,
                                     const std::function<void(MigrationResult)>& done) {
+  // Reliable-mode ack chains can deliver the final ack on the source node's
+  // partition. The commit itself mutates cross-partition state (the process's
+  // placement, the deputy's service target, the world's load accounting via
+  // `done`), so hop to the barrier context first; the hop is a deterministic
+  // function of the event schedule, not of the worker count.
+  if (ctx.sim.partitioned() && ctx.sim.current_partition() != 0) {
+    ctx.sim.post_global(
+        [ctx, result, done]() mutable { finish_resume(ctx, result, done); });
+    return;
+  }
   ctx.process.set_current_node(ctx.dst);
   ctx.deputy.begin_service(ctx.dst);
   if (ctx.on_before_resume) {
@@ -28,6 +38,14 @@ void MigrationEngine::finish_resume(MigrationContext& ctx, MigrationResult resul
 void MigrationEngine::abort_unfreeze(MigrationContext& ctx, MigrationResult result,
                                      MigrationOutcome outcome,
                                      const std::function<void(MigrationResult)>& done) {
+  // Same barrier hop as finish_resume: the abort accounting in `done` is
+  // world-global state.
+  if (ctx.sim.partitioned() && ctx.sim.current_partition() != 0) {
+    ctx.sim.post_global([ctx, result, outcome, done]() mutable {
+      abort_unfreeze(ctx, result, outcome, done);
+    });
+    return;
+  }
   result.outcome = outcome;
   result.resume_at = ctx.sim.now();
   result.pages_transferred = 0;
@@ -52,8 +70,21 @@ void migrate_process(MigrationContext ctx, MigrationEngine& engine,
     ctx.trace->async_begin(trace::Category::kMigration, "migration", ctx.sim.now(), ctx.src,
                            ctx.process.pid(), ctx.dst);
   }
+  // Engines drive the whole transfer from the home/deputy side and commit by
+  // touching world-global state, so in partitioned runs they execute in the
+  // barrier context. post_global is inline when already there (the balancer
+  // tick path) and defers to the next window fence when the request
+  // originated inside a partition (the freeze grant fires inside a burst
+  // event on the process's partition).
   if (!engine.needs_freeze_first()) {
-    engine.execute(std::move(ctx), std::move(done));
+    sim::Simulator& sim = ctx.sim;
+    if (sim.partitioned()) {
+      sim.post_global([&engine, ctx = std::move(ctx), done = std::move(done)]() mutable {
+        engine.execute(std::move(ctx), std::move(done));
+      });
+    } else {
+      engine.execute(std::move(ctx), std::move(done));
+    }
     return;
   }
   proc::Executor& executor = ctx.executor;
@@ -63,7 +94,15 @@ void migrate_process(MigrationContext ctx, MigrationEngine& engine,
           ctx.trace->instant(trace::Category::kMigration, "frozen", ctx.sim.now(), ctx.src,
                              ctx.process.pid());
         }
-        engine.execute(std::move(ctx), std::move(done));
+        sim::Simulator& sim = ctx.sim;
+        if (sim.partitioned()) {
+          sim.post_global(
+              [&engine, ctx = std::move(ctx), done = std::move(done)]() mutable {
+            engine.execute(std::move(ctx), std::move(done));
+          });
+        } else {
+          engine.execute(std::move(ctx), std::move(done));
+        }
       });
 }
 

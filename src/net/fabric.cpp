@@ -41,18 +41,24 @@ sim::Time Fabric::send(Message msg) {
   const LinkParams params = link(msg.src, msg.dst);
   const sim::Time ser = params.bandwidth.transfer_time(msg.wire_bytes);
   const sim::Time now = sim_.now();
+  // Cross-partition sends must not read or write the receiver's NIC here:
+  // its partition may be mid-window. The RX side is resolved by receive_at.
+  const bool split_rx = sim_.cross_partition(msg.src, msg.dst);
   src.counters.tx_bytes += msg.wire_bytes;
   src.counters.tx_messages += 1;
 
-  sim::Time arrival;
+  sim::Time arrival;   // prediction; exact unless split_rx meets RX contention
+  sim::Time rx_phase;  // split_rx: when the RX phase runs on the destination
   if (msg.wire_bytes <= kControlCutoffBytes) {
     // Control message: interleaves at packet granularity. If a bulk stream
     // occupies either port it waits behind one full-size frame; on an idle
-    // path it goes straight out.
-    const bool busy = src.tx_free > now || dst.rx_free > now;
+    // path it goes straight out. (Split sends check each port on its own
+    // side, so a doubly-busy path can cost one frame per side.)
+    const bool busy = split_rx ? src.tx_free > now : (src.tx_free > now || dst.rx_free > now);
     const sim::Time frame =
         busy ? params.bandwidth.transfer_time(kMaxFrameBytes) : sim::Time::zero();
     arrival = now + frame + ser + params.latency;
+    rx_phase = arrival;
   } else {
     const sim::Time tx_start = std::max(now, src.tx_free);
     const sim::Time tx_done = tx_start + ser;
@@ -61,9 +67,14 @@ sim::Time Fabric::send(Message msg) {
     // RX port occupancy: the message needs `ser` of receive bandwidth ending
     // no earlier than the last bit's arrival.
     const sim::Time earliest_first_bit = tx_done + params.latency - ser;
-    const sim::Time rx_start = std::max(earliest_first_bit, dst.rx_free);
-    arrival = rx_start + ser;
-    dst.rx_free = arrival;
+    if (split_rx) {
+      rx_phase = earliest_first_bit;
+      arrival = earliest_first_bit + ser;  // idle-RX prediction
+    } else {
+      const sim::Time rx_start = std::max(earliest_first_bit, dst.rx_free);
+      arrival = rx_start + ser;
+      dst.rx_free = arrival;
+    }
   }
 
   if (trace_ != nullptr) {
@@ -84,6 +95,7 @@ sim::Time Fabric::send(Message msg) {
       return arrival;
     }
     arrival = arrival + d.extra_delay;
+    rx_phase = rx_phase + d.extra_delay;
     if (d.duplicate) {
       if (trace_ != nullptr) {
         trace_->instant(trace::Category::kNet, "duplicate", now, msg.src, msg.corr,
@@ -93,36 +105,75 @@ sim::Time Fabric::send(Message msg) {
       // both land on the same instant and the engine's same-time FIFO would
       // otherwise hand the receiver the duplicate first, making the real
       // message the one counted (and dropped) as the dup.
-      const sim::Time dup_arrival = arrival + d.duplicate_delay;
-      deliver_at(arrival, msg);
-      deliver_at(dup_arrival, std::move(msg));
+      if (split_rx) {
+        receive_at(rx_phase, msg);
+        receive_at(rx_phase + d.duplicate_delay, std::move(msg));
+      } else {
+        deliver_at(arrival, msg);
+        deliver_at(arrival + d.duplicate_delay, std::move(msg));
+      }
       return arrival;
     }
   }
-  deliver_at(arrival, std::move(msg));
+  if (split_rx) {
+    receive_at(rx_phase, std::move(msg));
+  } else {
+    deliver_at(arrival, std::move(msg));
+  }
   return arrival;
 }
 
 void Fabric::deliver_at(sim::Time when, Message msg) {
-  sim_.schedule_at(when, [this, m = std::move(msg)]() mutable {
-    if (injector_ != nullptr && injector_->drop_in_flight(m)) {
-      if (trace_ != nullptr) {
-        trace_->instant(trace::Category::kNet, "crash_drop", sim_.now(), m.dst, m.corr,
-                        m.wire_bytes, m.src);
-      }
-      return;
-    }
+  sim_.schedule_on_node(msg.dst, when, [this, m = std::move(msg)]() mutable { deliver_now(m); });
+}
+
+// The destination-side half of a cross-partition send: runs on the
+// receiver's partition (for a control message at its idle-path arrival, for
+// bulk when its first bit reaches the port), resolves RX contention against
+// receiver-owned state and completes delivery.
+void Fabric::receive_at(sim::Time when, Message msg) {
+  sim_.schedule_on_node(msg.dst, when, [this, m = std::move(msg)]() mutable {
+    const LinkParams params = link(m.src, m.dst);
     Nic& receiver = nics_.at(m.dst);
-    receiver.counters.rx_bytes += m.wire_bytes;
-    receiver.counters.rx_messages += 1;
-    if (trace_ != nullptr) {
-      trace_->instant(trace::Category::kNet, "deliver", sim_.now(), m.dst, m.corr,
-                      m.wire_bytes, m.src);
+    const sim::Time at = sim_.now();
+    sim::Time arrival;
+    if (m.wire_bytes <= kControlCutoffBytes) {
+      const sim::Time frame = receiver.rx_free > at
+                                  ? params.bandwidth.transfer_time(kMaxFrameBytes)
+                                  : sim::Time::zero();
+      arrival = at + frame;
+    } else {
+      const sim::Time ser = params.bandwidth.transfer_time(m.wire_bytes);
+      const sim::Time rx_start = std::max(at, receiver.rx_free);
+      arrival = rx_start + ser;
+      receiver.rx_free = arrival;
     }
-    if (receiver.handler) {
-      receiver.handler(m);
+    if (arrival == at) {
+      deliver_now(m);
+    } else {
+      sim_.schedule_at(arrival, [this, m2 = std::move(m)]() mutable { deliver_now(m2); });
     }
   });
+}
+
+void Fabric::deliver_now(Message& m) {
+  if (injector_ != nullptr && injector_->drop_in_flight(m)) {
+    if (trace_ != nullptr) {
+      trace_->instant(trace::Category::kNet, "crash_drop", sim_.now(), m.dst, m.corr,
+                      m.wire_bytes, m.src);
+    }
+    return;
+  }
+  Nic& receiver = nics_.at(m.dst);
+  receiver.counters.rx_bytes += m.wire_bytes;
+  receiver.counters.rx_messages += 1;
+  if (trace_ != nullptr) {
+    trace_->instant(trace::Category::kNet, "deliver", sim_.now(), m.dst, m.corr,
+                    m.wire_bytes, m.src);
+  }
+  if (receiver.handler) {
+    receiver.handler(m);
+  }
 }
 
 }  // namespace ampom::net

@@ -18,6 +18,17 @@
 // granularity on a real network; they are modeled as bypassing the FIFO
 // ports, waiting at most one full-size frame. Without this, a load-update
 // ack queued behind a 50 MB page stream would report a multi-second RTT.
+//
+// Partitioned simulation: when the owning simulator is partitioned and a
+// message crosses partitions, the send splits into two phases. The sender's
+// side (TX serialization + propagation) is computed at send time against
+// sender-owned state only; the receiver's side (RX port contention) is
+// resolved by an arrival event on the *destination's* partition, so no NIC
+// field is ever touched from two partitions. The returned prediction then
+// assumes an idle RX port — for same-partition and serial sends it remains
+// the exact delivery time. The model delta is confined to cross-partition
+// RX queueing order (by first-bit arrival instead of by send instant) and
+// is identical for every worker count.
 
 #include <cstdint>
 #include <functional>
@@ -110,6 +121,8 @@ class Fabric {
   }
 
   void deliver_at(sim::Time when, Message msg);
+  void receive_at(sim::Time when, Message msg);  // cross-partition RX phase
+  void deliver_now(Message& msg);
 
   sim::Simulator& sim_;
   LinkParams default_link_;

@@ -21,7 +21,17 @@
 // exactly transparent: every message is delivered at the time the plain
 // fabric would deliver it (no RNG draws are made on that path, so even the
 // stream position is untouched).
+//
+// Keyed mode (partitioned simulation): the single sequential RNG stream
+// assumes a global send order, which a partitioned run does not have. With
+// enable_keyed_mode() every decision instead draws from a one-shot RNG
+// seeded by hash(seed, src, dst, per-source send counter) — the fault fate
+// of a message is a pure function of its own identity, independent of the
+// interleaving of other links' sends, so it is identical for any worker
+// count. Stats are sharded per executing partition (aggregated on read) and
+// the per-message trace string is not recorded in this mode.
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -84,11 +94,21 @@ class FaultInjector {
   // toward a node that crashed after it was sent is discarded on arrival.
   [[nodiscard]] bool drop_in_flight(const Message& msg);
 
-  [[nodiscard]] const FaultInjectorStats& stats() const { return stats_; }
+  // Switch to per-message keyed randomness (see the header comment). Must be
+  // set before any message is seen; `partitions` is the partition count of
+  // the owning simulator (stats sharding), `node_count` bounds the per-source
+  // send counters.
+  void enable_keyed_mode(std::size_t node_count, std::uint32_t partitions);
+  [[nodiscard]] bool keyed_mode() const { return keyed_; }
+
+  // Aggregated across stat shards (one per executing partition in keyed
+  // mode; exactly one otherwise).
+  [[nodiscard]] FaultInjectorStats stats() const;
 
   // Deterministic fault trace: one character per message seen, in send
   // order ('.' delivered, 'D' dropped, 'd' duplicated, 'j' jittered,
   // 'L' link-down, 'X' crash-suppressed). Same seed => identical trace.
+  // Empty in keyed mode (there is no global send order to index it by).
   [[nodiscard]] const std::string& trace() const { return trace_; }
 
  private:
@@ -96,13 +116,19 @@ class FaultInjector {
     return a < b ? std::pair{a, b} : std::pair{b, a};
   }
 
+  [[nodiscard]] FaultInjectorStats& shard();
+  [[nodiscard]] Decision decide_with(sim::Rng& rng, const LinkFaults& faults, bool record_trace);
+
   sim::Simulator& sim_;
   sim::Rng rng_;
+  std::uint64_t seed_;
   LinkFaults default_faults_;
   std::map<std::pair<NodeId, NodeId>, LinkFaults> link_overrides_;
   std::map<std::pair<NodeId, NodeId>, bool> link_down_;
   std::vector<bool> crashed_;  // indexed by NodeId, grown on demand
-  FaultInjectorStats stats_;
+  bool keyed_{false};
+  std::vector<std::uint64_t> send_seq_;          // keyed mode: per-source counters
+  std::vector<FaultInjectorStats> stat_shards_;  // index = executing partition
   std::string trace_;
 };
 

@@ -77,27 +77,34 @@ void Executor::schedule_burst(sim::Time delay) {
   // enough on its own: recovery may freeze and resume within one instant
   // (recover_to_home), in which case a pre-crash burst event fires against a
   // Running process and a second burst loop starts consuming the stream.
-  sim_.schedule_after(delay, [this, gen = run_gen_] {
-    if (gen != run_gen_) {
-      return;
-    }
-    run_burst();
-  });
+  //
+  // The burst chain follows the process: routing by current_node hands the
+  // chain to the destination's partition after a migration commit (which
+  // runs in the barrier context) instead of leaving it wherever the commit
+  // happened to execute.
+  sim_.schedule_on_node(process_.current_node(), sim_.now() + delay,
+                        [this, gen = run_gen_] {
+                          if (gen != run_gen_) {
+                            return;
+                          }
+                          run_burst();
+                        });
 }
 
 void Executor::finish(sim::Time at_delay) {
-  sim_.schedule_after(at_delay, [this, gen = run_gen_] {
-    if (gen != run_gen_) {
-      return;
-    }
-    process_.set_state(ProcState::Finished);
-    stats_.finished = true;
-    stats_.finished_at = sim_.now();
-    on_frozen_ = nullptr;  // a pending freeze request is moot now
-    if (on_finished_) {
-      on_finished_();
-    }
-  });
+  sim_.schedule_on_node(process_.current_node(), sim_.now() + at_delay,
+                        [this, gen = run_gen_] {
+                          if (gen != run_gen_) {
+                            return;
+                          }
+                          process_.set_state(ProcState::Finished);
+                          stats_.finished = true;
+                          stats_.finished_at = sim_.now();
+                          on_frozen_ = nullptr;  // a pending freeze request is moot now
+                          if (on_finished_) {
+                            on_finished_();
+                          }
+                        });
 }
 
 bool Executor::take_freeze() {

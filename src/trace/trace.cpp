@@ -13,15 +13,17 @@ stats::Counters TraceRecorder::summary() const {
   // concatenation. (Equal literals from different TUs would merely split a
   // pair; Counters::add re-merges them by value below.)
   std::map<std::pair<Category, const char*>, std::uint64_t> by_site;
-  for (const Event& e : events_) {
-    ++by_site[{e.cat, e.name}];
+  for (const Shard& shard : shards_) {
+    for (const Event& e : shard.events) {
+      ++by_site[{e.cat, e.name}];
+    }
   }
   stats::Counters c;
   for (const auto& [site, count] : by_site) {
     c.add(std::string{"trace."} + category_name(site.first) + "." + site.second, count);
   }
-  if (dropped_ > 0) {
-    c.add("trace.dropped", dropped_);
+  if (events_dropped() > 0) {
+    c.add("trace.dropped", events_dropped());
   }
   return c;
 }

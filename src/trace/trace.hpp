@@ -17,6 +17,13 @@
 //
 // Names passed to the recorder must be string literals (or otherwise
 // outlive the recorder): events store the pointer, not a copy.
+//
+// Partitioned runs: enable_partition_shards() gives every simulator
+// partition its own event buffer, routed by the executing partition (so no
+// two worker threads ever write one buffer), and events()/summary() merge
+// the shards in deterministic (timestamp, partition, intra-shard order) —
+// a function of the schedule, not of thread timing. Merging readers must
+// run outside partition windows (driver code after run(), barrier events).
 
 #include <algorithm>
 #include <bit>
@@ -93,13 +100,13 @@ struct Event {
 
 class TraceRecorder {
  public:
-  explicit TraceRecorder(TraceConfig config = {}) : config_{config} {
+  explicit TraceRecorder(TraceConfig config = {}) : config_{config}, shards_(1) {
     if (config_.enabled) {
       // Reserve generously up front: growth reallocations would copy the
       // whole (large) buffer mid-run, the single place the recorder could
       // cost real wall-clock time. Virtual memory is committed on touch,
       // so an under-filled reservation costs address space, not RAM.
-      events_.reserve(std::min<std::size_t>(config_.max_events, 1u << 20));
+      shards_[0].events.reserve(std::min<std::size_t>(config_.max_events, 1u << 20));
     }
   }
   TraceRecorder(const TraceRecorder&) = delete;
@@ -107,6 +114,17 @@ class TraceRecorder {
 
   [[nodiscard]] bool enabled() const { return config_.enabled; }
   [[nodiscard]] const TraceConfig& config() const { return config_; }
+
+  // One buffer per simulator partition (plus the global shard 0). Call
+  // before the run starts; the max_events cap then applies per shard.
+  void enable_partition_shards(std::uint32_t partitions) {
+    shards_.resize(partitions + 1);
+    if (config_.enabled) {
+      for (std::uint32_t s = 1; s < shards_.size(); ++s) {
+        shards_[s].events.reserve(std::min<std::size_t>(config_.max_events, 1u << 16));
+      }
+    }
+  }
 
   void instant(Category cat, const char* name, sim::Time ts, std::uint32_t node,
                std::uint64_t corr = 0, std::uint64_t arg0 = 0, std::uint64_t arg1 = 0) {
@@ -124,8 +142,35 @@ class TraceRecorder {
     push(Event{ts, name, cat, Event::Kind::kCounter, node, 0, std::bit_cast<std::uint64_t>(value), 0});
   }
 
-  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
-  [[nodiscard]] std::uint64_t events_dropped() const { return dropped_; }
+  // Single-shard mode: the buffer itself. Sharded: the deterministic merge
+  // (rebuilt lazily; see the header comment for when reading is legal).
+  [[nodiscard]] const std::vector<Event>& events() const {
+    if (shards_.size() == 1) {
+      return shards_[0].events;
+    }
+    std::size_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.events.size();
+    }
+    if (merged_.size() != total) {
+      merged_.clear();
+      merged_.reserve(total);
+      for (const Shard& s : shards_) {
+        merged_.insert(merged_.end(), s.events.begin(), s.events.end());
+      }
+      // Stable: ties keep (shard, intra-shard) order — the canonical key.
+      std::stable_sort(merged_.begin(), merged_.end(),
+                       [](const Event& a, const Event& b) { return a.ts < b.ts; });
+    }
+    return merged_;
+  }
+  [[nodiscard]] std::uint64_t events_dropped() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.dropped;
+    }
+    return total;
+  }
 
   // Per-category event counts ("trace.<category>.<name>" -> count), merged
   // into RunMetrics::trace_summary by the driver.
@@ -137,20 +182,31 @@ class TraceRecorder {
   void attach_scheduler_probe(sim::Simulator& simulator);
 
  private:
+  struct Shard {
+    std::vector<Event> events;
+    std::uint64_t dropped{0};
+  };
+
   void push(const Event& e) {
     if (!config_.enabled) {
       return;
     }
-    if (events_.size() >= config_.max_events) {
-      ++dropped_;
+    Shard& shard = shards_.size() == 1 ? shards_[0] : shard_for_context();
+    if (shard.events.size() >= config_.max_events) {
+      ++shard.dropped;
       return;
     }
-    events_.push_back(e);
+    shard.events.push_back(e);
+  }
+
+  [[nodiscard]] Shard& shard_for_context() {
+    const std::uint32_t part = sim::Simulator::current_partition_hint();
+    return shards_[part < shards_.size() ? part : 0];
   }
 
   TraceConfig config_;
-  std::vector<Event> events_;
-  std::uint64_t dropped_{0};
+  std::vector<Shard> shards_;            // [0] = global/serial buffer
+  mutable std::vector<Event> merged_;    // lazy deterministic merge cache
   std::uint64_t probe_last_processed_{0};
   sim::Time probe_last_at_{};
 };

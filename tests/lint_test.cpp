@@ -146,6 +146,31 @@ struct S {
   EXPECT_EQ(count_rule(diags, "D2-unordered-iter", 7), 1);
 }
 
+TEST(LintD2, AliasedUnorderedTypesAreTrackedToIterationSites) {
+  // A per-partition shard table behind a `using` alias iterates in hash
+  // order just the same — the alias chain (two hops here) must not launder
+  // the container past the rule.
+  const auto diags = run("src/x/sharded.cpp", R"lint(
+#include <unordered_map>
+using ShardMap = std::unordered_map<int, long>;
+using PartitionShards = ShardMap;
+struct S {
+  PartitionShards by_partition;
+  long total() {
+    long sum = 0;
+    for (const auto& kv : by_partition) {
+      sum += kv.second;
+    }
+    return sum;
+  }
+  auto begin_it() { return by_partition.begin(); }
+};
+)lint");
+  EXPECT_EQ(count_rule(diags, "D2-unordered-iter", 3), 1);   // alias definition
+  EXPECT_EQ(count_rule(diags, "D2-unordered-iter", 9), 1);   // range-for
+  EXPECT_EQ(count_rule(diags, "D2-unordered-iter", 14), 1);  // .begin()
+}
+
 TEST(LintD2, TestsAreExemptBenchIsNot) {
   const std::string snippet = R"lint(
 #include <unordered_set>

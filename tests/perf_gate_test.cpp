@@ -291,5 +291,157 @@ TEST(PerfGateScale, RejectsNonScaleDocuments) {
   EXPECT_NE(error.find("cases"), std::string::npos);
 }
 
+// --- parallel-sweep mode ----------------------------------------------------
+
+ParallelCase parallel_case(double nodes, double events, double w1_wall,
+                           double w4_wall) {
+  ParallelCase c;
+  c.nodes = nodes;
+  c.zones = nodes / 100.0;
+  c.procs = nodes * 10.0;
+  const auto run = [&](double workers, double wall) {
+    ParallelRun r;
+    r.workers = workers;
+    r.events = events;
+    r.sim_sec = 10.0;
+    r.wall_sec = wall;
+    r.events_per_sec = wall > 0.0 ? events / wall : 0.0;
+    return r;
+  };
+  c.runs.emplace("w1", run(1, w1_wall));
+  c.runs.emplace("w4", run(4, w4_wall));
+  return c;
+}
+
+// An 8-CPU recording: the big case clears the 2x floor, the small one is
+// exempt from it (< 2000 nodes) and establishes the trajectory anchor.
+ParallelSummary healthy_parallel() {
+  ParallelSummary s;
+  s.host_cpus = 8.0;
+  s.cases.emplace("n256", parallel_case(256, 4013613.0, 4.0, 2.2));
+  s.cases.emplace("n2000", parallel_case(2000, 3.1e7, 40.0, 15.0));
+  return s;
+}
+
+TEST(PerfGateParallel, RoundTripsExactCountersAndPassesWithoutBaseline) {
+  const ParallelSummary summary = healthy_parallel();
+  std::string error;
+  const auto reloaded =
+      load_parallel_summary(parse_ok(render_parallel_summary(summary)), &error);
+  ASSERT_TRUE(reloaded.has_value()) << error;
+  EXPECT_DOUBLE_EQ(reloaded->host_cpus, 8.0);
+  // Exact, not approximate: a "%.6g" render would round the event counter
+  // and turn the next bit-identity check into noise.
+  EXPECT_EQ(reloaded->cases.at("n256").runs.at("w4").events, 4013613.0);
+
+  const GateResult result = gate_parallel(*reloaded, nullptr, GateOptions{});
+  EXPECT_TRUE(result.pass) << (result.failures.empty() ? "" : result.failures[0]);
+}
+
+TEST(PerfGateParallel, AnyScheduleDriftAcrossWorkerCountsFails) {
+  ParallelSummary current = healthy_parallel();
+  current.cases.at("n2000").runs.at("w4").events += 1.0;
+  GateResult result = gate_parallel(current, nullptr, GateOptions{});
+  EXPECT_FALSE(result.pass);
+  ASSERT_FALSE(result.failures.empty());
+  EXPECT_NE(result.failures[0].find("depends on the worker count"), std::string::npos);
+
+  current = healthy_parallel();
+  current.cases.at("n256").runs.at("w4").sim_sec += 1e-9;
+  result = gate_parallel(current, nullptr, GateOptions{});
+  EXPECT_FALSE(result.pass);
+}
+
+TEST(PerfGateParallel, SpeedupFloorBindsOnlyWhenTheHostHasTheCpus) {
+  ParallelSummary current = healthy_parallel();
+  current.cases.at("n2000").runs.at("w4").wall_sec = 35.0;  // 1.14x, floor is 2x
+  const GateResult failed = gate_parallel(current, nullptr, GateOptions{});
+  EXPECT_FALSE(failed.pass);
+  bool found = false;
+  for (const std::string& f : failed.failures) {
+    found = found || f.find("below the") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+
+  // The same numbers from a 1-CPU container: no parallelism was available,
+  // so only bit-identity and trajectory gate.
+  current.host_cpus = 1.0;
+  const GateResult skipped = gate_parallel(current, nullptr, GateOptions{});
+  EXPECT_TRUE(skipped.pass) << (skipped.failures.empty() ? "" : skipped.failures[0]);
+}
+
+TEST(PerfGateParallel, SmallCasesAreExemptFromTheSpeedupFloor) {
+  ParallelSummary current = healthy_parallel();
+  current.cases.at("n256").runs.at("w4").wall_sec = 6.0;  // slower than w1
+  const GateResult result = gate_parallel(current, nullptr, GateOptions{});
+  EXPECT_TRUE(result.pass) << (result.failures.empty() ? "" : result.failures[0]);
+}
+
+TEST(PerfGateParallel, ComparesOnlyTheCaseIntersection) {
+  const ParallelSummary baseline = healthy_parallel();
+  ParallelSummary current = healthy_parallel();
+  current.cases.erase("n2000");
+  const GateResult result = gate_parallel(current, &baseline, GateOptions{});
+  EXPECT_TRUE(result.pass) << (result.failures.empty() ? "" : result.failures[0]);
+}
+
+TEST(PerfGateParallel, BaselineEventDriftPastToleranceFails) {
+  const ParallelSummary baseline = healthy_parallel();
+  ParallelSummary current = healthy_parallel();
+  for (auto& [name, run] : current.cases.at("n2000").runs) {
+    (void)name;
+    run.events *= 1.5;  // consistent across workers, so bit-identity holds
+  }
+  const GateResult result = gate_parallel(current, &baseline, GateOptions{});
+  EXPECT_FALSE(result.pass);
+  bool found = false;
+  for (const std::string& f : result.failures) {
+    found = found || f.find("outside baseline") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PerfGateParallel, WallTimeTrajectoryRegressionFails) {
+  const ParallelSummary baseline = healthy_parallel();
+  ParallelSummary current = healthy_parallel();
+  // w1 on the big case takes 3x the baseline's relative wall time while the
+  // anchor is unchanged — the serial engine's scaling shape regressed.
+  current.cases.at("n2000").runs.at("w1").wall_sec =
+      baseline.cases.at("n2000").runs.at("w1").wall_sec * 3.0;
+  current.cases.at("n2000").runs.at("w4").wall_sec =
+      baseline.cases.at("n2000").runs.at("w4").wall_sec * 3.0;
+  const GateResult result = gate_parallel(current, &baseline, GateOptions{});
+  EXPECT_FALSE(result.pass);
+  bool found = false;
+  for (const std::string& f : result.failures) {
+    found = found || f.find("scaling shape regressed") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PerfGateParallel, RejectsNonParallelAndIncompleteDocuments) {
+  std::string error;
+  EXPECT_FALSE(load_parallel_summary(
+                   parse_ok(R"({"schema": 1, "tool": "scale_sweep"})"), &error)
+                   .has_value());
+  EXPECT_NE(error.find("parallel_sweep"), std::string::npos);
+  EXPECT_FALSE(load_parallel_summary(
+                   parse_ok(R"({"schema": 1, "tool": "parallel_sweep", "cases": {}})"),
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("host_cpus"), std::string::npos);
+  // A case whose runs lack the w1 reference cannot be gated.
+  EXPECT_FALSE(
+      load_parallel_summary(
+          parse_ok(
+              R"({"schema": 1, "tool": "parallel_sweep", "host_cpus": 4, "cases": {
+                   "n256": {"nodes": 256, "zones": 16, "procs": 2560, "runs": {
+                     "w4": {"workers": 4, "events": 10, "sim_sec": 1,
+                            "wall_sec": 1, "events_per_sec": 10}}}}})"),
+          &error)
+          .has_value());
+  EXPECT_NE(error.find("w1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ampom::perfgate

@@ -119,8 +119,8 @@ TEST(Soak, ReliablePagingChurnSweepIsBitIdenticalAcrossJobs) {
           .build();
     });
   }
-  driver::SweepExecutor serial{{.jobs = 1}};
-  driver::SweepExecutor parallel{{.jobs = 4}};
+  driver::SweepExecutor serial{{.exec = {.jobs = 1}}};
+  driver::SweepExecutor parallel{{.exec = {.jobs = 4}}};
   const auto a = serial.run_all(cases);
   const auto b = parallel.run_all(cases);
   ASSERT_EQ(a.size(), cases.size());

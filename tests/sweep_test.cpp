@@ -69,8 +69,8 @@ std::string export_json(const trace::TraceRecorder& recorder) {
 
 TEST(SweepExecutor, ParallelIsBitIdenticalToSerial) {
   const auto cases = representative_matrix();
-  driver::SweepExecutor serial{{.jobs = 1}};
-  driver::SweepExecutor parallel{{.jobs = 4}};
+  driver::SweepExecutor serial{{.exec = {.jobs = 1}}};
+  driver::SweepExecutor parallel{{.exec = {.jobs = 4}}};
   const auto a = serial.run_all(cases);
   const auto b = parallel.run_all(cases);
   ASSERT_EQ(a.size(), cases.size());
@@ -98,7 +98,7 @@ TEST(SweepExecutor, ResultsComeBackInSubmissionOrder) {
       return cell(workload::HpccKernel::Stream, mib, driver::Scheme::Ampom);
     });
   }
-  driver::SweepExecutor pool{{.jobs = 4}};
+  driver::SweepExecutor pool{{.exec = {.jobs = 4}}};
   const auto outcomes = pool.run_all(cases);
   ASSERT_EQ(outcomes.size(), std::size(sizes));
   for (std::size_t i = 0; i < std::size(sizes); ++i) {
@@ -112,7 +112,7 @@ TEST(SweepExecutor, MoreJobsThanCases) {
   cases.push_back([] { return cell(workload::HpccKernel::Stream, 5, driver::Scheme::Ampom); });
   cases.push_back(
       [] { return cell(workload::HpccKernel::Stream, 5, driver::Scheme::OpenMosix); });
-  driver::SweepExecutor pool{{.jobs = 16}};
+  driver::SweepExecutor pool{{.exec = {.jobs = 16}}};
   const auto outcomes = pool.run_all(cases);
   ASSERT_EQ(outcomes.size(), 2u);
   EXPECT_TRUE(outcomes[0].ok());
@@ -121,7 +121,7 @@ TEST(SweepExecutor, MoreJobsThanCases) {
 }
 
 TEST(SweepExecutor, EmptyBatch) {
-  driver::SweepExecutor pool{{.jobs = 4}};
+  driver::SweepExecutor pool{{.exec = {.jobs = 4}}};
   EXPECT_TRUE(pool.run_all({}).empty());
 }
 
@@ -130,7 +130,7 @@ TEST(SweepExecutor, ThrowingFactoryMidBatchIsIsolated) {
   cases.push_back([] { return cell(workload::HpccKernel::Stream, 5, driver::Scheme::Ampom); });
   cases.push_back([]() -> driver::Scenario { throw std::runtime_error("bad scenario"); });
   cases.push_back([] { return cell(workload::HpccKernel::Stream, 5, driver::Scheme::Ampom); });
-  driver::SweepExecutor pool{{.jobs = 4}};
+  driver::SweepExecutor pool{{.exec = {.jobs = 4}}};
   const auto outcomes = pool.run_all(cases);
   ASSERT_EQ(outcomes.size(), 3u);
   EXPECT_TRUE(outcomes[0].ok());
@@ -157,7 +157,7 @@ TEST(SweepExecutor, RunScenariosThrowsFirstErrorInSubmissionOrder) {
   driver::Scenario broken;
   broken.memory_mib = 5;  // no make_workload
   cases.push_back(broken);
-  driver::SweepExecutor pool{{.jobs = 2}};
+  driver::SweepExecutor pool{{.exec = {.jobs = 2}}};
   EXPECT_THROW((void)pool.run_scenarios(cases), std::exception);
 
   cases.pop_back();
@@ -170,7 +170,7 @@ TEST(SweepExecutor, CapturedLogsArePerRun) {
   std::vector<driver::SweepExecutor::ScenarioFactory> cases;
   cases.push_back([] { return cell(workload::HpccKernel::Stream, 5, driver::Scheme::Ampom); });
   cases.push_back([] { return cell(workload::HpccKernel::Dgemm, 9, driver::Scheme::Ampom); });
-  driver::SweepExecutor pool{{.jobs = 2, .log_level = sim::LogLevel::Debug}};
+  driver::SweepExecutor pool{{.exec = {.jobs = 2}, .log_level = sim::LogLevel::Debug}};
   const auto outcomes = pool.run_all(cases);
   ASSERT_EQ(outcomes.size(), 2u);
   for (const auto& outcome : outcomes) {

@@ -356,11 +356,44 @@ struct Checker {
     }
     static constexpr std::array<std::string_view, 4> kUnordered = {
         "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
-    std::set<std::string> vars;  // names declared with an unordered type here
+    std::set<std::string> vars;     // names declared with an unordered type here
+    std::set<std::string> aliases;  // `using X = ...unordered...;` type names
+
+    // Alias pass: a per-partition shard table hidden behind
+    // `using ShardMap = std::unordered_map<...>` iterates in hash order just
+    // the same, so alias names count as unordered types below.
+    for (std::size_t i = 0; i + 2 < lexed.tokens.size(); ++i) {
+      if (lexed.tokens[i].text != "using" || lexed.tokens[i + 1].kind != TokKind::Ident ||
+          text(i + 2) != "=") {
+        continue;
+      }
+      for (std::size_t k = i + 3; k < lexed.tokens.size() && text(k) != ";"; ++k) {
+        const std::string_view s = text(k);
+        if (std::find(kUnordered.begin(), kUnordered.end(), s) != kUnordered.end() ||
+            aliases.count(std::string(s)) > 0) {
+          aliases.insert(lexed.tokens[i + 1].text);
+          break;
+        }
+      }
+    }
 
     for (std::size_t i = 0; i < lexed.tokens.size(); ++i) {
       const Token& t = lexed.tokens[i];
       if (t.kind != TokKind::Ident) {
+        continue;
+      }
+      // An alias used as a type (not its own definition) declares an
+      // unordered variable: record the name so iteration sites get flagged.
+      if (aliases.count(t.text) > 0 && prev(i) != "using" && text(i + 1) != "=") {
+        std::size_t j = i + 1;
+        while (j < lexed.tokens.size() &&
+               (text(j) == "&" || text(j) == "*" || text(j) == "const")) {
+          ++j;
+        }
+        const Token* name = tok(j);
+        if (name != nullptr && name->kind == TokKind::Ident) {
+          vars.insert(name->text);
+        }
         continue;
       }
       if (std::find(kUnordered.begin(), kUnordered.end(), t.text) != kUnordered.end()) {

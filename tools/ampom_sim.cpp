@@ -38,6 +38,9 @@ using namespace ampom;
   --seed=N               workload seed                         (default 1)
   --jobs=N               worker threads for sweeps (comma lists); results
                          are bit-identical to --jobs=1          (default 1)
+  --workers=N            intra-run simulator threads (cluster-world
+                         scenarios only; single-process experiments run
+                         serially regardless)                   (default 0)
 
   environment:
   --broadband            shape the migrant/home link to 6 Mb/s + 2 ms
@@ -166,7 +169,7 @@ int main(int argc, char** argv) {
   std::uint64_t trace_every = 0;
   std::uint64_t seed = 1;
   std::uint64_t ram_limit_pages = 0;
-  std::uint64_t jobs = 1;
+  driver::ExecPolicy exec{};
   double background_load = 0.0;
   double background_traffic = 0.0;
   bool broadband = false;
@@ -187,8 +190,9 @@ int main(int argc, char** argv) {
     } else if (parse_u64(arg, "--working-set-mib", working_set_mib) ||
                parse_u64(arg, "--seed", seed) ||
                parse_u64(arg, "--ram-limit-pages", ram_limit_pages) ||
-               parse_u64(arg, "--jobs", jobs) ||
                parse_u64(arg, "--trace", trace_every)) {
+    } else if (exec.parse_flag(arg)) {
+      // --jobs=N / --workers=N handled by the policy
     } else if (parse_u64(arg, "--lookback", u)) {
       ampom.lookback_length = u;
     } else if (parse_u64(arg, "--dmax", u)) {
@@ -284,7 +288,7 @@ int main(int argc, char** argv) {
         cases.push_back([&make_builder, mib, scheme] { return make_builder(mib, scheme).build(); });
       }
     }
-    driver::SweepExecutor pool{{.jobs = jobs == 0 ? 0 : jobs}};
+    driver::SweepExecutor pool{{.exec = exec}};
     const auto outcomes = pool.run_all(cases);
 
     stats::Table table{std::string("Sweep: ") + workload::hpcc_kernel_name(kernel),

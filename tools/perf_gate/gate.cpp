@@ -261,6 +261,21 @@ std::string fmt(double v) {
   return buf;
 }
 
+// Exact rendering for counters compared with ==; "%.6g" would round a
+// 4013614-vs-4013613 drift into two identical-looking strings.
+std::string fmt_exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  std::string out = buf;
+  if (out.find('.') != std::string::npos && out.find('e') == std::string::npos) {
+    out.erase(out.find_last_not_of('0') + 1);
+    if (!out.empty() && out.back() == '.') {
+      out.pop_back();
+    }
+  }
+  return out;
+}
+
 // The three engine profiles and their benchmark-name stems in micro_simcore.
 struct ProfileName {
   const char* key;
@@ -657,6 +672,204 @@ GateResult gate_scale(const ScaleSummary& current, const ScaleSummary* baseline,
         fail(name + ": wall-time ratio vs " + *anchor + " is " + fmt(cur_ratio) +
              "x (baseline " + fmt(base_ratio) + "x + " +
              fmt(options.tolerance * 100.0) + "% tolerance) — scaling shape regressed");
+      }
+    }
+  }
+  return result;
+}
+
+std::optional<ParallelSummary> load_parallel_summary(const JsonValue& doc,
+                                                     std::string* error) {
+  const JsonValue* schema = doc.find("schema");
+  const JsonValue* tool = doc.find("tool");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::Number ||
+      schema->number != 1.0 || tool == nullptr ||
+      tool->kind != JsonValue::Kind::String || tool->string != "parallel_sweep") {
+    if (error != nullptr) {
+      *error = "not a parallel_sweep schema-1 document";
+    }
+    return std::nullopt;
+  }
+  ParallelSummary summary;
+  const JsonValue* host_cpus = doc.find("host_cpus");
+  if (host_cpus == nullptr || host_cpus->kind != JsonValue::Kind::Number) {
+    if (error != nullptr) {
+      *error = "parallel document has no numeric 'host_cpus'";
+    }
+    return std::nullopt;
+  }
+  summary.host_cpus = host_cpus->number;
+  const JsonValue* cases = doc.find("cases");
+  if (cases == nullptr || cases->kind != JsonValue::Kind::Object || cases->object.empty()) {
+    if (error != nullptr) {
+      *error = "parallel document has no 'cases' object";
+    }
+    return std::nullopt;
+  }
+  for (const auto& [name, value] : cases->object) {
+    if (value.kind != JsonValue::Kind::Object) {
+      if (error != nullptr) {
+        *error = "case '" + name + "' is not an object";
+      }
+      return std::nullopt;
+    }
+    ParallelCase c;
+    if (!read_case_field(value, "nodes", c.nodes, name, error) ||
+        !read_case_field(value, "zones", c.zones, name, error) ||
+        !read_case_field(value, "procs", c.procs, name, error)) {
+      return std::nullopt;
+    }
+    const JsonValue* runs = value.find("runs");
+    if (runs == nullptr || runs->kind != JsonValue::Kind::Object || runs->object.empty()) {
+      if (error != nullptr) {
+        *error = "case '" + name + "' has no 'runs' object";
+      }
+      return std::nullopt;
+    }
+    for (const auto& [run_name, run_value] : runs->object) {
+      const std::string key = name + "." + run_name;
+      ParallelRun run;
+      if (!read_case_field(run_value, "workers", run.workers, key, error) ||
+          !read_case_field(run_value, "events", run.events, key, error) ||
+          !read_case_field(run_value, "sim_sec", run.sim_sec, key, error) ||
+          !read_case_field(run_value, "wall_sec", run.wall_sec, key, error) ||
+          !read_case_field(run_value, "events_per_sec", run.events_per_sec, key, error)) {
+        return std::nullopt;
+      }
+      c.runs.emplace(run_name, run);
+    }
+    if (c.runs.find("w1") == c.runs.end()) {
+      if (error != nullptr) {
+        *error = "case '" + name + "' has no 'w1' reference run";
+      }
+      return std::nullopt;
+    }
+    summary.cases.emplace(name, std::move(c));
+  }
+  return summary;
+}
+
+std::string render_parallel_summary(const ParallelSummary& summary) {
+  // Counters render exactly — "%.6g" would round a 4-million event count
+  // and break the bit-identity check on the next load.
+  std::string out = "{\n  \"schema\": 1,\n  \"tool\": \"parallel_sweep\",\n";
+  out += "  \"host_cpus\": " + fmt_exact(summary.host_cpus) + ",\n  \"cases\": {\n";
+  std::size_t i = 0;
+  for (const auto& [name, c] : summary.cases) {
+    out += "    \"" + name + "\": {";
+    out += "\"nodes\": " + fmt_exact(c.nodes);
+    out += ", \"zones\": " + fmt_exact(c.zones);
+    out += ", \"procs\": " + fmt_exact(c.procs);
+    out += ", \"runs\": {";
+    std::size_t r = 0;
+    for (const auto& [run_name, run] : c.runs) {
+      out += "\"" + run_name + "\": {";
+      out += "\"workers\": " + fmt_exact(run.workers);
+      out += ", \"events\": " + fmt_exact(run.events);
+      out += ", \"sim_sec\": " + fmt_exact(run.sim_sec);
+      out += ", \"wall_sec\": " + fmt(run.wall_sec);
+      out += ", \"events_per_sec\": " + fmt(run.events_per_sec);
+      out += ++r < c.runs.size() ? "}, " : "}";
+    }
+    out += "}";
+    out += ++i < summary.cases.size() ? "},\n" : "}\n";
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+GateResult gate_parallel(const ParallelSummary& current,
+                         const ParallelSummary* baseline,
+                         const GateOptions& options) {
+  GateResult result;
+  auto fail = [&result](std::string message) {
+    result.pass = false;
+    result.failures.push_back(std::move(message));
+  };
+
+  for (const auto& [name, c] : current.cases) {
+    const ParallelRun& reference = c.runs.at("w1");
+    const ParallelRun* widest = &reference;
+    for (const auto& [run_name, run] : c.runs) {
+      (void)run_name;
+      if (run.workers > widest->workers) {
+        widest = &run;
+      }
+      // Bit-identity: the schedule is a function of the scenario, never of
+      // the worker count. Exact — any drift is a determinism bug, not noise.
+      if (run.events != reference.events) {
+        fail(name + "." + run_name + ": events " + fmt_exact(run.events) +
+             " != w1 events " + fmt_exact(reference.events) +
+             " — the partitioned schedule depends on the worker count");
+      }
+      if (run.sim_sec != reference.sim_sec) {
+        fail(name + "." + run_name + ": sim_sec " + fmt_exact(run.sim_sec) +
+             " != w1 sim_sec " + fmt_exact(reference.sim_sec) +
+             " — the partitioned schedule depends on the worker count");
+      }
+    }
+    const double speedup = widest->wall_sec > 0.0
+                               ? reference.wall_sec / widest->wall_sec
+                               : 0.0;
+    result.notes.push_back(name + ": " + fmt(c.nodes) + " nodes, " + fmt(reference.events) +
+                           " events; w1 " + fmt(reference.wall_sec) + " s, w" +
+                           fmt(widest->workers) + " " + fmt(widest->wall_sec) + " s (" +
+                           fmt(speedup) + "x, host_cpus " + fmt(current.host_cpus) + ")");
+    // The speedup floor only means something where the hardware can deliver
+    // one; a 1-CPU container still gates bit-identity and trajectory above.
+    if (c.nodes >= 2000.0 && widest->workers > 1.0 &&
+        current.host_cpus >= widest->workers && speedup < options.parallel_min_speedup) {
+      fail(name + ": w" + fmt(widest->workers) + " speedup " + fmt(speedup) +
+           "x is below the " + fmt(options.parallel_min_speedup) + "x floor on a " +
+           fmt(current.host_cpus) + "-CPU host");
+    }
+  }
+
+  if (baseline == nullptr) {
+    return result;
+  }
+
+  // Intersection + trajectory, anchored at the smallest common case — the
+  // same shape rule as gate_scale, applied to the w1 runs.
+  const std::string* anchor = nullptr;
+  double anchor_nodes = 0.0;
+  for (const auto& [name, base] : baseline->cases) {
+    (void)base;
+    const auto it = current.cases.find(name);
+    if (it != current.cases.end() &&
+        (anchor == nullptr || it->second.nodes < anchor_nodes)) {
+      anchor = &name;
+      anchor_nodes = it->second.nodes;
+    }
+  }
+  if (anchor == nullptr) {
+    fail("baseline and current run share no parallel cases");
+    return result;
+  }
+  const ParallelRun& cur_anchor = current.cases.at(*anchor).runs.at("w1");
+  const ParallelRun& base_anchor = baseline->cases.at(*anchor).runs.at("w1");
+
+  for (const auto& [name, base] : baseline->cases) {
+    const auto it = current.cases.find(name);
+    if (it == current.cases.end()) {
+      continue;  // the committed baseline carries the --full grid; CI runs less
+    }
+    const ParallelCase& cur = it->second;
+    const double event_ceiling = base.runs.at("w1").events * (1.0 + options.tolerance);
+    const double event_floor = base.runs.at("w1").events * (1.0 - options.tolerance);
+    const double cur_events = cur.runs.at("w1").events;
+    if (cur_events > event_ceiling || cur_events < event_floor) {
+      fail(name + ": events " + fmt(cur_events) + " outside baseline " +
+           fmt(base.runs.at("w1").events) + " +/- " + fmt(options.tolerance * 100.0) + "%");
+    }
+    if (name != *anchor && cur_anchor.wall_sec > 0.0 && base_anchor.wall_sec > 0.0 &&
+        base.runs.at("w1").wall_sec > 0.0) {
+      const double cur_ratio = cur.runs.at("w1").wall_sec / cur_anchor.wall_sec;
+      const double base_ratio = base.runs.at("w1").wall_sec / base_anchor.wall_sec;
+      if (cur_ratio > base_ratio * (1.0 + options.tolerance)) {
+        fail(name + ": w1 wall-time ratio vs " + *anchor + " is " + fmt(cur_ratio) +
+             "x (baseline " + fmt(base_ratio) + "x + " + fmt(options.tolerance * 100.0) +
+             "% tolerance) — scaling shape regressed");
       }
     }
   }

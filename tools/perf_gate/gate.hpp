@@ -80,6 +80,10 @@ struct Summary {
 struct GateOptions {
   double tolerance{0.30};   // allowed fractional regression vs the baseline
   double min_speedup{1.5};  // hard floor for the cancel_heavy speedup
+  // Hard floor for the partitioned engine: wall-clock speedup of the largest
+  // worker count over workers=1 on the >= 2000-node cases, enforced only
+  // when the recording host has at least that many CPUs.
+  double parallel_min_speedup{2.0};
 };
 
 struct GateResult {
@@ -132,5 +136,55 @@ struct ScaleSummary {
 [[nodiscard]] GateResult gate_scale(const ScaleSummary& current,
                                     const ScaleSummary* baseline,
                                     const GateOptions& options);
+
+// --- parallel sweep (BENCH_parallel.json) -----------------------------------
+// bench/parallel_sweep runs the same cluster world at several worker counts
+// and emits the committed schema directly:
+//   {"schema":1,"tool":"parallel_sweep","host_cpus":8,"cases":{
+//     "n2000":{"nodes":...,"zones":...,"procs":...,"runs":{
+//       "w1":{"workers":1,"events":...,"sim_sec":...,"wall_sec":...,...},
+//       "w4":{...}}}}}
+// events and sim_sec are deterministic and must be *exactly* equal across a
+// case's worker counts (the bit-identity contract); wall_sec is
+// machine-dependent and feeds the speedup and trajectory checks.
+
+struct ParallelRun {
+  double workers{0};
+  double events{0};
+  double sim_sec{0};
+  double wall_sec{0};        // informational
+  double events_per_sec{0};  // informational
+};
+
+struct ParallelCase {
+  double nodes{0};
+  double zones{0};
+  double procs{0};
+  std::map<std::string, ParallelRun> runs;  // "w1", "w2", ... (w1 required)
+};
+
+struct ParallelSummary {
+  double host_cpus{0};  // recorded by the run; conditions the speedup floor
+  std::map<std::string, ParallelCase> cases;
+};
+
+[[nodiscard]] std::optional<ParallelSummary> load_parallel_summary(const JsonValue& doc,
+                                                                   std::string* error);
+[[nodiscard]] std::string render_parallel_summary(const ParallelSummary& summary);
+
+// Gate the parallel sweep. Invariants (always): within every case, each
+// run's events and sim_sec exactly equal the w1 run's — any drift means the
+// partitioned schedule depends on the worker count, which is the one bug
+// this engine must never have. Speedup floor: on cases of >= 2000 nodes,
+// the largest worker count must be at least `parallel_min_speedup` times
+// faster than w1 — enforced only when the recording host had at least that
+// many CPUs (a 1-CPU CI container cannot speed anything up; its file still
+// gates bit-identity and trajectory). Against a baseline, over the case
+// intersection: per-run events within the tolerance and the w1 wall-time
+// trajectory (normalized to the smallest common case) within the tolerance,
+// same shape rule as gate_scale.
+[[nodiscard]] GateResult gate_parallel(const ParallelSummary& current,
+                                       const ParallelSummary* baseline,
+                                       const GateOptions& options);
 
 }  // namespace ampom::perfgate

@@ -4,6 +4,8 @@
 //             [--output=FILE] [--tolerance=0.30] [--min-speedup=1.5]
 //   perf_gate --scale-input=scale.json [--scale-baseline=BENCH_scale.json]
 //             [--scale-output=FILE] [--tolerance=0.30]
+//   perf_gate --parallel-input=parallel.json [--parallel-baseline=BENCH_parallel.json]
+//             [--parallel-output=FILE] [--tolerance=0.30] [--parallel-min-speedup=2.0]
 //
 // Engine mode reads bench/micro_simcore's --benchmark_out JSON, normalizes
 // it to the committed BENCH_simcore.json schema (written to --output when
@@ -11,7 +13,10 @@
 // checks when a --baseline is supplied. Scale mode does the same for
 // bench/scale_sweep --json output against BENCH_scale.json (O(fan_out)
 // per-node traffic, deterministic event counts, wall-time trajectory).
-// Both modes may be combined in one invocation; the gate passes only if
+// Parallel mode gates bench/parallel_sweep --json output against
+// BENCH_parallel.json (bit-identity across worker counts, the conditional
+// speedup floor, w1 wall-time trajectory).
+// The modes may be combined in one invocation; the gate passes only if
 // every requested mode passes. Exit 0 on pass, 1 on gate failure, 2 on
 // usage or parse errors.
 
@@ -34,6 +39,9 @@ struct Options {
   std::string scale_input;
   std::string scale_baseline;
   std::string scale_output;
+  std::string parallel_input;
+  std::string parallel_baseline;
+  std::string parallel_output;
   GateOptions gate;
 };
 
@@ -61,6 +69,18 @@ std::optional<Options> parse_args(int argc, char** argv, std::string& error) {
       options.scale_baseline = value_of("--scale-baseline=");
     } else if (arg.rfind("--scale-output=", 0) == 0) {
       options.scale_output = value_of("--scale-output=");
+    } else if (arg.rfind("--parallel-input=", 0) == 0) {
+      options.parallel_input = value_of("--parallel-input=");
+    } else if (arg.rfind("--parallel-baseline=", 0) == 0) {
+      options.parallel_baseline = value_of("--parallel-baseline=");
+    } else if (arg.rfind("--parallel-output=", 0) == 0) {
+      options.parallel_output = value_of("--parallel-output=");
+    } else if (arg.rfind("--parallel-min-speedup=", 0) == 0) {
+      if (!parse_double(value_of("--parallel-min-speedup="),
+                        options.gate.parallel_min_speedup)) {
+        error = "invalid --parallel-min-speedup value";
+        return std::nullopt;
+      }
     } else if (arg.rfind("--tolerance=", 0) == 0) {
       if (!parse_double(value_of("--tolerance="), options.gate.tolerance)) {
         error = "invalid --tolerance value";
@@ -76,8 +96,9 @@ std::optional<Options> parse_args(int argc, char** argv, std::string& error) {
       return std::nullopt;
     }
   }
-  if (options.input.empty() && options.scale_input.empty()) {
-    error = "--input=FILE or --scale-input=FILE is required";
+  if (options.input.empty() && options.scale_input.empty() &&
+      options.parallel_input.empty()) {
+    error = "--input=FILE, --scale-input=FILE or --parallel-input=FILE is required";
     return std::nullopt;
   }
   return options;
@@ -125,6 +146,26 @@ std::optional<ScaleSummary> load_scale_file(const std::string& path, std::string
     return std::nullopt;
   }
   auto summary = load_scale_summary(*doc, &parse_error);
+  if (!summary) {
+    error = path + ": " + parse_error;
+  }
+  return summary;
+}
+
+std::optional<ParallelSummary> load_parallel_file(const std::string& path,
+                                                  std::string& error) {
+  const auto text = read_file(path);
+  if (!text) {
+    error = "cannot read " + path;
+    return std::nullopt;
+  }
+  std::string parse_error;
+  const auto doc = parse_json(*text, &parse_error);
+  if (!doc) {
+    error = path + ": " + parse_error;
+    return std::nullopt;
+  }
+  auto summary = load_parallel_summary(*doc, &parse_error);
   if (!summary) {
     error = path + ": " + parse_error;
   }
@@ -181,6 +222,35 @@ int run_scale_mode(const Options& options) {
   return report(result, "scale", baseline.has_value());
 }
 
+// The parallel-sweep mode, same shape as run_scale_mode.
+int run_parallel_mode(const Options& options) {
+  std::string error;
+  const auto current = load_parallel_file(options.parallel_input, error);
+  if (!current) {
+    std::cerr << "perf_gate: " << error << "\n";
+    return 2;
+  }
+  std::optional<ParallelSummary> baseline;
+  if (!options.parallel_baseline.empty()) {
+    baseline = load_parallel_file(options.parallel_baseline, error);
+    if (!baseline) {
+      std::cerr << "perf_gate: " << error << "\n";
+      return 2;
+    }
+  }
+  if (!options.parallel_output.empty()) {
+    std::ofstream out{options.parallel_output, std::ios::binary};
+    if (!out) {
+      std::cerr << "perf_gate: cannot write " << options.parallel_output << "\n";
+      return 2;
+    }
+    out << render_parallel_summary(*current);
+  }
+  const GateResult result =
+      gate_parallel(*current, baseline ? &*baseline : nullptr, options.gate);
+  return report(result, "parallel", baseline.has_value());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -191,7 +261,10 @@ int main(int argc, char** argv) {
               << "usage: perf_gate --input=raw.json [--baseline=FILE] [--output=FILE]"
                  " [--tolerance=0.30] [--min-speedup=1.5]\n"
                  "       perf_gate --scale-input=scale.json [--scale-baseline=FILE]"
-                 " [--scale-output=FILE] [--tolerance=0.30]\n";
+                 " [--scale-output=FILE] [--tolerance=0.30]\n"
+                 "       perf_gate --parallel-input=parallel.json"
+                 " [--parallel-baseline=FILE] [--parallel-output=FILE]"
+                 " [--tolerance=0.30] [--parallel-min-speedup=2.0]\n";
     return 2;
   }
 
@@ -201,6 +274,13 @@ int main(int argc, char** argv) {
     if (scale_rc == 2) {
       return 2;
     }
+  }
+  if (!options->parallel_input.empty()) {
+    const int parallel_rc = run_parallel_mode(*options);
+    if (parallel_rc == 2) {
+      return 2;
+    }
+    scale_rc = scale_rc != 0 ? scale_rc : parallel_rc;
   }
   if (options->input.empty()) {
     return scale_rc;
