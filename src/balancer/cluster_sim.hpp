@@ -62,6 +62,8 @@ class ProcessHost {
   [[nodiscard]] bool migratable() const { return started_ && !finished() && !migrating_; }
 
   // Move the process to `dst`; a no-op if not currently migratable.
+  // Mutates cross-partition placement and world load accounting.
+  // ampom: global-only
   void migrate_to(net::NodeId dst);
 
   // Failure recovery: the node the process runs on died. The deputy reclaims
@@ -69,6 +71,7 @@ class ProcessHost {
   // process image is re-established from the home node's copy, and the
   // executor resumes at home. A no-op when already home, finished, or
   // mid-migration.
+  // ampom: global-only
   void recover_to_home();
 
   [[nodiscard]] const proc::ExecStats& stats() const { return executor_.stats(); }
@@ -180,7 +183,9 @@ class ClusterSim : public cluster::ClusterView {
   // process running there is force-frozen with its page requests abandoned
   // (their state died with the node; the balancer re-homes them once the
   // heartbeat silence crosses the dead threshold).
+  // ampom: global-only
   void crash_node(net::NodeId id);
+  // ampom: global-only
   void restore_node(net::NodeId id);
   [[nodiscard]] bool node_crashed(net::NodeId id) const;
 
@@ -341,7 +346,13 @@ class ClusterSim : public cluster::ClusterView {
   std::vector<std::uint32_t> active_count_;
   std::vector<std::uint64_t> zone_active_;
   std::vector<std::vector<ProcessHost*>> hosts_on_;
+  // Balancer damping signals, written only by the migration commit path in
+  // the barrier context and read by the (global) balancer tick. Unlike the
+  // per-node load counts above these are NOT partition-sharded: a partition
+  // callback touching them would race with other zones' windows.
+  // ampom: global-only
   std::vector<std::uint32_t> migrating_zone_;
+  // ampom: global-only
   std::uint32_t migrating_total_{0};
 
   migration::FullCopyEngine full_copy_;

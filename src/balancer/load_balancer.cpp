@@ -18,6 +18,10 @@ void LoadBalancer::start() {
     return;
   }
   running_ = true;
+  // start() is driver setup: it runs before the event loop, so the tick
+  // chain it arms lives in the barrier context. The analyzer reaches this
+  // line only through the name-collision fan-out of ProcessHost::start.
+  // ampom-lint: partition-ok(start() runs at setup in the barrier context; never called from a partition callback)
   world_.simulator().schedule_after(config_.period, [this] { tick(); });
 }
 

@@ -66,9 +66,16 @@ class LoadBalancer {
     bool found{false};
   };
 
+  // The balancing pass runs in the barrier context (scheduled with
+  // schedule_after, never pinned to a partition): it reads every node's
+  // load and moves processes across partitions.
+  // ampom: global-only
   void tick();
+  // ampom: global-only
   void single_zone_tick();
+  // ampom: global-only
   void zoned_tick();
+  // ampom: global-only
   void reclaim_stranded();
   [[nodiscard]] ZoneScan scan_zone(std::uint32_t zone) const;
   [[nodiscard]] bool worth_moving(double max_load, double min_load) const;

@@ -119,6 +119,8 @@ class InfoDaemon {
     bool heard{false};
   };
 
+  // One dissemination round; reschedules itself on this node's partition.
+  // ampom: partition-entry
   void tick();
   void legacy_tick(double load);
   void gossip_tick(double load);

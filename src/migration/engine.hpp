@@ -124,7 +124,10 @@ class MigrationEngine {
   [[nodiscard]] virtual bool needs_freeze_first() const { return true; }
 
   // Precondition: ctx.process is Frozen iff needs_freeze_first(). Calls
-  // `done` at resume time.
+  // `done` at resume time. Engines commit cross-partition state (placement,
+  // HPT ownership, load accounting): migrate_process hops to the barrier
+  // context before invoking this.
+  // ampom: global-only
   virtual void execute(MigrationContext ctx, std::function<void(MigrationResult)> done) = 0;
 
   // Shared resume tail: HPT service start, policy hook, executor resume.

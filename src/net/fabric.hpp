@@ -122,6 +122,8 @@ class Fabric {
 
   void deliver_at(sim::Time when, Message msg);
   void receive_at(sim::Time when, Message msg);  // cross-partition RX phase
+  // Runs on the destination's partition; touches only receiver-owned state.
+  // ampom: partition-local
   void deliver_now(Message& msg);
 
   sim::Simulator& sim_;

@@ -104,6 +104,8 @@ class Executor {
 
  private:
   void schedule_burst(sim::Time delay);
+  // The burst loop body; always runs on the process's current partition.
+  // ampom: partition-entry
   void run_burst();
   void finish(sim::Time at_delay);
   void begin_fault(mem::PageId page, sim::Time acc);

@@ -1,14 +1,20 @@
 // ampom_lint rule engine: every determinism rule D1–D5 has a positive case
 // (fires at the expected line), a negative case (idiomatic code stays
 // clean), and a suppression case (a well-formed annotation silences it).
-// The JSON report schema is pinned so CI consumers can rely on it.
+// The same triple is covered for the cross-TU semantic rules (P1–P3 partition
+// safety, T1–T4 nondeterminism taint) through analyze(), which builds the
+// whole-repo symbol index over multiple in-memory files. The JSON report
+// schema, the SARIF output, the call-chain text format and the baseline
+// format are pinned so CI consumers can rely on them.
 //
 // Snippets are fed through lint_source() with a synthetic path whose first
 // segment selects the rule scope, exactly as the CLI does.
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ampom_lint/lint.hpp"
@@ -22,6 +28,19 @@ using ampom::lint::Severity;
 
 std::vector<Diagnostic> run(const std::string& path, const std::string& src) {
   return lint_source(path, src);
+}
+
+// Whole-repo analysis over in-memory files (the cross-TU entry point).
+Report analyze_files(const std::vector<std::pair<std::string, std::string>>& files,
+                     int jobs = 1) {
+  std::vector<ampom::lint::SourceFile> input;
+  input.reserve(files.size());
+  for (const auto& [path, content] : files) {
+    input.push_back(ampom::lint::SourceFile{path, content});
+  }
+  ampom::lint::AnalyzeOptions opts;
+  opts.jobs = jobs;
+  return ampom::lint::analyze(input, opts);
 }
 
 // Count diagnostics for `rule`; line < 0 matches any line.
@@ -343,7 +362,7 @@ TEST(LintReport, JsonSchemaIsStable) {
   ASSERT_EQ(report.diagnostics.size(), 1u);
   const std::string json = ampom::lint::render_json(report);
   EXPECT_NE(json.find("\"tool\":\"ampom_lint\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
   EXPECT_NE(json.find("\"files_scanned\":2"), std::string::npos);
   EXPECT_NE(json.find("\"counts\":{\"error\":1,\"warning\":0}"), std::string::npos);
   EXPECT_NE(json.find("\"file\":\"src/x/one.cpp\""), std::string::npos);
@@ -351,6 +370,9 @@ TEST(LintReport, JsonSchemaIsStable) {
   EXPECT_NE(json.find("\"rule\":\"D3-mutable-static\""), std::string::npos);
   EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos);
   EXPECT_NE(json.find("\"suppression\":\"static-ok\""), std::string::npos);
+  // v2 additions: a stable fingerprint and the (empty, for D-rules) chain.
+  EXPECT_NE(json.find("\"fingerprint\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"chain\":[]"), std::string::npos);
 }
 
 TEST(LintReport, CleanTreeRendersEmptyViolations) {
@@ -381,6 +403,619 @@ void f() {
 }
 )lint");
   EXPECT_EQ(count_rule(diags, "D2-unordered-iter", 5), 1);
+}
+
+// --- P1: partition-reachable code calling global-only functions -------------
+
+// The shared scaffolding: a balancer whose mutators are declared global-only
+// in the "header", implemented in one .cpp, and (mis)used from a partition
+// callback in another — three files, so every edge in the chain is cross-TU.
+const char* kBalHeader = R"lint(
+struct Balancer {
+  // ampom: global-only
+  void rebalance();
+  void observe(int load);
+};
+struct Sim {
+  template <class F> void schedule_on_node(unsigned n, long at, F cb);
+  template <class F> void schedule_at(long at, F cb);
+  template <class F> void post_global(F cb);
+};
+)lint";
+
+const char* kBalImpl = R"lint(
+#include "bal.hpp"
+void Balancer::rebalance() { }
+void Balancer::observe(int load) { }
+void poke(Balancer& b) { b.rebalance(); }
+)lint";
+
+TEST(LintP1, CrossTuCallChainIsReported) {
+  const Report report = analyze_files({
+      {"src/bal/bal.hpp", kBalHeader},
+      {"src/bal/bal.cpp", kBalImpl},
+      {"src/drv/drv.cpp", R"lint(
+#include "bal.hpp"
+void drive(Sim& sim, Balancer& bal) {
+  sim.schedule_on_node(3, 100, [&] { poke(bal); });
+}
+)lint"},
+  });
+  ASSERT_EQ(count_rule(report.diagnostics, "P1-partition-calls-global"), 1);
+  const Diagnostic* d = nullptr;
+  for (const Diagnostic& diag : report.diagnostics) {
+    if (diag.rule == "P1-partition-calls-global") {
+      d = &diag;
+    }
+  }
+  ASSERT_NE(d, nullptr);
+  // The violation is reported where the global-only call happens (the helper
+  // in bal.cpp), with the chain walking entry -> helper -> target.
+  EXPECT_EQ(d->file, "src/bal/bal.cpp");
+  EXPECT_EQ(d->suppression, "partition-ok");
+  ASSERT_GE(d->chain.size(), 3u);
+  EXPECT_NE(d->chain.front().note.find("schedule_on_node callback"), std::string::npos);
+  EXPECT_EQ(d->chain.front().file, "src/drv/drv.cpp");
+  EXPECT_NE(d->chain.back().note.find("Balancer::rebalance"), std::string::npos);
+}
+
+TEST(LintP1, PostGlobalEscapeIsClean) {
+  const Report report = analyze_files({
+      {"src/bal/bal.hpp", kBalHeader},
+      {"src/bal/bal.cpp", kBalImpl},
+      {"src/drv/drv.cpp", R"lint(
+#include "bal.hpp"
+void drive(Sim& sim, Balancer& bal) {
+  sim.schedule_on_node(3, 100, [&] {
+    bal.observe(7);
+    sim.post_global([&] { bal.rebalance(); });
+  });
+}
+)lint"},
+  });
+  EXPECT_EQ(count_rule(report.diagnostics, "P1-partition-calls-global"), 0);
+}
+
+TEST(LintP1, NamedPartitionEntryRootIsChecked) {
+  const Report report = analyze_files({
+      {"src/bal/bal.hpp", kBalHeader},
+      {"src/drv/drv.cpp", R"lint(
+#include "bal.hpp"
+struct Daemon {
+  // ampom: partition-entry
+  void tick();
+  Balancer* bal_;
+};
+void Daemon::tick() { bal_->rebalance(); }
+)lint"},
+  });
+  ASSERT_EQ(count_rule(report.diagnostics, "P1-partition-calls-global"), 1);
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.rule == "P1-partition-calls-global") {
+      EXPECT_EQ(count_rule({d}, d.rule, 8), 1);  // the bal_->rebalance() line
+    }
+  }
+}
+
+TEST(LintP1, PartitionOkAnnotationSuppresses) {
+  const Report report = analyze_files({
+      {"src/bal/bal.hpp", kBalHeader},
+      {"src/drv/drv.cpp", R"lint(
+#include "bal.hpp"
+void drive(Sim& sim, Balancer& bal) {
+  sim.schedule_on_node(3, 100, [&] {
+    // ampom-lint: partition-ok(single-process run; reviewed in PR 9)
+    bal.rebalance();
+  });
+}
+)lint"},
+  });
+  EXPECT_EQ(count_rule(report.diagnostics, "P1-partition-calls-global"), 0);
+}
+
+TEST(LintP1, TestsRootIsExcludedFromTheIndex) {
+  const Report report = analyze_files({
+      {"src/bal/bal.hpp", kBalHeader},
+      {"tests/drv_test.cpp", R"lint(
+#include "bal.hpp"
+void drive(Sim& sim, Balancer& bal) {
+  sim.schedule_on_node(3, 100, [&] { bal.rebalance(); });
+}
+)lint"},
+  });
+  EXPECT_EQ(count_rule(report.diagnostics, "P1-partition-calls-global"), 0);
+}
+
+// --- P2: locks and threads in partition-reachable code ----------------------
+
+TEST(LintP2, LockInReachableHelperIsFlaggedWithChain) {
+  const Report report = analyze_files({
+      {"src/drv/drv.cpp", R"lint(
+#include <mutex>
+struct Sim {
+  template <class F> void schedule_on_node(unsigned n, long at, F cb);
+};
+void guard_it() {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> g(mu);
+}
+void drive(Sim& sim) {
+  sim.schedule_on_node(1, 50, [] { guard_it(); });
+}
+)lint"},
+  });
+  EXPECT_GE(count_rule(report.diagnostics, "P2-partition-locks", 8), 1);
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.rule == "P2-partition-locks") {
+      ASSERT_GE(d.chain.size(), 2u);
+      EXPECT_NE(d.chain.front().note.find("schedule_on_node callback"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(LintP2, ThreadSpawnIsFlagged) {
+  const Report report = analyze_files({
+      {"src/drv/drv.cpp", R"lint(
+#include <thread>
+struct Sim {
+  template <class F> void schedule_on_node(unsigned n, long at, F cb);
+};
+void drive(Sim& sim) {
+  sim.schedule_on_node(1, 50, [] {
+    std::thread t([] {});
+    t.join();
+  });
+}
+)lint"},
+  });
+  EXPECT_EQ(count_rule(report.diagnostics, "P2-partition-locks", 8), 1);
+}
+
+TEST(LintP2, EngineBoundaryClassesAreNotTraversed) {
+  // Simulator implements the partition contract with a worker pool; calling
+  // into it from a partition callback is the sanctioned API, not a violation.
+  const Report report = analyze_files({
+      {"src/simx/sim.cpp", R"lint(
+#include <mutex>
+struct Simulator {
+  template <class F> void schedule_on_node(unsigned n, long at, F cb);
+  void wake() { std::lock_guard<std::mutex> g(pool_mu_); }
+  std::mutex pool_mu_;
+};
+void drive(Simulator& sim) {
+  sim.schedule_on_node(1, 50, [&] { sim.wake(); });
+}
+)lint"},
+  });
+  EXPECT_EQ(count_rule(report.diagnostics, "P2-partition-locks"), 0);
+}
+
+TEST(LintP2, PostGlobalBodyIsExemptInsideCallback) {
+  const Report report = analyze_files({
+      {"src/drv/drv.cpp", R"lint(
+#include <mutex>
+struct Sim {
+  template <class F> void schedule_on_node(unsigned n, long at, F cb);
+  template <class F> void post_global(F cb);
+};
+void drive(Sim& sim) {
+  sim.schedule_on_node(1, 50, [&] {
+    sim.post_global([] { std::mutex mu; });
+  });
+}
+)lint"},
+  });
+  EXPECT_EQ(count_rule(report.diagnostics, "P2-partition-locks"), 0);
+}
+
+// --- P3: globally-owned member fields ---------------------------------------
+
+TEST(LintP3, GlobalFieldTouchIsFlaggedCrossTu) {
+  const Report report = analyze_files({
+      {"src/bal/bal.hpp", R"lint(
+struct Balancer {
+  // Written only by the barrier-context commit path.
+  // ampom: global-only
+  int pending_moves_{0};
+  int local_hint_{0};
+};
+struct Sim {
+  template <class F> void schedule_on_node(unsigned n, long at, F cb);
+};
+)lint"},
+      {"src/drv/drv.cpp", R"lint(
+#include "bal.hpp"
+void drive(Sim& sim, Balancer& bal) {
+  sim.schedule_on_node(2, 10, [&] {
+    bal.pending_moves_ += 1;
+    bal.local_hint_ = 4;
+  });
+}
+)lint"},
+  });
+  EXPECT_EQ(count_rule(report.diagnostics, "P3-partition-global-state", 5), 1);
+  EXPECT_EQ(count_rule(report.diagnostics, "P3-partition-global-state", 6), 0);
+}
+
+TEST(LintP3, SuppressionAndBarrierWritesAreClean) {
+  const Report report = analyze_files({
+      {"src/bal/bal.hpp", R"lint(
+struct Balancer {
+  // ampom: global-only
+  int pending_moves_{0};
+};
+struct Sim {
+  template <class F> void schedule_on_node(unsigned n, long at, F cb);
+  template <class F> void post_global(F cb);
+};
+)lint"},
+      {"src/drv/drv.cpp", R"lint(
+#include "bal.hpp"
+void commit(Balancer& bal) { bal.pending_moves_ -= 1; }
+void drive(Sim& sim, Balancer& bal) {
+  sim.schedule_on_node(2, 10, [&] {
+    // ampom-lint: partition-ok(read-only damping probe; reviewed)
+    int probe = bal.pending_moves_;
+    sim.post_global([&] { bal.pending_moves_ += 1; });
+  });
+}
+)lint"},
+  });
+  // commit() is not partition-reachable, the probe is suppressed, and the
+  // post_global body is the sanctioned escape.
+  EXPECT_EQ(count_rule(report.diagnostics, "P3-partition-global-state"), 0);
+}
+
+// --- T1: nondeterministic values reaching event-schedule times --------------
+
+// Acceptance mutation from the issue: a wall-clock read flowing into an
+// event time must be caught.
+TEST(LintT1, WallClockReachesScheduleTime) {
+  const Report report = analyze_files({
+      {"src/drv/drv.cpp", R"lint(
+#include <chrono>
+struct Sim {
+  template <class F> void schedule_at(long at, F cb);
+};
+void drive(Sim& sim) {
+  auto now = std::chrono::steady_clock::now().time_since_epoch().count();
+  long jitter = now % 100;
+  sim.schedule_at(jitter, 0);
+}
+)lint"},
+  });
+  ASSERT_EQ(count_rule(report.diagnostics, "T1-taint-schedule-time", 9), 1);
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.rule == "T1-taint-schedule-time") {
+      ASSERT_EQ(d.chain.size(), 2u);
+      EXPECT_EQ(d.chain[0].line, 7);  // the steady_clock read
+      EXPECT_NE(d.chain[0].note.find("taint source"), std::string::npos);
+      EXPECT_EQ(d.suppression, "taint-ok");
+    }
+  }
+}
+
+TEST(LintT1, ScheduleOnNodeTimeIsArgumentOne) {
+  const Report report = analyze_files({
+      {"src/drv/drv.cpp", R"lint(
+struct Sim {
+  template <class F> void schedule_on_node(unsigned n, long at, F cb);
+};
+long now_ticks();
+void drive(Sim& sim) {
+  long base = rand();
+  sim.schedule_on_node(base, 100, 0);
+  sim.schedule_on_node(3, base, 0);
+}
+)lint"},
+  });
+  // Tainted node id (arg 0) is not the time sink; tainted time (arg 1) is.
+  EXPECT_EQ(count_rule(report.diagnostics, "T1-taint-schedule-time", 8), 0);
+  EXPECT_EQ(count_rule(report.diagnostics, "T1-taint-schedule-time", 9), 1);
+}
+
+TEST(LintT1, TaintFlowsThroughHelperReturnContextSensitively) {
+  const Report report = analyze_files({
+      {"src/drv/drv.cpp", R"lint(
+struct Sim {
+  template <class F> void schedule_at(long at, F cb);
+};
+long wrap(long v) { return v + 1; }
+void tainted(Sim& sim) {
+  long base = rand();
+  sim.schedule_at(wrap(base), 0);
+}
+void clean(Sim& sim) {
+  sim.schedule_at(wrap(500), 0);
+}
+)lint"},
+  });
+  // wrap() is summary-based: it forwards taint at the tainted call site only
+  // — the clean() caller must NOT inherit tainted()'s argument.
+  EXPECT_EQ(count_rule(report.diagnostics, "T1-taint-schedule-time", 8), 1);
+  EXPECT_EQ(count_rule(report.diagnostics, "T1-taint-schedule-time", 11), 0);
+}
+
+TEST(LintT1, HashOrderIterationTaintsTheLoopVariable) {
+  const Report report = analyze_files({
+      {"src/drv/drv.cpp", R"lint(
+#include <unordered_map>
+struct Sim {
+  template <class F> void schedule_at(long at, F cb);
+};
+void drive(Sim& sim, std::unordered_map<int, long>& backlog) {
+  for (auto& kv : backlog) {
+    sim.schedule_at(kv.second, 0);
+  }
+}
+)lint"},
+  });
+  EXPECT_EQ(count_rule(report.diagnostics, "T1-taint-schedule-time", 8), 1);
+}
+
+TEST(LintT1, TaintOkAnnotationSuppresses) {
+  const Report report = analyze_files({
+      {"src/drv/drv.cpp", R"lint(
+struct Sim {
+  template <class F> void schedule_at(long at, F cb);
+};
+void drive(Sim& sim) {
+  long base = rand();
+  // ampom-lint: taint-ok(latency experiment; results discarded)
+  sim.schedule_at(base, 0);
+}
+)lint"},
+  });
+  EXPECT_EQ(count_rule(report.diagnostics, "T1-taint-schedule-time"), 0);
+}
+
+// --- T2/T3/T4: RNG seeds, fate keys, trace emissions ------------------------
+
+TEST(LintT2, TaintedRngSeedIsFlaggedParenAndBrace) {
+  const Report report = analyze_files({
+      {"src/drv/drv.cpp", R"lint(
+struct Rng { explicit Rng(unsigned long long seed); void reseed(unsigned long long s); };
+void f() {
+  unsigned long long wall = clock();
+  Rng a(wall);
+  Rng b{wall};
+  Rng ok{12345};
+  a.reseed(wall);
+}
+)lint"},
+  });
+  EXPECT_EQ(count_rule(report.diagnostics, "T2-taint-rng-seed", 5), 1);
+  EXPECT_EQ(count_rule(report.diagnostics, "T2-taint-rng-seed", 6), 1);
+  EXPECT_EQ(count_rule(report.diagnostics, "T2-taint-rng-seed", 7), 0);
+  EXPECT_EQ(count_rule(report.diagnostics, "T2-taint-rng-seed", 8), 1);
+}
+
+TEST(LintT3, TaintedFateKeyIsFlagged) {
+  const Report report = analyze_files({
+      {"src/net/fate.cpp", R"lint(
+unsigned long long mix(unsigned long long h, unsigned long long v);
+void f(char* p) {
+  auto addr = reinterpret_cast<unsigned long>(p);
+  auto fate = mix(17, addr);
+  auto fine = mix(17, 23);
+}
+)lint"},
+  });
+  EXPECT_EQ(count_rule(report.diagnostics, "T3-taint-fate-key", 5), 1);
+  EXPECT_EQ(count_rule(report.diagnostics, "T3-taint-fate-key", 6), 0);
+}
+
+TEST(LintT4, TaintedTraceEmissionIsFlagged) {
+  const Report report = analyze_files({
+      {"src/trace/emit.cpp", R"lint(
+struct Recorder { void instant(int cat, long value); void counter(int cat, long v); };
+void f(Recorder& tr) {
+  long wall = time(0);
+  tr.instant(3, wall);
+  tr.counter(3, 42);
+}
+)lint"},
+  });
+  EXPECT_EQ(count_rule(report.diagnostics, "T4-taint-trace-emit", 5), 1);
+  EXPECT_EQ(count_rule(report.diagnostics, "T4-taint-trace-emit", 6), 0);
+}
+
+// --- acceptance mutation: partition callback mutating balancer state --------
+
+TEST(LintAcceptance, ScheduleOnNodeCallbackMutatingGlobalBalancerState) {
+  // The seeded mutation from the issue: a schedule_on_node callback writing
+  // the balancer's globally-owned damping counter. Both the field touch (P3)
+  // and the mutator call (P1) are caught.
+  const Report report = analyze_files({
+      {"src/bal/bal.hpp", R"lint(
+struct Balancer {
+  // ampom: global-only
+  void note_migration_started(unsigned src, unsigned dst);
+  // ampom: global-only
+  unsigned migrating_total_{0};
+};
+struct Sim {
+  template <class F> void schedule_on_node(unsigned n, long at, F cb);
+};
+)lint"},
+      {"src/bal/bal.cpp", R"lint(
+#include "bal.hpp"
+void Balancer::note_migration_started(unsigned src, unsigned dst) {
+  migrating_total_ += 1;
+}
+)lint"},
+      {"src/drv/drv.cpp", R"lint(
+#include "bal.hpp"
+void drive(Sim& sim, Balancer& bal) {
+  sim.schedule_on_node(4, 200, [&] {
+    bal.migrating_total_ += 1;
+    bal.note_migration_started(4, 5);
+  });
+}
+)lint"},
+  });
+  EXPECT_EQ(count_rule(report.diagnostics, "P3-partition-global-state", 5), 1);
+  EXPECT_EQ(count_rule(report.diagnostics, "P1-partition-calls-global", 6), 1);
+}
+
+// --- A1: ownership marker validation ----------------------------------------
+
+TEST(LintA1, UnknownAndUnboundMarkersAreFlagged) {
+  const Report report = analyze_files({
+      {"src/x/own.cpp", R"lint(
+// ampom: partition-sticky
+void f();
+
+// ampom: global-only
+int not_a_field_or_function;
+)lint"},
+  });
+  EXPECT_EQ(count_rule(report.diagnostics, "A1-bad-ownership", 2), 1);
+  EXPECT_EQ(count_rule(report.diagnostics, "A1-bad-ownership", 5), 1);
+}
+
+TEST(LintA1, DocCommentsQuotingTheVocabularyDoNotBind) {
+  const Report report = analyze_files({
+      {"src/x/doc.cpp", R"lint(
+// The vocabulary is:
+//   // ampom: global-only
+//   // ampom-lint: partition-ok(reason)
+void f() {}
+)lint"},
+  });
+  EXPECT_EQ(count_rule(report.diagnostics, "A1-bad-ownership"), 0);
+  EXPECT_TRUE(report.suppressions.empty());
+}
+
+// --- S0: stale suppressions -------------------------------------------------
+
+TEST(LintS0, StaleSuppressionIsReportedUsedOneIsNot) {
+  const Report report = analyze_files({
+      {"src/x/supp.cpp", R"lint(
+// ampom-lint: static-ok(write-once table)
+static int lookup[16] = {};
+// ampom-lint: nondet-ok(nothing nondeterministic on the next line)
+int plain = 4;
+)lint"},
+  });
+  const auto stale = ampom::lint::stale_suppressions(report);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].rule, "S0-stale-suppression");
+  EXPECT_EQ(stale[0].line, 4);
+  EXPECT_NE(stale[0].message.find("nondet-ok"), std::string::npos);
+}
+
+// --- report rendering: chains, SARIF, fingerprints --------------------------
+
+Report one_semantic_finding() {
+  return analyze_files({
+      {"src/bal/bal.hpp", kBalHeader},
+      {"src/drv/drv.cpp", R"lint(
+#include "bal.hpp"
+void drive(Sim& sim, Balancer& bal) {
+  sim.schedule_on_node(3, 100, [&] { bal.rebalance(); });
+}
+)lint"},
+  });
+}
+
+TEST(LintReport, TextChainFormatIsPinned) {
+  const Report report = one_semantic_finding();
+  const std::string text = ampom::lint::render_text(report);
+  EXPECT_NE(text.find("src/drv/drv.cpp:4: error: [P1-partition-calls-global]"),
+            std::string::npos);
+  EXPECT_NE(text.find("      chain:\n        -> schedule_on_node callback at "
+                      "src/drv/drv.cpp:4 (src/drv/drv.cpp:4)\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("      suppress with: // ampom-lint: partition-ok(<reason>)"),
+            std::string::npos);
+}
+
+TEST(LintReport, SarifOutputIsPinned) {
+  const Report report = one_semantic_finding();
+  const std::string sarif = ampom::lint::render_sarif(report);
+  EXPECT_NE(sarif.find("\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"ampom_lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\":\"P1-partition-calls-global\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\":\"src/drv/drv.cpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"relatedLocations\":["), std::string::npos);
+  EXPECT_NE(sarif.find("\"partialFingerprints\":{\"ampomLint/v1\":\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"level\":\"error\""), std::string::npos);
+}
+
+TEST(LintReport, FingerprintIgnoresLineMotion) {
+  // The same finding pushed down by unrelated edits keeps its fingerprint,
+  // so baselines survive code motion.
+  const auto a = run("src/x/one.cpp", "static int hits = 0;");
+  const auto b = run("src/x/one.cpp", "\n\n\nstatic int hits = 0;");
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_NE(a[0].line, b[0].line);
+  EXPECT_EQ(ampom::lint::fingerprint(a[0]), ampom::lint::fingerprint(b[0]));
+}
+
+// --- baseline ----------------------------------------------------------------
+
+TEST(LintBaseline, RoundTripSplitsFreshAndStale) {
+  Report report;
+  report.diagnostics = run("src/x/one.cpp", "static int hits = 0;");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+
+  const std::string rendered = ampom::lint::render_baseline(report);
+  const ampom::lint::Baseline baseline = ampom::lint::parse_baseline(rendered);
+  ASSERT_EQ(baseline.entries.size(), 1u);
+  EXPECT_EQ(baseline.entries[0].rule, "D3-mutable-static");
+  EXPECT_EQ(baseline.entries[0].fingerprint,
+            ampom::lint::fingerprint(report.diagnostics[0]));
+
+  // Same report against its own baseline: nothing fresh, nothing stale.
+  const auto same = ampom::lint::apply_baseline(report, baseline);
+  EXPECT_TRUE(same.fresh.empty());
+  EXPECT_TRUE(same.stale.empty());
+
+  // A new finding is fresh; the fixed finding leaves a stale entry.
+  Report next;
+  next.diagnostics = run("src/x/two.cpp", "static int other = 0;");
+  const auto delta = ampom::lint::apply_baseline(next, baseline);
+  ASSERT_EQ(delta.fresh.size(), 1u);
+  EXPECT_EQ(delta.fresh[0].file, "src/x/two.cpp");
+  ASSERT_EQ(delta.stale.size(), 1u);
+  EXPECT_EQ(delta.stale[0].file, "src/x/one.cpp");
+}
+
+TEST(LintBaseline, MalformedBaselineThrows) {
+  EXPECT_THROW((void)ampom::lint::parse_baseline("{\"entries\":[]}"),
+               std::runtime_error);
+  EXPECT_THROW((void)ampom::lint::parse_baseline(
+                   "{\"tool\":\"ampom_lint\",\"baseline_version\":1,"
+                   "\"entries\":[{\"fingerprint\":\"abc"),
+               std::runtime_error);
+}
+
+// --- parallel indexing -------------------------------------------------------
+
+TEST(LintJobs, ParallelAnalysisIsDeterministic) {
+  std::vector<std::pair<std::string, std::string>> files;
+  files.emplace_back("src/bal/bal.hpp", kBalHeader);
+  files.emplace_back("src/bal/bal.cpp", kBalImpl);
+  for (int i = 0; i < 6; ++i) {
+    const std::string tag = std::to_string(i);
+    files.emplace_back("src/drv/drv" + tag + ".cpp",
+                       "#include \"bal.hpp\"\n"
+                       "void drive" + tag + "(Sim& sim, Balancer& bal) {\n"
+                       "  long base" + tag + " = rand();\n"
+                       "  sim.schedule_at(base" + tag + ", 0);\n"
+                       "  sim.schedule_on_node(3, 100, [&] { poke(bal); });\n"
+                       "}\n");
+  }
+  const Report serial = analyze_files(files, 1);
+  const Report parallel = analyze_files(files, 4);
+  EXPECT_FALSE(serial.diagnostics.empty());
+  EXPECT_EQ(ampom::lint::render_json(serial), ampom::lint::render_json(parallel));
 }
 
 }  // namespace

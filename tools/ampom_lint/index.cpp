@@ -1,0 +1,631 @@
+#include "ampom_lint/index.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace ampom::lint {
+
+namespace {
+
+// Identifiers that look like calls but are language constructs.
+[[nodiscard]] bool call_keyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",         "for",          "while",     "switch",        "return",
+      "sizeof",     "alignof",      "decltype",  "catch",         "new",
+      "delete",     "throw",        "noexcept",  "typeid",        "alignas",
+      "assert",     "static_assert", "defined",  "static_cast",   "dynamic_cast",
+      "const_cast", "reinterpret_cast", "requires", "co_await",   "co_return",
+      "co_yield",   "and",          "or",        "not",           "operator",
+      "__attribute__"};
+  return kKeywords.count(s) > 0;
+}
+
+[[nodiscard]] bool type_intro_keyword(const std::string& s) {
+  return s == "class" || s == "struct" || s == "union";
+}
+
+struct Parser {
+  const std::string& path;
+  int file_idx;
+  const Lexed& lx;
+  const std::vector<Token>& toks;
+  FileIndex out;
+
+  // Declarations (no body) seen in this file, for ownership binding.
+  struct Decl {
+    std::string name;
+    std::string cls;
+    int line{0};
+  };
+  std::vector<Decl> decls;
+
+  Parser(const std::string& p, int fi, const Lexed& l)
+      : path{p}, file_idx{fi}, lx{l}, toks{l.tokens} {}
+
+  [[nodiscard]] std::string_view text(std::size_t i) const {
+    return i < toks.size() ? std::string_view(toks[i].text) : std::string_view{};
+  }
+  [[nodiscard]] std::string_view prev(std::size_t i, std::size_t k = 1) const {
+    return i >= k ? std::string_view(toks[i - k].text) : std::string_view{};
+  }
+
+  // Index of the token matching the opener at `i`, or npos. Tokens are
+  // single characters for punctuation, so this is a straight depth count.
+  [[nodiscard]] std::size_t match(std::size_t i, char open, char close) const {
+    int depth = 0;
+    for (std::size_t j = i; j < toks.size(); ++j) {
+      if (toks[j].kind != TokKind::Punct) {
+        continue;
+      }
+      const char c = toks[j].text[0];
+      if (c == open) {
+        ++depth;
+      } else if (c == close) {
+        if (--depth == 0) {
+          return j;
+        }
+      }
+    }
+    return std::string::npos;
+  }
+
+  // --- parameter names -------------------------------------------------------
+  void parse_params(Function& f, std::size_t lp, std::size_t rp) const {
+    int pdepth = 0;
+    int adepth = 0;
+    std::string last_ident;
+    bool saw_default = false;
+    auto flush = [&] {
+      f.params.push_back(last_ident == "void" ? std::string{} : last_ident);
+      last_ident.clear();
+      saw_default = false;
+    };
+    bool any = false;
+    for (std::size_t j = lp + 1; j < rp; ++j) {
+      const std::string_view s = text(j);
+      any = true;
+      if (s == "(" || s == "{" || s == "[") {
+        ++pdepth;
+      } else if (s == ")" || s == "}" || s == "]") {
+        --pdepth;
+      } else if (s == "<") {
+        ++adepth;
+      } else if (s == ">") {
+        adepth = std::max(0, adepth - 1);
+      } else if (pdepth == 0 && adepth == 0) {
+        if (s == ",") {
+          flush();
+          continue;
+        }
+        if (s == "=") {
+          saw_default = true;
+          continue;
+        }
+        if (!saw_default && toks[j].kind == TokKind::Ident) {
+          last_ident = toks[j].text;
+        }
+      }
+    }
+    if (any) {
+      flush();
+    }
+  }
+
+  // --- bodies ----------------------------------------------------------------
+
+  // Active callback-argument range: lambdas inside become detached roots.
+  struct CbRange {
+    std::size_t end{0};
+    bool partition{false};  // schedule_on_node vs post_global
+  };
+
+  void parse_body(Function& f, std::size_t begin, std::size_t end,
+                  std::vector<CbRange> cb_stack) {
+    for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+      while (!cb_stack.empty() && i > cb_stack.back().end) {
+        cb_stack.pop_back();
+      }
+      const Token& t = toks[i];
+      if (t.kind == TokKind::Punct && t.text[0] == '[') {
+        if (text(i + 1) == "[") {  // [[attribute]]
+          std::size_t j = i + 2;
+          while (j + 1 < end && !(text(j) == "]" && text(j + 1) == "]")) {
+            ++j;
+          }
+          i = j + 1;
+          continue;
+        }
+        // Lambda introducer? Not if the '[' is a subscript.
+        const std::string_view p = prev(i);
+        const bool subscript =
+            (i > begin) &&
+            (toks[i - 1].kind == TokKind::Ident || toks[i - 1].kind == TokKind::Number ||
+             p == ")" || p == "]");
+        if (subscript) {
+          continue;
+        }
+        const std::size_t cap_end = match(i, '[', ']');
+        if (cap_end == std::string::npos || cap_end >= end) {
+          continue;
+        }
+        std::size_t j = cap_end + 1;
+        std::size_t lp = std::string::npos;
+        std::size_t rp = std::string::npos;
+        if (text(j) == "(") {
+          lp = j;
+          rp = match(j, '(', ')');
+          if (rp == std::string::npos || rp >= end) {
+            continue;
+          }
+          j = rp + 1;
+        }
+        int adepth = 0;
+        while (j < end && !(adepth == 0 && (text(j) == "{" || text(j) == ";" ||
+                                            text(j) == ")" || text(j) == ","))) {
+          if (text(j) == "<") {
+            ++adepth;
+          } else if (text(j) == ">") {
+            adepth = std::max(0, adepth - 1);
+          }
+          ++j;
+        }
+        if (j >= end || text(j) != "{") {
+          continue;
+        }
+        const std::size_t body_close = match(j, '{', '}');
+        if (body_close == std::string::npos || body_close > end) {
+          continue;
+        }
+        // A lambda inside a schedule_on_node / post_global argument list is
+        // a detached root; anything else stays part of `f`.
+        const bool detached = !cb_stack.empty();
+        if (detached) {
+          const bool partition = cb_stack.back().partition;
+          Function child;
+          child.name = partition ? "<callback>" : "<global-callback>";
+          child.cls = f.cls;  // unqualified calls prefer the enclosing class
+          child.file = path;
+          child.line = t.line;
+          child.file_idx = file_idx;
+          child.body_begin = j + 1;
+          child.body_end = body_close;
+          child.own = partition ? Own::PartitionEntry : Own::None;
+          child.is_lambda = true;
+          child.global_root = !partition;
+          if (lp != std::string::npos) {
+            parse_params(child, lp, rp);
+          }
+          parse_body(child, j + 1, body_close, {});
+          f.holes.emplace_back(i, body_close + 1);
+          out.functions.push_back(std::move(child));
+          i = body_close;
+        }
+        // Plain lambda: fall through — its calls attribute to `f` as the
+        // linear scan continues.
+        continue;
+      }
+      if (t.kind != TokKind::Ident || text(i + 1) != "(") {
+        continue;
+      }
+      if (call_keyword(t.text) || prev(i) == "~" || prev(i) == "operator") {
+        continue;
+      }
+      CallSite call;
+      call.name = t.text;
+      call.line = t.line;
+      call.tok = i;
+      if (prev(i) == ".") {
+        call.member = true;
+        if (i >= 2 && toks[i - 2].kind == TokKind::Ident) {
+          call.receiver = toks[i - 2].text;
+        }
+      } else if (prev(i) == ">" && prev(i, 2) == "-") {
+        call.member = true;
+        if (i >= 3 && toks[i - 3].kind == TokKind::Ident) {
+          call.receiver = toks[i - 3].text;
+        } else if (prev(i, 3) == "this") {
+          call.receiver = "this";
+        }
+      } else if (prev(i) == ":" && prev(i, 2) == ":" && i >= 3 &&
+                 toks[i - 3].kind == TokKind::Ident) {
+        call.qual = toks[i - 3].text;
+      }
+      if (call.receiver == "this") {
+        call.member = false;  // this->m() resolves like an unqualified m()
+      }
+      // Callback registration: lambdas inside these argument lists become
+      // detached roots (partition entry vs sanctioned global escape).
+      if (t.text == "schedule_on_node" || t.text == "post_global") {
+        const std::size_t close = match(i + 1, '(', ')');
+        if (close != std::string::npos && close <= end) {
+          cb_stack.push_back(CbRange{close, t.text == "schedule_on_node"});
+        }
+      }
+      f.calls.push_back(std::move(call));
+    }
+  }
+
+  // --- declarations / definitions at namespace or class scope ---------------
+
+  // Parse the region [begin, end) at class/namespace scope. `cls` is the
+  // enclosing class name ("" at namespace scope).
+  void parse_scope(std::size_t begin, std::size_t end, const std::string& cls) {
+    for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::Ident) {
+        continue;
+      }
+      if (t.text == "namespace") {
+        std::size_t j = i + 1;
+        while (j < end && (toks[j].kind == TokKind::Ident || text(j) == ":")) {
+          ++j;
+        }
+        if (text(j) == "{") {
+          const std::size_t close = match(j, '{', '}');
+          if (close == std::string::npos || close > end) {
+            return;
+          }
+          parse_scope(j + 1, close, cls);
+          i = close;
+        }
+        continue;
+      }
+      if (t.text == "enum") {
+        std::size_t j = i + 1;
+        while (j < end && text(j) != "{" && text(j) != ";") {
+          ++j;
+        }
+        if (text(j) == "{") {
+          const std::size_t close = match(j, '{', '}');
+          i = (close == std::string::npos) ? end : close;
+        } else {
+          i = j;
+        }
+        continue;
+      }
+      if (type_intro_keyword(t.text)) {
+        // class X [: bases] { ... }  — or a forward declaration / elaborated
+        // type in a declarator, which has no '{' before the ';'.
+        std::size_t j = i + 1;
+        while (j < end && text(j) == "[") {  // [[attributes]]
+          std::size_t k = j + 2;
+          while (k + 1 < end && !(text(k) == "]" && text(k + 1) == "]")) {
+            ++k;
+          }
+          j = k + 2;
+        }
+        std::string name;
+        if (j < end && toks[j].kind == TokKind::Ident) {
+          name = toks[j].text;
+        }
+        int adepth = 0;
+        while (j < end && !(adepth == 0 && (text(j) == "{" || text(j) == ";" ||
+                                            text(j) == "=" || text(j) == ")"))) {
+          if (text(j) == "<") {
+            ++adepth;
+          } else if (text(j) == ">") {
+            adepth = std::max(0, adepth - 1);
+          }
+          ++j;
+        }
+        if (j < end && text(j) == "{" && !name.empty()) {
+          const std::size_t close = match(j, '{', '}');
+          if (close == std::string::npos || close > end) {
+            return;
+          }
+          parse_scope(j + 1, close, name);
+          i = close;
+        } else {
+          i = j;
+        }
+        continue;
+      }
+      if (t.text == "using" || t.text == "typedef") {
+        while (i < end && text(i) != ";") {
+          ++i;
+        }
+        continue;
+      }
+      if (t.text == "template" && text(i + 1) == "<") {
+        int depth = 0;
+        std::size_t j = i + 1;
+        for (; j < end; ++j) {
+          if (text(j) == "<") {
+            ++depth;
+          } else if (text(j) == ">") {
+            if (--depth == 0) {
+              break;
+            }
+          }
+        }
+        i = j;
+        continue;
+      }
+      // Candidate function: ident '(' ... ')' then body / ';'.
+      if (text(i + 1) != "(" || call_keyword(t.text) || prev(i) == "~" ||
+          prev(i) == "operator") {
+        continue;
+      }
+      const std::size_t lp = i + 1;
+      const std::size_t rp = match(lp, '(', ')');
+      if (rp == std::string::npos || rp >= end) {
+        continue;
+      }
+      std::string qual_cls = cls;
+      if (prev(i) == ":" && prev(i, 2) == ":" && i >= 3 &&
+          toks[i - 3].kind == TokKind::Ident) {
+        qual_cls = toks[i - 3].text;  // out-of-line Class::method
+      }
+      // Walk the trailer: const/noexcept/override/-> ret, ctor-init list,
+      // '= default', until '{' (definition) or ';' (declaration).
+      std::size_t j = rp + 1;
+      bool is_def = false;
+      bool is_decl = false;
+      while (j < end) {
+        const std::string_view s = text(j);
+        if (s == "{") {
+          is_def = true;
+          break;
+        }
+        if (s == ";") {
+          is_decl = true;
+          break;
+        }
+        if (s == "=") {  // = default / = delete / = 0
+          while (j < end && text(j) != ";") {
+            ++j;
+          }
+          is_decl = true;
+          break;
+        }
+        if (s == ":") {  // ctor initializer list
+          ++j;
+          while (j < end && text(j) != "{") {
+            if (text(j) == "(") {
+              const std::size_t c = match(j, '(', ')');
+              if (c == std::string::npos) {
+                break;
+              }
+              j = c;
+            } else if (text(j) == "{") {
+              break;
+            } else if (toks[j].kind == TokKind::Punct && text(j) == "}") {
+              break;
+            } else if (text(j) == "{") {
+              break;
+            }
+            if (text(j) == "{") {
+              break;
+            }
+            // Brace-init member: skip balanced.
+            if (text(j + 1) == "{" && toks[j].kind == TokKind::Ident) {
+              const std::size_t c = match(j + 1, '{', '}');
+              if (c == std::string::npos) {
+                break;
+              }
+              j = c;
+            }
+            ++j;
+          }
+          continue;
+        }
+        if (toks[j].kind == TokKind::Ident || s == "-" || s == ">" || s == "<" ||
+            s == "*" || s == "&" || s == "(" || s == ")" || s == "," ||
+            s == "[" || s == "]") {
+          if (s == "(") {
+            const std::size_t c = match(j, '(', ')');
+            if (c == std::string::npos || c >= end) {
+              break;
+            }
+            j = c;
+          }
+          ++j;
+          continue;
+        }
+        break;  // anything else: not a function
+      }
+      if (is_def) {
+        const std::size_t close = match(j, '{', '}');
+        if (close == std::string::npos || close > end) {
+          return;
+        }
+        Function f;
+        f.name = t.text;
+        f.cls = qual_cls;
+        f.file = path;
+        f.line = t.line;
+        f.file_idx = file_idx;
+        f.body_begin = j + 1;
+        f.body_end = close;
+        parse_params(f, lp, rp);
+        parse_body(f, j + 1, close, {});
+        out.functions.push_back(std::move(f));
+        i = close;
+      } else if (is_decl) {
+        decls.push_back(Decl{t.text, qual_cls, t.line});
+        i = j;
+      }
+    }
+  }
+
+  // --- ownership binding -----------------------------------------------------
+
+  void bind_ownership() {
+    for (const Ownership& marker : lx.ownership) {
+      Own own = Own::None;
+      if (marker.tag == "partition-local") {
+        own = Own::PartitionLocal;
+      } else if (marker.tag == "global-only") {
+        own = Own::GlobalOnly;
+      } else if (marker.tag == "partition-entry") {
+        own = Own::PartitionEntry;
+      } else {
+        Diagnostic d;
+        d.file = path;
+        d.line = marker.line;
+        d.rule = "A1-bad-ownership";
+        d.severity = Severity::Error;
+        d.message = marker.tag.empty()
+                        ? "ampom: ownership marker without a tag"
+                        : "unknown ownership marker 'ampom: " + marker.tag +
+                              "'; expected partition-local, global-only or "
+                              "partition-entry";
+        out.diags.push_back(std::move(d));
+        continue;
+      }
+      bool bound = false;
+      for (Function& f : out.functions) {
+        if (f.file_idx == file_idx && !f.is_lambda &&
+            (f.line == marker.line || f.line == marker.line + 1)) {
+          f.own = own;
+          bound = true;
+        }
+      }
+      if (bound) {
+        continue;
+      }
+      for (const Decl& decl : decls) {
+        if (decl.line == marker.line || decl.line == marker.line + 1) {
+          out.decl_owns.push_back(
+              FileIndex::DeclOwn{decl.name, decl.cls, own, path, decl.line});
+          bound = true;
+        }
+      }
+      if (bound) {
+        continue;
+      }
+      // A global-only marker that precedes a member declaration marks the
+      // field (trailing-underscore naming convention).
+      if (own == Own::GlobalOnly) {
+        for (const Token& tok : toks) {
+          if (tok.line > marker.line + 1) {
+            break;
+          }
+          if (tok.line >= marker.line && tok.kind == TokKind::Ident &&
+              tok.text.size() > 1 && tok.text.back() == '_') {
+            out.global_fields.insert(tok.text);
+            bound = true;
+            break;
+          }
+        }
+      }
+      if (!bound) {
+        Diagnostic d;
+        d.file = path;
+        d.line = marker.line;
+        d.rule = "A1-bad-ownership";
+        d.severity = Severity::Error;
+        d.message = "ownership marker 'ampom: " + marker.tag +
+                    "' binds to no function, declaration or member field";
+        out.diags.push_back(std::move(d));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const char* own_name(Own o) {
+  switch (o) {
+    case Own::PartitionLocal:
+      return "partition-local";
+    case Own::GlobalOnly:
+      return "global-only";
+    case Own::PartitionEntry:
+      return "partition-entry";
+    case Own::None:
+      break;
+  }
+  return "unannotated";
+}
+
+FileIndex index_file(const std::string& path, int file_idx, const Lexed& lexed) {
+  Parser parser{path, file_idx, lexed};
+  parser.parse_scope(0, lexed.tokens.size(), "");
+  parser.bind_ownership();
+  return std::move(parser.out);
+}
+
+SymbolIndex finalize_index(std::vector<std::string> paths, std::vector<Lexed> lexed,
+                           std::vector<FileIndex> per_file) {
+  SymbolIndex index;
+  index.paths = std::move(paths);
+  index.lexed = std::move(lexed);
+  std::vector<FileIndex::DeclOwn> decl_owns;
+  for (FileIndex& fi : per_file) {
+    for (Function& f : fi.functions) {
+      f.id = static_cast<int>(index.functions.size());
+      index.functions.push_back(std::move(f));
+    }
+    index.global_fields.insert(fi.global_fields.begin(), fi.global_fields.end());
+    index.diags.insert(index.diags.end(), std::make_move_iterator(fi.diags.begin()),
+                       std::make_move_iterator(fi.diags.end()));
+    decl_owns.insert(decl_owns.end(), fi.decl_owns.begin(), fi.decl_owns.end());
+  }
+  // Declaration-bound ownership applies to every matching definition (the
+  // header annotation is the contract; the .cpp need not repeat it).
+  for (const FileIndex::DeclOwn& d : decl_owns) {
+    bool matched = false;
+    for (Function& f : index.functions) {
+      if (f.name == d.name && (d.cls.empty() || f.cls == d.cls)) {
+        matched = true;
+        if (f.own == Own::None) {
+          f.own = d.own;
+        }
+      }
+    }
+    // No definition anywhere in the index (e.g. declared in a header whose
+    // implementation is out of scope): synthesize a body-less function so
+    // call sites still resolve to the annotated contract.
+    if (!matched) {
+      Function stub;
+      stub.id = static_cast<int>(index.functions.size());
+      stub.name = d.name;
+      stub.cls = d.cls;
+      stub.file = d.file;
+      stub.line = d.line;
+      stub.own = d.own;
+      index.functions.push_back(std::move(stub));
+    }
+  }
+  for (const Function& f : index.functions) {
+    index.by_name[f.name].push_back(f.id);
+  }
+  return index;
+}
+
+std::vector<int> resolve_call(const SymbolIndex& index, const Function& caller,
+                              const CallSite& call) {
+  const auto it = index.by_name.find(call.name);
+  if (it == index.by_name.end()) {
+    return {};
+  }
+  const std::vector<int>& all = it->second;
+  if (!call.qual.empty()) {
+    std::vector<int> exact;
+    for (int id : all) {
+      if (index.functions[static_cast<std::size_t>(id)].cls == call.qual) {
+        exact.push_back(id);
+      }
+    }
+    if (!exact.empty()) {
+      return exact;
+    }
+  }
+  // C++ lookup approximation: an unqualified (or this->) call from a method
+  // binds to the same class when it has such a member.
+  if ((!call.member || call.receiver == "this") && !caller.cls.empty()) {
+    std::vector<int> same;
+    for (int id : all) {
+      if (index.functions[static_cast<std::size_t>(id)].cls == caller.cls) {
+        same.push_back(id);
+      }
+    }
+    if (!same.empty()) {
+      return same;
+    }
+  }
+  return all;
+}
+
+}  // namespace ampom::lint

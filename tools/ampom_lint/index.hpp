@@ -1,0 +1,130 @@
+#pragma once
+// Cross-translation-unit symbol index for ampom_lint's semantic rules.
+//
+// A lightweight, token-level model of the repo: function and method
+// definitions (with their body token ranges), call sites, and the ownership
+// vocabulary binding:
+//
+//   // ampom: partition-local    safe to run inside a partition callback;
+//                                the analyzer verifies this transitively
+//   // ampom: global-only        touches globally-owned state; must never
+//                                be reachable from a partition callback
+//   // ampom: partition-entry    a named callback root scheduled on a
+//                                partition (lambdas passed to
+//                                schedule_on_node are discovered
+//                                automatically)
+//
+// Markers bind to the function definition or declaration starting on the
+// same or the next line; a marker that binds to neither becomes a
+// global-only *field* marker when a member-style identifier (trailing
+// underscore, the repo convention) starts there instead. Declarations
+// matter: annotating `void tick();` in a header marks every definition of
+// that class's tick() across the index.
+//
+// Resolution is by name and is conservative: an unqualified call from a
+// method prefers same-class methods (approximating C++ lookup); a qualified
+// `Class::fn` call prefers that class; anything else fans out to every
+// function with that name. Calls through function-typed values (handlers,
+// std::function members) produce no edges — the registration site's
+// enclosing function carries the check instead.
+//
+// Lambdas: a lambda passed to schedule_on_node becomes its own partition-
+// entry root; a lambda passed to post_global becomes a detached global root
+// (its body is *not* attributed to the enclosing function — that is the
+// sanctioned escape to barrier context); any other lambda body is treated
+// as part of the enclosing function.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ampom_lint/lex.hpp"
+#include "ampom_lint/lint.hpp"
+
+namespace ampom::lint {
+
+enum class Own : std::uint8_t { None, PartitionLocal, GlobalOnly, PartitionEntry };
+
+[[nodiscard]] const char* own_name(Own o);
+
+struct CallSite {
+  std::string name;      // simple callee name
+  std::string qual;      // "Class" when written Class::name, else ""
+  std::string receiver;  // "x" for x.name() / x->name(), "this", or ""
+  bool member{false};
+  int line{0};
+  std::size_t tok{0};  // token index of the callee identifier
+};
+
+struct Function {
+  int id{-1};
+  std::string name;  // simple name; "<callback>" / "<global-callback>" for lambdas
+  std::string cls;   // enclosing class (or Class:: qualifier), "" for free
+  std::string file;  // repo-relative path
+  int line{0};
+  int file_idx{-1};
+  std::size_t body_begin{0};  // token index of the '{' + 1
+  std::size_t body_end{0};    // token index of the matching '}' (exclusive)
+  // Sub-ranges of the body owned by detached lambda roots (schedule_on_node
+  // / post_global callbacks): body scans must skip them.
+  std::vector<std::pair<std::size_t, std::size_t>> holes;
+  std::vector<CallSite> calls;
+  std::vector<std::string> params;  // parameter names in order ("" if unnamed)
+  Own own{Own::None};
+  bool is_lambda{false};
+  bool global_root{false};  // post_global callback: runs in barrier context
+
+  [[nodiscard]] std::string display() const {
+    if (is_lambda) {
+      return name + " at " + file + ":" + std::to_string(line);
+    }
+    return cls.empty() ? name : cls + "::" + name;
+  }
+};
+
+struct SymbolIndex {
+  std::vector<std::string> paths;  // file_idx -> path
+  std::vector<Lexed> lexed;        // file_idx -> token stream
+  std::vector<Function> functions;
+  std::map<std::string, std::vector<int>> by_name;  // simple name -> ids
+  std::set<std::string> global_fields;  // member names marked global-only
+  std::vector<Diagnostic> diags;        // A1-bad-ownership findings
+};
+
+// Index one already-lexed file into `out` (appends functions; by_name is
+// rebuilt by finalize_index). Thread-compatible: distinct `FileIndex`
+// results merge deterministically in file order.
+struct FileIndex {
+  std::vector<Function> functions;
+  std::set<std::string> global_fields;
+  std::vector<Diagnostic> diags;
+  // Ownership bound to declarations (no body): applied to every matching
+  // definition at finalize time.
+  struct DeclOwn {
+    std::string name;
+    std::string cls;
+    Own own{Own::None};
+    std::string file;  // where the annotated declaration lives
+    int line{0};
+  };
+  std::vector<DeclOwn> decl_owns;
+};
+
+[[nodiscard]] FileIndex index_file(const std::string& path, int file_idx,
+                                   const Lexed& lexed);
+
+// Merge per-file indexes (in file order), apply declaration-bound ownership,
+// and build the name table.
+[[nodiscard]] SymbolIndex finalize_index(std::vector<std::string> paths,
+                                         std::vector<Lexed> lexed,
+                                         std::vector<FileIndex> per_file);
+
+// Resolve a call site from `caller` to candidate function ids, applying the
+// same-class preference described above. Deterministic: ids ascend.
+[[nodiscard]] std::vector<int> resolve_call(const SymbolIndex& index,
+                                            const Function& caller,
+                                            const CallSite& call);
+
+}  // namespace ampom::lint

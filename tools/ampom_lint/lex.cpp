@@ -1,0 +1,220 @@
+#include "ampom_lint/lex.hpp"
+
+#include <string_view>
+
+namespace ampom::lint {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+[[nodiscard]] bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
+[[nodiscard]] bool digit(char c) { return c >= '0' && c <= '9'; }
+
+// Parse every suppression marker in a comment body. (The marker string is
+// spelled split so this function's own sources never register as one.)
+// A marker preceded by `//` inside the body is a comment quoting code —
+// documentation showing the syntax — and is ignored.
+void parse_annotations(std::string_view comment, int line, std::vector<Annotation>& out) {
+  constexpr std::string_view kMarker = "ampom-lint:";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kMarker, pos)) != std::string_view::npos) {
+    if (comment.substr(0, pos).find("//") != std::string_view::npos) {
+      pos += kMarker.size();
+      continue;
+    }
+    std::size_t i = pos + kMarker.size();
+    while (i < comment.size() && comment[i] == ' ') {
+      ++i;
+    }
+    std::size_t tag_begin = i;
+    while (i < comment.size() && (ident_char(comment[i]) || comment[i] == '-')) {
+      ++i;
+    }
+    Annotation ann;
+    ann.line = line;
+    ann.tag = std::string(comment.substr(tag_begin, i - tag_begin));
+    if (!ann.tag.empty() && i < comment.size() && comment[i] == '(') {
+      const std::size_t close = comment.find(')', i);
+      if (close != std::string_view::npos) {
+        std::string_view reason = comment.substr(i + 1, close - i - 1);
+        ann.well_formed =
+            reason.find_first_not_of(" \t") != std::string_view::npos;
+      }
+    }
+    out.push_back(std::move(ann));
+    pos = i;
+  }
+}
+
+// Ownership markers are the comment's leading content: after trimming
+// whitespace and doc-comment dressing the body must start with `ampom:`
+// followed by the tag. This keeps prose like "see the ampom: vocabulary"
+// from registering while `// ampom: global-only` binds. A nested `//` is a
+// comment quoting code (documentation showing the marker itself) and never
+// binds.
+void parse_ownership(std::string_view comment, int line, std::vector<Ownership>& out) {
+  std::size_t i = comment.find_first_not_of(" \t*");
+  if (i == std::string_view::npos || comment[i] == '/') {
+    return;
+  }
+  constexpr std::string_view kMarker = "ampom:";
+  if (comment.substr(i, kMarker.size()) != kMarker) {
+    return;
+  }
+  i += kMarker.size();
+  while (i < comment.size() && (comment[i] == ' ' || comment[i] == '\t')) {
+    ++i;
+  }
+  std::size_t tag_begin = i;
+  while (i < comment.size() && (ident_char(comment[i]) || comment[i] == '-')) {
+    ++i;
+  }
+  out.push_back(Ownership{line, std::string(comment.substr(tag_begin, i - tag_begin))});
+}
+
+void parse_comment(std::string_view comment, int line, Lexed& out) {
+  parse_annotations(comment, line, out.annotations);
+  parse_ownership(comment, line, out.ownership);
+}
+
+}  // namespace
+
+Lexed lex(const std::string& src) {
+  Lexed out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool at_line_start = true;  // only whitespace seen so far on this line
+
+  auto bump_line = [&] {
+    ++line;
+    at_line_start = true;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++i;
+      bump_line();
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honouring backslash
+    // continuations (annotations never live inside directives).
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          i += 2;
+          bump_line();
+          continue;
+        }
+        if (src[i] == '\n') {
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t begin = i + 2;
+      std::size_t end = begin;
+      while (end < n && src[end] != '\n') {
+        ++end;
+      }
+      parse_comment(std::string_view(src).substr(begin, end - begin), line, out);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t j = i + 2;
+      const int open_line = line;
+      std::size_t seg_begin = j;
+      int seg_line = open_line;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') {
+          parse_comment(std::string_view(src).substr(seg_begin, j - seg_begin),
+                        seg_line, out);
+          ++line;
+          seg_begin = j + 1;
+          seg_line = line;
+        }
+        ++j;
+      }
+      parse_comment(std::string_view(src).substr(seg_begin, j - seg_begin), seg_line, out);
+      i = (j + 1 < n) ? j + 2 : n;
+      at_line_start = false;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(' && src[j] != '\n') {
+        delim.push_back(src[j]);
+        ++j;
+      }
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = src.find(closer, j);
+      const std::size_t stop = (end == std::string::npos) ? n : end + closer.size();
+      for (std::size_t k = i; k < stop; ++k) {
+        if (src[k] == '\n') {
+          ++line;
+        }
+      }
+      i = stop;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          ++j;
+        } else if (src[j] == '\n') {
+          ++line;  // unterminated on this line; keep scanning defensively
+        }
+        ++j;
+      }
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // Identifier.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) {
+        ++j;
+      }
+      out.tokens.push_back(Token{src.substr(i, j - i), line, TokKind::Ident});
+      i = j;
+      continue;
+    }
+    // Number (consume so `1'000'000` or `0x1.0p-53` never splits into idents).
+    if (digit(c)) {
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(src[j]) || src[j] == '\'' || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > 0 &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+                         src[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back(Token{src.substr(i, j - i), line, TokKind::Number});
+      i = j;
+      continue;
+    }
+    // Single-character punctuation.
+    out.tokens.push_back(Token{std::string(1, c), line, TokKind::Punct});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace ampom::lint

@@ -1,0 +1,49 @@
+#pragma once
+// Shared lexer for ampom_lint: strips comments, string/char literals and
+// preprocessor directives, keeps identifier/punctuation/number tokens with
+// line numbers, and records the two comment vocabularies the analyzer
+// understands:
+//
+//   // ampom-lint: tag(reason)     suppression of a specific finding
+//   // ampom: partition-local      ownership marker for the semantic pass
+//
+// Suppressions may appear anywhere inside a comment; ownership markers must
+// be the comment's leading content (so prose mentioning the vocabulary never
+// registers). Both per-file rules (lint.cpp) and the cross-TU symbol index
+// (index.cpp) consume the same Lexed stream, so every file is lexed once.
+
+#include <string>
+#include <vector>
+
+namespace ampom::lint {
+
+enum class TokKind { Ident, Punct, Number };
+
+struct Token {
+  std::string text;
+  int line{0};
+  TokKind kind{TokKind::Punct};
+};
+
+struct Annotation {
+  int line{0};
+  std::string tag;
+  bool well_formed{false};  // tag present and reason non-empty
+};
+
+// `// ampom: <tag>` ownership marker. Valid tags are checked by the symbol
+// index (A1-bad-ownership for anything else), not the lexer.
+struct Ownership {
+  int line{0};
+  std::string tag;
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  std::vector<Annotation> annotations;
+  std::vector<Ownership> ownership;
+};
+
+[[nodiscard]] Lexed lex(const std::string& src);
+
+}  // namespace ampom::lint

@@ -2,216 +2,24 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <map>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string_view>
+#include <thread>
+
+#include "ampom_lint/index.hpp"
+#include "ampom_lint/lex.hpp"
+#include "ampom_lint/semantic.hpp"
 
 namespace ampom::lint {
 
 namespace {
 
 // ---------------------------------------------------------------------------
-// Lexer: strips comments, string/char literals and preprocessor directives,
-// keeps identifier/punctuation tokens with line numbers, and records
-// `ampom-lint: tag(reason)` annotations found inside comments.
-// ---------------------------------------------------------------------------
-
-enum class TokKind { Ident, Punct, Number };
-
-struct Token {
-  std::string text;
-  int line{0};
-  TokKind kind{TokKind::Punct};
-};
-
-struct Annotation {
-  int line{0};
-  std::string tag;
-  bool well_formed{false};  // tag present and reason non-empty
-};
-
-struct Lexed {
-  std::vector<Token> tokens;
-  std::vector<Annotation> annotations;
-};
-
-[[nodiscard]] bool ident_start(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
-}
-[[nodiscard]] bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
-[[nodiscard]] bool digit(char c) { return c >= '0' && c <= '9'; }
-
-// Parse every annotation marker in a comment body. (The marker string is
-// spelled split so this function's own sources never register as one.)
-void parse_annotations(std::string_view comment, int line, std::vector<Annotation>& out) {
-  constexpr std::string_view kMarker = "ampom-lint:";
-  std::size_t pos = 0;
-  while ((pos = comment.find(kMarker, pos)) != std::string_view::npos) {
-    std::size_t i = pos + kMarker.size();
-    while (i < comment.size() && comment[i] == ' ') {
-      ++i;
-    }
-    std::size_t tag_begin = i;
-    while (i < comment.size() && (ident_char(comment[i]) || comment[i] == '-')) {
-      ++i;
-    }
-    Annotation ann;
-    ann.line = line;
-    ann.tag = std::string(comment.substr(tag_begin, i - tag_begin));
-    if (!ann.tag.empty() && i < comment.size() && comment[i] == '(') {
-      const std::size_t close = comment.find(')', i);
-      if (close != std::string_view::npos) {
-        std::string_view reason = comment.substr(i + 1, close - i - 1);
-        ann.well_formed =
-            reason.find_first_not_of(" \t") != std::string_view::npos;
-      }
-    }
-    out.push_back(std::move(ann));
-    pos = i;
-  }
-}
-
-[[nodiscard]] Lexed lex(const std::string& src) {
-  Lexed out;
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-  bool at_line_start = true;  // only whitespace seen so far on this line
-
-  auto bump_line = [&] {
-    ++line;
-    at_line_start = true;
-  };
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++i;
-      bump_line();
-      continue;
-    }
-    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
-      ++i;
-      continue;
-    }
-    // Preprocessor directive: skip to end of line, honouring backslash
-    // continuations (annotations never live inside directives).
-    if (c == '#' && at_line_start) {
-      while (i < n) {
-        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
-          i += 2;
-          bump_line();
-          continue;
-        }
-        if (src[i] == '\n') {
-          break;
-        }
-        ++i;
-      }
-      continue;
-    }
-    at_line_start = false;
-    // Line comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      const std::size_t begin = i + 2;
-      std::size_t end = begin;
-      while (end < n && src[end] != '\n') {
-        ++end;
-      }
-      parse_annotations(std::string_view(src).substr(begin, end - begin), line,
-                        out.annotations);
-      i = end;
-      continue;
-    }
-    // Block comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      std::size_t j = i + 2;
-      const int open_line = line;
-      std::size_t seg_begin = j;
-      int seg_line = open_line;
-      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
-        if (src[j] == '\n') {
-          parse_annotations(std::string_view(src).substr(seg_begin, j - seg_begin),
-                            seg_line, out.annotations);
-          ++line;
-          seg_begin = j + 1;
-          seg_line = line;
-        }
-        ++j;
-      }
-      parse_annotations(std::string_view(src).substr(seg_begin, j - seg_begin), seg_line,
-                        out.annotations);
-      i = (j + 1 < n) ? j + 2 : n;
-      at_line_start = false;
-      continue;
-    }
-    // Raw string literal: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      std::size_t j = i + 2;
-      std::string delim;
-      while (j < n && src[j] != '(' && src[j] != '\n') {
-        delim.push_back(src[j]);
-        ++j;
-      }
-      const std::string closer = ")" + delim + "\"";
-      const std::size_t end = src.find(closer, j);
-      const std::size_t stop = (end == std::string::npos) ? n : end + closer.size();
-      for (std::size_t k = i; k < stop; ++k) {
-        if (src[k] == '\n') {
-          ++line;
-        }
-      }
-      i = stop;
-      continue;
-    }
-    // String / char literal.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      std::size_t j = i + 1;
-      while (j < n && src[j] != quote) {
-        if (src[j] == '\\' && j + 1 < n) {
-          ++j;
-        } else if (src[j] == '\n') {
-          ++line;  // unterminated on this line; keep scanning defensively
-        }
-        ++j;
-      }
-      i = (j < n) ? j + 1 : n;
-      continue;
-    }
-    // Identifier.
-    if (ident_start(c)) {
-      std::size_t j = i + 1;
-      while (j < n && ident_char(src[j])) {
-        ++j;
-      }
-      out.tokens.push_back(Token{src.substr(i, j - i), line, TokKind::Ident});
-      i = j;
-      continue;
-    }
-    // Number (consume so `1'000'000` or `0x1.0p-53` never splits into idents).
-    if (digit(c)) {
-      std::size_t j = i + 1;
-      while (j < n && (ident_char(src[j]) || src[j] == '\'' || src[j] == '.' ||
-                       ((src[j] == '+' || src[j] == '-') && j > 0 &&
-                        (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
-                         src[j - 1] == 'P')))) {
-        ++j;
-      }
-      out.tokens.push_back(Token{src.substr(i, j - i), line, TokKind::Number});
-      i = j;
-      continue;
-    }
-    // Single-character punctuation.
-    out.tokens.push_back(Token{std::string(1, c), line, TokKind::Punct});
-    ++i;
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Rule engine
+// Per-file rule engine (the v1 D-rules)
 // ---------------------------------------------------------------------------
 
 enum class Root { Src, Bench, Tests, Tools, Other };
@@ -234,19 +42,18 @@ enum class Root { Src, Bench, Tests, Tools, Other };
   return Root::Other;
 }
 
+// Emits *raw* diagnostics; suppression filtering happens afterwards so the
+// same pass can also answer --check-suppressions (which annotations were
+// actually consumed).
 struct Checker {
   const std::string& path;
   Root root;
   const Lexed& lexed;
   std::vector<Diagnostic> diags;
-  // Annotation tags present per line (well-formed only).
-  std::map<int, std::set<std::string>> ann_by_line;
 
   Checker(const std::string& p, const Lexed& lx) : path{p}, root{root_of(p)}, lexed{lx} {
     for (const Annotation& ann : lx.annotations) {
-      if (ann.well_formed) {
-        ann_by_line[ann.line].insert(ann.tag);
-      } else {
+      if (!ann.well_formed) {
         Diagnostic d;
         d.file = path;
         d.line = ann.line;
@@ -261,23 +68,8 @@ struct Checker {
     }
   }
 
-  // An annotation on the offending line or the line directly above
-  // suppresses the finding.
-  [[nodiscard]] bool suppressed(int line, const std::string& tag) const {
-    for (int l : {line, line - 1}) {
-      auto it = ann_by_line.find(l);
-      if (it != ann_by_line.end() && it->second.count(tag) > 0) {
-        return true;
-      }
-    }
-    return false;
-  }
-
   void emit(int line, const char* rule, Severity sev, std::string message,
             const char* tag) {
-    if (suppressed(line, tag)) {
-      return;
-    }
     Diagnostic d;
     d.file = path;
     d.line = line;
@@ -619,6 +411,90 @@ struct Checker {
   }
 };
 
+[[nodiscard]] std::vector<Diagnostic> lint_lexed(const std::string& path,
+                                                 const Lexed& lexed) {
+  Checker checker{path, lexed};
+  checker.check_nondet();
+  checker.check_unordered();
+  checker.check_statics();
+  checker.check_raw_io();
+  checker.check_raw_ticks();
+  return std::move(checker.diags);
+}
+
+// Well-formed annotation tags per line of one file.
+using AnnMap = std::map<int, std::set<std::string>>;
+
+[[nodiscard]] AnnMap ann_map_of(const Lexed& lexed) {
+  AnnMap out;
+  for (const Annotation& ann : lexed.annotations) {
+    if (ann.well_formed) {
+      out[ann.line].insert(ann.tag);
+    }
+  }
+  return out;
+}
+
+// Drop suppressed diagnostics and mark the consuming suppression sites used.
+// `sites` spans the whole report; `site_at` maps (file, line, tag) into it.
+void filter_suppressed(std::vector<Diagnostic>& diags,
+                       const std::map<std::string, AnnMap>& anns,
+                       std::vector<SuppressionSite>& sites) {
+  auto mark_used = [&](const std::string& file, int line, const std::string& tag) {
+    for (SuppressionSite& s : sites) {
+      if (s.file == file && s.line == line && s.tag == tag) {
+        s.used = true;
+      }
+    }
+  };
+  std::vector<Diagnostic> kept;
+  kept.reserve(diags.size());
+  for (Diagnostic& d : diags) {
+    bool suppressed = false;
+    if (!d.suppression.empty()) {
+      const auto file_it = anns.find(d.file);
+      if (file_it != anns.end()) {
+        for (int l : {d.line, d.line - 1}) {
+          const auto line_it = file_it->second.find(l);
+          if (line_it != file_it->second.end() &&
+              line_it->second.count(d.suppression) > 0) {
+            suppressed = true;
+            mark_used(d.file, l, d.suppression);
+            break;
+          }
+        }
+      }
+    }
+    if (!suppressed) {
+      kept.push_back(std::move(d));
+    }
+  }
+  diags = std::move(kept);
+}
+
+void sort_dedupe(std::vector<Diagnostic>& diags) {
+  std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) {
+      return a.file < b.file;
+    }
+    if (a.line != b.line) {
+      return a.line < b.line;
+    }
+    if (a.rule != b.rule) {
+      return a.rule < b.rule;
+    }
+    return a.message < b.message;
+  });
+  // One finding per (file, line, rule, message): `x.begin(), x.end()` on one
+  // line is one violation, not two.
+  diags.erase(std::unique(diags.begin(), diags.end(),
+                          [](const Diagnostic& a, const Diagnostic& b) {
+                            return a.file == b.file && a.line == b.line &&
+                                   a.rule == b.rule && a.message == b.message;
+                          }),
+              diags.end());
+}
+
 void json_escape(std::ostringstream& os, const std::string& s) {
   for (char c : s) {
     switch (c) {
@@ -644,39 +520,142 @@ void json_escape(std::ostringstream& os, const std::string& s) {
   }
 }
 
+[[nodiscard]] std::string json_str(const std::string& s) {
+  std::ostringstream os;
+  json_escape(os, s);
+  return os.str();
+}
+
 }  // namespace
 
 const char* severity_name(Severity s) {
   return s == Severity::Error ? "error" : "warning";
 }
 
+std::string fingerprint(const Diagnostic& d) {
+  // FNV-1a 64-bit over (file, rule, message); stable across line motion.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](const std::string& s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0x1f;
+    h *= 0x100000001b3ULL;
+  };
+  mix(d.file);
+  mix(d.rule);
+  mix(d.message);
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
 std::vector<Diagnostic> lint_source(const std::string& path, const std::string& content) {
   const Lexed lexed = lex(content);
-  Checker checker{path, lexed};
-  checker.check_nondet();
-  checker.check_unordered();
-  checker.check_statics();
-  checker.check_raw_io();
-  checker.check_raw_ticks();
-  std::sort(checker.diags.begin(), checker.diags.end(),
-            [](const Diagnostic& a, const Diagnostic& b) {
-              if (a.line != b.line) {
-                return a.line < b.line;
-              }
-              if (a.rule != b.rule) {
-                return a.rule < b.rule;
-              }
-              return a.message < b.message;
-            });
-  // One finding per (line, rule, message): `x.begin(), x.end()` on one line
-  // is one violation, not two.
-  checker.diags.erase(
-      std::unique(checker.diags.begin(), checker.diags.end(),
-                  [](const Diagnostic& a, const Diagnostic& b) {
-                    return a.line == b.line && a.rule == b.rule && a.message == b.message;
-                  }),
-      checker.diags.end());
-  return std::move(checker.diags);
+  std::vector<Diagnostic> diags = lint_lexed(path, lexed);
+  std::map<std::string, AnnMap> anns;
+  anns[path] = ann_map_of(lexed);
+  std::vector<SuppressionSite> sites;
+  filter_suppressed(diags, anns, sites);
+  sort_dedupe(diags);
+  return diags;
+}
+
+Report analyze(const std::vector<SourceFile>& files, const AnalyzeOptions& opts) {
+  const std::size_t n = files.size();
+  std::vector<Lexed> lexed(n);
+  std::vector<std::vector<Diagnostic>> raw(n);
+  std::vector<FileIndex> per_file(n);
+
+  // SweepExecutor-style pool: a shared atomic cursor hands files to workers;
+  // every result lands in its submission slot, so the merged report is
+  // byte-identical for any job count.
+  unsigned jobs = opts.jobs > 0 ? static_cast<unsigned>(opts.jobs)
+                                : std::max(1u, std::thread::hardware_concurrency());
+  jobs = std::min<unsigned>(jobs, n == 0 ? 1 : static_cast<unsigned>(n));
+  std::atomic<std::size_t> cursor{0};
+  auto worker = [&] {
+    for (std::size_t i = cursor.fetch_add(1); i < n; i = cursor.fetch_add(1)) {
+      lexed[i] = lex(files[i].content);
+      raw[i] = lint_lexed(files[i].path, lexed[i]);
+      if (root_of(files[i].path) != Root::Tests) {
+        per_file[i] = index_file(files[i].path, static_cast<int>(i), lexed[i]);
+      }
+    }
+  };
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  Report report;
+  report.files_scanned = n;
+
+  std::map<std::string, AnnMap> anns;
+  for (std::size_t i = 0; i < n; ++i) {
+    const AnnMap m = ann_map_of(lexed[i]);
+    for (const auto& [line, tags] : m) {
+      for (const std::string& tag : tags) {
+        report.suppressions.push_back(SuppressionSite{files[i].path, line, tag, false});
+      }
+    }
+    anns[files[i].path] = m;
+  }
+
+  std::vector<std::string> paths;
+  paths.reserve(n);
+  for (const SourceFile& f : files) {
+    paths.push_back(f.path);
+  }
+  SymbolIndex index = finalize_index(std::move(paths), std::move(lexed), std::move(per_file));
+
+  std::vector<Diagnostic> all;
+  for (std::size_t i = 0; i < n; ++i) {
+    all.insert(all.end(), std::make_move_iterator(raw[i].begin()),
+               std::make_move_iterator(raw[i].end()));
+  }
+  all.insert(all.end(), std::make_move_iterator(index.diags.begin()),
+             std::make_move_iterator(index.diags.end()));
+  if (opts.semantic) {
+    std::vector<Diagnostic> sem = run_semantic(index);
+    all.insert(all.end(), std::make_move_iterator(sem.begin()),
+               std::make_move_iterator(sem.end()));
+  }
+  filter_suppressed(all, anns, report.suppressions);
+  sort_dedupe(all);
+  report.diagnostics = std::move(all);
+  return report;
+}
+
+std::vector<Diagnostic> stale_suppressions(const Report& report) {
+  std::vector<Diagnostic> out;
+  for (const SuppressionSite& s : report.suppressions) {
+    if (s.used) {
+      continue;
+    }
+    Diagnostic d;
+    d.file = s.file;
+    d.line = s.line;
+    d.rule = "S0-stale-suppression";
+    d.severity = Severity::Error;
+    d.message = "suppression '// ampom-lint: " + s.tag +
+                "(...)' no longer suppresses any finding; remove it";
+    out.push_back(std::move(d));
+  }
+  return out;
 }
 
 std::string render_text(const Report& report) {
@@ -685,8 +664,17 @@ std::string render_text(const Report& report) {
   std::size_t warnings = 0;
   for (const Diagnostic& d : report.diagnostics) {
     os << d.file << ':' << d.line << ": " << severity_name(d.severity) << ": [" << d.rule
-       << "] " << d.message << "\n      suppress with: // ampom-lint: " << d.suppression
-       << "(<reason>)\n";
+       << "] " << d.message << "\n";
+    if (!d.chain.empty()) {
+      os << "      chain:\n";
+      for (const ChainFrame& frame : d.chain) {
+        os << "        -> " << frame.note << " (" << frame.file << ':' << frame.line
+           << ")\n";
+      }
+    }
+    if (!d.suppression.empty()) {
+      os << "      suppress with: // ampom-lint: " << d.suppression << "(<reason>)\n";
+    }
     (d.severity == Severity::Error ? errors : warnings) += 1;
   }
   os << "ampom_lint: " << report.files_scanned << " files, " << errors << " error(s), "
@@ -701,7 +689,7 @@ std::string render_json(const Report& report) {
   for (const Diagnostic& d : report.diagnostics) {
     (d.severity == Severity::Error ? errors : warnings) += 1;
   }
-  os << "{\"tool\":\"ampom_lint\",\"schema_version\":1,\"files_scanned\":"
+  os << "{\"tool\":\"ampom_lint\",\"schema_version\":2,\"files_scanned\":"
      << report.files_scanned << ",\"counts\":{\"error\":" << errors
      << ",\"warning\":" << warnings << "},\"violations\":[";
   bool first = true;
@@ -710,18 +698,208 @@ std::string render_json(const Report& report) {
       os << ',';
     }
     first = false;
-    os << "{\"file\":\"";
-    json_escape(os, d.file);
-    os << "\",\"line\":" << d.line << ",\"rule\":\"";
-    json_escape(os, d.rule);
-    os << "\",\"severity\":\"" << severity_name(d.severity) << "\",\"message\":\"";
-    json_escape(os, d.message);
-    os << "\",\"suppression\":\"";
-    json_escape(os, d.suppression);
-    os << "\"}";
+    os << "{\"file\":\"" << json_str(d.file) << "\",\"line\":" << d.line
+       << ",\"rule\":\"" << json_str(d.rule) << "\",\"severity\":\""
+       << severity_name(d.severity) << "\",\"message\":\"" << json_str(d.message)
+       << "\",\"suppression\":\"" << json_str(d.suppression)
+       << "\",\"fingerprint\":\"" << fingerprint(d) << "\",\"chain\":[";
+    bool cfirst = true;
+    for (const ChainFrame& frame : d.chain) {
+      if (!cfirst) {
+        os << ',';
+      }
+      cfirst = false;
+      os << "{\"file\":\"" << json_str(frame.file) << "\",\"line\":" << frame.line
+         << ",\"note\":\"" << json_str(frame.note) << "\"}";
+    }
+    os << "]}";
   }
   os << "]}";
   return os.str();
+}
+
+std::string render_sarif(const Report& report) {
+  // Distinct rules, in sorted order, for the driver's rule table.
+  std::vector<std::string> rules;
+  for (const Diagnostic& d : report.diagnostics) {
+    rules.push_back(d.rule);
+  }
+  std::sort(rules.begin(), rules.end());
+  rules.erase(std::unique(rules.begin(), rules.end()), rules.end());
+  std::map<std::string, std::size_t> rule_index;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    rule_index[rules[i]] = i;
+  }
+
+  std::ostringstream os;
+  os << "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+        "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+        "\"name\":\"ampom_lint\",\"version\":\"2.0.0\","
+        "\"informationUri\":\"https://example.invalid/ampom\",\"rules\":[";
+  bool first = true;
+  for (const std::string& rule : rules) {
+    if (!first) {
+      os << ',';
+    }
+    first = false;
+    os << "{\"id\":\"" << json_str(rule) << "\"}";
+  }
+  os << "]}},\"columnKind\":\"utf16CodeUnits\",\"results\":[";
+  first = true;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (!first) {
+      os << ',';
+    }
+    first = false;
+    os << "{\"ruleId\":\"" << json_str(d.rule)
+       << "\",\"ruleIndex\":" << rule_index[d.rule] << ",\"level\":\""
+       << (d.severity == Severity::Error ? "error" : "warning")
+       << "\",\"message\":{\"text\":\"" << json_str(d.message)
+       << "\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{"
+          "\"uri\":\""
+       << json_str(d.file)
+       << "\",\"uriBaseId\":\"SRCROOT\"},\"region\":{\"startLine\":" << d.line
+       << "}}}]";
+    if (!d.chain.empty()) {
+      os << ",\"relatedLocations\":[";
+      bool cfirst = true;
+      for (const ChainFrame& frame : d.chain) {
+        if (!cfirst) {
+          os << ',';
+        }
+        cfirst = false;
+        os << "{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\""
+           << json_str(frame.file)
+           << "\",\"uriBaseId\":\"SRCROOT\"},\"region\":{\"startLine\":"
+           << frame.line << "}},\"message\":{\"text\":\"" << json_str(frame.note)
+           << "\"}}";
+      }
+      os << ']';
+    }
+    os << ",\"partialFingerprints\":{\"ampomLint/v1\":\"" << fingerprint(d)
+       << "\"}}";
+  }
+  os << "]}]}";
+  return os.str();
+}
+
+// --- baseline ----------------------------------------------------------------
+
+std::string render_baseline(const Report& report) {
+  std::vector<const Diagnostic*> sorted;
+  sorted.reserve(report.diagnostics.size());
+  for (const Diagnostic& d : report.diagnostics) {
+    sorted.push_back(&d);
+  }
+  // Already file/line sorted; dedupe identical fingerprints (same finding
+  // spelled on two lines baselines once).
+  std::set<std::string> seen;
+  std::ostringstream os;
+  os << "{\"tool\":\"ampom_lint\",\"baseline_version\":1,\"entries\":[";
+  bool first = true;
+  for (const Diagnostic* d : sorted) {
+    const std::string fp = fingerprint(*d);
+    if (!seen.insert(fp).second) {
+      continue;
+    }
+    if (!first) {
+      os << ',';
+    }
+    first = false;
+    os << "\n  {\"fingerprint\":\"" << fp << "\",\"file\":\"" << json_str(d->file)
+       << "\",\"rule\":\"" << json_str(d->rule) << "\",\"message\":\""
+       << json_str(d->message) << "\"}";
+  }
+  os << "\n]}";
+  return os.str();
+}
+
+namespace {
+
+// Minimal reader for the exact format render_baseline() writes: a sequence
+// of flat objects with string values. Throws on structural surprises.
+[[nodiscard]] std::string read_json_string(const std::string& s, std::size_t& pos) {
+  if (pos >= s.size() || s[pos] != '"') {
+    throw std::runtime_error("baseline: expected string at offset " +
+                             std::to_string(pos));
+  }
+  std::string out;
+  for (++pos; pos < s.size(); ++pos) {
+    const char c = s[pos];
+    if (c == '"') {
+      ++pos;
+      return out;
+    }
+    if (c == '\\' && pos + 1 < s.size()) {
+      ++pos;
+      const char esc = s[pos];
+      if (esc == 'n') {
+        out.push_back('\n');
+      } else if (esc == 't') {
+        out.push_back('\t');
+      } else {
+        out.push_back(esc);
+      }
+      continue;
+    }
+    out.push_back(c);
+  }
+  throw std::runtime_error("baseline: unterminated string");
+}
+
+}  // namespace
+
+Baseline parse_baseline(const std::string& json) {
+  if (json.find("\"tool\":\"ampom_lint\"") == std::string::npos ||
+      json.find("\"baseline_version\":1") == std::string::npos) {
+    throw std::runtime_error("baseline: not an ampom_lint baseline_version 1 file");
+  }
+  Baseline baseline;
+  std::size_t pos = 0;
+  const std::string kKey = "\"fingerprint\":";
+  while ((pos = json.find(kKey, pos)) != std::string::npos) {
+    pos += kKey.size();
+    BaselineEntry entry;
+    entry.fingerprint = read_json_string(json, pos);
+    auto read_field = [&](const char* key) {
+      const std::string needle = std::string("\"") + key + "\":";
+      const std::size_t at = json.find(needle, pos);
+      if (at == std::string::npos) {
+        throw std::runtime_error(std::string("baseline: missing field ") + key);
+      }
+      std::size_t p = at + needle.size();
+      std::string value = read_json_string(json, p);
+      pos = p;
+      return value;
+    };
+    entry.file = read_field("file");
+    entry.rule = read_field("rule");
+    entry.message = read_field("message");
+    baseline.entries.push_back(std::move(entry));
+  }
+  return baseline;
+}
+
+BaselineDelta apply_baseline(const Report& report, const Baseline& baseline) {
+  std::set<std::string> known;
+  for (const BaselineEntry& e : baseline.entries) {
+    known.insert(e.fingerprint);
+  }
+  std::set<std::string> current;
+  BaselineDelta delta;
+  for (const Diagnostic& d : report.diagnostics) {
+    const std::string fp = fingerprint(d);
+    current.insert(fp);
+    if (known.count(fp) == 0) {
+      delta.fresh.push_back(d);
+    }
+  }
+  for (const BaselineEntry& e : baseline.entries) {
+    if (current.count(e.fingerprint) == 0) {
+      delta.stale.push_back(e);
+    }
+  }
+  return delta;
 }
 
 }  // namespace ampom::lint

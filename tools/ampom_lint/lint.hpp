@@ -2,9 +2,10 @@
 // ampom_lint — a self-contained static-analysis pass over the simulator's
 // sources that enforces the bit-identity contract before code runs.
 //
-// The runtime diff tests (jobs=1 vs jobs=N, tracing on/off, fault-free vs
-// seed) catch nondeterminism only on the paths a scenario happens to
-// exercise; this linter bans the sources of nondeterminism outright:
+// v1 (per-file token rules): the runtime diff tests (jobs=1 vs jobs=N,
+// tracing on/off, fault-free vs seed) catch nondeterminism only on the
+// paths a scenario happens to exercise; these rules ban the sources of
+// nondeterminism outright:
 //
 //   D1-nondet-source   wall clocks, C time, unseeded RNGs, getenv
 //   D2-unordered-iter  unordered_{map,set} declarations and iteration
@@ -12,19 +13,43 @@
 //   D4-raw-io          printf/std::cout/std::cerr instead of AMPOM_LOG
 //   D5-raw-ticks       raw integer arithmetic on sim-time units
 //
+// v2 (cross-TU semantic rules): analyze() builds a whole-repo symbol index
+// (function definitions, call sites, member-field accesses — see index.hpp)
+// and runs two rule families over the resulting call graph:
+//
+//   P1-partition-calls-global   partition-reachable code calls a function
+//                               declared `// ampom: global-only`
+//   P2-partition-locks          partition-reachable code takes a lock or
+//                               spawns a thread
+//   P3-partition-global-state   partition-reachable code touches a member
+//                               field declared `// ampom: global-only`
+//   T1-taint-schedule-time      nondeterministic value reaches an event-
+//                               schedule time
+//   T2-taint-rng-seed           ... reaches an RNG seed
+//   T3-taint-fate-key           ... reaches a fault-fate hash key
+//   T4-taint-trace-emit         ... reaches a trace/metric emission
+//
+// Ownership is declared with `// ampom: partition-local | global-only |
+// partition-entry` comments on the function (or field) they precede; the
+// analyzer checks the contract transitively and reports the full call chain
+// in the diagnostic (Diagnostic::chain).
+//
 // Each rule has an annotation escape hatch written as a comment on the
 // offending line or the line above, with a mandatory non-empty reason:
 //
 //   // ampom-lint: ordered-safe(membership-only; never iterated)
 //
 // Tags: nondet-ok (D1), ordered-safe (D2), static-ok (D3), raw-io-ok (D4),
-// raw-ticks-ok (D5). A malformed annotation (missing tag or empty reason)
-// is itself a violation (A0-bad-annotation).
+// raw-ticks-ok (D5), partition-ok (P*), taint-ok (T*). A malformed
+// annotation (missing tag or empty reason) is itself a violation
+// (A0-bad-annotation); an unknown ownership marker is A1-bad-ownership; a
+// suppression that no longer suppresses anything is S0-stale-suppression
+// (reported only by --check-suppressions).
 //
 // The analysis is token-based (comments, strings and preprocessor
 // directives are stripped; no libclang dependency), so it is conservative
-// by construction: rules trigger on syntactic patterns and the escape
-// hatch documents the reviewed exceptions.
+// by construction: rules trigger on syntactic patterns, call edges resolve
+// by name, and the escape hatches document the reviewed exceptions.
 
 #include <cstddef>
 #include <string>
@@ -36,6 +61,15 @@ enum class Severity { Warning, Error };
 
 [[nodiscard]] const char* severity_name(Severity s);
 
+// One step of the path that makes a semantic finding reachable: for P-rules
+// the frames walk from the partition entry point to the violating call; for
+// T-rules they walk from the taint source to the sink.
+struct ChainFrame {
+  std::string file;
+  int line{0};
+  std::string note;  // e.g. "schedule_on_node callback", "InfoDaemon::tick"
+};
+
 struct Diagnostic {
   std::string file;         // repo-relative path as given to lint_source
   int line{0};              // 1-based
@@ -43,26 +77,100 @@ struct Diagnostic {
   Severity severity{Severity::Error};
   std::string message;
   std::string suppression;  // annotation tag that would suppress this
+  std::vector<ChainFrame> chain;  // semantic rules only; empty for D-rules
 };
 
-// Lint one translation unit. `path` must be repo-relative with forward
-// slashes; its first segment (src/bench/tests/tools) selects which rules
-// apply. Unknown roots get the strictest (src) rule set.
-[[nodiscard]] std::vector<Diagnostic> lint_source(const std::string& path,
-                                                  const std::string& content);
+// Stable identity of a finding for baselining: FNV-1a over (file, rule,
+// message) — line numbers are excluded so unrelated code motion does not
+// churn the baseline.
+[[nodiscard]] std::string fingerprint(const Diagnostic& d);
+
+// A well-formed suppression annotation found in the tree, and whether any
+// finding actually consumed it (the input to --check-suppressions).
+struct SuppressionSite {
+  std::string file;
+  int line{0};
+  std::string tag;
+  bool used{false};
+};
 
 struct Report {
   std::vector<Diagnostic> diagnostics;
   std::size_t files_scanned{0};
+  std::vector<SuppressionSite> suppressions;
 };
 
-// Human-readable `file:line: severity: [rule] message` lines plus a summary.
+// Lint one translation unit with the per-file D-rules only. `path` must be
+// repo-relative with forward slashes; its first segment (src/bench/tests/
+// tools) selects which rules apply. Unknown roots get the strictest (src)
+// rule set.
+[[nodiscard]] std::vector<Diagnostic> lint_source(const std::string& path,
+                                                  const std::string& content);
+
+// Whole-repo analysis: per-file D-rules over every file plus the cross-TU
+// semantic P/T-rules over the symbol index. Files under tests/ are scanned
+// by the D-rules but excluded from the index (test scaffolding is not
+// partition code). `jobs` parallelizes lexing/indexing SweepExecutor-style
+// (results merge in submission order, so the report is identical for any
+// job count).
+struct AnalyzeOptions {
+  int jobs{1};          // 0 = one per hardware thread
+  bool semantic{true};  // false = v1 behaviour (D-rules only)
+};
+
+struct SourceFile {
+  std::string path;  // repo-relative, forward slashes
+  std::string content;
+};
+
+[[nodiscard]] Report analyze(const std::vector<SourceFile>& files,
+                             const AnalyzeOptions& opts = {});
+
+// Stale suppressions as diagnostics (rule S0-stale-suppression).
+[[nodiscard]] std::vector<Diagnostic> stale_suppressions(const Report& report);
+
+// Human-readable `file:line: severity: [rule] message` lines (plus the call
+// chain, indented, for semantic findings) and a summary.
 [[nodiscard]] std::string render_text(const Report& report);
 
 // Stable machine-readable schema:
-//   {"tool":"ampom_lint","schema_version":1,"files_scanned":N,
+//   {"tool":"ampom_lint","schema_version":2,"files_scanned":N,
 //    "counts":{"error":N,"warning":N},
-//    "violations":[{"file","line","rule","severity","message","suppression"}]}
+//    "violations":[{"file","line","rule","severity","message","suppression",
+//                   "fingerprint","chain":[{"file","line","note"}]}]}
 [[nodiscard]] std::string render_json(const Report& report);
+
+// SARIF 2.1.0 (one run, one result per finding, chain frames as
+// relatedLocations, fingerprint under partialFingerprints["ampomLint/v1"]).
+[[nodiscard]] std::string render_sarif(const Report& report);
+
+// --- findings baseline ------------------------------------------------------
+//
+// CI fails only on *new* findings: the committed baseline records the
+// fingerprints of accepted findings; apply_baseline() splits the current
+// report into fresh findings (fail) and stale baseline entries (a fixed
+// finding — the baseline must be refreshed, which also fails so baselines
+// never rot).
+
+struct BaselineEntry {
+  std::string fingerprint;
+  std::string file;
+  std::string rule;
+  std::string message;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+struct BaselineDelta {
+  std::vector<Diagnostic> fresh;        // findings not in the baseline
+  std::vector<BaselineEntry> stale;     // baseline entries with no finding
+};
+
+[[nodiscard]] std::string render_baseline(const Report& report);
+[[nodiscard]] Baseline parse_baseline(const std::string& json);  // throws
+[[nodiscard]] BaselineDelta apply_baseline(const Report& report,
+                                           const Baseline& baseline);
 
 }  // namespace ampom::lint

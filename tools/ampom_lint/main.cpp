@@ -1,11 +1,16 @@
 // ampom_lint CLI — walks the tree and reports determinism-contract
-// violations. Exit codes: 0 clean, 1 violations found, 2 internal error
-// (bad arguments, unreadable file), so CI and benches can distinguish
-// "dirty tree" from "broken run".
+// violations, per-file (D-rules) and cross-TU (P/T-rules). Exit codes:
+// 0 clean, 1 violations found (or stale baseline entries / stale
+// suppressions), 2 internal error (bad arguments, unreadable file), so CI
+// and benches can distinguish "dirty tree" from "broken run".
 //
-//   ampom_lint [--root=DIR] [--format=text|json] [--output=FILE] [subdir...]
+//   ampom_lint [--root=DIR] [--format=text|json|sarif] [--output=FILE]
+//              [--jobs=N] [--no-semantic] [--baseline=FILE]
+//              [--write-baseline=FILE] [--check-suppressions] [subdir...]
 //
-// Default subdirs: src bench tests tools.
+// Default subdirs: src bench tests tools. With --baseline, only findings
+// absent from the baseline fail the run; entries whose finding disappeared
+// also fail (refresh with --write-baseline so the baseline never rots).
 
 #include <algorithm>
 #include <cstdlib>
@@ -27,6 +32,11 @@ struct Options {
   std::string root{"."};
   std::string format{"text"};
   std::string output;
+  std::string baseline;
+  std::string write_baseline;
+  int jobs{1};
+  bool semantic{true};
+  bool check_suppressions{false};
   std::vector<std::string> subdirs;
 };
 
@@ -44,9 +54,24 @@ struct Options {
       opts.format = arg.substr(9);
     } else if (starts_with(arg, "--output=")) {
       opts.output = arg.substr(9);
+    } else if (starts_with(arg, "--jobs=")) {
+      opts.jobs = std::stoi(arg.substr(7));
+      if (opts.jobs < 0) {
+        throw std::invalid_argument("--jobs must be >= 0");
+      }
+    } else if (starts_with(arg, "--baseline=")) {
+      opts.baseline = arg.substr(11);
+    } else if (starts_with(arg, "--write-baseline=")) {
+      opts.write_baseline = arg.substr(17);
+    } else if (arg == "--no-semantic") {
+      opts.semantic = false;
+    } else if (arg == "--check-suppressions") {
+      opts.check_suppressions = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: ampom_lint [--root=DIR] [--format=text|json] "
-                   "[--output=FILE] [subdir...]\n";
+      std::cout << "usage: ampom_lint [--root=DIR] [--format=text|json|sarif] "
+                   "[--output=FILE] [--jobs=N] [--no-semantic] "
+                   "[--baseline=FILE] [--write-baseline=FILE] "
+                   "[--check-suppressions] [subdir...]\n";
       std::exit(0);
     } else if (starts_with(arg, "--")) {
       throw std::invalid_argument("unknown option: " + arg);
@@ -54,8 +79,8 @@ struct Options {
       opts.subdirs.push_back(arg);
     }
   }
-  if (opts.format != "text" && opts.format != "json") {
-    throw std::invalid_argument("--format must be 'text' or 'json'");
+  if (opts.format != "text" && opts.format != "json" && opts.format != "sarif") {
+    throw std::invalid_argument("--format must be 'text', 'json' or 'sarif'");
   }
   if (opts.subdirs.empty()) {
     opts.subdirs = {"src", "bench", "tests", "tools"};
@@ -68,14 +93,28 @@ struct Options {
   return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" || ext == ".hh";
 }
 
+void write_rendered(const Options& opts, const std::string& rendered) {
+  if (opts.output.empty()) {
+    std::cout << rendered;
+    if (opts.format != "text") {
+      std::cout << '\n';
+    }
+  } else {
+    std::ofstream out(opts.output, std::ios::binary);
+    if (!out) {
+      throw std::runtime_error("cannot write " + opts.output);
+    }
+    out << rendered << '\n';
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Options opts = parse_args(argc, argv);
-    ampom::lint::Report report;
 
-    std::vector<fs::path> files;
+    std::vector<fs::path> paths;
     for (const std::string& sub : opts.subdirs) {
       const fs::path dir = fs::path(opts.root) / sub;
       if (!fs::exists(dir)) {
@@ -83,44 +122,84 @@ int main(int argc, char** argv) {
       }
       for (const auto& entry : fs::recursive_directory_iterator(dir)) {
         if (entry.is_regular_file() && lintable(entry.path())) {
-          files.push_back(entry.path());
+          paths.push_back(entry.path());
         }
       }
     }
-    std::sort(files.begin(), files.end());
+    std::sort(paths.begin(), paths.end());
 
-    for (const fs::path& file : files) {
+    std::vector<ampom::lint::SourceFile> files;
+    files.reserve(paths.size());
+    for (const fs::path& file : paths) {
       std::ifstream in(file, std::ios::binary);
       if (!in) {
         throw std::runtime_error("cannot read " + file.string());
       }
       std::ostringstream buf;
       buf << in.rdbuf();
-      const std::string rel =
-          fs::relative(file, fs::path(opts.root)).generic_string();
-      auto diags = ampom::lint::lint_source(rel, buf.str());
-      report.diagnostics.insert(report.diagnostics.end(),
-                                std::make_move_iterator(diags.begin()),
-                                std::make_move_iterator(diags.end()));
-      ++report.files_scanned;
+      files.push_back(ampom::lint::SourceFile{
+          fs::relative(file, fs::path(opts.root)).generic_string(), buf.str()});
+    }
+
+    ampom::lint::AnalyzeOptions aopts;
+    aopts.jobs = opts.jobs;
+    aopts.semantic = opts.semantic;
+    ampom::lint::Report report = ampom::lint::analyze(files, aopts);
+
+    if (!opts.write_baseline.empty()) {
+      std::ofstream out(opts.write_baseline, std::ios::binary);
+      if (!out) {
+        throw std::runtime_error("cannot write " + opts.write_baseline);
+      }
+      out << ampom::lint::render_baseline(report) << '\n';
+    }
+
+    bool fail = false;
+    if (!opts.baseline.empty()) {
+      std::ifstream in(opts.baseline, std::ios::binary);
+      if (!in) {
+        throw std::runtime_error("cannot read " + opts.baseline);
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const ampom::lint::Baseline baseline = ampom::lint::parse_baseline(buf.str());
+      const ampom::lint::BaselineDelta delta =
+          ampom::lint::apply_baseline(report, baseline);
+      // Render only what the run must act on: fresh findings.
+      const std::size_t baselined = report.diagnostics.size() - delta.fresh.size();
+      report.diagnostics = delta.fresh;
+      fail = !delta.fresh.empty() || !delta.stale.empty();
+      if (opts.format == "text" && baselined > 0) {
+        std::cerr << "ampom_lint: " << baselined
+                  << " baselined finding(s) suppressed by " << opts.baseline << '\n';
+      }
+      for (const ampom::lint::BaselineEntry& e : delta.stale) {
+        std::cerr << "ampom_lint: stale baseline entry " << e.fingerprint << " ("
+                  << e.file << ": [" << e.rule << "] " << e.message
+                  << ") — the finding is gone; refresh with --write-baseline\n";
+      }
+    } else {
+      fail = !report.diagnostics.empty();
+    }
+
+    if (opts.check_suppressions) {
+      std::vector<ampom::lint::Diagnostic> stale =
+          ampom::lint::stale_suppressions(report);
+      if (!stale.empty()) {
+        fail = true;
+        report.diagnostics.insert(report.diagnostics.end(),
+                                  std::make_move_iterator(stale.begin()),
+                                  std::make_move_iterator(stale.end()));
+      }
     }
 
     const std::string rendered = opts.format == "json"
                                      ? ampom::lint::render_json(report)
+                                 : opts.format == "sarif"
+                                     ? ampom::lint::render_sarif(report)
                                      : ampom::lint::render_text(report);
-    if (opts.output.empty()) {
-      std::cout << rendered;
-      if (opts.format == "json") {
-        std::cout << '\n';
-      }
-    } else {
-      std::ofstream out(opts.output, std::ios::binary);
-      if (!out) {
-        throw std::runtime_error("cannot write " + opts.output);
-      }
-      out << rendered << '\n';
-    }
-    return report.diagnostics.empty() ? 0 : 1;
+    write_rendered(opts, rendered);
+    return fail ? 1 : 0;
   } catch (const std::exception& e) {
     std::cerr << "ampom_lint: internal error: " << e.what() << '\n';
     return 2;

@@ -1,0 +1,779 @@
+#include "ampom_lint/semantic.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string_view>
+
+namespace ampom::lint {
+
+namespace {
+
+constexpr std::array<std::string_view, 4> kBoundaryClasses = {
+    "Simulator", "EventQueue", "TraceRecorder", "Logger"};
+
+constexpr std::array<std::string_view, 16> kLockIdents = {
+    "mutex",          "recursive_mutex", "shared_mutex",   "timed_mutex",
+    "lock_guard",     "unique_lock",     "shared_lock",    "scoped_lock",
+    "condition_variable", "condition_variable_any", "thread", "jthread",
+    "async",          "promise",         "packaged_task",  "counting_semaphore"};
+
+constexpr std::array<std::string_view, 3> kWallClocks = {
+    "steady_clock", "system_clock", "high_resolution_clock"};
+
+constexpr std::array<std::string_view, 4> kNondetCalls = {"rand", "time", "clock",
+                                                          "gettimeofday"};
+
+constexpr std::array<std::string_view, 8> kPtrIntTypes = {
+    "uintptr_t", "intptr_t", "uint64_t", "int64_t",
+    "size_t",    "uint32_t", "long",     "unsigned"};
+
+constexpr std::array<std::string_view, 4> kUnordered = {
+    "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+
+[[nodiscard]] bool is_boundary(const std::string& cls) {
+  return std::find(kBoundaryClasses.begin(), kBoundaryClasses.end(), cls) !=
+         kBoundaryClasses.end();
+}
+
+struct Origin {
+  std::string desc;  // e.g. "wall-clock read"
+  std::string file;
+  int line{0};
+};
+
+// Taint value of an expression / variable: intrinsically tainted (derived
+// from a source), and/or derived from the enclosing function's parameters
+// (used to build return summaries that stay context-sensitive).
+struct TVal {
+  bool intrinsic{false};
+  std::set<int> params;
+  std::optional<Origin> origin;
+
+  void join(const TVal& other) {
+    if (other.intrinsic && !intrinsic) {
+      intrinsic = true;
+      if (!origin) {
+        origin = other.origin;
+      }
+    }
+    params.insert(other.params.begin(), other.params.end());
+    if (!origin && other.origin) {
+      origin = other.origin;
+    }
+  }
+  [[nodiscard]] bool any() const { return intrinsic || !params.empty(); }
+};
+
+struct FnTaint {
+  std::map<std::string, TVal> vars;  // local/param name -> taint
+  bool ret_intrinsic{false};
+  std::set<int> ret_params;  // return value derived from these params
+  std::optional<Origin> ret_origin;
+};
+
+struct Semantic {
+  const SymbolIndex& ix;
+  std::vector<Diagnostic> diags;
+  std::vector<std::set<std::string>> unordered_vars;  // per file
+  std::vector<FnTaint> taint;
+  // Context-free return summaries, frozen after the fixpoint. The
+  // inter-procedural argument pass afterwards pollutes `taint` (it marks
+  // callee parameters intrinsically tainted for sink detection inside
+  // helpers); reading return taint from the frozen copy keeps call results
+  // context-sensitive — `wrap(rand())` is tainted, `wrap(5)` is not, even
+  // though both resolve to the same helper.
+  std::vector<FnTaint> summary;
+
+  explicit Semantic(const SymbolIndex& index) : ix{index} {
+    taint.resize(ix.functions.size());
+    collect_unordered_vars();
+  }
+
+  [[nodiscard]] const std::vector<Token>& toks(const Function& f) const {
+    return ix.lexed[static_cast<std::size_t>(f.file_idx)].tokens;
+  }
+  [[nodiscard]] std::string_view text(const Function& f, std::size_t i) const {
+    const auto& t = toks(f);
+    return i < t.size() ? std::string_view(t[i].text) : std::string_view{};
+  }
+  [[nodiscard]] bool in_hole(const Function& f, std::size_t i) const {
+    for (const auto& [b, e] : f.holes) {
+      if (i >= b && i < e) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void emit(const Function& f, int line, const char* rule, std::string message,
+            const char* tag, std::vector<ChainFrame> chain) {
+    Diagnostic d;
+    d.file = f.file;
+    d.line = line;
+    d.rule = rule;
+    d.severity = Severity::Error;
+    d.message = std::move(message);
+    d.suppression = tag;
+    d.chain = std::move(chain);
+    diags.push_back(std::move(d));
+  }
+
+  // --- P-rules: partition-safety reachability --------------------------------
+
+  struct Visit {
+    int func{-1};
+    int parent{-1};     // index into visits; -1 for roots
+    int call_line{0};   // line (in the parent's file) of the call edge
+    std::string note;   // root reason
+  };
+  std::vector<Visit> visits;
+  std::map<int, int> visited;  // func id -> visit index
+
+  [[nodiscard]] std::vector<ChainFrame> chain_to(int visit_idx) const {
+    std::vector<ChainFrame> frames;
+    for (int v = visit_idx; v >= 0; v = visits[static_cast<std::size_t>(v)].parent) {
+      const Visit& visit = visits[static_cast<std::size_t>(v)];
+      const Function& f = ix.functions[static_cast<std::size_t>(visit.func)];
+      ChainFrame frame;
+      frame.file = f.file;
+      frame.line = f.line;
+      frame.note = visit.note.empty() ? f.display() : visit.note;
+      frames.push_back(std::move(frame));
+    }
+    std::reverse(frames.begin(), frames.end());
+    return frames;
+  }
+
+  void run_partition_rules() {
+    std::deque<int> queue;
+    auto add_root = [&](const Function& f, const std::string& note) {
+      if (visited.count(f.id) > 0) {
+        return;
+      }
+      visited[f.id] = static_cast<int>(visits.size());
+      visits.push_back(Visit{f.id, -1, f.line, note});
+      queue.push_back(visited[f.id]);
+    };
+    for (const Function& f : ix.functions) {
+      if (f.own == Own::PartitionEntry) {
+        add_root(f, f.is_lambda ? "schedule_on_node callback at " + f.file + ":" +
+                                      std::to_string(f.line)
+                                : "partition-entry " + f.display());
+      } else if (f.own == Own::PartitionLocal) {
+        add_root(f, "declared partition-local: " + f.display());
+      }
+    }
+    while (!queue.empty()) {
+      const int visit_idx = queue.front();
+      queue.pop_front();
+      const Function& f =
+          ix.functions[static_cast<std::size_t>(visits[static_cast<std::size_t>(visit_idx)].func)];
+      check_body_p_rules(f, visit_idx);
+      for (const CallSite& call : f.calls) {
+        if (in_hole(f, call.tok)) {
+          continue;  // inside a detached (post_global / nested entry) lambda
+        }
+        for (int target_id : resolve_call(ix, f, call)) {
+          const Function& target = ix.functions[static_cast<std::size_t>(target_id)];
+          if (target.global_root) {
+            continue;
+          }
+          if (target.own == Own::GlobalOnly) {
+            auto frames = chain_to(visit_idx);
+            frames.push_back(ChainFrame{f.file, call.line,
+                                        "calls global-only " + target.display()});
+            frames.push_back(
+                ChainFrame{target.file, target.line,
+                           "global-only " + target.display() + " defined here"});
+            emit(f, call.line, "P1-partition-calls-global",
+                 "partition-reachable '" + f.display() + "' calls global-only '" +
+                     target.display() +
+                     "'; cross-partition state transitions must go through "
+                     "post_global",
+                 "partition-ok", std::move(frames));
+            continue;  // the violation is the endpoint; do not traverse into it
+          }
+          if (is_boundary(target.cls)) {
+            continue;  // the engine serializes internally
+          }
+          if (visited.count(target_id) == 0) {
+            visited[target_id] = static_cast<int>(visits.size());
+            visits.push_back(Visit{target_id, visit_idx, call.line,
+                                   target.display()});
+            queue.push_back(visited[target_id]);
+          }
+        }
+      }
+    }
+  }
+
+  void check_body_p_rules(const Function& f, int visit_idx) {
+    const auto& tokens = toks(f);
+    for (std::size_t i = f.body_begin; i < f.body_end && i < tokens.size(); ++i) {
+      if (tokens[i].kind != TokKind::Ident || in_hole(f, i)) {
+        continue;
+      }
+      const std::string& s = tokens[i].text;
+      if (std::find(kLockIdents.begin(), kLockIdents.end(), s) != kLockIdents.end()) {
+        auto frames = chain_to(visit_idx);
+        frames.push_back(
+            ChainFrame{f.file, tokens[i].line, "uses '" + s + "' here"});
+        emit(f, tokens[i].line, "P2-partition-locks",
+             "partition-reachable '" + f.display() + "' uses '" + s +
+                 "'; partition callbacks must not take locks or spawn threads "
+                 "(the window barrier is the only synchronization point)",
+             "partition-ok", std::move(frames));
+        continue;
+      }
+      if (ix.global_fields.count(s) > 0 && text(f, i + 1) != "(") {
+        auto frames = chain_to(visit_idx);
+        frames.push_back(
+            ChainFrame{f.file, tokens[i].line, "touches '" + s + "' here"});
+        emit(f, tokens[i].line, "P3-partition-global-state",
+             "partition-reachable '" + f.display() +
+                 "' touches globally-owned state '" + s +
+                 "'; route the mutation through post_global",
+             "partition-ok", std::move(frames));
+      }
+    }
+  }
+
+  // --- T-rules: nondeterminism taint -----------------------------------------
+
+  void collect_unordered_vars() {
+    unordered_vars.resize(ix.lexed.size());
+    for (std::size_t fi = 0; fi < ix.lexed.size(); ++fi) {
+      const auto& tokens = ix.lexed[fi].tokens;
+      std::set<std::string>& vars = unordered_vars[fi];
+      std::set<std::string> aliases;
+      auto text_at = [&](std::size_t i) {
+        return i < tokens.size() ? std::string_view(tokens[i].text) : std::string_view{};
+      };
+      for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+        if (tokens[i].text != "using" || tokens[i + 1].kind != TokKind::Ident ||
+            text_at(i + 2) != "=") {
+          continue;
+        }
+        for (std::size_t k = i + 3; k < tokens.size() && text_at(k) != ";"; ++k) {
+          const std::string_view s = text_at(k);
+          if (std::find(kUnordered.begin(), kUnordered.end(), s) != kUnordered.end() ||
+              aliases.count(std::string(s)) > 0) {
+            aliases.insert(tokens[i + 1].text);
+            break;
+          }
+        }
+      }
+      for (std::size_t i = 0; i < tokens.size(); ++i) {
+        if (tokens[i].kind != TokKind::Ident) {
+          continue;
+        }
+        const bool unordered_type =
+            std::find(kUnordered.begin(), kUnordered.end(),
+                      std::string_view(tokens[i].text)) != kUnordered.end();
+        const bool alias_type = aliases.count(tokens[i].text) > 0 &&
+                                (i == 0 || tokens[i - 1].text != "using") &&
+                                text_at(i + 1) != "=";
+        if (!unordered_type && !alias_type) {
+          continue;
+        }
+        std::size_t j = i + 1;
+        if (unordered_type && text_at(j) == "<") {
+          int depth = 0;
+          for (; j < tokens.size(); ++j) {
+            if (text_at(j) == "<") {
+              ++depth;
+            } else if (text_at(j) == ">") {
+              if (--depth == 0) {
+                ++j;
+                break;
+              }
+            }
+          }
+        }
+        while (j < tokens.size() &&
+               (text_at(j) == "&" || text_at(j) == "*" || text_at(j) == "const")) {
+          ++j;
+        }
+        if (j < tokens.size() && tokens[j].kind == TokKind::Ident) {
+          vars.insert(tokens[j].text);
+        }
+      }
+    }
+  }
+
+  // Taint source starting at token i of f's file; nullopt if none.
+  [[nodiscard]] std::optional<Origin> source_at(const Function& f,
+                                                std::size_t i) const {
+    const auto& tokens = toks(f);
+    const Token& t = tokens[i];
+    if (t.kind != TokKind::Ident) {
+      return std::nullopt;
+    }
+    const int line = t.line;
+    if (std::find(kWallClocks.begin(), kWallClocks.end(),
+                  std::string_view(t.text)) != kWallClocks.end()) {
+      return Origin{"wall-clock read ('" + t.text + "')", f.file, line};
+    }
+    if (t.text == "random_device") {
+      return Origin{"std::random_device", f.file, line};
+    }
+    if (std::find(kNondetCalls.begin(), kNondetCalls.end(),
+                  std::string_view(t.text)) != kNondetCalls.end() &&
+        text(f, i + 1) == "(") {
+      return Origin{"'" + t.text + "()' call", f.file, line};
+    }
+    if (t.text == "reinterpret_cast" && text(f, i + 1) == "<" &&
+        std::find(kPtrIntTypes.begin(), kPtrIntTypes.end(), text(f, i + 2)) !=
+            kPtrIntTypes.end()) {
+      return Origin{"pointer-to-integer cast", f.file, line};
+    }
+    if (std::find(kPtrIntTypes.begin(), kPtrIntTypes.end(),
+                  std::string_view(t.text)) != kPtrIntTypes.end() &&
+        (t.text == "uintptr_t" || t.text == "intptr_t") && i > 0 &&
+        tokens[i - 1].text == "(" && text(f, i + 1) == ")") {
+      return Origin{"pointer-to-integer cast", f.file, line};
+    }
+    return std::nullopt;
+  }
+
+  // Split the argument list of a call whose '(' (or '{') is at `open` into
+  // top-level comma-separated token ranges.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> split_args(
+      const Function& f, std::size_t open, char open_c, char close_c) const {
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+    const auto& tokens = toks(f);
+    int depth = 0;
+    int adepth = 0;
+    std::size_t begin = open + 1;
+    for (std::size_t j = open; j < tokens.size(); ++j) {
+      const std::string& s = tokens[j].text;
+      if (tokens[j].kind == TokKind::Punct) {
+        const char c = s[0];
+        if (c == open_c || c == '(' || c == '[' ||
+            (c == '{' && open_c == '{')) {
+          ++depth;
+        } else if (c == close_c || c == ')' || c == ']' ||
+                   (c == '}' && open_c == '{')) {
+          --depth;
+          if (depth == 0) {
+            if (j > begin) {
+              args.emplace_back(begin, j);
+            }
+            break;
+          }
+        } else if (c == '<') {
+          ++adepth;
+        } else if (c == '>') {
+          adepth = std::max(0, adepth - 1);
+        } else if (c == ',' && depth == 1 && adepth == 0) {
+          args.emplace_back(begin, j);
+          begin = j + 1;
+        }
+      }
+    }
+    return args;
+  }
+
+  // Taint of the expression tokens [begin, end) evaluated in `f` with the
+  // current variable state. Applies callee return summaries at call sites,
+  // so a helper that returns its argument forwards taint only when this
+  // call's argument is tainted.
+  [[nodiscard]] TVal eval_range(const Function& f, const FnTaint& state,
+                                std::size_t begin, std::size_t end) const {
+    TVal val;
+    const auto& tokens = toks(f);
+    for (std::size_t i = begin; i < end && i < tokens.size(); ++i) {
+      if (tokens[i].kind != TokKind::Ident) {
+        continue;
+      }
+      if (auto origin = source_at(f, i)) {
+        TVal src;
+        src.intrinsic = true;
+        src.origin = std::move(origin);
+        val.join(src);
+        continue;
+      }
+      const std::string& name = tokens[i].text;
+      if (text(f, i + 1) == "(") {
+        // Call: apply return summaries of every resolution candidate.
+        CallSite probe;
+        probe.name = name;
+        probe.tok = i;
+        if (i >= 1 && tokens[i - 1].text == ":" && i >= 3 &&
+            tokens[i - 2].text == ":" && tokens[i - 3].kind == TokKind::Ident) {
+          probe.qual = tokens[i - 3].text;
+        }
+        const auto args = split_args(f, i + 1, '(', ')');
+        std::vector<TVal> arg_vals;
+        arg_vals.reserve(args.size());
+        for (const auto& [ab, ae] : args) {
+          arg_vals.push_back(eval_range(f, state, ab, ae));
+          val.join(arg_vals.back());  // conservatively: g(tainted) may pass it on
+        }
+        for (int id : resolve_call(ix, f, probe)) {
+          const FnTaint& callee =
+              (summary.empty() ? taint : summary)[static_cast<std::size_t>(id)];
+          if (callee.ret_intrinsic) {
+            TVal ret;
+            ret.intrinsic = true;
+            ret.origin = callee.ret_origin;
+            val.join(ret);
+          }
+        }
+        continue;
+      }
+      const auto it = state.vars.find(name);
+      if (it != state.vars.end()) {
+        val.join(it->second);
+      }
+    }
+    return val;
+  }
+
+  // One local dataflow pass over `f`. Returns true if the function's state
+  // (variable taints or return summary) changed.
+  bool local_pass(const Function& f) {
+    FnTaint& state = taint[static_cast<std::size_t>(f.id)];
+    const auto& tokens = toks(f);
+    bool changed = false;
+    auto taint_var = [&](const std::string& name, TVal val) {
+      if (!val.any()) {
+        return;
+      }
+      TVal& slot = state.vars[name];
+      const bool before_i = slot.intrinsic;
+      const std::size_t before_p = slot.params.size();
+      slot.join(val);
+      if (slot.intrinsic != before_i || slot.params.size() != before_p) {
+        changed = true;
+      }
+    };
+    // Seed parameter dependencies once.
+    for (std::size_t k = 0; k < f.params.size(); ++k) {
+      if (f.params[k].empty()) {
+        continue;
+      }
+      TVal v;
+      v.params.insert(static_cast<int>(k));
+      taint_var(f.params[k], v);
+    }
+    for (std::size_t i = f.body_begin; i < f.body_end && i < tokens.size(); ++i) {
+      if (in_hole(f, i) || tokens[i].kind != TokKind::Ident) {
+        continue;
+      }
+      const std::string& name = tokens[i].text;
+      // return <expr>;
+      if (name == "return") {
+        std::size_t j = i + 1;
+        int depth = 0;
+        while (j < f.body_end &&
+               !(depth == 0 && toks(f)[j].kind == TokKind::Punct &&
+                 toks(f)[j].text[0] == ';')) {
+          const std::string& s = tokens[j].text;
+          if (s == "(" || s == "{" || s == "[") {
+            ++depth;
+          } else if (s == ")" || s == "}" || s == "]") {
+            --depth;
+          }
+          ++j;
+        }
+        const TVal v = eval_range(f, state, i + 1, j);
+        if (v.intrinsic && !state.ret_intrinsic) {
+          state.ret_intrinsic = true;
+          state.ret_origin = v.origin;
+          changed = true;
+        }
+        const std::size_t before = state.ret_params.size();
+        state.ret_params.insert(v.params.begin(), v.params.end());
+        changed |= state.ret_params.size() != before;
+        i = j;
+        continue;
+      }
+      // Range-for over an unordered container taints the loop variable.
+      if (name == "for" && text(f, i + 1) == "(") {
+        const std::size_t close = find_close(f, i + 1, '(', ')');
+        std::size_t colon = std::string::npos;
+        for (std::size_t j = i + 2; j < close; ++j) {
+          if (tokens[j].kind == TokKind::Punct && tokens[j].text[0] == ':' &&
+              (j + 1 >= close || tokens[j + 1].text[0] != ':') &&
+              (j == 0 || tokens[j - 1].text[0] != ':')) {
+            colon = j;
+            break;
+          }
+        }
+        if (colon != std::string::npos && colon + 1 < close &&
+            tokens[colon + 1].kind == TokKind::Ident &&
+            unordered_vars[static_cast<std::size_t>(f.file_idx)].count(
+                tokens[colon + 1].text) > 0 &&
+            tokens[colon - 1].kind == TokKind::Ident) {
+          TVal v;
+          v.intrinsic = true;
+          v.origin = Origin{"hash-order iteration over '" + tokens[colon + 1].text + "'",
+                            f.file, tokens[colon].line};
+          taint_var(tokens[colon - 1].text, v);
+        }
+        continue;
+      }
+      // Assignment / compound assignment to an identifier.
+      std::size_t rhs_begin = std::string::npos;
+      if (text(f, i + 1) == "=" && text(f, i + 2) != "=") {
+        rhs_begin = i + 2;
+      } else if ((text(f, i + 1) == "+" || text(f, i + 1) == "-" ||
+                  text(f, i + 1) == "*" || text(f, i + 1) == "/" ||
+                  text(f, i + 1) == "%" || text(f, i + 1) == "^" ||
+                  text(f, i + 1) == "|" || text(f, i + 1) == "&") &&
+                 text(f, i + 2) == "=" && text(f, i + 3) != "=") {
+        rhs_begin = i + 3;
+      }
+      if (rhs_begin == std::string::npos) {
+        continue;
+      }
+      std::size_t j = rhs_begin;
+      int depth = 0;
+      while (j < f.body_end) {
+        const std::string& s = tokens[j].text;
+        if (tokens[j].kind == TokKind::Punct) {
+          const char c = s[0];
+          if (c == '(' || c == '{' || c == '[') {
+            ++depth;
+          } else if (c == ')' || c == '}' || c == ']') {
+            if (depth == 0) {
+              break;
+            }
+            --depth;
+          } else if ((c == ';' || c == ',') && depth == 0) {
+            break;
+          }
+        }
+        ++j;
+      }
+      taint_var(name, eval_range(f, state, rhs_begin, j));
+      i = j;
+    }
+    return changed;
+  }
+
+  [[nodiscard]] std::size_t find_close(const Function& f, std::size_t open, char oc,
+                                       char cc) const {
+    const auto& tokens = toks(f);
+    int depth = 0;
+    for (std::size_t j = open; j < tokens.size(); ++j) {
+      if (tokens[j].kind != TokKind::Punct) {
+        continue;
+      }
+      if (tokens[j].text[0] == oc) {
+        ++depth;
+      } else if (tokens[j].text[0] == cc) {
+        if (--depth == 0) {
+          return j;
+        }
+      }
+    }
+    return tokens.size();
+  }
+
+  void run_taint_rules() {
+    // Fixpoint over return summaries and intra-function taints. Bounded:
+    // each round only adds taint bits, and a round with no change stops.
+    for (int round = 0; round < 8; ++round) {
+      bool changed = false;
+      for (const Function& f : ix.functions) {
+        changed |= local_pass(f);
+      }
+      if (!changed) {
+        break;
+      }
+    }
+    // Freeze the context-free summaries before argument propagation below
+    // starts polluting per-function states.
+    summary = taint;
+    // Inter-procedural argument propagation: a tainted argument taints the
+    // callee's parameter (for sink detection inside helpers), cascading.
+    std::deque<int> work;
+    for (const Function& f : ix.functions) {
+      work.push_back(f.id);
+    }
+    int budget = static_cast<int>(ix.functions.size()) * 8;
+    while (!work.empty() && budget-- > 0) {
+      const Function& f = ix.functions[static_cast<std::size_t>(work.front())];
+      work.pop_front();
+      const FnTaint& state = taint[static_cast<std::size_t>(f.id)];
+      for (const CallSite& call : f.calls) {
+        if (in_hole(f, call.tok)) {
+          continue;
+        }
+        const auto args = split_args(f, call.tok + 1, '(', ')');
+        for (int id : resolve_call(ix, f, call)) {
+          const Function& callee = ix.functions[static_cast<std::size_t>(id)];
+          bool callee_changed = false;
+          for (std::size_t k = 0; k < args.size() && k < callee.params.size(); ++k) {
+            if (callee.params[k].empty()) {
+              continue;
+            }
+            const TVal v = eval_range(f, state, args[k].first, args[k].second);
+            if (!v.intrinsic) {
+              continue;
+            }
+            TVal& slot = taint[static_cast<std::size_t>(id)].vars[callee.params[k]];
+            if (!slot.intrinsic) {
+              slot.intrinsic = true;
+              slot.origin = v.origin;
+              callee_changed = true;
+            }
+          }
+          if (callee_changed && local_pass(callee)) {
+            work.push_back(callee.id);
+          } else if (callee_changed) {
+            work.push_back(callee.id);
+          }
+        }
+      }
+    }
+    // Sink scan.
+    for (const Function& f : ix.functions) {
+      scan_sinks(f);
+    }
+  }
+
+  void sink_hit(const Function& f, int line, const char* rule, const TVal& v,
+                const std::string& sink_desc) {
+    const Origin origin =
+        v.origin.value_or(Origin{"nondeterministic value", f.file, line});
+    std::vector<ChainFrame> frames;
+    frames.push_back(
+        ChainFrame{origin.file, origin.line, "taint source: " + origin.desc});
+    frames.push_back(ChainFrame{f.file, line, "reaches " + sink_desc + " in '" +
+                                                  f.display() + "'"});
+    emit(f, line, rule,
+         "value derived from " + origin.desc + " (" + origin.file + ":" +
+             std::to_string(origin.line) + ") reaches " + sink_desc +
+             "; the schedule must be a pure function of (scenario, seed)",
+         "taint-ok", std::move(frames));
+  }
+
+  void scan_sinks(const Function& f) {
+    const FnTaint& state = taint[static_cast<std::size_t>(f.id)];
+    const auto& tokens = toks(f);
+    for (const CallSite& call : f.calls) {
+      if (in_hole(f, call.tok)) {
+        continue;
+      }
+      const auto args = split_args(f, call.tok + 1, '(', ')');
+      auto arg_taint = [&](std::size_t k) -> TVal {
+        if (k >= args.size()) {
+          return {};
+        }
+        return eval_range(f, state, args[k].first, args[k].second);
+      };
+      auto any_arg_taint = [&]() -> TVal {
+        TVal v;
+        for (std::size_t k = 0; k < args.size(); ++k) {
+          v.join(arg_taint(k));
+        }
+        return v;
+      };
+      if (call.name == "schedule_at" || call.name == "schedule_after" ||
+          call.name == "schedule_on_node") {
+        const std::size_t time_arg = call.name == "schedule_on_node" ? 1 : 0;
+        const TVal v = arg_taint(time_arg);
+        if (v.intrinsic) {
+          sink_hit(f, call.line, "T1-taint-schedule-time", v,
+                   "the event-schedule time argument of '" + call.name + "'");
+        }
+        continue;
+      }
+      if (call.name == "Rng" || call.name == "seed" || call.name == "reseed") {
+        const TVal v = any_arg_taint();
+        if (v.intrinsic) {
+          sink_hit(f, call.line, "T2-taint-rng-seed", v,
+                   "an RNG seed ('" + call.name + "')");
+        }
+        continue;
+      }
+      if (call.name == "mix" || call.name == "mix64" || call.name == "fate_key") {
+        const TVal v = any_arg_taint();
+        if (v.intrinsic) {
+          sink_hit(f, call.line, "T3-taint-fate-key", v,
+                   "a fault-fate hash key ('" + call.name + "')");
+        }
+        continue;
+      }
+      if (call.member && (call.name == "instant" || call.name == "async_begin" ||
+                          call.name == "async_end" || call.name == "counter")) {
+        const TVal v = any_arg_taint();
+        if (v.intrinsic) {
+          sink_hit(f, call.line, "T4-taint-trace-emit", v,
+                   "a trace emission ('" + call.name + "')");
+        }
+        continue;
+      }
+    }
+    // Constructed RNG declarations: `Rng rng{expr}` and `Rng rng(expr)`
+    // record no call site named 'Rng' (the paren form records a call on the
+    // variable name instead). A bare `Rng(expr)` temporary IS a 'Rng' call
+    // site, so the paren form is only accepted after a declarator name.
+    for (std::size_t i = f.body_begin; i < f.body_end && i < tokens.size(); ++i) {
+      if (in_hole(f, i) || tokens[i].kind != TokKind::Ident ||
+          tokens[i].text != "Rng") {
+        continue;
+      }
+      std::size_t j = i + 1;
+      bool named_decl = false;
+      if (toks(f)[j].kind == TokKind::Ident) {
+        ++j;  // Rng name{...} / Rng name(...)
+        named_decl = true;
+      }
+      char open = 0;
+      if (text(f, j) == "{") {
+        open = '{';
+      } else if (named_decl && text(f, j) == "(") {
+        open = '(';
+      }
+      if (open == 0) {
+        continue;
+      }
+      const auto args = split_args(f, j, open, open == '{' ? '}' : ')');
+      TVal v;
+      for (const auto& [ab, ae] : args) {
+        v.join(eval_range(f, state, ab, ae));
+      }
+      if (v.intrinsic) {
+        sink_hit(f, tokens[i].line, "T2-taint-rng-seed", v, "an RNG seed ('Rng')");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Diagnostic> run_semantic(const SymbolIndex& index) {
+  Semantic sem{index};
+  sem.run_partition_rules();
+  sem.run_taint_rules();
+  std::sort(sem.diags.begin(), sem.diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) {
+                return a.file < b.file;
+              }
+              if (a.line != b.line) {
+                return a.line < b.line;
+              }
+              if (a.rule != b.rule) {
+                return a.rule < b.rule;
+              }
+              return a.message < b.message;
+            });
+  sem.diags.erase(std::unique(sem.diags.begin(), sem.diags.end(),
+                              [](const Diagnostic& a, const Diagnostic& b) {
+                                return a.file == b.file && a.line == b.line &&
+                                       a.rule == b.rule && a.message == b.message;
+                              }),
+                  sem.diags.end());
+  return std::move(sem.diags);
+}
+
+}  // namespace ampom::lint

@@ -1,0 +1,47 @@
+#pragma once
+// Cross-TU semantic rules over the symbol index (see index.hpp):
+//
+// P-rules (partition safety): every function reachable from a partition
+// callback — a lambda passed to schedule_on_node, or a function annotated
+// `// ampom: partition-entry` / `partition-local` — is checked transitively:
+//
+//   P1-partition-calls-global   calls a `// ampom: global-only` function
+//                               (the post_global escape hatch is recognized:
+//                               lambdas passed to post_global run in barrier
+//                               context and are exempt)
+//   P2-partition-locks          takes a lock or spawns a thread
+//   P3-partition-global-state   touches a member field annotated global-only
+//
+// Calls into the engine-boundary classes (Simulator, EventQueue,
+// TraceRecorder, Logger) are not traversed: they are the mechanisms that
+// *implement* the partition contract and serialize internally.
+//
+// T-rules (nondeterminism taint): values derived from wall-clock reads,
+// rand()/std::random_device, pointer-to-integer casts and unordered-
+// container iteration order are tainted at the source and propagated
+// through assignments, returns (summary-based: a helper that returns its
+// argument forwards taint only at call sites whose argument is tainted)
+// and call arguments. A violation fires when taint reaches:
+//
+//   T1-taint-schedule-time   an event-schedule time (schedule_at /
+//                            schedule_after / schedule_on_node)
+//   T2-taint-rng-seed        an RNG seed (Rng construction, seed()/reseed())
+//   T3-taint-fate-key        a fault-fate hash key (mix/mix64/fate_key)
+//   T4-taint-trace-emit      a trace/metric emission (instant, async_begin,
+//                            async_end, counter)
+//
+// Every diagnostic carries the full chain (Diagnostic::chain): entry point
+// to violating call for P-rules, taint source to sink for T-rules.
+// Suppression tags: partition-ok (P*), taint-ok (T*), placed at the
+// diagnostic's primary line.
+
+#include <vector>
+
+#include "ampom_lint/index.hpp"
+#include "ampom_lint/lint.hpp"
+
+namespace ampom::lint {
+
+[[nodiscard]] std::vector<Diagnostic> run_semantic(const SymbolIndex& index);
+
+}  // namespace ampom::lint
