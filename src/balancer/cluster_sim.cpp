@@ -198,6 +198,10 @@ void ProcessHost::migrate_to(net::NodeId dst) {
                                world_.note_migration_ended(src, dst);
                                if (result.completed()) {
                                  ++migrations_;
+                                 // Cold caches at the destination: charge the CPMD
+                                 // warm-up before the first resumed burst runs (a
+                                 // no-op while the cache model is off).
+                                 world_.charge_warmup(*this, dst);
                                  if (world_.node_crashed(process_.current_node())) {
                                    // The destination died while the final acks were
                                    // in flight: the commit is legitimate (every chunk
@@ -238,6 +242,8 @@ WorldConfig WorldConfig::from(const driver::Scenario& scenario) {
   config.topology = scenario.topology;
   config.gossip = scenario.gossip;
   config.exec = scenario.exec;
+  config.hierarchy = scenario.hierarchy;
+  config.cpmd_calibration = scenario.cpmd_calibration;
   return config;
 }
 
@@ -282,6 +288,19 @@ ClusterSim::ClusterSim(const WorldConfig& config)
     plan.lookahead = profile_.link.latency;
     sim_.configure_partitions(std::move(plan), static_cast<std::uint32_t>(config.exec.workers));
   }
+  // Cache/NUMA model (DESIGN.md §17): built before the daemons so their
+  // cache-pressure sources can read it. The digest upgrade rides on the
+  // existing gossip config — when both are on, every daemon ships the
+  // 32-byte cache-format entries.
+  if (config.hierarchy.enabled) {
+    hierarchy_ = std::make_unique<mem::MemoryHierarchy>(config.hierarchy, node_count);
+    cpmd_ = config.cpmd_calibration.empty()
+                ? migration::CpmdTable::builtin()
+                : migration::CpmdTable::load_file(config.cpmd_calibration);
+    if (gossip_.enabled) {
+      gossip_.cache_digest = true;
+    }
+  }
   crashed_at_.resize(node_count);
   active_count_.assign(node_count, 0);
   hosts_on_.resize(node_count);
@@ -312,6 +331,9 @@ ClusterSim::ClusterSim(const WorldConfig& config)
     }
     infods_[i]->set_local_load_source(
         [this, id] { return static_cast<double>(active_on(id)); });
+    if (hierarchy_ != nullptr) {
+      infods_[i]->set_local_cache_pressure_source([this, id] { return cache_pressure(id); });
+    }
     nodes_[i]->set_infod(infods_[i].get());
     infods_[i]->start();
   }
@@ -547,6 +569,9 @@ void ClusterSim::note_activated(ProcessHost& host, net::NodeId node) {
                                       return a->pid() < b->pid();
                                     });
   list.insert(pos, &host);
+  if (hierarchy_ != nullptr) {
+    hierarchy_->place(node, host.pid(), host.wss_bytes());
+  }
 }
 
 void ClusterSim::note_deactivated(ProcessHost& host, net::NodeId node) {
@@ -554,6 +579,34 @@ void ClusterSim::note_deactivated(ProcessHost& host, net::NodeId node) {
   --zone_active_[topology_.zone_of(node)];
   auto& list = hosts_on_[node];
   list.erase(std::find(list.begin(), list.end(), &host));
+  if (hierarchy_ != nullptr) {
+    hierarchy_->remove(node, host.pid());
+  }
+}
+
+void ClusterSim::charge_warmup(ProcessHost& host, net::NodeId dst) {
+  if (hierarchy_ == nullptr) {
+    return;
+  }
+  const sim::Time carried = host.executor_.warmup_balance();
+  sim::Time charged = sim::Time::zero();
+  if (carried == sim::Time::zero()) {
+    // Displacement cost of landing here: the calibration-curve delay for
+    // this working set, inflated by the LLC pressure of the processes
+    // already resident (the migrant itself was placed by note_moved just
+    // before this runs, so it must not count against itself).
+    const sim::Time base = cpmd_.warmup_delay(host.wss_bytes());
+    charged = base.scaled(1.0 + hierarchy_->pressure_excluding(dst, host.pid()));
+    host.executor_.add_warmup_charge(charged);
+  }
+  // else: remigrated before the previous warm-up was fully paid — the
+  // outstanding balance carries as-is; adding a fresh full charge would
+  // bill the same cold cache twice (remigration_test pins this).
+  if (trace_ != nullptr) {
+    trace_->instant(trace::Category::kSched, "warmup", sim_.now(), dst, host.pid(),
+                    static_cast<std::uint64_t>(charged.us()),
+                    static_cast<std::uint64_t>(carried.us()));
+  }
 }
 
 void ClusterSim::note_moved(ProcessHost& host, net::NodeId from, net::NodeId to) {

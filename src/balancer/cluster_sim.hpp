@@ -23,7 +23,10 @@
 #include "driver/metrics.hpp"
 #include "driver/profile.hpp"
 #include "driver/scenario.hpp"
+#include "mem/hierarchy.hpp"
 #include "mem/ledger.hpp"
+#include "mem/page.hpp"
+#include "migration/cpmd.hpp"
 #include "migration/engine.hpp"
 #include "migration/full_copy.hpp"
 #include "migration/lightweight.hpp"
@@ -80,6 +83,11 @@ class ProcessHost {
   [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
   [[nodiscard]] sim::Time freeze_total() const { return freeze_total_; }
   [[nodiscard]] sim::Time finished_at() const { return executor_.stats().finished_at; }
+  // Working-set-size proxy the cache model charges by: the full address
+  // space (every page the process can touch competes for LLC capacity).
+  [[nodiscard]] sim::Bytes wss_bytes() const {
+    return process_.aspace().page_count() * mem::kPageBytes;
+  }
   [[nodiscard]] const mem::PageLedger& ledger() const { return ledger_; }
   [[nodiscard]] const proc::Deputy& deputy() const { return deputy_; }
   [[nodiscard]] const proc::Process& process() const { return process_; }
@@ -135,6 +143,10 @@ struct WorldConfig {
   // The schedule is a pure function of the scenario, so every worker count
   // produces bit-identical results (DESIGN.md §15). Default: serial engine.
   driver::ExecPolicy exec{};
+  // Cache/NUMA model + CPMD calibration (DESIGN.md §17). Disabled by
+  // default: no hierarchy state, no warm-up charges, bit-identical runs.
+  mem::HierarchyConfig hierarchy{};
+  std::string cpmd_calibration{};  // empty = CpmdTable::builtin()
 
   [[nodiscard]] static WorldConfig from(const driver::Scenario& scenario);
 };
@@ -210,6 +222,10 @@ class ClusterSim : public cluster::ClusterView {
   }
   [[nodiscard]] double zone_load(std::uint32_t zone) const override {
     return static_cast<double>(zone_active_[zone]) / topology_.nodes_per_zone;
+  }
+  // LLC occupancy / capacity on `node`; 0.0 when the cache model is off.
+  [[nodiscard]] double cache_pressure(net::NodeId node) const override {
+    return hierarchy_ == nullptr ? 0.0 : hierarchy_->cache_pressure(node);
   }
   [[nodiscard]] const cluster::ClusterView& view() const { return *this; }
 
@@ -292,6 +308,26 @@ class ClusterSim : public cluster::ClusterView {
     return migrating_zone_[zone];
   }
 
+  // --- cache/NUMA model (DESIGN.md §17; inert unless hierarchy.enabled) -----
+  [[nodiscard]] bool cache_model_enabled() const { return hierarchy_ != nullptr; }
+  [[nodiscard]] const mem::MemoryHierarchy* hierarchy() const { return hierarchy_.get(); }
+  [[nodiscard]] const migration::CpmdTable& cpmd_table() const { return cpmd_; }
+  // Predicted CPMD warm-up a process with working set `wss` would pay after
+  // landing on `dst` now: calibration-curve delay scaled by the LLC pressure
+  // already resident there. Zero when the model is off — the balancer's
+  // cache-aware score degrades to the load score.
+  [[nodiscard]] sim::Time predicted_warmup(sim::Bytes wss, net::NodeId dst) const {
+    if (hierarchy_ == nullptr) {
+      return sim::Time::zero();
+    }
+    return cpmd_.warmup_delay(wss).scaled(1.0 + hierarchy_->cache_pressure(dst));
+  }
+  // Occupancy of the emptiest NUMA domain on `node` relative to its share of
+  // the LLC; 0.0 when the model is off.
+  [[nodiscard]] double numa_contention(net::NodeId node) const {
+    return hierarchy_ == nullptr ? 0.0 : hierarchy_->numa_contention(node);
+  }
+
   // Engine selection shared by all hosts.
   [[nodiscard]] migration::MigrationEngine& first_hop_engine();
   [[nodiscard]] migration::MigrationEngine& second_hop_engine();
@@ -309,6 +345,11 @@ class ClusterSim : public cluster::ClusterView {
   void note_moved(ProcessHost& host, net::NodeId from, net::NodeId to);
   void note_migration_started(net::NodeId src, net::NodeId dst);
   void note_migration_ended(net::NodeId src, net::NodeId dst);
+  // Charge the CPMD warm-up delay to a process that just committed a
+  // migration onto `dst` (no-op when the cache model is off). A process
+  // remigrating before its previous warm-up is fully paid carries only the
+  // outstanding balance — no fresh full charge (remigration_test pins this).
+  void charge_warmup(ProcessHost& host, net::NodeId dst);
   // Recovery-tracking poll loops (read-only; scheduled only when tracking).
   void poll_detection(net::NodeId id, sim::Time crashed_at);
   void poll_heal(sim::Time mark);
@@ -354,6 +395,14 @@ class ClusterSim : public cluster::ClusterView {
   std::vector<std::uint32_t> migrating_zone_;
   // ampom: global-only
   std::uint32_t migrating_total_{0};
+
+  // Cache/NUMA model (null = off). Per-node occupancy lives inside the
+  // hierarchy and is only mutated by the same note_activated/
+  // note_deactivated events that maintain active_count_, so it shares the
+  // partition-sharded discipline of the load counts above (and, like them,
+  // carries no global-only marker: each node's slice belongs to its zone).
+  std::unique_ptr<mem::MemoryHierarchy> hierarchy_;
+  migration::CpmdTable cpmd_;  // immutable after construction
 
   migration::FullCopyEngine full_copy_;
   migration::ThreePageEngine three_page_;

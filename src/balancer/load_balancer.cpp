@@ -50,12 +50,50 @@ void LoadBalancer::reclaim_stranded() {
   }
 }
 
+// The paper's Eq.-3 flat transfer cost amortizes roughly three protocol
+// rounds of the measured one-way latency per migration.
+constexpr double kEq3TransferRounds = 3.0;
+
+sim::Bytes LoadBalancer::candidate_wss(net::NodeId from) const {
+  for (ProcessHost* host : world_.hosts_on(from)) {
+    if (host->migratable()) {
+      return host->wss_bytes();
+    }
+  }
+  return 0;
+}
+
+double LoadBalancer::dest_score(net::NodeId src, net::NodeId dst, double load,
+                                sim::Bytes wss) const {
+  switch (config_.placement) {
+    case driver::Placement::kLoad:
+      return load;
+    case driver::Placement::kEq3: {
+      // Eq. 3: the move pays a flat transfer cost (freeze + a few latency
+      // rounds) amortized over the balancing horizon, in load units.
+      const double transfer_seconds = config_.assumed_freeze_seconds +
+                                      view_.rtt_one_way(src, dst).sec() * kEq3TransferRounds;
+      return load + transfer_seconds / config_.horizon_seconds;
+    }
+    case driver::Placement::kCacheAware:
+      // Eq.-3 shape with a measured cost: the CPMD warm-up the migrant
+      // would pay on this destination's LLC (calibration curve scaled by
+      // resident pressure), plus the contention of the NUMA domain it
+      // would land in. Both read 0 while the cache model is off.
+      return load + world_.predicted_warmup(wss, dst).sec() / config_.horizon_seconds +
+             world_.numa_contention(dst);
+  }
+  return load;
+}
+
 LoadBalancer::ZoneScan LoadBalancer::scan_zone(std::uint32_t zone) const {
   // Nodes the cluster does not consider healthy are skipped entirely —
   // never a migration destination, and not a source either (their
   // processes go through reclaim_stranded instead).
   ZoneScan scan;
   scan.min_load = std::numeric_limits<double>::max();
+  scan.best_score = std::numeric_limits<double>::max();
+  // Pass 1: the busiest alive node (the migration source).
   for (net::NodeId id = view_.zone_begin(zone); id < view_.zone_end(zone); ++id) {
     if (config_.respect_failure_detection &&
         view_.health(id) != cluster::PeerHealth::kAlive) {
@@ -67,7 +105,30 @@ LoadBalancer::ZoneScan LoadBalancer::scan_zone(std::uint32_t zone) const {
       scan.max_load = load;
       scan.busiest = id;
     }
-    if (load < scan.min_load) {
+  }
+  if (!scan.found) {
+    return scan;
+  }
+  // Pass 2: the destination, by placement score. For kLoad the score IS the
+  // load, so the pick — including the first-strictly-lower tie-break — is
+  // exactly the classic single-pass idlest and kLoad runs stay bit-identical
+  // to the pre-scoring balancer.
+  const sim::Bytes wss = config_.placement == driver::Placement::kCacheAware
+                             ? candidate_wss(scan.busiest)
+                             : 0;
+  scan.idlest = scan.busiest;
+  for (net::NodeId id = view_.zone_begin(zone); id < view_.zone_end(zone); ++id) {
+    if (config_.respect_failure_detection &&
+        view_.health(id) != cluster::PeerHealth::kAlive) {
+      continue;
+    }
+    if (config_.placement != driver::Placement::kLoad && id == scan.busiest) {
+      continue;  // self is never a useful destination; avoids a self-RTT read
+    }
+    const double load = view_.load(id);
+    const double score = dest_score(scan.busiest, id, load, wss);
+    if (score < scan.best_score) {
+      scan.best_score = score;
       scan.min_load = load;
       scan.idlest = id;
     }
@@ -181,7 +242,10 @@ void LoadBalancer::zoned_tick() {
       src_zone = zone;
       have_src = true;
     }
-    if (!have_dst || scans[zone].min_load < scans[dst_zone].min_load) {
+    // Destination zones compete on the placement score of their chosen
+    // node (scored against their own zone's busiest — a proxy for the
+    // cross-zone source, exact for kLoad where the score is the load).
+    if (!have_dst || scans[zone].best_score < scans[dst_zone].best_score) {
       dst_zone = zone;
       have_dst = true;
     }

@@ -40,6 +40,12 @@ class LoadBalancer {
     // migrant stranded on a kDead node is reclaimed to its home node. Only
     // effective when the world's ReliabilityConfig enables detection.
     bool respect_failure_detection{true};
+    // Destination-scoring policy (driver/scenario.hpp). kLoad keeps the
+    // classic least-loaded pick bit-identical; kEq3 folds the paper's Eq.-3
+    // transfer cost into the score; kCacheAware additionally charges the
+    // predicted CPMD warm-up and NUMA contention read from the world's
+    // memory-hierarchy model (zero when the model is off).
+    driver::Placement placement{driver::Placement::kLoad};
   };
 
   LoadBalancer(ClusterSim& world, Config config);
@@ -62,7 +68,8 @@ class LoadBalancer {
     net::NodeId busiest{0};
     net::NodeId idlest{0};
     double max_load{0.0};
-    double min_load{0.0};
+    double min_load{0.0};   // load of the chosen destination (== true min for kLoad)
+    double best_score{0.0};  // placement score of the chosen destination
     bool found{false};
   };
 
@@ -79,6 +86,12 @@ class LoadBalancer {
   void reclaim_stranded();
   [[nodiscard]] ZoneScan scan_zone(std::uint32_t zone) const;
   [[nodiscard]] bool worth_moving(double max_load, double min_load) const;
+  // Placement score of migrating `src`'s candidate (working set `wss`) onto
+  // `dst` carrying `load`; lower is better. kLoad returns the load itself.
+  [[nodiscard]] double dest_score(net::NodeId src, net::NodeId dst, double load,
+                                  sim::Bytes wss) const;
+  // Working set of the host move_one would pick on `from` (0 if none).
+  [[nodiscard]] sim::Bytes candidate_wss(net::NodeId from) const;
   // Migrate the lowest-pid migratable host on `from` to `to`; true if one
   // was found and the move was issued.
   bool move_one(net::NodeId from, net::NodeId to);

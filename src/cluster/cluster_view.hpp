@@ -58,6 +58,10 @@ class ClusterView {
   [[nodiscard]] virtual sim::Time rtt_one_way(net::NodeId from, net::NodeId to) const = 0;
   // Mean load per node over one zone (the global balancing tier's signal).
   [[nodiscard]] virtual double zone_load(std::uint32_t zone) const = 0;
+  // Ground-truth cache pressure of `node`: resident working-set bytes over
+  // LLC capacity (mem/hierarchy.hpp). 0.0 — the default — when the world
+  // carries no memory-hierarchy model, so existing views need no change.
+  [[nodiscard]] virtual double cache_pressure(net::NodeId /*node*/) const { return 0.0; }
 
   // --- membership iteration (non-virtual; derived from the topology) -------
   [[nodiscard]] std::size_t node_count() const { return topology().node_count(); }

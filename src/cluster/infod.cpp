@@ -85,7 +85,10 @@ void InfoDaemon::tick() {
     // tick whether the tick degenerates to all-pairs or not.
     ++self_version_;
   }
-  if (!gossip_.enabled || gossip_.fan_out >= peers_.size()) {
+  // Full fan-out degenerates to the all-pairs LoadPing tick (bit-identical
+  // to the mesh) — unless cache digests are on: LoadPing has no pressure
+  // field, so the cache format keeps the gossip framing at any fan-out.
+  if (!gossip_.enabled || (gossip_.fan_out >= peers_.size() && !gossip_.cache_digest)) {
     legacy_tick(load);
   } else {
     gossip_tick(load);
@@ -109,15 +112,20 @@ void InfoDaemon::gossip_tick(double load) {
   sim::Rng rng{mix64(mix64(gossip_.seed ^ (static_cast<std::uint64_t>(self_) + 1)) ^
                      tick_index_)};
   // fan_out distinct peers, drawn with rejection (fan_out << peer count on
-  // the gossip path, so redraws are rare and the loop is bounded).
+  // the gossip path, so redraws are rare and the loop is bounded). The
+  // cache-digest mode can reach here with fan_out >= peers (no LoadPing
+  // fallback), so the draw count is clamped to the peer count.
+  const std::size_t fan_out = std::min<std::size_t>(gossip_.fan_out, peers_.size());
   std::vector<std::uint32_t> picked;
-  picked.reserve(gossip_.fan_out);
-  while (picked.size() < gossip_.fan_out) {
+  picked.reserve(fan_out);
+  while (picked.size() < fan_out) {
     const auto idx = static_cast<std::uint32_t>(rng.uniform(peers_.size()));
     if (std::find(picked.begin(), picked.end(), idx) == picked.end()) {
       picked.push_back(idx);
     }
   }
+  const bool cache = gossip_.cache_digest;
+  const double pressure = cache ? local_cache_pressure() : 0.0;
   for (const std::uint32_t idx : picked) {
     net::GossipPing ping;
     ping.seq = ++seq_;
@@ -125,9 +133,13 @@ void InfoDaemon::gossip_tick(double load) {
     ping.cpu_load = load;
     ping.sender_version = self_version_;
     ping.digest = digest;
+    ping.format = cache ? net::kGossipFormatCache : net::kGossipFormatLoad;
+    ping.cache_pressure = pressure;
     // Framing as LoadPing (64 bytes) plus 24 wire bytes per digest entry
-    // (node id + version + load, padded).
-    const auto wire = static_cast<sim::Bytes>(64 + 24 * digest.size());
+    // (node id + version + load, padded); the cache format spends 8 more
+    // bytes per entry and 8 on the sender's own pressure.
+    const auto wire = cache ? static_cast<sim::Bytes>(72 + 32 * digest.size())
+                            : static_cast<sim::Bytes>(64 + 24 * digest.size());
     fabric_.send(net::Message{self_, peers_[idx], wire, ping});
     ++pings_sent_;
     digest_entries_sent_ += digest.size();
@@ -156,12 +168,13 @@ std::vector<net::GossipEntry> InfoDaemon::build_digest(double /*load*/) const {
     if (now - st->last_heard > age_limit) {
       continue;
     }
-    digest.push_back(net::GossipEntry{peer, st->version, st->load});
+    digest.push_back(net::GossipEntry{peer, st->version, st->load, st->cache_pressure});
   }
   return digest;
 }
 
-void InfoDaemon::merge_entry(net::NodeId origin, std::uint64_t version, double load) {
+void InfoDaemon::merge_entry(net::NodeId origin, std::uint64_t version, double load,
+                             double cache_pressure) {
   if (origin == self_) {
     return;
   }
@@ -169,6 +182,7 @@ void InfoDaemon::merge_entry(net::NodeId origin, std::uint64_t version, double l
   if (version > st.version) {
     st.version = version;
     st.load = load;
+    st.cache_pressure = cache_pressure;
     st.last_heard = sim_.now();
     st.heard = true;
   }
@@ -209,6 +223,11 @@ sim::Time InfoDaemon::rtt_one_way(net::NodeId peer) const {
 double InfoDaemon::known_load(net::NodeId peer) const {
   const PeerState* st = find_state(peer);
   return st == nullptr ? 0.0 : st->load;
+}
+
+double InfoDaemon::known_cache_pressure(net::NodeId peer) const {
+  const PeerState* st = find_state(peer);
+  return st == nullptr ? 0.0 : st->cache_pressure;
 }
 
 std::uint64_t InfoDaemon::peer_version(net::NodeId peer) const {
@@ -292,22 +311,35 @@ void InfoDaemon::on_ack(net::NodeId src, const net::LoadAck& ack) {
 }
 
 void InfoDaemon::on_gossip_ping(net::NodeId src, const net::GossipPing& ping) {
-  merge_entry(src, ping.sender_version, ping.cpu_load);
+  // Format migration: a message stamped older than kGossipFormatCache has
+  // no pressure fields on the wire, so they deterministically read as 0.0
+  // — never a rejection, so mixed-format clusters keep converging on load
+  // and liveness (the version/heartbeat semantics are format-independent).
+  const bool has_pressure = ping.format >= net::kGossipFormatCache;
+  merge_entry(src, ping.sender_version, ping.cpu_load,
+              has_pressure ? ping.cache_pressure : 0.0);
   for (const net::GossipEntry& entry : ping.digest) {
-    merge_entry(entry.node, entry.version, entry.load);
+    merge_entry(entry.node, entry.version, entry.load,
+                has_pressure ? entry.cache_pressure : 0.0);
   }
   net::GossipAck ack;
   ack.seq = ping.seq;
   ack.ping_sent_at = ping.sent_at;
   ack.cpu_load = local_load_ ? local_load_() : 0.0;
   ack.sender_version = self_version_;
-  fabric_.send(net::Message{self_, src, /*wire_bytes=*/64, ack});
+  if (gossip_.cache_digest) {
+    ack.format = net::kGossipFormatCache;
+    ack.cache_pressure = local_cache_pressure();
+  }
+  const auto wire = static_cast<sim::Bytes>(gossip_.cache_digest ? 72 : 64);
+  fabric_.send(net::Message{self_, src, wire, ack});
 }
 
 void InfoDaemon::on_gossip_ack(net::NodeId src, const net::GossipAck& ack) {
   ++acks_received_;
   const sim::Time rtt = sim_.now() - ack.ping_sent_at;
-  merge_entry(src, ack.sender_version, ack.cpu_load);
+  merge_entry(src, ack.sender_version, ack.cpu_load,
+              ack.format >= net::kGossipFormatCache ? ack.cache_pressure : 0.0);
   PeerState& peer = ensure_state(src);
   if (!peer.measured) {
     peer.rtt_ewma = rtt;

@@ -53,6 +53,12 @@ struct GossipConfig {
   double digest_age_periods{8.0};
   std::uint32_t digest_cap{32};  // max relayed entries per ping (own excluded)
   std::uint64_t seed{0x9E3779B97F4A7C15ULL};
+  // Carry per-node cache pressure in digests (kGossipFormatCache framing:
+  // 32 wire bytes per entry instead of 24). Off by default so existing
+  // gossip runs stay bit-identical; the degenerate full-fan-out tick keeps
+  // gossiping (instead of falling back to LoadPing) when this is on, since
+  // LoadPing cannot carry pressure.
+  bool cache_digest{false};
 };
 
 class InfoDaemon {
@@ -70,6 +76,11 @@ class InfoDaemon {
 
   // Local CPU load reported to peers (wired to the node's utilization).
   void set_local_load_source(std::function<double()> fn) { local_load_ = std::move(fn); }
+  // Local cache pressure reported in cache-format digests (wired to the
+  // memory-hierarchy model). Only consulted when gossip.cache_digest is on.
+  void set_local_cache_pressure_source(std::function<double()> fn) {
+    local_cache_pressure_ = std::move(fn);
+  }
 
   // --- measurements ---------------------------------------------------------
   // Measured one-way latency to `peer` (RTT/2); a prior until the first ack.
@@ -78,6 +89,9 @@ class InfoDaemon {
   [[nodiscard]] sim::Bandwidth available_bandwidth() const;
   // Last load learned for a peer (directly or via gossip), NaN-free.
   [[nodiscard]] double known_load(net::NodeId peer) const;
+  // Last cache pressure learned for a peer via cache-format gossip; 0.0
+  // until heard (including entries migrated from load-format senders).
+  [[nodiscard]] double known_cache_pressure(net::NodeId peer) const;
   // Highest version counter seen from a peer (0 = never heard).
   [[nodiscard]] std::uint64_t peer_version(net::NodeId peer) const;
 
@@ -114,6 +128,7 @@ class InfoDaemon {
     sim::Time rtt_ewma{sim::Time::from_us(300)};  // prior until measured
     bool measured{false};
     double load{0.0};
+    double cache_pressure{0.0};  // cache-format gossip only; 0.0 otherwise
     std::uint64_t version{0};  // highest origin version seen
     sim::Time last_heard{};    // latest contact or gossip version advance
     bool heard{false};
@@ -125,8 +140,12 @@ class InfoDaemon {
   void legacy_tick(double load);
   void gossip_tick(double load);
   void sample_bandwidth();
-  void merge_entry(net::NodeId origin, std::uint64_t version, double load);
+  void merge_entry(net::NodeId origin, std::uint64_t version, double load,
+                   double cache_pressure);
   [[nodiscard]] std::vector<net::GossipEntry> build_digest(double load) const;
+  [[nodiscard]] double local_cache_pressure() const {
+    return local_cache_pressure_ ? local_cache_pressure_() : 0.0;
+  }
 
   // Dense peer-state arena indexed by (id - base_). Peers are registered at
   // construction time from a contiguous id range (the node's zone), so the
@@ -141,6 +160,7 @@ class InfoDaemon {
   sim::Time period_;
   std::vector<net::NodeId> peers_;  // insertion order (legacy send order)
   std::function<double()> local_load_;
+  std::function<double()> local_cache_pressure_;
   bool running_{false};
 
   std::vector<PeerState> state_;  // arena over [base_, base_ + state_.size())

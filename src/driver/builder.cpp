@@ -64,6 +64,30 @@ std::string ScenarioBuilder::validate() const {
              "zone is the partition, and one partition has nothing to run in parallel";
     }
   }
+  if (s.hierarchy.enabled) {
+    if (!cluster_mode) {
+      return "ScenarioBuilder: cache_model() requires topology() — the memory hierarchy "
+             "is per-node state of a cluster world";
+    }
+    if (s.hierarchy.numa_domains < 1) {
+      return "ScenarioBuilder: cache_model() needs numa_domains >= 1";
+    }
+    if (s.hierarchy.llc_bytes == 0) {
+      return "ScenarioBuilder: cache_model() needs a positive LLC capacity";
+    }
+  }
+  if (s.placement != Placement::kLoad && !cluster_mode) {
+    return "ScenarioBuilder: placement() is a cluster-world balancer knob — it requires "
+           "topology()";
+  }
+  if (s.placement == Placement::kCacheAware && !s.hierarchy.enabled) {
+    return "ScenarioBuilder: placement(kCacheAware) scores destinations against the "
+           "memory-hierarchy model — enable cache_model() too";
+  }
+  if (!s.cpmd_calibration.empty() && !s.hierarchy.enabled) {
+    return "ScenarioBuilder: cpmd_calibration() is only read when cache_model() is "
+           "enabled — enable it or drop the calibration path";
+  }
   if (s.trace.enabled && s.trace.max_events == 0) {
     return "ScenarioBuilder: tracing is enabled with max_events == 0 — every event would "
            "be dropped; raise the cap or disable tracing";

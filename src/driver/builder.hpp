@@ -79,6 +79,33 @@ class ScenarioBuilder {
     return *this;
   }
 
+  // --- memory hierarchy / placement policy ----------------------------------
+  // Attach the per-node memory-hierarchy model (mem/hierarchy.hpp); enables
+  // cache-pressure tracking and CPMD warm-up charges on every migration.
+  // The overload with a config tweaks LLC capacity / NUMA domain count.
+  ScenarioBuilder& cache_model() {
+    scenario_.hierarchy.enabled = true;
+    return *this;
+  }
+  ScenarioBuilder& cache_model(mem::HierarchyConfig value) {
+    scenario_.hierarchy = value;
+    scenario_.hierarchy.enabled = true;
+    return *this;
+  }
+
+  // Balancer destination-scoring policy; kCacheAware requires cache_model().
+  ScenarioBuilder& placement(Placement value) {
+    scenario_.placement = value;
+    return *this;
+  }
+
+  // CPMD calibration file (data/cpmd_calibration.txt format); empty keeps
+  // the built-in curve. Only read when the cache model is enabled.
+  ScenarioBuilder& cpmd_calibration(std::string path) {
+    scenario_.cpmd_calibration = std::move(path);
+    return *this;
+  }
+
   // Shapes the home/destination link (e.g. broadband_link() for Fig. 9).
   ScenarioBuilder& shaped_link(net::LinkParams value) {
     scenario_.shape_migrant_link = true;

@@ -13,6 +13,7 @@
 #include "core/config.hpp"
 #include "driver/exec_policy.hpp"
 #include "driver/profile.hpp"
+#include "mem/hierarchy.hpp"
 #include "migration/engine.hpp"
 #include "net/fault_injector.hpp"
 #include "proc/paging_client.hpp"
@@ -117,6 +118,26 @@ struct ReliabilityConfig {
   }
 };
 
+// Balancer destination-scoring policy (ROADMAP item 1). kLoad is the
+// classic greedy least-loaded pick; kEq3 adds the paper's Eq.-3 flat
+// transfer-cost term (measured one-way latency amortized over the
+// balancing horizon); kCacheAware additionally discounts destinations by
+// the predicted CPMD warm-up cost and NUMA-domain contention read from the
+// memory-hierarchy model (requires hierarchy.enabled).
+enum class Placement : std::uint8_t { kLoad, kEq3, kCacheAware };
+
+[[nodiscard]] constexpr const char* placement_name(Placement p) {
+  switch (p) {
+    case Placement::kLoad:
+      return "load";
+    case Placement::kEq3:
+      return "eq3";
+    case Placement::kCacheAware:
+      return "cache";
+  }
+  return "?";
+}
+
 enum class Scheme : std::uint8_t {
   OpenMosix,   // full dirty-page copy during the freeze
   NoPrefetch,  // three pages + demand paging (the FFA variant)
@@ -156,6 +177,13 @@ struct Scenario {
   // a single-process experiment (run_experiment) and these are ignored.
   cluster::Topology topology{};
   cluster::GossipConfig gossip{};
+
+  // Memory-hierarchy model + placement policy (cluster worlds). Defaults
+  // keep the model off and the balancer on the classic load-greedy pick,
+  // bit-identical to runs predating the cost model.
+  mem::HierarchyConfig hierarchy{};
+  Placement placement{Placement::kLoad};
+  std::string cpmd_calibration{};  // calibration file path; empty = built-in
 
   // Environment knobs.
   bool shape_migrant_link{false};      // apply `shaped_link` between home/dest

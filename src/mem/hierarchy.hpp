@@ -1,0 +1,152 @@
+#pragma once
+// Per-node memory-hierarchy model: a shared last-level cache plus a small
+// number of NUMA domains per node, with capacity/occupancy tracked per
+// resident process (ROADMAP item 1, after Brandenburg's cpmd-experiments
+// and Jeongseob's LLC-miss-driven scheduler).
+//
+// The model is deliberately coarse: a process occupies its working-set
+// bytes in the node's LLC and is pinned to one NUMA domain (the emptier
+// one at arrival, ties to the lower domain id — a deterministic stand-in
+// for first-touch allocation). Two derived signals feed the balancer and
+// the CPMD charge (migration/cpmd.hpp):
+//   cache_pressure(node) — resident WSS bytes over LLC capacity. Above 1.0
+//        the cache is oversubscribed and every resident's warm-up slows.
+//   numa_contention(node) — occupancy fraction of the domain a new arrival
+//        would land in (its share of DRAM bandwidth is already spoken for).
+//
+// Determinism: the model is default-off (HierarchyConfig{} disables it and
+// ClusterSim then never constructs one), and when on it adds no simulator
+// events — it is pure bookkeeping driven by the existing activation /
+// deactivation notifications. Partitioned runs: per-node occupancy is
+// touched only from that node's partition (the same call sites that
+// maintain the per-node load counts), so the state shards by node exactly
+// like active_count_.
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "net/message.hpp"
+#include "simcore/units.hpp"
+
+namespace ampom::mem {
+
+struct HierarchyConfig {
+  bool enabled{false};
+  sim::Bytes llc_bytes{32ull << 20};  // shared LLC capacity per node
+  std::uint32_t numa_domains{2};      // domains per node (>= 1)
+};
+
+class MemoryHierarchy {
+ public:
+  MemoryHierarchy(HierarchyConfig config, std::size_t node_count) : config_{config} {
+    if (config.numa_domains < 1) {
+      throw std::invalid_argument("MemoryHierarchy: numa_domains must be >= 1");
+    }
+    if (config.llc_bytes == 0) {
+      throw std::invalid_argument("MemoryHierarchy: llc_bytes must be positive");
+    }
+    nodes_.resize(node_count);
+    for (NodeState& node : nodes_) {
+      node.domain_bytes.assign(config.numa_domains, 0);
+    }
+  }
+
+  // A process became resident on `node` (start, migration commit, rehome).
+  // Lands in the emptiest NUMA domain (ties to the lower id).
+  // ampom: partition-local
+  void place(net::NodeId node, std::uint64_t pid, sim::Bytes wss) {
+    NodeState& st = nodes_.at(node);
+    std::uint32_t domain = 0;
+    for (std::uint32_t d = 1; d < st.domain_bytes.size(); ++d) {
+      if (st.domain_bytes[d] < st.domain_bytes[domain]) {
+        domain = d;
+      }
+    }
+    st.residents.emplace(pid, Resident{wss, domain});
+    st.total_bytes += wss;
+    st.domain_bytes[domain] += wss;
+  }
+
+  // The process left `node` (finish, migration commit away, crash rehome).
+  // ampom: partition-local
+  void remove(net::NodeId node, std::uint64_t pid) {
+    NodeState& st = nodes_.at(node);
+    const auto it = st.residents.find(pid);
+    if (it == st.residents.end()) {
+      return;
+    }
+    st.total_bytes -= it->second.wss;
+    st.domain_bytes[it->second.domain] -= it->second.wss;
+    st.residents.erase(it);
+  }
+
+  // Resident WSS over LLC capacity; exceeds 1.0 when oversubscribed.
+  [[nodiscard]] double cache_pressure(net::NodeId node) const {
+    const NodeState& st = nodes_.at(node);
+    return static_cast<double>(st.total_bytes) / static_cast<double>(config_.llc_bytes);
+  }
+
+  // Pressure as a new arrival would see it: the residents it must warm up
+  // against. Excludes `pid` so a just-committed migrant is not charged for
+  // displacing itself.
+  [[nodiscard]] double pressure_excluding(net::NodeId node, std::uint64_t pid) const {
+    const NodeState& st = nodes_.at(node);
+    sim::Bytes total = st.total_bytes;
+    const auto it = st.residents.find(pid);
+    if (it != st.residents.end()) {
+      total -= it->second.wss;
+    }
+    return static_cast<double>(total) / static_cast<double>(config_.llc_bytes);
+  }
+
+  // Occupancy fraction of the domain a new arrival would land in — the
+  // memory-bandwidth contention it would face. Normalized by the per-domain
+  // capacity share so one saturated domain reads 1.0.
+  [[nodiscard]] double numa_contention(net::NodeId node) const {
+    const NodeState& st = nodes_.at(node);
+    sim::Bytes emptiest = st.domain_bytes[0];
+    for (const sim::Bytes bytes : st.domain_bytes) {
+      if (bytes < emptiest) {
+        emptiest = bytes;
+      }
+    }
+    const double share =
+        static_cast<double>(config_.llc_bytes) / static_cast<double>(st.domain_bytes.size());
+    return static_cast<double>(emptiest) / share;
+  }
+
+  // The domain `pid` was pinned to on `node`, or numa_domains if absent
+  // (introspection for tests/auditors).
+  [[nodiscard]] std::uint32_t domain_of(net::NodeId node, std::uint64_t pid) const {
+    const NodeState& st = nodes_.at(node);
+    const auto it = st.residents.find(pid);
+    return it == st.residents.end() ? config_.numa_domains : it->second.domain;
+  }
+
+  [[nodiscard]] sim::Bytes resident_bytes(net::NodeId node) const {
+    return nodes_.at(node).total_bytes;
+  }
+  [[nodiscard]] const HierarchyConfig& config() const { return config_; }
+
+ private:
+  struct Resident {
+    sim::Bytes wss{0};
+    std::uint32_t domain{0};
+  };
+  struct NodeState {
+    // Ordered by pid so iteration (if ever added) is deterministic.
+    std::map<std::uint64_t, Resident> residents;
+    sim::Bytes total_bytes{0};
+    std::vector<sim::Bytes> domain_bytes;
+  };
+
+  HierarchyConfig config_;
+  // Per-node occupancy, written only from that node's partition (the
+  // activation/deactivation call sites) and read by the balancer in the
+  // barrier context — the same sharding discipline as the load counts.
+  std::vector<NodeState> nodes_;
+};
+
+}  // namespace ampom::mem

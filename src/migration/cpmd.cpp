@@ -1,0 +1,104 @@
+#include "migration/cpmd.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ampom::migration {
+
+CpmdTable CpmdTable::builtin() {
+  // Cold-cache warm-up after a cross-socket migration: near-linear while
+  // the working set fits a contemporary LLC, flattening past it (beyond
+  // the cache size the post-migration miss pattern converges with the
+  // steady-state one). Magnitudes follow the published cpmd-experiments
+  // shape, not any one machine.
+  CpmdTable table;
+  table.points_ = {
+      {4.0, 18.0},        // 4 KiB: one hot page, microseconds
+      {64.0, 95.0},       //
+      {256.0, 340.0},     //
+      {1024.0, 1250.0},   // 1 MiB
+      {4096.0, 4600.0},   // 4 MiB
+      {16384.0, 16500.0},  // 16 MiB: around LLC capacity
+      {65536.0, 38000.0},  // 64 MiB: mostly DRAM-bound either way
+      {262144.0, 52000.0}  // 256 MiB: flattened
+  };
+  return table;
+}
+
+CpmdTable CpmdTable::parse(const std::string& text) {
+  CpmdTable table;
+  std::istringstream in{text};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream fields{line};
+    double wss_kib = 0.0;
+    double delay_us = 0.0;
+    if (!(fields >> wss_kib)) {
+      continue;  // blank or comment-only line
+    }
+    if (!(fields >> delay_us)) {
+      throw std::invalid_argument("CpmdTable: line " + std::to_string(line_no) +
+                                  ": expected `wss_kib delay_us`");
+    }
+    std::string trailing;
+    if (fields >> trailing) {
+      throw std::invalid_argument("CpmdTable: line " + std::to_string(line_no) +
+                                  ": trailing tokens after the delay field");
+    }
+    if (wss_kib <= 0.0 || delay_us < 0.0) {
+      throw std::invalid_argument("CpmdTable: line " + std::to_string(line_no) +
+                                  ": wss_kib must be positive and delay_us non-negative");
+    }
+    if (!table.points_.empty() && wss_kib <= table.points_.back().wss_kib) {
+      throw std::invalid_argument("CpmdTable: line " + std::to_string(line_no) +
+                                  ": wss_kib must be strictly increasing");
+    }
+    table.points_.push_back(Point{wss_kib, delay_us});
+  }
+  if (table.points_.empty()) {
+    throw std::invalid_argument("CpmdTable: calibration has no data points");
+  }
+  return table;
+}
+
+CpmdTable CpmdTable::load_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::invalid_argument("CpmdTable: cannot read calibration file: " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+sim::Time CpmdTable::warmup_delay(sim::Bytes wss) const {
+  if (points_.empty()) {
+    return sim::Time::zero();
+  }
+  const double wss_kib = static_cast<double>(wss) / 1024.0;
+  if (wss_kib <= points_.front().wss_kib) {
+    return sim::Time::from_sec((points_.front().delay_us) * 1e-6);
+  }
+  if (wss_kib >= points_.back().wss_kib) {
+    return sim::Time::from_sec((points_.back().delay_us) * 1e-6);
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (wss_kib <= points_[i].wss_kib) {
+      const Point& lo = points_[i - 1];
+      const Point& hi = points_[i];
+      const double frac = (wss_kib - lo.wss_kib) / (hi.wss_kib - lo.wss_kib);
+      return sim::Time::from_sec((lo.delay_us + frac * (hi.delay_us - lo.delay_us)) * 1e-6);
+    }
+  }
+  return sim::Time::from_sec((points_.back().delay_us) * 1e-6);
+}
+
+}  // namespace ampom::migration

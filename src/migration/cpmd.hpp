@@ -1,0 +1,66 @@
+#pragma once
+// CPMD: cache-related preemption-and-migration delay.
+//
+// Brandenburg's cpmd-experiments measure how long a task runs degraded
+// after a migration while it re-warms its working set into the new CPU's
+// cache hierarchy — a cost that grows with working-set size and that flat
+// transfer-time models (the paper's Eq. 3) miss entirely. This module
+// carries that measurement into the simulator as a deterministic
+// calibration table: WSS in KiB -> warm-up delay in microseconds, applied
+// piecewise-linearly and clamped at the table's ends.
+//
+// The table ships two ways: a built-in curve (shaped like the published
+// cold-cache measurements: near-linear while the WSS fits the LLC, then
+// flattening once everything misses anyway), and a committed calibration
+// file (data/cpmd_calibration.txt) so a real machine's measurements can be
+// dropped in without recompiling. The file format is one `wss_kib
+// delay_us` pair per line, '#' comments, strictly increasing WSS.
+//
+// The charge itself is paid by the executor on the first bursts at a
+// migration destination (see Executor::add_warmup_charge): ClusterSim
+// assesses table(wss) scaled by the destination's cache pressure at commit
+// time. A process that re-migrates before the charge is fully paid carries
+// only the remaining balance — the unwarmed pages are unwarmed wherever it
+// lands, so a fresh full charge would double-bill the move (the
+// remigration_test pin).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/time.hpp"
+#include "simcore/units.hpp"
+
+namespace ampom::migration {
+
+class CpmdTable {
+ public:
+  struct Point {
+    double wss_kib{0.0};
+    double delay_us{0.0};
+  };
+
+  // The built-in curve (microseconds of warm-up per KiB of working set).
+  [[nodiscard]] static CpmdTable builtin();
+
+  // Parse the calibration text format; throws std::invalid_argument naming
+  // the offending line on malformed input, non-increasing WSS, or negative
+  // delay. parse(serialize-of-any-valid-table) round-trips.
+  [[nodiscard]] static CpmdTable parse(const std::string& text);
+
+  // Load a committed calibration file; throws std::invalid_argument when
+  // the file cannot be read (plus everything parse() throws).
+  [[nodiscard]] static CpmdTable load_file(const std::string& path);
+
+  // Piecewise-linear warm-up delay for a working set of `wss` bytes,
+  // clamped to the first/last calibration point. Zero for an empty table.
+  [[nodiscard]] sim::Time warmup_delay(sim::Bytes wss) const;
+
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;  // strictly increasing wss_kib
+};
+
+}  // namespace ampom::migration

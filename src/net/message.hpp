@@ -100,15 +100,30 @@ struct FlushAck {
 // Opaque competing traffic (load generators, other jobs).
 struct Background {};
 
+// Gossip digest wire-format versions. kGossipFormatLoad frames each digest
+// entry as 24 wire bytes (node id, version, load); kGossipFormatCache adds
+// the cache-pressure field (32 bytes per entry, plus 8 bytes for the
+// sender's own pressure on the framing). Receivers handle both: a message
+// stamped with an older format is migrated deterministically — the missing
+// pressure fields read as 0.0 — and never rejected, so mixed-version
+// clusters converge on load/liveness exactly as before (gossip_test pins
+// this).
+inline constexpr std::uint32_t kGossipFormatLoad = 1;
+inline constexpr std::uint32_t kGossipFormatCache = 2;
+
 // Epidemic load dissemination (the scalable InfoDaemon mode). One entry of
 // the piggybacked digest: the origin node's load stamped with the origin's
 // monotone version counter. The version doubles as the heartbeat — a
 // receiver that sees it advance knows the origin was alive when it bumped
-// it, no matter how many hops the entry took.
+// it, no matter how many hops the entry took. `cache_pressure` is carried
+// on the wire only under kGossipFormatCache framing; receivers must gate
+// on the message's format stamp, not on the field (which always exists in
+// memory).
 struct GossipEntry {
   NodeId node{kInvalidNode};
   std::uint64_t version{0};
   double load{0.0};
+  double cache_pressure{0.0};
 };
 
 // A gossip round-trip: like LoadPing/LoadAck (the ack still measures t0),
@@ -120,12 +135,16 @@ struct GossipPing {
   double cpu_load{0.0};
   std::uint64_t sender_version{0};
   std::vector<GossipEntry> digest;
+  std::uint32_t format{kGossipFormatLoad};
+  double cache_pressure{0.0};  // sender's own (format >= kGossipFormatCache)
 };
 struct GossipAck {
   std::uint64_t seq{0};
   sim::Time ping_sent_at{};
   double cpu_load{0.0};
   std::uint64_t sender_version{0};
+  std::uint32_t format{kGossipFormatLoad};
+  double cache_pressure{0.0};  // sender's own (format >= kGossipFormatCache)
 };
 
 // Gossip payloads are appended after Background so the pre-gossip

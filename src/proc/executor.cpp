@@ -1,5 +1,6 @@
 #include "proc/executor.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -149,6 +150,16 @@ void Executor::run_burst() {
     return;
   }
   process_.set_state(ProcState::Running);
+  if (warmup_balance_ > sim::Time::zero()) {
+    // Cold-cache warm-up after a migration: pay the CPMD balance down in
+    // burst-sized slices so a pending freeze (re-migration) still gets its
+    // safe point between slices — whatever is unpaid then carries over.
+    const sim::Time pay = std::min(warmup_balance_, max_burst_);
+    warmup_balance_ -= pay;
+    stats_.warmup_paid += pay;
+    schedule_burst(pay);
+    return;
+  }
   mem::AddressSpace& aspace = process_.aspace();
   sim::Time acc = sim::Time::zero();
 

@@ -39,6 +39,12 @@ struct ExecStats {
   sim::Time cpu_time{};       // pure application compute
   sim::Time handler_time{};   // charged fault/handler kernel time
   sim::Time stall_time{};     // wall time from fault to resume
+  // CPMD cache warm-up (migration/cpmd.hpp): debt assessed at migration
+  // commits vs. debt actually paid delaying post-migration bursts. The
+  // difference is the outstanding balance a re-migration carries forward.
+  sim::Time warmup_charged{};
+  sim::Time warmup_paid{};
+  std::uint64_t warmup_charges{0};  // commits that assessed a fresh charge
   sim::Time started_at{};
   sim::Time finished_at{};
   bool finished{false};
@@ -87,6 +93,19 @@ class Executor {
   // with the new host's costs and re-examines the interrupted reference.
   void crash_interrupt();
 
+  // CPMD warm-up charge: the process's first bursts at a migration
+  // destination are delayed until `t` of simulated warm-up is paid down
+  // (one max_burst slice per burst, so freezes still interleave). A zero
+  // balance leaves the burst loop untouched — runs without the cost model
+  // are bit-identical. The balance survives crash_interrupt: the debt is
+  // real wherever the process resumes.
+  void add_warmup_charge(sim::Time t) {
+    warmup_balance_ += t;
+    stats_.warmup_charged += t;
+    ++stats_.warmup_charges;
+  }
+  [[nodiscard]] sim::Time warmup_balance() const { return warmup_balance_; }
+
   // --- policy-facing API ----------------------------------------------------
   // Accumulate kernel handler time; consumed by the next complete_fault().
   void charge_handler(sim::Time t);
@@ -132,6 +151,7 @@ class Executor {
   sim::Time max_burst_{sim::Time::from_ms(20)};
   sim::Time fault_started_{};        // when the active fault event fired
   sim::Time pending_charge_{};       // handler time to apply at resume
+  sim::Time warmup_balance_{};       // unpaid CPMD warm-up (see add_warmup_charge)
   std::uint64_t syscall_seq_{0};
   // Bumped by crash_interrupt; burst/finish events carry the generation they
   // were scheduled under and return if it moved (see schedule_burst).

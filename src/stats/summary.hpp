@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace ampom::stats {
@@ -29,20 +30,30 @@ class Summary {
 
   [[nodiscard]] double mean() const { return empty() ? 0.0 : sum() / static_cast<double>(count()); }
 
+  // Order statistics of an empty sample are undefined; they return NaN
+  // rather than assert so a Release build never indexes into an empty
+  // vector (callers that "know" the sample is non-empty have been wrong —
+  // a fault-free run hands fill_recovery_metrics zero-count summaries).
   [[nodiscard]] double min() const {
-    assert(!empty());
+    if (empty()) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
     return *std::min_element(values_.begin(), values_.end());
   }
 
   [[nodiscard]] double max() const {
-    assert(!empty());
+    if (empty()) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
     return *std::max_element(values_.begin(), values_.end());
   }
 
-  // Linear-interpolated percentile, q in [0, 1].
+  // Linear-interpolated percentile, q in [0, 1]. NaN on an empty sample.
   [[nodiscard]] double percentile(double q) const {
-    assert(!empty());
     assert(q >= 0.0 && q <= 1.0);
+    if (empty()) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
     sort();
     const double pos = q * static_cast<double>(values_.size() - 1);
     const auto lo = static_cast<std::size_t>(pos);

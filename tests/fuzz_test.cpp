@@ -67,6 +67,18 @@ TEST(FuzzRun, HealthySeedsPassUnderAuditor) {
   }
 }
 
+TEST(FuzzRun, CachePolicyCaseRunsCleanAndRoundTrips) {
+  // Force the cache-aware placement + hierarchy path regardless of what the
+  // seed sampled: CPMD charges under chaos must not trip any invariant.
+  FuzzCase fuzz_case = generate_case(3);
+  fuzz_case.cache_policy = true;
+  const FuzzResult result = run_case(fuzz_case);
+  EXPECT_TRUE(result.ok) << result.failure;
+  EXPECT_TRUE(result.finished);
+  const FuzzCase parsed = parse_case(serialize_case(fuzz_case));
+  EXPECT_TRUE(parsed.cache_policy);
+}
+
 // The fuzzer's own determinism: a failing case fails the same way twice.
 // (Uses the mutation so a failure is guaranteed without hunting seeds.)
 FuzzCase mutation_case() {

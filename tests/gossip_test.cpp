@@ -176,6 +176,132 @@ TEST(Gossip, FullFanOutIsBitIdenticalToLegacyMesh) {
   EXPECT_GT(legacy.migrations, 0u);  // the comparison is not vacuous
 }
 
+// ---------------------------------------------------------------------------
+// Digest wire-format versioning (kGossipFormatLoad -> kGossipFormatCache)
+// ---------------------------------------------------------------------------
+
+TEST(GossipVersioning, LoadFormatPingIsMigratedWithZeroPressure) {
+  GossipMesh mesh{/*fan_out=*/2};
+  net::GossipPing ping;
+  ping.seq = 1;
+  ping.sent_at = mesh.simulator.now();
+  ping.cpu_load = 0.5;
+  ping.sender_version = 7;
+  ping.format = net::kGossipFormatLoad;
+  // A stray pressure value on an old-format message must be ignored: the
+  // field exists in memory, but the 24-byte entry framing never put it on
+  // the wire, so receivers gate on the format stamp.
+  ping.cache_pressure = 0.7;
+  ping.digest.push_back({/*node=*/2, /*version=*/3, /*load=*/0.9, /*cache_pressure=*/0.8});
+  mesh.infods[0]->on_gossip_ping(1, ping);
+  EXPECT_DOUBLE_EQ(mesh.infods[0]->known_load(1), 0.5);
+  EXPECT_DOUBLE_EQ(mesh.infods[0]->known_load(2), 0.9);
+  EXPECT_EQ(mesh.infods[0]->peer_version(1), 7u);
+  EXPECT_EQ(mesh.infods[0]->peer_version(2), 3u);
+  EXPECT_DOUBLE_EQ(mesh.infods[0]->known_cache_pressure(1), 0.0);
+  EXPECT_DOUBLE_EQ(mesh.infods[0]->known_cache_pressure(2), 0.0);
+}
+
+TEST(GossipVersioning, CacheFormatPingCarriesPressure) {
+  GossipMesh mesh{/*fan_out=*/2};
+  net::GossipPing ping;
+  ping.seq = 1;
+  ping.sent_at = mesh.simulator.now();
+  ping.cpu_load = 0.5;
+  ping.sender_version = 7;
+  ping.format = net::kGossipFormatCache;
+  ping.cache_pressure = 0.7;
+  ping.digest.push_back({/*node=*/2, /*version=*/3, /*load=*/0.9, /*cache_pressure=*/0.8});
+  mesh.infods[0]->on_gossip_ping(1, ping);
+  EXPECT_DOUBLE_EQ(mesh.infods[0]->known_load(1), 0.5);
+  EXPECT_DOUBLE_EQ(mesh.infods[0]->known_cache_pressure(1), 0.7);
+  EXPECT_DOUBLE_EQ(mesh.infods[0]->known_cache_pressure(2), 0.8);
+}
+
+TEST(GossipVersioning, AckFormatIsGatedTheSameWay) {
+  GossipMesh mesh{/*fan_out=*/2};
+  net::GossipAck ack;
+  ack.seq = 1;
+  ack.ping_sent_at = mesh.simulator.now();
+  ack.cpu_load = 0.4;
+  ack.sender_version = 5;
+  ack.format = net::kGossipFormatLoad;
+  ack.cache_pressure = 0.9;
+  mesh.infods[0]->on_gossip_ack(3, ack);
+  EXPECT_DOUBLE_EQ(mesh.infods[0]->known_load(3), 0.4);
+  EXPECT_DOUBLE_EQ(mesh.infods[0]->known_cache_pressure(3), 0.0);
+  // The same peer upgraded: a newer-version cache-format ack takes effect.
+  ack.sender_version = 6;
+  ack.format = net::kGossipFormatCache;
+  mesh.infods[0]->on_gossip_ack(3, ack);
+  EXPECT_DOUBLE_EQ(mesh.infods[0]->known_cache_pressure(3), 0.9);
+}
+
+TEST(GossipVersioning, MixedFormatClusterStillConvergesOnLoadAndLiveness) {
+  // Half the daemons speak the cache format, half the old load format; the
+  // version/heartbeat semantics are format-independent, so load and
+  // liveness converge exactly as in a single-format mesh.
+  GossipMesh mesh{/*fan_out=*/3};
+  for (net::NodeId id = 0; id < GossipMesh::kNodes; ++id) {
+    cluster::GossipConfig config = mesh.infods[id]->gossip();
+    config.cache_digest = id < GossipMesh::kNodes / 2;
+    mesh.infods[id]->set_gossip(config);
+  }
+  mesh.infods[0]->set_local_load_source([] { return 0.75; });
+  mesh.infods[0]->set_local_cache_pressure_source([] { return 0.6; });
+  mesh.start_all();
+  mesh.simulator.run_until(Time::from_sec(2));
+  for (net::NodeId id = 1; id < GossipMesh::kNodes; ++id) {
+    EXPECT_DOUBLE_EQ(mesh.infods[id]->known_load(0), 0.75) << "daemon " << id;
+    EXPECT_EQ(mesh.infods[id]->peer_health(0), cluster::PeerHealth::kAlive)
+        << "daemon " << id;
+    // Pressure for node 0 is either still unheard (every relay on the path
+    // spoke the old format) or exactly node 0's value — never garbage.
+    const double pressure = mesh.infods[id]->known_cache_pressure(0);
+    EXPECT_TRUE(pressure == 0.0 || pressure == 0.6) << "daemon " << id << ": " << pressure;
+  }
+}
+
+TEST(GossipVersioning, CacheDigestMeshConvergesOnPressure) {
+  // Full fan-out with the cache digest on: the degenerate tick keeps
+  // gossiping (LoadPing cannot carry pressure), so every peer learns node
+  // 0's pressure directly from its pings.
+  GossipMesh mesh{/*fan_out=*/GossipMesh::kNodes - 1};
+  for (net::NodeId id = 0; id < GossipMesh::kNodes; ++id) {
+    cluster::GossipConfig config = mesh.infods[id]->gossip();
+    config.cache_digest = true;
+    mesh.infods[id]->set_gossip(config);
+  }
+  mesh.infods[0]->set_local_cache_pressure_source([] { return 0.6; });
+  mesh.start_all();
+  mesh.simulator.run_until(Time::from_sec(2));
+  for (net::NodeId id = 1; id < GossipMesh::kNodes; ++id) {
+    EXPECT_DOUBLE_EQ(mesh.infods[id]->known_cache_pressure(0), 0.6) << "daemon " << id;
+  }
+}
+
+TEST(GossipVersioning, HierarchyPressureRidesTheDigest) {
+  // End to end: a cache-model world wires the memory hierarchy into the
+  // daemons' pressure source and flips the digests to the cache format, so
+  // remote daemons see the loaded node's LLC pressure mid-run.
+  const driver::Scenario scenario = driver::ScenarioBuilder{}
+                                        .scheme(driver::Scheme::Ampom)
+                                        .topology(/*zones=*/1, /*nodes_per_zone=*/4)
+                                        .gossip(/*fan_out=*/3)
+                                        .cache_model()
+                                        .build();
+  balancer::ClusterSim world{scenario};
+  for (int i = 0; i < 3; ++i) {
+    world.spawn(burst_job(0, 40000, i));
+  }
+  double seen = -1.0;
+  world.simulator().schedule_at(Time::from_sec(1.0), [&] {
+    seen = world.infod(1).known_cache_pressure(0);
+  });
+  world.run();
+  EXPECT_GT(seen, 0.0);
+}
+
 TEST(ZonedBalancer, SheddsLoadWithinAndAcrossZones) {
   // Two zones of four; a 12-job burst lands entirely on node 0. The zoned
   // balancer first spreads within zone 0, and once that zone is internally

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "mem/address_space.hpp"
+#include "mem/hierarchy.hpp"
 #include "mem/ledger.hpp"
 #include "mem/page.hpp"
 #include "mem/page_table.hpp"
@@ -233,6 +234,87 @@ TEST(PageLedger, DetectsDoubleTransfer) {
 TEST(PageState, NamesAreStable) {
   EXPECT_STREQ(page_state_name(PageState::Arrived), "arrived");
   EXPECT_STREQ(page_state_name(PageState::Remote), "remote");
+}
+
+// ---------------------------------------------------------------------------
+// Memory hierarchy (shared LLC + NUMA domains, DESIGN.md §17)
+// ---------------------------------------------------------------------------
+
+HierarchyConfig small_hierarchy() {
+  HierarchyConfig config;
+  config.enabled = true;
+  config.llc_bytes = 8 * sim::kMiB;
+  config.numa_domains = 2;
+  return config;
+}
+
+TEST(MemoryHierarchy, RejectsDegenerateConfigs) {
+  HierarchyConfig no_domains = small_hierarchy();
+  no_domains.numa_domains = 0;
+  EXPECT_THROW((MemoryHierarchy{no_domains, 2}), std::invalid_argument);
+  HierarchyConfig no_llc = small_hierarchy();
+  no_llc.llc_bytes = 0;
+  EXPECT_THROW((MemoryHierarchy{no_llc, 2}), std::invalid_argument);
+}
+
+TEST(MemoryHierarchy, PressureIsResidentBytesOverLlc) {
+  MemoryHierarchy h{small_hierarchy(), 2};
+  EXPECT_DOUBLE_EQ(h.cache_pressure(0), 0.0);
+  h.place(0, /*pid=*/1, 2 * sim::kMiB);
+  h.place(0, /*pid=*/2, 2 * sim::kMiB);
+  EXPECT_DOUBLE_EQ(h.cache_pressure(0), 0.5);
+  EXPECT_EQ(h.resident_bytes(0), 4 * sim::kMiB);
+  EXPECT_DOUBLE_EQ(h.cache_pressure(1), 0.0);  // other nodes untouched
+  // Oversubscription reads above 1.0 instead of clamping.
+  h.place(0, /*pid=*/3, 8 * sim::kMiB);
+  EXPECT_DOUBLE_EQ(h.cache_pressure(0), 1.5);
+  h.remove(0, 3);
+  EXPECT_DOUBLE_EQ(h.cache_pressure(0), 0.5);
+}
+
+TEST(MemoryHierarchy, PressureExcludingSkipsTheMigrantItself) {
+  MemoryHierarchy h{small_hierarchy(), 2};
+  h.place(0, /*pid=*/1, 4 * sim::kMiB);
+  h.place(0, /*pid=*/2, 2 * sim::kMiB);
+  // Pid 1 just committed here: it warms up against pid 2 only.
+  EXPECT_DOUBLE_EQ(h.pressure_excluding(0, 1), 0.25);
+  // A pid not resident changes nothing.
+  EXPECT_DOUBLE_EQ(h.pressure_excluding(0, 99), 0.75);
+}
+
+TEST(MemoryHierarchy, PlacementFillsTheEmptierDomainTiesToLowerId) {
+  MemoryHierarchy h{small_hierarchy(), 1};
+  h.place(0, /*pid=*/1, 2 * sim::kMiB);  // both empty: domain 0
+  EXPECT_EQ(h.domain_of(0, 1), 0u);
+  h.place(0, /*pid=*/2, 1 * sim::kMiB);  // domain 1 now emptier
+  EXPECT_EQ(h.domain_of(0, 2), 1u);
+  h.place(0, /*pid=*/3, 1 * sim::kMiB);  // 2 MiB vs 1 MiB: domain 1 again
+  EXPECT_EQ(h.domain_of(0, 3), 1u);
+  h.place(0, /*pid=*/4, 1 * sim::kMiB);  // tie at 2 MiB: lower id wins
+  EXPECT_EQ(h.domain_of(0, 4), 0u);
+  // Absent pid reads as the one-past-the-end domain.
+  EXPECT_EQ(h.domain_of(0, 99), 2u);
+}
+
+TEST(MemoryHierarchy, NumaContentionIsTheEmptiestDomainsOccupancy) {
+  MemoryHierarchy h{small_hierarchy(), 1};
+  EXPECT_DOUBLE_EQ(h.numa_contention(0), 0.0);
+  // Domain share is 4 MiB each (8 MiB LLC over 2 domains). One resident
+  // fills domain 0; a new arrival would land in the empty domain 1.
+  h.place(0, /*pid=*/1, 4 * sim::kMiB);
+  EXPECT_DOUBLE_EQ(h.numa_contention(0), 0.0);
+  // Second resident lands in domain 1 (2 MiB of its 4 MiB share = 0.5).
+  h.place(0, /*pid=*/2, 2 * sim::kMiB);
+  EXPECT_DOUBLE_EQ(h.numa_contention(0), 0.5);
+  h.remove(0, 2);
+  EXPECT_DOUBLE_EQ(h.numa_contention(0), 0.0);
+}
+
+TEST(MemoryHierarchy, RemoveOfUnknownPidIsANoOp) {
+  MemoryHierarchy h{small_hierarchy(), 1};
+  h.place(0, /*pid=*/1, 2 * sim::kMiB);
+  h.remove(0, /*pid=*/42);
+  EXPECT_DOUBLE_EQ(h.cache_pressure(0), 0.25);
 }
 
 }  // namespace

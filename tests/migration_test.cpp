@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "mem/ledger.hpp"
+#include "migration/cpmd.hpp"
 #include "migration/engine.hpp"
 #include "migration/full_copy.hpp"
 #include "migration/lightweight.hpp"
@@ -206,6 +207,79 @@ TEST_F(MigrationFixture, EngineNamesMatchPaperSchemes) {
 
 TEST_F(MigrationFixture, ChunkSizeValidation) {
   EXPECT_THROW(FullCopyEngine{0}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// CPMD calibration table (warm-up delay after a migration, DESIGN.md §17)
+// ---------------------------------------------------------------------------
+
+TEST(CpmdTable, InterpolatesBetweenCalibrationPoints) {
+  const CpmdTable table = CpmdTable::parse("100 1000\n200 3000\n");
+  // Exactly on a point.
+  EXPECT_EQ(table.warmup_delay(100 * 1024), Time::from_us(1000));
+  EXPECT_EQ(table.warmup_delay(200 * 1024), Time::from_us(3000));
+  // Halfway: linear in WSS.
+  EXPECT_EQ(table.warmup_delay(150 * 1024), Time::from_us(2000));
+}
+
+TEST(CpmdTable, ClampsAtBothEnds) {
+  const CpmdTable table = CpmdTable::parse("100 1000\n200 3000\n");
+  EXPECT_EQ(table.warmup_delay(0), Time::from_us(1000));
+  EXPECT_EQ(table.warmup_delay(1024), Time::from_us(1000));
+  EXPECT_EQ(table.warmup_delay(1 * sim::kGiB), Time::from_us(3000));
+}
+
+TEST(CpmdTable, BuiltinCurveIsMonotone) {
+  const CpmdTable table = CpmdTable::builtin();
+  ASSERT_FALSE(table.empty());
+  for (std::size_t i = 1; i < table.points().size(); ++i) {
+    EXPECT_GT(table.points()[i].wss_kib, table.points()[i - 1].wss_kib);
+    EXPECT_GT(table.points()[i].delay_us, table.points()[i - 1].delay_us);
+  }
+}
+
+TEST(CpmdTable, ParseSkipsCommentsAndBlankLines) {
+  const CpmdTable table = CpmdTable::parse(
+      "# CPMD calibration\n"
+      "\n"
+      "4 18   # one hot page\n"
+      "64 95\n");
+  ASSERT_EQ(table.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(table.points()[0].wss_kib, 4.0);
+  EXPECT_DOUBLE_EQ(table.points()[1].delay_us, 95.0);
+}
+
+TEST(CpmdTable, ParseErrorsNameTheLine) {
+  const auto message_of = [](const std::string& text) {
+    try {
+      (void)CpmdTable::parse(text);
+    } catch (const std::invalid_argument& e) {
+      return std::string{e.what()};
+    }
+    return std::string{};
+  };
+  EXPECT_NE(message_of("4 18\n64\n").find("line 2"), std::string::npos);
+  EXPECT_NE(message_of("4 18 junk\n").find("trailing tokens"), std::string::npos);
+  EXPECT_NE(message_of("0 18\n").find("must be positive"), std::string::npos);
+  EXPECT_NE(message_of("4 -1\n").find("non-negative"), std::string::npos);
+  EXPECT_NE(message_of("4 18\n4 20\n").find("strictly increasing"), std::string::npos);
+  EXPECT_NE(message_of("# only comments\n").find("no data points"), std::string::npos);
+}
+
+TEST(CpmdTable, CommittedCalibrationFileMatchesTheBuiltinCurve) {
+  // data/cpmd_calibration.txt ships the built-in curve as a starting point;
+  // the two must agree so a run with or without the file is identical.
+  const CpmdTable file = CpmdTable::load_file(AMPOM_SOURCE_DIR "/data/cpmd_calibration.txt");
+  const CpmdTable built = CpmdTable::builtin();
+  ASSERT_EQ(file.points().size(), built.points().size());
+  for (std::size_t i = 0; i < file.points().size(); ++i) {
+    EXPECT_DOUBLE_EQ(file.points()[i].wss_kib, built.points()[i].wss_kib) << "point " << i;
+    EXPECT_DOUBLE_EQ(file.points()[i].delay_us, built.points()[i].delay_us) << "point " << i;
+  }
+}
+
+TEST(CpmdTable, LoadFileRejectsMissingPath) {
+  EXPECT_THROW((void)CpmdTable::load_file("/nonexistent/cpmd.txt"), std::invalid_argument);
 }
 
 }  // namespace

@@ -241,14 +241,52 @@ TEST(PerfGateScale, TrafficTrendingWithClusterSizeFails) {
   EXPECT_TRUE(found);
 }
 
-TEST(PerfGateScale, ComparesOnlyTheCaseIntersection) {
-  // The committed baseline carries the --full grid; a CI --quick run with a
-  // subset of cases must still gate cleanly.
+TEST(PerfGateScale, BaselineOnlyCaseFailsByDefaultNamingTheCase) {
+  // A case silently dropped from the run must not gate green: nothing
+  // compared it. The failure names the case so the fix is obvious.
   const ScaleSummary baseline = healthy_scale();
   ScaleSummary current = healthy_scale();
   current.cases.erase("n1024");
   const GateResult result = gate_scale(current, &baseline, GateOptions{});
+  EXPECT_FALSE(result.pass);
+  bool found = false;
+  for (const std::string& f : result.failures) {
+    found = found || (f.find("n1024") != std::string::npos &&
+                      f.find("was not run") != std::string::npos);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PerfGateScale, AllowCaseSubsetWaivesBaselineOnlyMisses) {
+  // The committed baseline carries the --full grid; a CI --quick run with a
+  // subset of cases gates cleanly only under the explicit waiver.
+  const ScaleSummary baseline = healthy_scale();
+  ScaleSummary current = healthy_scale();
+  current.cases.erase("n1024");
+  GateOptions options;
+  options.allow_case_subset = true;
+  const GateResult result = gate_scale(current, &baseline, options);
   EXPECT_TRUE(result.pass) << (result.failures.empty() ? "" : result.failures[0]);
+}
+
+TEST(PerfGateScale, CurrentOnlyCaseFailsEvenWithTheSubsetWaiver) {
+  // The inverse mismatch — a case the baseline has never seen — is never
+  // waivable: until the baseline is refreshed, nothing gates that case.
+  const ScaleSummary baseline = healthy_scale();
+  ScaleSummary current = healthy_scale();
+  ScaleCase extra = current.cases.at("n1024");
+  extra.nodes = 4096.0;
+  current.cases.emplace("n4096", extra);
+  GateOptions options;
+  options.allow_case_subset = true;
+  const GateResult result = gate_scale(current, &baseline, options);
+  EXPECT_FALSE(result.pass);
+  bool found = false;
+  for (const std::string& f : result.failures) {
+    found = found || (f.find("n4096") != std::string::npos &&
+                      f.find("missing from the baseline") != std::string::npos);
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST(PerfGateScale, EventDriftPastToleranceFails) {
@@ -377,11 +415,27 @@ TEST(PerfGateParallel, SmallCasesAreExemptFromTheSpeedupFloor) {
   EXPECT_TRUE(result.pass) << (result.failures.empty() ? "" : result.failures[0]);
 }
 
-TEST(PerfGateParallel, ComparesOnlyTheCaseIntersection) {
+TEST(PerfGateParallel, BaselineOnlyCaseFailsByDefaultNamingTheCase) {
   const ParallelSummary baseline = healthy_parallel();
   ParallelSummary current = healthy_parallel();
   current.cases.erase("n2000");
   const GateResult result = gate_parallel(current, &baseline, GateOptions{});
+  EXPECT_FALSE(result.pass);
+  bool found = false;
+  for (const std::string& f : result.failures) {
+    found = found || (f.find("n2000") != std::string::npos &&
+                      f.find("was not run") != std::string::npos);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PerfGateParallel, AllowCaseSubsetWaivesBaselineOnlyMisses) {
+  const ParallelSummary baseline = healthy_parallel();
+  ParallelSummary current = healthy_parallel();
+  current.cases.erase("n2000");
+  GateOptions options;
+  options.allow_case_subset = true;
+  const GateResult result = gate_parallel(current, &baseline, options);
   EXPECT_TRUE(result.pass) << (result.failures.empty() ? "" : result.failures[0]);
 }
 
@@ -441,6 +495,133 @@ TEST(PerfGateParallel, RejectsNonParallelAndIncompleteDocuments) {
           &error)
           .has_value());
   EXPECT_NE(error.find("w1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Cache-ablation mode (BENCH_cache.json)
+// ---------------------------------------------------------------------------
+
+CachePolicyRun cache_run(double migrations, double charged_ms) {
+  CachePolicyRun run;
+  run.migrations = migrations;
+  run.warmup_charged_ms = charged_ms;
+  run.warmup_paid_ms = charged_ms;
+  run.makespan_sec = 30.0;
+  return run;
+}
+
+CacheSummary healthy_cache() {
+  CacheSummary summary;
+  const struct {
+    const char* name;
+    double wss_kib;
+    double load_ms;
+    double cache_ms;
+  } kCases[] = {
+      {"wss1024k", 1024.0, 40.0, 25.0},
+      {"wss4096k", 4096.0, 160.0, 95.0},
+  };
+  for (const auto& spec : kCases) {
+    CacheCase c;
+    c.wss_kib = spec.wss_kib;
+    c.nodes = 4.0;
+    c.procs = 9.0;
+    c.policies.emplace("load", cache_run(4.0, spec.load_ms));
+    c.policies.emplace("eq3", cache_run(4.0, spec.load_ms * 0.9));
+    c.policies.emplace("cache", cache_run(4.0, spec.cache_ms));
+    summary.cases.emplace(spec.name, std::move(c));
+  }
+  return summary;
+}
+
+TEST(PerfGateCache, HealthyAblationPasses) {
+  const GateResult result = gate_cache(healthy_cache(), nullptr, GateOptions{});
+  EXPECT_TRUE(result.pass) << (result.failures.empty() ? "" : result.failures[0]);
+}
+
+TEST(PerfGateCache, MissingPolicyFailsNamingCaseAndPolicy) {
+  CacheSummary current = healthy_cache();
+  current.cases.at("wss4096k").policies.erase("eq3");
+  const GateResult result = gate_cache(current, nullptr, GateOptions{});
+  EXPECT_FALSE(result.pass);
+  bool found = false;
+  for (const std::string& f : result.failures) {
+    found = found || (f.find("wss4096k") != std::string::npos &&
+                      f.find("eq3") != std::string::npos);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PerfGateCache, CacheAwareNotBeatingLoadFails) {
+  // The acceptance invariant: under contention, cache-aware placement must
+  // strictly reduce the total warm-up charge vs the load-greedy pick.
+  CacheSummary current = healthy_cache();
+  for (auto& [name, c] : current.cases) {
+    (void)name;
+    c.policies.at("cache").warmup_charged_ms = c.policies.at("load").warmup_charged_ms;
+  }
+  const GateResult result = gate_cache(current, nullptr, GateOptions{});
+  EXPECT_FALSE(result.pass);
+  bool found = false;
+  for (const std::string& f : result.failures) {
+    found = found || f.find("not strictly below") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PerfGateCache, RoundTripsThroughRenderAndLoad) {
+  const CacheSummary summary = healthy_cache();
+  std::string error;
+  const auto reloaded = load_cache_summary(parse_ok(render_cache_summary(summary)), &error);
+  ASSERT_TRUE(reloaded.has_value()) << error;
+  ASSERT_EQ(reloaded->cases.size(), summary.cases.size());
+  const CacheCase& original = summary.cases.at("wss4096k");
+  const CacheCase& round = reloaded->cases.at("wss4096k");
+  EXPECT_DOUBLE_EQ(round.wss_kib, original.wss_kib);
+  EXPECT_DOUBLE_EQ(round.policies.at("cache").warmup_charged_ms,
+                   original.policies.at("cache").warmup_charged_ms);
+  EXPECT_DOUBLE_EQ(round.policies.at("load").migrations,
+                   original.policies.at("load").migrations);
+}
+
+TEST(PerfGateCache, BaselineChargeRegressionFails) {
+  const CacheSummary baseline = healthy_cache();
+  CacheSummary current = healthy_cache();
+  current.cases.at("wss4096k").policies.at("cache").warmup_charged_ms *= 2.0;
+  const GateResult result = gate_cache(current, &baseline, GateOptions{});
+  EXPECT_FALSE(result.pass);
+  bool found = false;
+  for (const std::string& f : result.failures) {
+    found = found || (f.find("wss4096k.cache") != std::string::npos &&
+                      f.find("warmup_charged_ms") != std::string::npos);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PerfGateCache, CaseMismatchFollowsTheFailByDefaultRule) {
+  const CacheSummary baseline = healthy_cache();
+  CacheSummary current = healthy_cache();
+  current.cases.erase("wss1024k");
+  EXPECT_FALSE(gate_cache(current, &baseline, GateOptions{}).pass);
+  GateOptions waived;
+  waived.allow_case_subset = true;
+  const GateResult result = gate_cache(current, &baseline, waived);
+  EXPECT_TRUE(result.pass) << (result.failures.empty() ? "" : result.failures[0]);
+}
+
+TEST(PerfGateCache, RejectsForeignAndIncompleteDocuments) {
+  std::string error;
+  EXPECT_FALSE(load_cache_summary(
+                   parse_ok(R"({"schema": 1, "tool": "scale_sweep"})"), &error)
+                   .has_value());
+  EXPECT_NE(error.find("cache_ablation"), std::string::npos);
+  EXPECT_FALSE(
+      load_cache_summary(
+          parse_ok(R"({"schema": 1, "tool": "cache_ablation", "cases": {
+                        "wss64k": {"wss_kib": 64, "nodes": 4, "procs": 9}}})"),
+          &error)
+          .has_value());
+  EXPECT_NE(error.find("policies"), std::string::npos);
 }
 
 }  // namespace

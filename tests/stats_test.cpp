@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "simcore/fmt.hpp"
@@ -85,6 +86,20 @@ TEST(Summary, StddevOfConstantIsZero) {
   s.add(4.0);
   s.add(4.0);
   EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, EmptySampleOrderStatisticsAreNaN) {
+  // Order statistics of an empty sample are undefined; they must come back
+  // as NaN, never index into the empty vector (UB that a Release build
+  // happily "survives" by reading garbage — this pins the fix).
+  const stats::Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  EXPECT_TRUE(std::isnan(s.median()));
+  EXPECT_TRUE(std::isnan(s.percentile(0.0)));
+  EXPECT_TRUE(std::isnan(s.percentile(0.5)));
+  EXPECT_TRUE(std::isnan(s.percentile(1.0)));
 }
 
 TEST(Summary, AddAfterSortStaysCorrect) {

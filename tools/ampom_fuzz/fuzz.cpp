@@ -61,6 +61,10 @@ FuzzCase generate_case(std::uint64_t seed) {
     out.jobs.push_back(job);
   }
 
+  // Roughly a third of cases run the cache-aware placement policy over an
+  // enabled hierarchy, so CPMD warm-up accounting meets crashes/partitions.
+  out.cache_policy = rng.bernoulli(0.3);
+
   out.chaos.seed = rng.next();
   const std::size_t campaigns = 1 + rng.uniform(3);
   for (std::size_t i = 0; i < campaigns; ++i) {
@@ -132,8 +136,12 @@ FuzzCase generate_case(std::uint64_t seed) {
 
 FuzzResult run_case(const FuzzCase& fuzz_case) {
   FuzzResult result;
-  balancer::ClusterSim world{std::max<std::size_t>(fuzz_case.nodes, 2),
-                             driver::Scheme::Ampom};
+  balancer::WorldConfig world_config;
+  world_config.scheme = driver::Scheme::Ampom;
+  world_config.topology =
+      cluster::Topology::flat(std::max<std::size_t>(fuzz_case.nodes, 2));
+  world_config.hierarchy.enabled = fuzz_case.cache_policy;
+  balancer::ClusterSim world{world_config};
   verify::InvariantAuditor auditor{world};
   balancer::LoadBalancer::Config balancer_config;
   balancer_config.period = sim::Time::from_ms(250);
@@ -141,6 +149,9 @@ FuzzResult run_case(const FuzzCase& fuzz_case) {
   // the only migrations are the scripted ones and the only rehomes are
   // reclaim_stranded's — the shape the invariants reason about.
   balancer_config.imbalance_threshold = 1e9;
+  if (fuzz_case.cache_policy) {
+    balancer_config.placement = driver::Placement::kCacheAware;
+  }
   balancer::LoadBalancer balancer{world, balancer_config};
 
   try {
@@ -368,6 +379,7 @@ std::string serialize_case(const FuzzCase& fuzz_case) {
   out += sim::strfmt("drop_pct %u\n", fuzz_case.drop_pct);
   out += sim::strfmt("deadline_ms %lld\n", static_cast<long long>(whole_ms(fuzz_case.deadline)));
   out += sim::strfmt("mutate %d\n", fuzz_case.mutate_skip_abort_rollback ? 1 : 0);
+  out += sim::strfmt("cache_policy %d\n", fuzz_case.cache_policy ? 1 : 0);
   out += sim::strfmt("chaos_seed %llu\n", static_cast<unsigned long long>(fuzz_case.chaos.seed));
   for (const FuzzJob& job : fuzz_case.jobs) {
     out += sim::strfmt(
@@ -537,6 +549,8 @@ FuzzCase parse_case(const std::string& text) {
       out.deadline = parse_ms(scalar("deadline_ms"));
     } else if (kind == "mutate") {
       out.mutate_skip_abort_rollback = parse_u64(scalar("mutate")) != 0;
+    } else if (kind == "cache_policy") {
+      out.cache_policy = parse_u64(scalar("cache_policy")) != 0;
     } else if (kind == "chaos_seed") {
       out.chaos.seed = parse_u64(scalar("chaos_seed"));
     } else {

@@ -50,6 +50,10 @@ struct FuzzCase {
   // Verification self-test: reintroduce the skipped abort rollback
   // (MigrationReliability::mutate_skip_abort_rollback).
   bool mutate_skip_abort_rollback{false};
+  // Run with the memory-hierarchy model on and the balancer scoring
+  // destinations cache-aware (Placement::kCacheAware) so CPMD charges and
+  // pressure-driven picks are exercised under chaos too.
+  bool cache_policy{false};
 
   [[nodiscard]] std::size_t fault_count() const {
     return cluster::expand_chaos(chaos, nodes).fault_count();

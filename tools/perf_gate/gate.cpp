@@ -513,6 +513,42 @@ bool read_case_field(const JsonValue& obj, const char* field, double& out,
   return true;
 }
 
+// Fail-by-default case-set comparison. A baseline/current mismatch used to
+// be compared over the silent intersection, which let a dropped case hide a
+// regression behind a green gate; now every miss is named. Baseline-only
+// misses can be waived (GateOptions::allow_case_subset — CI's --quick grids
+// are strict subsets of the committed --full baselines); current-only cases
+// always fail, because nothing gates them until the baseline is refreshed.
+template <typename CaseMap>
+void check_case_sets(const CaseMap& current, const CaseMap& baseline,
+                     const GateOptions& options, const char* what, GateResult& result) {
+  for (const auto& [name, value] : current) {
+    (void)value;
+    if (baseline.find(name) == baseline.end()) {
+      result.pass = false;
+      result.failures.push_back(std::string(what) + " case '" + name +
+                                "' is missing from the baseline — nothing gates it; "
+                                "refresh the committed baseline to cover it");
+    }
+  }
+  for (const auto& [name, value] : baseline) {
+    (void)value;
+    if (current.find(name) != current.end()) {
+      continue;
+    }
+    if (options.allow_case_subset) {
+      result.notes.push_back(std::string(what) + " case '" + name +
+                             "' not run this time (baseline-only miss waived by "
+                             "--allow-case-subset)");
+    } else {
+      result.pass = false;
+      result.failures.push_back(std::string(what) + " case '" + name +
+                                "' is in the baseline but was not run — pass "
+                                "--allow-case-subset if this quick grid is intentional");
+    }
+  }
+}
+
 }  // namespace
 
 std::optional<ScaleSummary> load_scale_summary(const JsonValue& doc, std::string* error) {
@@ -624,6 +660,8 @@ GateResult gate_scale(const ScaleSummary& current, const ScaleSummary* baseline,
     return result;
   }
 
+  check_case_sets(current.cases, baseline->cases, options, "scale", result);
+
   // Compare over the case intersection; find the smallest common case to
   // anchor the wall-time trajectory.
   const std::string* anchor = nullptr;
@@ -647,7 +685,7 @@ GateResult gate_scale(const ScaleSummary& current, const ScaleSummary* baseline,
   for (const auto& [name, base] : baseline->cases) {
     const auto it = current.cases.find(name);
     if (it == current.cases.end()) {
-      continue;  // the committed baseline carries the --full grid; CI runs less
+      continue;  // already reported (or waived) by check_case_sets above
     }
     const ScaleCase& cur = it->second;
     const double event_ceiling = base.events * (1.0 + options.tolerance);
@@ -829,6 +867,8 @@ GateResult gate_parallel(const ParallelSummary& current,
     return result;
   }
 
+  check_case_sets(current.cases, baseline->cases, options, "parallel", result);
+
   // Intersection + trajectory, anchored at the smallest common case — the
   // same shape rule as gate_scale, applied to the w1 runs.
   const std::string* anchor = nullptr;
@@ -852,7 +892,7 @@ GateResult gate_parallel(const ParallelSummary& current,
   for (const auto& [name, base] : baseline->cases) {
     const auto it = current.cases.find(name);
     if (it == current.cases.end()) {
-      continue;  // the committed baseline carries the --full grid; CI runs less
+      continue;  // already reported (or waived) by check_case_sets above
     }
     const ParallelCase& cur = it->second;
     const double event_ceiling = base.runs.at("w1").events * (1.0 + options.tolerance);
@@ -870,6 +910,167 @@ GateResult gate_parallel(const ParallelSummary& current,
         fail(name + ": w1 wall-time ratio vs " + *anchor + " is " + fmt(cur_ratio) +
              "x (baseline " + fmt(base_ratio) + "x + " + fmt(options.tolerance * 100.0) +
              "% tolerance) — scaling shape regressed");
+      }
+    }
+  }
+  return result;
+}
+
+std::optional<CacheSummary> load_cache_summary(const JsonValue& doc, std::string* error) {
+  const JsonValue* schema = doc.find("schema");
+  const JsonValue* tool = doc.find("tool");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::Number ||
+      schema->number != 1.0 || tool == nullptr ||
+      tool->kind != JsonValue::Kind::String || tool->string != "cache_ablation") {
+    if (error != nullptr) {
+      *error = "not a cache_ablation schema-1 document";
+    }
+    return std::nullopt;
+  }
+  const JsonValue* cases = doc.find("cases");
+  if (cases == nullptr || cases->kind != JsonValue::Kind::Object || cases->object.empty()) {
+    if (error != nullptr) {
+      *error = "cache document has no 'cases' object";
+    }
+    return std::nullopt;
+  }
+  CacheSummary summary;
+  for (const auto& [name, value] : cases->object) {
+    if (value.kind != JsonValue::Kind::Object) {
+      if (error != nullptr) {
+        *error = "case '" + name + "' is not an object";
+      }
+      return std::nullopt;
+    }
+    CacheCase c;
+    if (!read_case_field(value, "wss_kib", c.wss_kib, name, error) ||
+        !read_case_field(value, "nodes", c.nodes, name, error) ||
+        !read_case_field(value, "procs", c.procs, name, error)) {
+      return std::nullopt;
+    }
+    const JsonValue* policies = value.find("policies");
+    if (policies == nullptr || policies->kind != JsonValue::Kind::Object ||
+        policies->object.empty()) {
+      if (error != nullptr) {
+        *error = "case '" + name + "' has no 'policies' object";
+      }
+      return std::nullopt;
+    }
+    for (const auto& [policy_name, policy_value] : policies->object) {
+      const std::string key = name + "." + policy_name;
+      CachePolicyRun run;
+      if (!read_case_field(policy_value, "migrations", run.migrations, key, error) ||
+          !read_case_field(policy_value, "warmup_charged_ms", run.warmup_charged_ms, key,
+                           error) ||
+          !read_case_field(policy_value, "warmup_paid_ms", run.warmup_paid_ms, key,
+                           error) ||
+          !read_case_field(policy_value, "makespan_sec", run.makespan_sec, key, error)) {
+        return std::nullopt;
+      }
+      c.policies.emplace(policy_name, run);
+    }
+    summary.cases.emplace(name, std::move(c));
+  }
+  return summary;
+}
+
+std::string render_cache_summary(const CacheSummary& summary) {
+  // Every field is simulation-deterministic; counters render exactly so a
+  // one-migration drift survives the round-trip and fails the comparison.
+  std::string out = "{\n  \"schema\": 1,\n  \"tool\": \"cache_ablation\",\n  \"cases\": {\n";
+  std::size_t i = 0;
+  for (const auto& [name, c] : summary.cases) {
+    out += "    \"" + name + "\": {";
+    out += "\"wss_kib\": " + fmt_exact(c.wss_kib);
+    out += ", \"nodes\": " + fmt_exact(c.nodes);
+    out += ", \"procs\": " + fmt_exact(c.procs);
+    out += ", \"policies\": {";
+    std::size_t p = 0;
+    for (const auto& [policy_name, run] : c.policies) {
+      out += "\"" + policy_name + "\": {";
+      out += "\"migrations\": " + fmt_exact(run.migrations);
+      out += ", \"warmup_charged_ms\": " + fmt_exact(run.warmup_charged_ms);
+      out += ", \"warmup_paid_ms\": " + fmt_exact(run.warmup_paid_ms);
+      out += ", \"makespan_sec\": " + fmt_exact(run.makespan_sec);
+      out += ++p < c.policies.size() ? "}, " : "}";
+    }
+    out += "}";
+    out += ++i < summary.cases.size() ? "},\n" : "}\n";
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+GateResult gate_cache(const CacheSummary& current, const CacheSummary* baseline,
+                      const GateOptions& options) {
+  GateResult result;
+  auto fail = [&result](std::string message) {
+    result.pass = false;
+    result.failures.push_back(std::move(message));
+  };
+
+  constexpr const char* kPolicyNames[] = {"load", "eq3", "cache"};
+  double load_total_ms = 0.0;
+  double cache_total_ms = 0.0;
+  for (const auto& [name, c] : current.cases) {
+    bool complete = true;
+    for (const char* policy : kPolicyNames) {
+      if (c.policies.find(policy) == c.policies.end()) {
+        fail(name + ": policy '" + std::string(policy) +
+             "' missing — the ablation must run all three placements");
+        complete = false;
+      }
+    }
+    if (!complete) {
+      continue;
+    }
+    const CachePolicyRun& load_run = c.policies.at("load");
+    const CachePolicyRun& cache_run = c.policies.at("cache");
+    load_total_ms += load_run.warmup_charged_ms;
+    cache_total_ms += cache_run.warmup_charged_ms;
+    result.notes.push_back(name + ": wss " + fmt(c.wss_kib) + " KiB; warm-up charged " +
+                           fmt(load_run.warmup_charged_ms) + " ms (load) / " +
+                           fmt(c.policies.at("eq3").warmup_charged_ms) + " ms (eq3) / " +
+                           fmt(cache_run.warmup_charged_ms) + " ms (cache)");
+  }
+  // The acceptance bar: under contention, cache-aware placement must
+  // strictly reduce the total warm-up delay vs the load-greedy pick.
+  if (!current.cases.empty() && result.pass && cache_total_ms >= load_total_ms) {
+    fail("cache-aware total warm-up " + fmt(cache_total_ms) +
+         " ms is not strictly below the load policy's " + fmt(load_total_ms) +
+         " ms — the cost model is not steering placement");
+  }
+
+  if (baseline == nullptr) {
+    return result;
+  }
+
+  check_case_sets(current.cases, baseline->cases, options, "cache", result);
+
+  for (const auto& [name, base] : baseline->cases) {
+    const auto it = current.cases.find(name);
+    if (it == current.cases.end()) {
+      continue;  // already reported (or waived) by check_case_sets above
+    }
+    const CacheCase& cur = it->second;
+    for (const auto& [policy_name, base_run] : base.policies) {
+      const auto run_it = cur.policies.find(policy_name);
+      if (run_it == cur.policies.end()) {
+        continue;  // the three-policy invariant above already failed this
+      }
+      const CachePolicyRun& cur_run = run_it->second;
+      const double migration_ceiling = base_run.migrations * (1.0 + options.tolerance);
+      if (cur_run.migrations > migration_ceiling) {
+        fail(name + "." + policy_name + ": migrations " + fmt(cur_run.migrations) +
+             " exceed baseline " + fmt(base_run.migrations) + " + " +
+             fmt(options.tolerance * 100.0) + "%");
+      }
+      const double charge_ceiling = base_run.warmup_charged_ms * (1.0 + options.tolerance);
+      if (cur_run.warmup_charged_ms > charge_ceiling) {
+        fail(name + "." + policy_name + ": warmup_charged_ms " +
+             fmt(cur_run.warmup_charged_ms) + " exceeds baseline " +
+             fmt(base_run.warmup_charged_ms) + " + " + fmt(options.tolerance * 100.0) +
+             "%");
       }
     }
   }

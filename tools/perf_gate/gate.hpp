@@ -84,6 +84,12 @@ struct GateOptions {
   // worker count over workers=1 on the >= 2000-node cases, enforced only
   // when the recording host has at least that many CPUs.
   double parallel_min_speedup{2.0};
+  // Case-set mismatches between baseline and current are failures by
+  // default: a silently shrunken grid once hid a regressed case behind a
+  // green gate. Setting this waives *baseline-only* misses (CI's --quick
+  // grids are strict subsets of the committed --full baselines); cases the
+  // baseline has never seen still fail — they need a baseline refresh.
+  bool allow_case_subset{false};
 };
 
 struct GateResult {
@@ -186,5 +192,50 @@ struct ParallelSummary {
 [[nodiscard]] GateResult gate_parallel(const ParallelSummary& current,
                                        const ParallelSummary* baseline,
                                        const GateOptions& options);
+
+// --- cache ablation (BENCH_cache.json) ---------------------------------------
+// bench/cache_ablation runs the same contended cluster world under each
+// placement policy (load / eq3 / cache) across a WSS sweep and emits the
+// committed schema directly:
+//   {"schema":1,"tool":"cache_ablation","cases":{
+//     "wss4096k":{"wss_kib":4096,"nodes":...,"procs":...,"policies":{
+//       "load":{"migrations":...,"warmup_charged_ms":...,"warmup_paid_ms":...,
+//               "makespan_sec":...},
+//       "eq3":{...},"cache":{...}}}}}
+// Every field is simulation-deterministic (no wall clock), so the gate is
+// fully machine-independent.
+
+struct CachePolicyRun {
+  double migrations{0};
+  double warmup_charged_ms{0};
+  double warmup_paid_ms{0};
+  double makespan_sec{0};
+};
+
+struct CacheCase {
+  double wss_kib{0};
+  double nodes{0};
+  double procs{0};
+  std::map<std::string, CachePolicyRun> policies;  // "load", "eq3", "cache"
+};
+
+struct CacheSummary {
+  std::map<std::string, CacheCase> cases;
+};
+
+[[nodiscard]] std::optional<CacheSummary> load_cache_summary(const JsonValue& doc,
+                                                             std::string* error);
+[[nodiscard]] std::string render_cache_summary(const CacheSummary& summary);
+
+// Gate the cache ablation. Invariants (always): every case carries all
+// three policies, and the cache-aware policy's total warm-up charge across
+// the sweep is strictly below the load policy's — the cost model must
+// actually buy something under contention, or the placement tie-breaks
+// regressed. Against a baseline: per-case, per-policy warm-up charges and
+// migration counts within the tolerance, with the same fail-by-default
+// case-mismatch rule as gate_scale.
+[[nodiscard]] GateResult gate_cache(const CacheSummary& current,
+                                    const CacheSummary* baseline,
+                                    const GateOptions& options);
 
 }  // namespace ampom::perfgate

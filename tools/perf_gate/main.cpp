@@ -6,6 +6,8 @@
 //             [--scale-output=FILE] [--tolerance=0.30]
 //   perf_gate --parallel-input=parallel.json [--parallel-baseline=BENCH_parallel.json]
 //             [--parallel-output=FILE] [--tolerance=0.30] [--parallel-min-speedup=2.0]
+//   perf_gate --cache-input=cache.json [--cache-baseline=BENCH_cache.json]
+//             [--cache-output=FILE] [--tolerance=0.30]
 //
 // Engine mode reads bench/micro_simcore's --benchmark_out JSON, normalizes
 // it to the committed BENCH_simcore.json schema (written to --output when
@@ -42,6 +44,9 @@ struct Options {
   std::string parallel_input;
   std::string parallel_baseline;
   std::string parallel_output;
+  std::string cache_input;
+  std::string cache_baseline;
+  std::string cache_output;
   GateOptions gate;
 };
 
@@ -75,6 +80,14 @@ std::optional<Options> parse_args(int argc, char** argv, std::string& error) {
       options.parallel_baseline = value_of("--parallel-baseline=");
     } else if (arg.rfind("--parallel-output=", 0) == 0) {
       options.parallel_output = value_of("--parallel-output=");
+    } else if (arg.rfind("--cache-input=", 0) == 0) {
+      options.cache_input = value_of("--cache-input=");
+    } else if (arg.rfind("--cache-baseline=", 0) == 0) {
+      options.cache_baseline = value_of("--cache-baseline=");
+    } else if (arg.rfind("--cache-output=", 0) == 0) {
+      options.cache_output = value_of("--cache-output=");
+    } else if (arg == "--allow-case-subset") {
+      options.gate.allow_case_subset = true;
     } else if (arg.rfind("--parallel-min-speedup=", 0) == 0) {
       if (!parse_double(value_of("--parallel-min-speedup="),
                         options.gate.parallel_min_speedup)) {
@@ -97,8 +110,9 @@ std::optional<Options> parse_args(int argc, char** argv, std::string& error) {
     }
   }
   if (options.input.empty() && options.scale_input.empty() &&
-      options.parallel_input.empty()) {
-    error = "--input=FILE, --scale-input=FILE or --parallel-input=FILE is required";
+      options.parallel_input.empty() && options.cache_input.empty()) {
+    error = "--input=FILE, --scale-input=FILE, --parallel-input=FILE or "
+            "--cache-input=FILE is required";
     return std::nullopt;
   }
   return options;
@@ -166,6 +180,25 @@ std::optional<ParallelSummary> load_parallel_file(const std::string& path,
     return std::nullopt;
   }
   auto summary = load_parallel_summary(*doc, &parse_error);
+  if (!summary) {
+    error = path + ": " + parse_error;
+  }
+  return summary;
+}
+
+std::optional<CacheSummary> load_cache_file(const std::string& path, std::string& error) {
+  const auto text = read_file(path);
+  if (!text) {
+    error = "cannot read " + path;
+    return std::nullopt;
+  }
+  std::string parse_error;
+  const auto doc = parse_json(*text, &parse_error);
+  if (!doc) {
+    error = path + ": " + parse_error;
+    return std::nullopt;
+  }
+  auto summary = load_cache_summary(*doc, &parse_error);
   if (!summary) {
     error = path + ": " + parse_error;
   }
@@ -251,6 +284,35 @@ int run_parallel_mode(const Options& options) {
   return report(result, "parallel", baseline.has_value());
 }
 
+// The cache-ablation mode, same shape as run_scale_mode.
+int run_cache_mode(const Options& options) {
+  std::string error;
+  const auto current = load_cache_file(options.cache_input, error);
+  if (!current) {
+    std::cerr << "perf_gate: " << error << "\n";
+    return 2;
+  }
+  std::optional<CacheSummary> baseline;
+  if (!options.cache_baseline.empty()) {
+    baseline = load_cache_file(options.cache_baseline, error);
+    if (!baseline) {
+      std::cerr << "perf_gate: " << error << "\n";
+      return 2;
+    }
+  }
+  if (!options.cache_output.empty()) {
+    std::ofstream out{options.cache_output, std::ios::binary};
+    if (!out) {
+      std::cerr << "perf_gate: cannot write " << options.cache_output << "\n";
+      return 2;
+    }
+    out << render_cache_summary(*current);
+  }
+  const GateResult result =
+      gate_cache(*current, baseline ? &*baseline : nullptr, options.gate);
+  return report(result, "cache", baseline.has_value());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -264,7 +326,11 @@ int main(int argc, char** argv) {
                  " [--scale-output=FILE] [--tolerance=0.30]\n"
                  "       perf_gate --parallel-input=parallel.json"
                  " [--parallel-baseline=FILE] [--parallel-output=FILE]"
-                 " [--tolerance=0.30] [--parallel-min-speedup=2.0]\n";
+                 " [--tolerance=0.30] [--parallel-min-speedup=2.0]\n"
+                 "       perf_gate --cache-input=cache.json [--cache-baseline=FILE]"
+                 " [--cache-output=FILE] [--tolerance=0.30]\n"
+                 "       any mode: --allow-case-subset waives baseline-only case misses"
+                 " (quick grids)\n";
     return 2;
   }
 
@@ -281,6 +347,13 @@ int main(int argc, char** argv) {
       return 2;
     }
     scale_rc = scale_rc != 0 ? scale_rc : parallel_rc;
+  }
+  if (!options->cache_input.empty()) {
+    const int cache_rc = run_cache_mode(*options);
+    if (cache_rc == 2) {
+      return 2;
+    }
+    scale_rc = scale_rc != 0 ? scale_rc : cache_rc;
   }
   if (options->input.empty()) {
     return scale_rc;
